@@ -1,0 +1,80 @@
+// Ablation — event-driven ("dynamic") orchestration vs the WMS path.
+//
+// The same workflow executed two ways on the same testbed:
+//  (a) through Pegasus + DAGMan + HTCondor with serverless tasks (the
+//      paper's integration, Figure 6's green configuration), and
+//  (b) fully event-driven: tasks chained via Knative Eventing, children
+//      released by an orchestrator function the moment a `task.done`
+//      CloudEvent lands — no log scans, no matchmaking.
+//
+// The gap is the WMS's control-plane latency (POST scripts, DAGMan scan,
+// condor dispatch), which the serverless-native path replaces with one
+// event round-trip per hop. This is the quantitative case for the
+// "dynamic HPC workflows" vision in the paper's title. (Caveat: the
+// event path passes data by value and skips WMS staging/retry features;
+// see core/event_driven.hpp.)
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/event_driven.hpp"
+#include "core/testbed.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::core;
+
+double wms_path(int n_tasks) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function();
+  auto wf = workload::make_matmul_chain("w", n_tasks,
+                                        tb.calibration().matrix_bytes);
+  std::map<std::string, pegasus::JobMode> modes;
+  for (const auto& j : wf.jobs()) modes[j.id] = pegasus::JobMode::kServerless;
+  const auto result = tb.run_workflows({wf}, modes);
+  if (!result.all_succeeded) std::cerr << "wms run failed\n";
+  return result.slowest;
+}
+
+double event_path(int n_tasks) {
+  PaperTestbed tb(42);
+  knative::Broker broker(tb.serving(), tb.cluster().node(0));
+  EventDrivenRunner runner(tb.serving(), broker, tb.calibration());
+  runner.setup(ProvisioningPolicy::prestaged(3));
+  tb.sim().run_until(tb.sim().now() + 30.0);  // warm the functions
+
+  auto wf = workload::make_matmul_chain("e", n_tasks,
+                                        tb.calibration().matrix_bytes);
+  double makespan = -1;
+  bool finished = false;
+  runner.run(wf, tb.transformations(), [&](bool ok, double m) {
+    if (!ok) std::cerr << "event-driven run failed\n";
+    makespan = m;
+    finished = true;
+  });
+  while (!finished && tb.sim().has_pending_events()) tb.sim().step();
+  return makespan;
+}
+
+}  // namespace
+
+int main() {
+  sf::bench::banner(
+      "Ablation: event-driven orchestration vs Pegasus/DAGMan/HTCondor",
+      "per-hop cost collapses from scan+negotiation+dispatch (~20 s) to "
+      "one CloudEvent round-trip (~0.1 s)");
+
+  sf::metrics::Table table({"chain_length", "wms_serverless_s",
+                            "event_driven_s", "speedup"},
+                           2);
+  for (int n : {5, 10, 20}) {
+    const double wms = wms_path(n);
+    const double evt = event_path(n);
+    table.add_row({static_cast<std::int64_t>(n), wms, evt, wms / evt});
+  }
+  table.print_text(std::cout);
+  std::cout << "\nnote: the event path trades WMS staging/retry features "
+               "for latency; see core/event_driven.hpp for scope\n";
+  return 0;
+}

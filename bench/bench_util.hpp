@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "metrics/regression.hpp"
+#include "metrics/table.hpp"
+
+namespace sf::bench {
+
+/// Prints a figure banner so bench output reads like the paper's
+/// evaluation section.
+inline void banner(const std::string& title, const std::string& paper_note) {
+  std::cout << "\n==========================================================\n"
+            << title << '\n'
+            << "paper: " << paper_note << '\n'
+            << "==========================================================\n";
+}
+
+inline void print_fit(const std::string& label,
+                      const sf::metrics::LinearFit& fit) {
+  std::cout << label << ": slope=" << fit.slope
+            << " s/task, intercept=" << fit.intercept << " s, R^2=" << fit.r2
+            << '\n';
+}
+
+}  // namespace sf::bench

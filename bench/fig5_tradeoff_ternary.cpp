@@ -1,0 +1,82 @@
+// Figure 5 — the performance/isolation trade-off over the execution-mode
+// simplex: every mix of (native, container, serverless) task fractions is
+// a point in the ternary plot; its color in the paper is the average
+// makespan of the slowest of 10 concurrent 10-task workflows.
+//
+// This bench sweeps a simplex grid (step 0.25) and emits the data behind
+// the plot: ternary coordinates, isolation score and makespan per point.
+// The corners reproduce the paper's qualitative reading: native fastest /
+// no isolation, per-task containers isolated / slowest, serverless in
+// between via container reuse.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/testbed.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::core;
+
+double slowest_for(const metrics::MixPoint& mix, std::uint64_t seed) {
+  PaperTestbed tb(seed);
+  if (mix.serverless > 0) tb.register_matmul_function();
+  const auto result = tb.run_concurrent_mix(10, 10, mix);
+  if (!result.all_succeeded) {
+    std::cerr << "run failed at (" << mix.native << "," << mix.container
+              << "," << mix.serverless << ")\n";
+  }
+  return result.slowest;
+}
+
+}  // namespace
+
+int main() {
+  sf::bench::banner(
+      "Figure 5: performance-isolation ternary sweep",
+      "corners: native = best performance / no isolation; container = "
+      "strong isolation / slowest; serverless balances via reuse");
+
+  sf::metrics::Table table({"native", "container", "serverless", "tern_x",
+                            "tern_y", "isolation", "slowest_makespan_s"},
+                           3);
+  constexpr int kSteps = 4;  // grid step 0.25 → 15 simplex points
+  double best = 1e300;
+  double worst = 0;
+  metrics::MixPoint best_mix;
+  metrics::MixPoint worst_mix;
+  for (int ni = 0; ni <= kSteps; ++ni) {
+    for (int ci = 0; ci + ni <= kSteps; ++ci) {
+      const int si = kSteps - ni - ci;
+      metrics::MixPoint mix{static_cast<double>(ni) / kSteps,
+                            static_cast<double>(ci) / kSteps,
+                            static_cast<double>(si) / kSteps};
+      const double makespan = slowest_for(mix, 42);
+      const auto xy = metrics::to_ternary_xy(mix);
+      table.add_row({mix.native, mix.container, mix.serverless, xy.x, xy.y,
+                     metrics::isolation_score(mix), makespan});
+      if (makespan < best) {
+        best = makespan;
+        best_mix = mix;
+      }
+      if (makespan > worst) {
+        worst = makespan;
+        worst_mix = mix;
+      }
+    }
+  }
+  table.print_text(std::cout);
+  std::cout << "\nfastest point: native=" << best_mix.native
+            << " container=" << best_mix.container
+            << " serverless=" << best_mix.serverless << " (" << best
+            << " s)\n";
+  std::cout << "slowest point: native=" << worst_mix.native
+            << " container=" << worst_mix.container
+            << " serverless=" << worst_mix.serverless << " (" << worst
+            << " s)\n";
+  std::cout << "paper: fastest = all-native corner, slowest = all-container "
+               "corner, serverless corner close to native\n";
+  return 0;
+}

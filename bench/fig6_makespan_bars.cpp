@@ -1,0 +1,73 @@
+// Figure 6 — average makespan of the slowest of 10 concurrent 10-task
+// workflows under the five highlighted execution-mode mixes.
+//
+// Paper anchors (Section VI): all-native fastest at ~250 s; then half
+// Knative + half native; all-Knative at 1.08× native; half container +
+// half native; all-container slowest.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/testbed.hpp"
+
+namespace {
+
+using namespace sf;
+using namespace sf::core;
+
+struct Scenario {
+  const char* label;
+  metrics::MixPoint mix;
+};
+
+/// Average over seeds of the slowest-workflow makespan for one mix.
+double average_slowest(const metrics::MixPoint& mix,
+                       const std::vector<std::uint64_t>& seeds) {
+  double total = 0;
+  for (const auto seed : seeds) {
+    PaperTestbed tb(seed);
+    if (mix.serverless > 0) tb.register_matmul_function();
+    const auto result = tb.run_concurrent_mix(10, 10, mix);
+    if (!result.all_succeeded) {
+      std::cerr << "run failed for mix (" << mix.native << ","
+                << mix.container << "," << mix.serverless << ")\n";
+    }
+    total += result.slowest;
+  }
+  return total / static_cast<double>(seeds.size());
+}
+
+}  // namespace
+
+int main() {
+  sf::bench::banner(
+      "Figure 6: average slowest-workflow makespan, five mixes",
+      "native ~250 s < half-knative < all-knative (1.08x) < "
+      "half-container < all-container");
+
+  const std::vector<Scenario> scenarios{
+      {"all native", {1.0, 0.0, 0.0}},
+      {"half knative / half native", {0.5, 0.0, 0.5}},
+      {"all knative", {0.0, 0.0, 1.0}},
+      {"half container / half native", {0.5, 0.5, 0.0}},
+      {"all containers", {0.0, 1.0, 0.0}},
+  };
+  const std::vector<std::uint64_t> seeds{42, 1337, 2024};
+
+  double native_makespan = 0;
+  sf::metrics::Table table({"scenario", "avg_makespan_s", "vs_native",
+                            "isolation_score"},
+                           3);
+  for (const auto& scenario : scenarios) {
+    const double makespan = average_slowest(scenario.mix, seeds);
+    if (scenario.mix.native == 1.0) native_makespan = makespan;
+    table.add_row({std::string(scenario.label), makespan,
+                   native_makespan > 0 ? makespan / native_makespan : 1.0,
+                   metrics::isolation_score(scenario.mix)});
+  }
+  table.print_text(std::cout);
+  std::cout << "\npaper: all-native ~250 s, all-knative/native ~1.08, "
+               "all-container slowest\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark): costs of the simulation engine
+// itself plus the one real computation in the repository — the matmul
+// kernel used to sanity-check the calibrated task cost.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.hpp"
+#include "core/testbed.hpp"
+#include "net/flow_network.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/simulation.hpp"
+#include "workload/matrix.hpp"
+
+namespace {
+
+using namespace sf;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.schedule(static_cast<double>(i % 97), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+void BM_SimulationEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.call_in(0.001, tick);
+    };
+    sim.call_in(0.0, tick);
+    sim.run();
+    benchmark::DoNotOptimize(sim.now());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SimulationEventChurn);
+
+void BM_PsResourceChurn(benchmark::State& state) {
+  const auto jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::PsResource cpu(sim, 8.0);
+    for (int i = 0; i < jobs; ++i) {
+      cpu.submit(1.0, [] {}, 1.0);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(cpu.active_jobs());
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_PsResourceChurn)->Arg(16)->Arg(128);
+
+void BM_FlowNetworkFanout(benchmark::State& state) {
+  const auto flows = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    net::FlowNetwork net(sim);
+    const auto src = net.add_node(1e9, 1e-4);
+    for (int i = 0; i < flows; ++i) {
+      const auto dst = net.add_node(1e9, 1e-4);
+      net.transfer(src, dst, 1e6, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(net.total_bytes_delivered());
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowNetworkFanout)->Arg(8)->Arg(64);
+
+void BM_MatmulKernelReal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(42);
+  const auto a = workload::Matrix::random(n, rng);
+  const auto b = workload::Matrix::random(n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.multiply(b).at(0, 0));
+  }
+}
+BENCHMARK(BM_MatmulKernelReal)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(workload::kPaperMatrixOrder)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TestbedConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PaperTestbed tb(42);
+    benchmark::DoNotOptimize(tb.cluster().size());
+  }
+}
+BENCHMARK(BM_TestbedConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_SingleNativeWorkflow(benchmark::State& state) {
+  for (auto _ : state) {
+    core::PaperTestbed tb(42);
+    auto wf = workload::make_matmul_chain("w", 10, 490000);
+    const auto result = tb.run_workflows({wf}, {});
+    benchmark::DoNotOptimize(result.slowest);
+  }
+  state.SetLabel("virtual 10-task chain end-to-end");
+}
+BENCHMARK(BM_SingleNativeWorkflow)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

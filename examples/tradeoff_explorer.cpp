@@ -1,0 +1,65 @@
+// Trade-off explorer — interactively probe Figure 5's spectrum.
+//
+// Runs the concurrent-workflow experiment for a handful of execution-mode
+// mixes along the native↔serverless↔container edges and prints a small
+// text rendering of the performance/isolation landscape, so you can see
+// the paper's triangle without plotting anything.
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/testbed.hpp"
+
+using namespace sf;
+using namespace sf::core;
+
+namespace {
+
+double measure(const metrics::MixPoint& mix) {
+  PaperTestbed testbed(/*seed=*/42);
+  if (mix.serverless > 0) testbed.register_matmul_function();
+  const auto result = testbed.run_concurrent_mix(6, 6, mix);
+  return result.slowest;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Performance/isolation trade-off explorer (6x6 workflows)\n"
+            << "========================================================\n\n";
+
+  struct Edge {
+    const char* name;
+    metrics::MixPoint from;
+    metrics::MixPoint to;
+  };
+  const std::vector<Edge> edges{
+      {"native -> serverless", {1, 0, 0}, {0, 0, 1}},
+      {"native -> container", {1, 0, 0}, {0, 1, 0}},
+      {"serverless -> container", {0, 0, 1}, {0, 1, 0}},
+  };
+
+  for (const auto& edge : edges) {
+    std::cout << edge.name << ":\n";
+    for (double f : {0.0, 0.5, 1.0}) {
+      metrics::MixPoint mix;
+      mix.native = edge.from.native * (1 - f) + edge.to.native * f;
+      mix.container = edge.from.container * (1 - f) + edge.to.container * f;
+      mix.serverless =
+          edge.from.serverless * (1 - f) + edge.to.serverless * f;
+      const double makespan = measure(mix);
+      const double isolation = metrics::isolation_score(mix);
+      const int bar = static_cast<int>(makespan / 5.0);
+      std::cout << "  f=" << std::setw(3) << f << "  makespan="
+                << std::setw(7) << makespan << " s  isolation="
+                << std::setw(5) << isolation << "  "
+                << std::string(bar, '#') << '\n';
+    }
+    std::cout << '\n';
+  }
+  std::cout << "reading: longer bars = slower; isolation 0 = shared node, "
+               "1 = container per task, 0.5 = reused serverless "
+               "containers\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "net/flow_network.hpp"
+#include "net/http.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::cluster {
+
+/// A set of nodes sharing one flow network and one HTTP fabric.
+///
+/// `make_paper_testbed()` builds the paper's evaluation cluster: four VMs
+/// with 8 cores / 32 GB each, where node 0 doubles as the HTCondor submit
+/// node and the Kubernetes control plane.
+class Cluster {
+ public:
+  explicit Cluster(sim::Simulation& sim)
+      : sim_(sim), network_(sim), http_(sim, network_) {}
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Node& add_node(NodeSpec spec);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+  const Node& node(std::size_t i) const { return *nodes_.at(i); }
+
+  /// Node lookup by name; throws when absent.
+  Node& node_by_name(std::string_view name);
+
+  /// Node lookup by network endpoint; throws when absent.
+  Node& node_by_net_id(net::NodeId id);
+
+  std::vector<Node*> nodes();
+
+  sim::Simulation& sim() { return sim_; }
+  net::FlowNetwork& network() { return network_; }
+  net::HttpFabric& http() { return http_; }
+
+ private:
+  sim::Simulation& sim_;
+  net::FlowNetwork network_;
+  net::HttpFabric http_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+/// The paper's 4-VM testbed (Section V-A).
+/// Node 0: submit node + control plane; nodes 1..3: workers.
+std::unique_ptr<Cluster> make_paper_testbed(sim::Simulation& sim);
+
+/// An arbitrary homogeneous cluster for scaling studies.
+std::unique_ptr<Cluster> make_uniform_cluster(sim::Simulation& sim,
+                                              std::size_t node_count,
+                                              const NodeSpec& base);
+
+}  // namespace sf::cluster

@@ -1,0 +1,50 @@
+#include "cluster/node.hpp"
+
+#include <utility>
+
+namespace sf::cluster {
+
+Node::Node(sim::Simulation& sim, net::FlowNetwork& network, NodeSpec spec)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      net_id_(network.add_node(spec_.nic_bandwidth_Bps, spec_.nic_latency_s)),
+      cpu_(sim, spec_.cores, spec_.name + ".cpu"),
+      disk_(sim, spec_.disk_bandwidth_Bps, spec_.name + ".disk") {}
+
+Node::ProcessId Node::run_process(double work, std::function<void()> on_done,
+                                  double max_cores, double weight) {
+  return cpu_.submit(work, std::move(on_done), max_cores, weight);
+}
+
+bool Node::kill_process(ProcessId id) { return cpu_.cancel(id); }
+
+bool Node::set_process_cap(ProcessId id, double max_cores) {
+  return cpu_.set_rate_cap(id, max_cores);
+}
+
+bool Node::allocate_memory(double bytes) {
+  if (memory_used_ + bytes > spec_.memory_bytes) {
+    ++oom_events_;
+    sim_.trace().record(sim_.now(), "node", "oom",
+                        {{"node", spec_.name}});
+    if (oom_handler_) oom_handler_(bytes);
+    return false;
+  }
+  memory_used_ += bytes;
+  return true;
+}
+
+void Node::release_memory(double bytes) {
+  memory_used_ -= bytes;
+  if (memory_used_ < 0) memory_used_ = 0;
+}
+
+void Node::disk_io(double bytes, std::function<void()> on_done) {
+  if (bytes <= 0) {
+    sim_.call_in(0, std::move(on_done));
+    return;
+  }
+  disk_.submit(bytes, std::move(on_done));
+}
+
+}  // namespace sf::cluster

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/flow_network.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::cluster {
+
+/// Hardware description of one worker VM. Defaults mirror the paper's
+/// testbed: 8 cores (Xeon Gold 6342 @ 2.80 GHz), 32 GB RAM.
+struct NodeSpec {
+  std::string name;
+  double cores = 8;
+  double memory_bytes = 32.0 * (1ull << 30);
+  double nic_bandwidth_Bps = 1.25e9;  ///< 10 GbE
+  double nic_latency_s = 100e-6;      ///< intra-cluster one-way
+  double disk_bandwidth_Bps = 500e6;  ///< local SSD, shared read+write
+};
+
+/// One machine: a processor-sharing CPU (capacity = #cores), a local disk,
+/// a memory account and a NIC endpoint on the flow network.
+///
+/// Processes request CPU work in core-seconds with a rate cap (a
+/// single-threaded task caps at 1.0 core; a cgroup quota caps lower) and a
+/// weight (cgroup cpu-shares). Native tasks contend freely; containerized
+/// tasks get predictable-but-bounded shares — the mechanism behind the
+/// paper's performance/isolation trade-off.
+class Node {
+ public:
+  Node(sim::Simulation& sim, net::FlowNetwork& network, NodeSpec spec);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const NodeSpec& spec() const { return spec_; }
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] const std::string& name() const { return spec_.name; }
+  [[nodiscard]] net::NodeId net_id() const { return net_id_; }
+
+  // ---- CPU ----------------------------------------------------------
+
+  using ProcessId = sim::PsResource::JobId;
+
+  /// Runs `work` core-seconds of compute. `on_done` fires at completion.
+  /// `max_cores` bounds parallel speedup (1.0 for single-threaded tasks,
+  /// or a cgroup cpu quota); `weight` maps to cgroup cpu-shares.
+  ProcessId run_process(double work, std::function<void()> on_done,
+                        double max_cores = 1.0, double weight = 1.0);
+
+  /// Kills a running process. Returns true iff it was running.
+  bool kill_process(ProcessId id);
+
+  /// Changes a process's CPU cap (dynamic cgroup update).
+  bool set_process_cap(ProcessId id, double max_cores);
+
+  [[nodiscard]] std::size_t running_processes() const {
+    return cpu_.active_jobs();
+  }
+  [[nodiscard]] double cpu_utilization() const { return cpu_.utilization(); }
+  sim::PsResource& cpu() { return cpu_; }
+
+  // ---- Memory -------------------------------------------------------
+
+  /// Reserves memory. Returns false (and calls the OOM handler) when the
+  /// node would be overcommitted — the paper's "VM crashed" failure mode
+  /// when too many concurrent invocations land without HTCondor throttling.
+  [[nodiscard]] bool allocate_memory(double bytes);
+  void release_memory(double bytes);
+  [[nodiscard]] double memory_used() const { return memory_used_; }
+  [[nodiscard]] double memory_free() const {
+    return spec_.memory_bytes - memory_used_;
+  }
+  void set_oom_handler(std::function<void(double requested)> handler) {
+    oom_handler_ = std::move(handler);
+  }
+  [[nodiscard]] std::uint64_t oom_events() const { return oom_events_; }
+
+  // ---- Disk ---------------------------------------------------------
+
+  /// Reads or writes `bytes` on the local disk (shared PS bandwidth).
+  void disk_io(double bytes, std::function<void()> on_done);
+  sim::PsResource& disk() { return disk_; }
+
+ private:
+  sim::Simulation& sim_;
+  NodeSpec spec_;
+  net::NodeId net_id_;
+  sim::PsResource cpu_;
+  sim::PsResource disk_;
+  double memory_used_ = 0;
+  std::uint64_t oom_events_ = 0;
+  std::function<void(double)> oom_handler_;
+};
+
+}  // namespace sf::cluster

@@ -1,0 +1,190 @@
+#include "condor/dagman.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::condor {
+
+DagMan::DagMan(CondorPool& pool, DagConfig config)
+    : pool_(pool), config_(config) {}
+
+void DagMan::add_node(DagNode node) {
+  if (running_) {
+    throw std::logic_error("DagMan: cannot add nodes while running");
+  }
+  if (nodes_.contains(node.name)) {
+    throw std::invalid_argument("DagMan: duplicate node " + node.name);
+  }
+  Node n;
+  n.spec = std::move(node);
+  nodes_.emplace(n.spec.name, std::move(n));
+}
+
+void DagMan::validate_and_link() {
+  for (auto& [name, node] : nodes_) {
+    node.unfinished_parents = node.spec.parents.size();
+    for (const auto& parent : node.spec.parents) {
+      auto it = nodes_.find(parent);
+      if (it == nodes_.end()) {
+        throw std::invalid_argument("DagMan: unknown parent " + parent +
+                                    " of " + name);
+      }
+      it->second.children.push_back(name);
+    }
+  }
+  // Cycle check: Kahn's algorithm over parent counts.
+  std::vector<std::string> frontier;
+  std::map<std::string, std::size_t> degree;
+  for (const auto& [name, node] : nodes_) {
+    degree[name] = node.spec.parents.size();
+    if (node.spec.parents.empty()) frontier.push_back(name);
+  }
+  std::size_t visited = 0;
+  while (!frontier.empty()) {
+    const std::string current = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const auto& child : nodes_.at(current).children) {
+      if (--degree.at(child) == 0) frontier.push_back(child);
+    }
+  }
+  if (visited != nodes_.size()) {
+    throw std::invalid_argument("DagMan: the DAG contains a cycle");
+  }
+}
+
+void DagMan::run(std::function<void(bool)> on_finish) {
+  if (running_) throw std::logic_error("DagMan: already running");
+  if (nodes_.empty()) {
+    pool_.sim().call_in(0, [cb = std::move(on_finish)] { cb(true); });
+    return;
+  }
+  validate_and_link();
+  running_ = true;
+  failed_ = false;
+  on_finish_ = std::move(on_finish);
+  start_time_ = pool_.sim().now();
+  for (auto& [name, node] : nodes_) {
+    if (node.unfinished_parents == 0) {
+      node.state = NodeState::kReady;
+      ready_.push_back(name);
+    }
+  }
+  submit_ready();  // roots go straight to the schedd
+}
+
+void DagMan::submit_ready() {
+  while (!ready_.empty()) {
+    if (config_.max_jobs > 0 &&
+        submitted_live_ >= static_cast<std::size_t>(config_.max_jobs)) {
+      return;  // throttled; resumes when something completes
+    }
+    const std::string name = ready_.front();
+    ready_.erase(ready_.begin());
+    Node& node = nodes_.at(name);
+    node.state = NodeState::kSubmitted;
+    ++node.attempts;
+    ++submitted_live_;
+    JobSpec spec = node.spec.job;
+    spec.name = name;
+    spec.on_done = [this, name](const JobRecord& rec) {
+      on_job_done(name, rec);
+    };
+    node.last_job = pool_.submit(std::move(spec));
+  }
+}
+
+void DagMan::on_job_done(const std::string& node_name,
+                         const JobRecord& rec) {
+  // The POST script (exitcode check) runs first; its runtime delays when
+  // DAGMan can observe the node's outcome.
+  if (config_.post_script_s > 0) {
+    const JobState state = rec.state;
+    pool_.sim().call_in(config_.post_script_s, [this, node_name, state] {
+      JobRecord copy;
+      copy.state = state;
+      handle_node_exit(node_name, copy);
+    });
+    return;
+  }
+  handle_node_exit(node_name, rec);
+}
+
+void DagMan::handle_node_exit(const std::string& node_name,
+                              const JobRecord& rec) {
+  Node& node = nodes_.at(node_name);
+  --submitted_live_;
+  if (rec.state == JobState::kCompleted) {
+    completed_events_.push_back(node_name);
+    arm_scan();
+    return;
+  }
+  // Failure path: retry or declare the DAG failed.
+  if (node.attempts <= node.spec.retries) {
+    ++retries_used_;
+    node.state = NodeState::kReady;
+    ready_.push_back(node_name);
+    arm_scan();
+    return;
+  }
+  node.state = NodeState::kFailed;
+  finish(false);
+}
+
+void DagMan::arm_scan() {
+  if (scan_armed_ || !running_) return;
+  scan_armed_ = true;
+  // Completions are observed at the next log-scan boundary relative to
+  // the DAG start, the way dagman polls the user log.
+  const double elapsed = pool_.sim().now() - start_time_;
+  const double next_boundary =
+      (std::floor(elapsed / config_.scan_interval_s) + 1.0) *
+      config_.scan_interval_s;
+  pool_.sim().call_in(next_boundary - elapsed, [this] { scan(); });
+}
+
+void DagMan::scan() {
+  scan_armed_ = false;
+  if (!running_) return;
+  // Process completions observed in this scan.
+  for (const auto& name : completed_events_) {
+    Node& node = nodes_.at(name);
+    node.state = NodeState::kDone;
+    ++completed_;
+    for (const auto& child_name : node.children) {
+      Node& child = nodes_.at(child_name);
+      if (--child.unfinished_parents == 0 &&
+          child.state == NodeState::kWaiting) {
+        child.state = NodeState::kReady;
+        ready_.push_back(child_name);
+      }
+    }
+  }
+  completed_events_.clear();
+  if (completed_ == nodes_.size()) {
+    finish(true);
+    return;
+  }
+  submit_ready();
+}
+
+void DagMan::finish(bool success) {
+  if (!running_) return;
+  running_ = false;
+  failed_ = !success;
+  finish_time_ = pool_.sim().now();
+  if (on_finish_) {
+    auto cb = std::move(on_finish_);
+    on_finish_ = nullptr;
+    cb(success);
+  }
+}
+
+const JobRecord* DagMan::node_record(const std::string& name) const {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end() || it->second.last_job == kNoJob) return nullptr;
+  return pool_.job(it->second.last_job);
+}
+
+}  // namespace sf::condor

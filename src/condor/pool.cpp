@@ -1,0 +1,330 @@
+#include "condor/pool.hpp"
+
+#include <algorithm>
+#include <set>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::condor {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kIdle:
+      return "Idle";
+    case JobState::kRunning:
+      return "Running";
+    case JobState::kCompleted:
+      return "Completed";
+    case JobState::kFailed:
+      return "Failed";
+    case JobState::kRemoved:
+      return "Removed";
+  }
+  return "Unknown";
+}
+
+CondorPool::CondorPool(cluster::Cluster& cluster, cluster::Node& submit_node,
+                       std::vector<cluster::Node*> workers,
+                       CondorConfig config)
+    : cluster_(cluster),
+      submit_(submit_node),
+      staging_(submit_node, submit_node.name() + ".staging"),
+      config_(config) {
+  for (cluster::Node* w : workers) {
+    startds_.emplace(w->name(), std::make_unique<Startd>(*w));
+    worker_order_.push_back(w->name());
+  }
+}
+
+Startd& CondorPool::startd(const std::string& node_name) {
+  auto it = startds_.find(node_name);
+  if (it == startds_.end()) {
+    throw std::out_of_range("CondorPool: no startd on " + node_name);
+  }
+  return *it->second;
+}
+
+JobId CondorPool::submit(JobSpec spec) {
+  const JobId id = next_job_++;
+  JobRecord rec;
+  rec.id = id;
+  rec.spec = std::move(spec);
+  rec.state = JobState::kIdle;
+  rec.submit_time = sim().now();
+  jobs_.emplace(id, std::move(rec));
+  idle_queue_.push_back(id);
+  sim().trace().record(sim().now(), "condor", "submit",
+                       {{"job", jobs_.at(id).spec.name}});
+  pump_dispatch();
+  if (unmatched_idle() > 0) kick_negotiator();
+  return id;
+}
+
+bool CondorPool::remove(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end() || it->second.state != JobState::kIdle) return false;
+  it->second.state = JobState::kRemoved;
+  std::erase(idle_queue_, id);
+  return true;
+}
+
+const JobRecord* CondorPool::job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+std::size_t CondorPool::idle_jobs() const { return idle_queue_.size(); }
+std::size_t CondorPool::running_jobs() const { return running_; }
+
+bool CondorPool::claim_fits(const Claim& claim,
+                            const JobRecord& rec) const {
+  if (claim.busy || claim.cpus < rec.spec.request_cpus ||
+      claim.memory < rec.spec.request_memory) {
+    return false;
+  }
+  return !rec.spec.requirements ||
+         rec.spec.requirements(*startds_.at(claim.node_name));
+}
+
+std::vector<JobId> CondorPool::idle_by_priority() const {
+  std::vector<JobId> ids = idle_queue_;
+  std::stable_sort(ids.begin(), ids.end(), [this](JobId a, JobId b) {
+    return jobs_.at(a).spec.priority > jobs_.at(b).spec.priority;
+  });
+  return ids;
+}
+
+std::size_t CondorPool::unmatched_idle() const {
+  // Greedy matching of idle jobs (priority order) against free claims.
+  std::set<ClaimId> taken;
+  std::size_t unmatched = 0;
+  for (const JobId jid : idle_by_priority()) {
+    const JobRecord& rec = jobs_.at(jid);
+    bool found = false;
+    for (const auto& [cid, claim] : claims_) {
+      if (!taken.contains(cid) && claim_fits(claim, rec)) {
+        taken.insert(cid);
+        found = true;
+        break;
+      }
+    }
+    if (!found) ++unmatched;
+  }
+  return unmatched;
+}
+
+// ---- Negotiator ----------------------------------------------------------
+
+void CondorPool::kick_negotiator() {
+  if (negotiator_armed_) return;
+  negotiator_armed_ = true;
+  sim().call_in(config_.negotiation_interval_s, [this] { negotiate(); });
+}
+
+void CondorPool::negotiate() {
+  negotiator_armed_ = false;
+  ++cycles_;
+  sim().trace().record(sim().now(), "condor", "negotiate",
+                       {{"cycle", std::to_string(cycles_)}});
+  // Grant one claim per unmatched idle job while resources last. Workers
+  // are filled in round-robin order for spread (condor's default breadth-
+  // first fill when slot weights are equal).
+  // For each unmatched idle job (priority order), carve a claim on the
+  // first machine that fits its shape and satisfies its requirements.
+  std::set<ClaimId> reserved;
+  std::size_t cursor = 0;
+  for (const JobId jid : idle_by_priority()) {
+    const JobRecord& rec = jobs_.at(jid);
+    bool has_claim = false;
+    for (const auto& [cid, claim] : claims_) {
+      if (!reserved.contains(cid) && claim_fits(claim, rec)) {
+        reserved.insert(cid);
+        has_claim = true;
+        break;
+      }
+    }
+    if (has_claim) continue;
+    for (std::size_t i = 0; i < worker_order_.size(); ++i) {
+      Startd& sd = *startds_.at(
+          worker_order_[(cursor + i) % worker_order_.size()]);
+      if (rec.spec.requirements && !rec.spec.requirements(sd)) continue;
+      const auto slot =
+          sd.claim_slot(rec.spec.request_cpus, rec.spec.request_memory);
+      if (slot.has_value()) {
+        Claim claim;
+        claim.node_name = sd.node().name();
+        claim.slot = *slot;
+        claim.cpus = rec.spec.request_cpus;
+        claim.memory = rec.spec.request_memory;
+        const ClaimId cid = next_claim_++;
+        claims_.emplace(cid, std::move(claim));
+        reserved.insert(cid);
+        cursor = (cursor + i + 1) % worker_order_.size();
+        break;
+      }
+    }
+  }
+  pump_dispatch();
+  if (unmatched_idle() > 0) kick_negotiator();
+}
+
+// ---- Schedd dispatch ------------------------------------------------------
+
+void CondorPool::pump_dispatch() {
+  if (dispatch_busy_ || idle_queue_.empty()) return;
+  if (config_.max_running_jobs > 0 &&
+      running_ >= static_cast<std::size_t>(config_.max_running_jobs)) {
+    return;
+  }
+  // Highest-priority idle job that has a free fitting claim (FIFO ties).
+  JobId jid = kNoJob;
+  ClaimId chosen = 0;
+  for (const JobId candidate : idle_by_priority()) {
+    const JobRecord& rec = jobs_.at(candidate);
+    for (auto& [cid, claim] : claims_) {
+      if (claim_fits(claim, rec)) {
+        jid = candidate;
+        chosen = cid;
+        break;
+      }
+    }
+    if (jid != kNoJob) break;
+  }
+  if (jid == kNoJob) {
+    kick_negotiator();
+    return;
+  }
+  std::erase(idle_queue_, jid);
+  claims_.at(chosen).busy = true;
+  jobs_.at(jid).state = JobState::kRunning;
+  ++running_;
+  dispatch_busy_ = true;
+  // Serialized activation: the shadow-spawn pipeline.
+  sim().call_in(config_.dispatch_interval_s, [this, jid, chosen] {
+    dispatch_busy_ = false;
+    start_job(jid, chosen);
+    pump_dispatch();
+  });
+}
+
+void CondorPool::start_job(JobId id, ClaimId claim_id) {
+  const Claim& claim = claims_.at(claim_id);
+  JobRecord& rec = jobs_.at(id);
+  rec.worker = claim.node_name;
+  sim().trace().record(sim().now(), "condor", "job_start",
+                       {{"job", rec.spec.name}, {"node", claim.node_name}});
+  // Worker-side setup (starter + wrapper), then stage-in.
+  sim().call_in(config_.job_setup_overhead_s, [this, id, claim_id] {
+    Startd& sd = *startds_.at(claims_.at(claim_id).node_name);
+    // Stage inputs sequentially, as pegasus-lite does.
+    auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
+    *stage_next = [this, id, claim_id, &sd, stage_next](std::size_t i) {
+      const JobRecord& rr = jobs_.at(id);
+      if (i >= rr.spec.inputs.size()) {
+        run_executable(id, claim_id);
+        return;
+      }
+      if (rr.spec.submit_volume == nullptr) {
+        finish_job(id, claim_id, false);
+        return;
+      }
+      storage::stage_file(cluster_.network(), *rr.spec.submit_volume,
+                          sd.scratch(), rr.spec.inputs[i].lfn,
+                          [this, id, claim_id, i, stage_next](bool ok) {
+                            if (!ok) {
+                              finish_job(id, claim_id, false);
+                            } else {
+                              (*stage_next)(i + 1);
+                            }
+                          });
+    };
+    (*stage_next)(0);
+  });
+}
+
+void CondorPool::run_executable(JobId id, ClaimId claim_id) {
+  JobRecord& rec = jobs_.at(id);
+  rec.start_time = sim().now();
+  Startd& sd = *startds_.at(claims_.at(claim_id).node_name);
+  auto ctx = std::make_shared<ExecContext>();
+  ctx->sim = &sim();
+  ctx->node = &sd.node();
+  ctx->scratch = &sd.scratch();
+  ctx->cpus = rec.spec.request_cpus;
+  if (!rec.spec.executable) {
+    finish_job(id, claim_id, false);
+    return;
+  }
+  rec.spec.executable(*ctx, [this, id, claim_id, ctx](bool ok) {
+    if (!ok) {
+      finish_job(id, claim_id, false);
+      return;
+    }
+    // Stage outputs back to the submit node sequentially.
+    Startd& sd2 = *startds_.at(claims_.at(claim_id).node_name);
+    auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
+    *stage_next = [this, id, claim_id, &sd2, stage_next](std::size_t i) {
+      const JobRecord& rr = jobs_.at(id);
+      if (i >= rr.spec.outputs.size()) {
+        finish_job(id, claim_id, true);
+        return;
+      }
+      if (rr.spec.submit_volume == nullptr) {
+        finish_job(id, claim_id, false);
+        return;
+      }
+      storage::stage_file(cluster_.network(), sd2.scratch(),
+                          *rr.spec.submit_volume, rr.spec.outputs[i],
+                          [this, id, claim_id, i, stage_next](bool ok2) {
+                            if (!ok2) {
+                              finish_job(id, claim_id, false);
+                            } else {
+                              (*stage_next)(i + 1);
+                            }
+                          });
+    };
+    (*stage_next)(0);
+  });
+}
+
+void CondorPool::finish_job(JobId id, ClaimId claim_id, bool ok) {
+  JobRecord& rec = jobs_.at(id);
+  rec.state = ok ? JobState::kCompleted : JobState::kFailed;
+  rec.end_time = sim().now();
+  --running_;
+  (ok ? completed_ : failed_)++;
+  sim().trace().record(sim().now(), "condor",
+                       ok ? "job_complete" : "job_failed",
+                       {{"job", rec.spec.name}});
+  auto it = claims_.find(claim_id);
+  if (it != claims_.end()) {
+    it->second.busy = false;
+    ++it->second.idle_epoch;
+    arm_claim_timeout(claim_id);
+  }
+  // Copy the handler: pump/dispatch below must not race with reentrant
+  // submits from the callback.
+  if (rec.spec.on_done) {
+    auto cb = rec.spec.on_done;
+    cb(rec);
+  }
+  pump_dispatch();
+}
+
+void CondorPool::arm_claim_timeout(ClaimId claim_id) {
+  const auto it = claims_.find(claim_id);
+  if (it == claims_.end()) return;
+  const std::uint64_t epoch = it->second.idle_epoch;
+  sim().call_in(config_.claim_idle_timeout_s, [this, claim_id, epoch] {
+    auto jt = claims_.find(claim_id);
+    if (jt == claims_.end() || jt->second.busy ||
+        jt->second.idle_epoch != epoch) {
+      return;  // claim was reused or already gone
+    }
+    startds_.at(jt->second.node_name)->release_slot(jt->second.slot);
+    claims_.erase(jt);
+  });
+}
+
+}  // namespace sf::condor

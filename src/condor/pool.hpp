@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "condor/startd.hpp"
+#include "condor/types.hpp"
+
+namespace sf::condor {
+
+/// A complete HTCondor pool: schedd (job queue + serialized dispatch),
+/// negotiator (periodic matchmaking producing reusable claims), one
+/// partitionable startd per worker, and the shadow/starter file-staging
+/// path.
+///
+/// The performance-relevant behaviours are modelled explicitly:
+///  * matchmaking happens in cycles (negotiation_interval_s),
+///  * once a slot is claimed it is reused for subsequent jobs without
+///    re-negotiation (claim reuse — what makes condor's sustained
+///    throughput far better than its cycle period),
+///  * job activations are serialized at the schedd
+///    (dispatch_interval_s per job — Figure 2's slope),
+///  * every job pays stage-in/stage-out transfers between the submit
+///    node's staging volume and the worker scratch.
+class CondorPool {
+ public:
+  CondorPool(cluster::Cluster& cluster, cluster::Node& submit_node,
+             std::vector<cluster::Node*> workers, CondorConfig config = {});
+
+  CondorPool(const CondorPool&) = delete;
+  CondorPool& operator=(const CondorPool&) = delete;
+
+  // ---- Schedd API ------------------------------------------------------
+
+  JobId submit(JobSpec spec);
+
+  /// Removes an idle job from the queue (condor_rm). Running jobs are not
+  /// interruptible in this model; returns false for them.
+  bool remove(JobId id);
+
+  [[nodiscard]] const JobRecord* job(JobId id) const;
+
+  [[nodiscard]] std::size_t idle_jobs() const;
+  [[nodiscard]] std::size_t running_jobs() const;
+  [[nodiscard]] std::uint64_t completed_jobs() const { return completed_; }
+  [[nodiscard]] std::uint64_t failed_jobs() const { return failed_; }
+  [[nodiscard]] std::uint64_t negotiation_cycles() const { return cycles_; }
+  [[nodiscard]] std::size_t active_claims() const { return claims_.size(); }
+
+  // ---- Topology --------------------------------------------------------
+
+  [[nodiscard]] cluster::Node& submit_node() { return submit_; }
+  [[nodiscard]] storage::Volume& submit_staging() { return staging_; }
+  [[nodiscard]] Startd& startd(const std::string& node_name);
+  [[nodiscard]] std::size_t worker_count() const { return startds_.size(); }
+  [[nodiscard]] const std::vector<std::string>& worker_names() const {
+    return worker_order_;
+  }
+  [[nodiscard]] const CondorConfig& config() const { return config_; }
+  [[nodiscard]] sim::Simulation& sim() { return cluster_.sim(); }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+
+ private:
+  using ClaimId = std::uint64_t;
+  struct Claim {
+    std::string node_name;
+    SlotId slot = 0;
+    double cpus = 0;
+    double memory = 0;
+    bool busy = false;
+    std::uint64_t idle_epoch = 0;
+  };
+
+  void kick_negotiator();
+  void negotiate();
+  void pump_dispatch();
+  void start_job(JobId id, ClaimId claim_id);
+  void run_executable(JobId id, ClaimId claim_id);
+  void finish_job(JobId id, ClaimId claim_id, bool ok);
+  void arm_claim_timeout(ClaimId claim_id);
+  [[nodiscard]] std::size_t unmatched_idle() const;
+  [[nodiscard]] bool claim_fits(const Claim& claim,
+                                const JobRecord& rec) const;
+  [[nodiscard]] std::vector<JobId> idle_by_priority() const;
+
+  cluster::Cluster& cluster_;
+  cluster::Node& submit_;
+  storage::Volume staging_;
+  CondorConfig config_;
+  std::map<std::string, std::unique_ptr<Startd>> startds_;
+  std::vector<std::string> worker_order_;  // negotiation fill order
+
+  std::map<JobId, JobRecord> jobs_;
+  std::vector<JobId> idle_queue_;  // FIFO
+  std::map<ClaimId, Claim> claims_;
+  JobId next_job_ = 1;
+  ClaimId next_claim_ = 1;
+  bool negotiator_armed_ = false;
+  bool dispatch_busy_ = false;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t cycles_ = 0;
+  std::size_t running_ = 0;
+};
+
+}  // namespace sf::condor

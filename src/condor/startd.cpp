@@ -1,0 +1,22 @@
+#include "condor/startd.hpp"
+
+namespace sf::condor {
+
+std::optional<SlotId> Startd::claim_slot(double cpus, double memory) {
+  if (cpus > free_cpus_ || memory > free_memory_) return std::nullopt;
+  free_cpus_ -= cpus;
+  free_memory_ -= memory;
+  const SlotId id = next_id_++;
+  slots_.emplace(id, DynamicSlot{cpus, memory});
+  return id;
+}
+
+void Startd::release_slot(SlotId id) {
+  auto it = slots_.find(id);
+  if (it == slots_.end()) return;
+  free_cpus_ += it->second.cpus;
+  free_memory_ += it->second.memory;
+  slots_.erase(it);
+}
+
+}  // namespace sf::condor

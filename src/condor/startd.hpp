@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "cluster/node.hpp"
+#include "storage/volume.hpp"
+
+namespace sf::condor {
+
+using SlotId = std::uint64_t;
+
+/// One worker's condor agent: a partitionable slot covering the node's
+/// cores and memory, from which dynamic slots are carved per claim.
+/// Also owns the node's job scratch volume.
+class Startd {
+ public:
+  explicit Startd(cluster::Node& node)
+      : node_(node),
+        scratch_(node, node.name() + ".condor-scratch"),
+        free_cpus_(node.spec().cores),
+        free_memory_(node.spec().memory_bytes) {}
+
+  Startd(const Startd&) = delete;
+  Startd& operator=(const Startd&) = delete;
+
+  [[nodiscard]] cluster::Node& node() { return node_; }
+  [[nodiscard]] const cluster::Node& node() const { return node_; }
+  [[nodiscard]] storage::Volume& scratch() { return scratch_; }
+
+  /// Carves a dynamic slot; nullopt when resources do not fit.
+  std::optional<SlotId> claim_slot(double cpus, double memory);
+
+  /// Returns a dynamic slot's resources to the partitionable slot.
+  void release_slot(SlotId id);
+
+  [[nodiscard]] double free_cpus() const { return free_cpus_; }
+  [[nodiscard]] double free_memory() const { return free_memory_; }
+  [[nodiscard]] std::size_t dynamic_slots() const { return slots_.size(); }
+
+ private:
+  struct DynamicSlot {
+    double cpus = 0;
+    double memory = 0;
+  };
+
+  cluster::Node& node_;
+  storage::Volume scratch_;
+  double free_cpus_;
+  double free_memory_;
+  std::map<SlotId, DynamicSlot> slots_;
+  SlotId next_id_ = 1;
+};
+
+}  // namespace sf::condor

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "storage/volume.hpp"
+
+namespace sf::condor {
+
+using JobId = std::uint64_t;
+inline constexpr JobId kNoJob = 0;
+
+/// What a job's payload sees while running on a worker.
+struct ExecContext {
+  sim::Simulation* sim = nullptr;
+  cluster::Node* node = nullptr;       ///< the matched worker
+  storage::Volume* scratch = nullptr;  ///< worker-local scratch dir
+  double cpus = 1;                     ///< slot size granted
+};
+
+/// A job's payload: invoked on the worker after stage-in; must call
+/// `done(ok)` exactly once. Pegasus builds these for native, container and
+/// serverless-wrapper tasks.
+using JobExecutable =
+    std::function<void(ExecContext&, std::function<void(bool ok)> done)>;
+
+enum class JobState {
+  kIdle,       ///< queued, waiting for a match
+  kRunning,    ///< dispatched to a worker
+  kCompleted,
+  kFailed,
+  kRemoved,
+};
+
+const char* to_string(JobState s);
+
+struct JobRecord;
+
+class Startd;
+
+/// ClassAd-style requirements expression: true when the job may run on
+/// the offered machine. Empty = matches everything.
+using Requirements = std::function<bool(const Startd& startd)>;
+
+/// Submission-time description of a job (a condor_submit file).
+struct JobSpec {
+  std::string name;
+  JobExecutable executable;
+  double request_cpus = 1;
+  double request_memory = 512e6;
+  /// Higher runs first among idle jobs (condor_prio); ties FIFO.
+  int priority = 0;
+  /// Machine constraint (ClassAd Requirements).
+  Requirements requirements;
+  /// Input files staged submit→worker before execution (file transfer).
+  std::vector<storage::FileRef> inputs;
+  /// Output logical names staged worker→submit afterwards.
+  std::vector<std::string> outputs;
+  /// Staging source/sink; usually the pool's submit-node staging volume.
+  storage::Volume* submit_volume = nullptr;
+  /// Fired on completion or failure (DAGMan hooks in here).
+  std::function<void(const JobRecord&)> on_done;
+};
+
+/// Queue entry with lifecycle timestamps (condor_history).
+struct JobRecord {
+  JobId id = kNoJob;
+  JobSpec spec;
+  JobState state = JobState::kIdle;
+  double submit_time = 0;
+  double start_time = -1;  ///< executable began (after stage-in)
+  double end_time = -1;
+  std::string worker;  ///< node name it ran on
+};
+
+/// Pool-wide tunables. Defaults approximate an HTCondor 23.x pool tuned
+/// the way the paper's testbed behaves; the calibration profile overrides
+/// them for the figure benches.
+struct CondorConfig {
+  /// Negotiator cycle period (matchmaking granularity).
+  double negotiation_interval_s = 10.0;
+  /// Serialized per-job activation at the schedd (shadow spawn rate) —
+  /// the source of Figure 2's per-task slope.
+  double dispatch_interval_s = 0.27;
+  /// Per-job setup on the worker (starter + wrapper startup).
+  double job_setup_overhead_s = 0.8;
+  /// Claimed-but-idle slots are returned to the pool after this long.
+  double claim_idle_timeout_s = 600.0;
+  /// Max simultaneously running jobs (0 = unlimited) — the queue-throttle
+  /// that kept the paper's VM from crashing.
+  int max_running_jobs = 0;
+};
+
+}  // namespace sf::condor

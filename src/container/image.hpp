@@ -1,0 +1,41 @@
+#pragma once
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace sf::container {
+
+/// One content-addressed image layer.
+struct ImageLayer {
+  std::string digest;
+  double bytes = 0;
+
+  friend bool operator==(const ImageLayer&, const ImageLayer&) = default;
+};
+
+/// A container image: a named, ordered stack of layers. Sizes mirror the
+/// paper's setup — a Python + NumPy + Flask base (shared across functions)
+/// plus a thin task-code layer, distributed via a DockerHub-like registry.
+struct Image {
+  std::string name;  ///< "repo:tag"
+  std::vector<ImageLayer> layers;
+
+  [[nodiscard]] double total_bytes() const {
+    return std::accumulate(layers.begin(), layers.end(), 0.0,
+                           [](double acc, const ImageLayer& l) {
+                             return acc + l.bytes;
+                           });
+  }
+};
+
+/// The Python scientific base image used by every task image.
+/// ~350 MB compressed, a realistic python:3.10-slim + numpy + flask stack.
+Image make_python_base_image();
+
+/// A task image: shared base layers plus a small code layer, so pulling a
+/// second task image onto a node that has the base cached is nearly free.
+Image make_task_image(const std::string& task_name,
+                      double code_layer_bytes = 2e6);
+
+}  // namespace sf::container

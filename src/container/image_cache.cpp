@@ -1,0 +1,73 @@
+#include "container/image_cache.hpp"
+
+#include <utility>
+
+namespace sf::container {
+
+bool ImageCache::has_image(const std::string& image_name,
+                           const Registry& registry) const {
+  const auto manifest = registry.manifest(image_name);
+  if (!manifest) return false;
+  for (const auto& layer : manifest->layers) {
+    if (!layers_.contains(layer.digest)) return false;
+  }
+  return true;
+}
+
+double ImageCache::cached_bytes() const {
+  double total = 0;
+  for (const auto& [digest, bytes] : layers_) total += bytes;
+  return total;
+}
+
+void ImageCache::seed_image(const Image& image) {
+  for (const auto& layer : image.layers) {
+    layers_[layer.digest] = layer.bytes;
+  }
+}
+
+void ImageCache::ensure_image(const std::string& image_name,
+                              Registry& registry, PullCallback on_done) {
+  const auto manifest = registry.manifest(image_name);
+  if (!manifest) {
+    on_done(false);
+    return;
+  }
+  double missing_bytes = 0;
+  for (const auto& layer : manifest->layers) {
+    if (!layers_.contains(layer.digest)) missing_bytes += layer.bytes;
+  }
+  if (missing_bytes <= 0) {
+    on_done(true);
+    return;
+  }
+  // Coalesce with an in-flight pull of the same image.
+  auto [it, inserted] = in_flight_.try_emplace(image_name);
+  it->second.push_back(std::move(on_done));
+  if (!inserted) {
+    ++pulls_coalesced_;
+    return;
+  }
+  ++pulls_started_;
+  // Download the missing bytes from the registry, then extract to disk.
+  network_.transfer(
+      registry.net_id(), node_.net_id(), missing_bytes,
+      [this, image_name, manifest = *manifest, missing_bytes] {
+        node_.disk_io(missing_bytes, [this, image_name, manifest] {
+          for (const auto& layer : manifest.layers) {
+            layers_[layer.digest] = layer.bytes;
+          }
+          finish_pull(image_name, true);
+        });
+      });
+}
+
+void ImageCache::finish_pull(const std::string& image_name, bool ok) {
+  auto it = in_flight_.find(image_name);
+  if (it == in_flight_.end()) return;
+  auto callbacks = std::move(it->second);
+  in_flight_.erase(it);
+  for (auto& cb : callbacks) cb(ok);
+}
+
+}  // namespace sf::container

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "cluster/node.hpp"
+#include "container/image.hpp"
+
+namespace sf::container {
+
+/// DockerHub-like image registry hosted on one node. Stores image
+/// manifests; pullers fetch missing layer bytes over the network from
+/// here. (In the paper, task images "are accessible via DockerHub".)
+class Registry {
+ public:
+  explicit Registry(cluster::Node& node) : node_(node) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  [[nodiscard]] cluster::Node& node() { return node_; }
+  [[nodiscard]] net::NodeId net_id() const { return node_.net_id(); }
+
+  /// Publishes (or replaces) an image.
+  void push(Image image) { images_[image.name] = std::move(image); }
+
+  /// Manifest lookup by "repo:tag".
+  [[nodiscard]] std::optional<Image> manifest(const std::string& name) const {
+    auto it = images_.find(name);
+    if (it == images_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return images_.contains(name);
+  }
+  [[nodiscard]] std::size_t image_count() const { return images_.size(); }
+
+ private:
+  cluster::Node& node_;
+  std::map<std::string, Image> images_;
+};
+
+}  // namespace sf::container

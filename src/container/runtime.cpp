@@ -1,0 +1,158 @@
+#include "container/runtime.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sf::container {
+
+ContainerRuntime::ContainerRuntime(cluster::Node& node, ImageCache& cache,
+                                   RuntimeOverheads overheads)
+    : node_(node), cache_(cache), overheads_(overheads) {}
+
+ContainerRuntime::State ContainerRuntime::state(ContainerId id) const {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    throw std::out_of_range("ContainerRuntime::state: unknown container");
+  }
+  return it->second.state;
+}
+
+std::size_t ContainerRuntime::active_execs(ContainerId id) const {
+  auto it = containers_.find(id);
+  return it == containers_.end() ? 0 : it->second.execs.size();
+}
+
+void ContainerRuntime::create(const ContainerSpec& spec,
+                              std::function<void(ContainerId)> on_done) {
+  if (!node_.allocate_memory(spec.memory_bytes)) {
+    node_.sim().call_in(0, [cb = std::move(on_done)] { cb(kNoContainer); });
+    return;
+  }
+  node_.sim().call_in(
+      overheads_.create_s, [this, spec, cb = std::move(on_done)] {
+        const ContainerId id = next_id_++;
+        ++containers_created_;
+        containers_.emplace(id, Instance{spec, State::kCreated, {}});
+        node_.sim().trace().record(node_.sim().now(), "container", "create",
+                                   {{"node", node_.name()},
+                                    {"image", spec.image}});
+        cb(id);
+      });
+}
+
+void ContainerRuntime::start(ContainerId id,
+                             std::function<void(bool)> on_done) {
+  auto it = containers_.find(id);
+  if (it == containers_.end() || it->second.state != State::kCreated) {
+    node_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  const double delay = overheads_.start_s + it->second.spec.boot_s;
+  node_.sim().call_in(delay, [this, id, cb = std::move(on_done)] {
+    auto jt = containers_.find(id);
+    if (jt == containers_.end() || jt->second.state != State::kCreated) {
+      cb(false);
+      return;
+    }
+    jt->second.state = State::kRunning;
+    cb(true);
+  });
+}
+
+void ContainerRuntime::exec(ContainerId id, double work,
+                            std::function<void(bool)> on_done) {
+  auto it = containers_.find(id);
+  if (it == containers_.end() || it->second.state != State::kRunning) {
+    node_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  Instance& inst = it->second;
+  // All execs in one container share its cgroup: each process is capped by
+  // the container quota, and the container's weight splits evenly across
+  // concurrently running processes within it.
+  auto shared_state = std::make_shared<sim::PsResource::JobId>(0);
+  const auto pid = node_.run_process(
+      work,
+      [this, id, shared_state] {
+        auto jt = containers_.find(id);
+        if (jt == containers_.end()) return;
+        auto ex = jt->second.execs.find(*shared_state);
+        if (ex == jt->second.execs.end()) return;
+        auto cb = std::move(ex->second);
+        jt->second.execs.erase(ex);
+        cb(true);
+      },
+      inst.spec.cpu_limit, inst.spec.cpu_shares);
+  *shared_state = pid;
+  inst.execs.emplace(pid, std::move(on_done));
+}
+
+void ContainerRuntime::stop(ContainerId id,
+                            std::function<void(bool)> on_done) {
+  auto it = containers_.find(id);
+  if (it == containers_.end() || it->second.state == State::kStopped) {
+    node_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  // Kill in-flight execs; their callbacks observe failure.
+  std::vector<std::function<void(bool)>> killed;
+  for (auto& [pid, cb] : it->second.execs) {
+    node_.kill_process(pid);
+    killed.push_back(std::move(cb));
+  }
+  it->second.execs.clear();
+  it->second.state = State::kStopped;
+  for (auto& cb : killed) cb(false);
+  node_.sim().call_in(overheads_.stop_s,
+                      [cb = std::move(on_done)] { cb(true); });
+}
+
+void ContainerRuntime::remove(ContainerId id,
+                              std::function<void(bool)> on_done) {
+  auto it = containers_.find(id);
+  if (it == containers_.end() || it->second.state == State::kRunning) {
+    node_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  const double mem = it->second.spec.memory_bytes;
+  containers_.erase(it);
+  node_.release_memory(mem);
+  node_.sim().call_in(overheads_.remove_s,
+                      [cb = std::move(on_done)] { cb(true); });
+}
+
+void ContainerRuntime::run_task_once(const ContainerSpec& spec, double work,
+                                     Registry& registry,
+                                     std::function<void(bool)> on_done) {
+  cache_.ensure_image(spec.image, registry, [this, spec, work,
+                                             cb = std::move(on_done)](
+                                                bool pulled) mutable {
+    if (!pulled) {
+      cb(false);
+      return;
+    }
+    create(spec, [this, work, cb = std::move(cb)](ContainerId id) mutable {
+      if (id == kNoContainer) {
+        cb(false);
+        return;
+      }
+      start(id, [this, id, work, cb = std::move(cb)](bool started) mutable {
+        if (!started) {
+          remove(id, [cb = std::move(cb)](bool) mutable { cb(false); });
+          return;
+        }
+        exec(id, work, [this, id, cb = std::move(cb)](bool ran) mutable {
+          stop(id, [this, id, ran, cb = std::move(cb)](bool) mutable {
+            remove(id, [ran, cb = std::move(cb)](bool removed) mutable {
+              cb(ran && removed);
+            });
+          });
+        });
+      });
+    });
+  });
+}
+
+}  // namespace sf::container

@@ -1,0 +1,93 @@
+#pragma once
+
+#include "condor/types.hpp"
+#include "container/runtime.hpp"
+#include "pegasus/catalogs.hpp"
+
+namespace sf::core {
+
+/// Every timing constant of the reproduction, in one place, each tied to
+/// the paper anchor it is fitted against. The defaults are the calibrated
+/// values used by the figure benches; tests construct variants freely.
+///
+/// Paper anchors (Section III + V + VI):
+///  * Fig. 1: Knative cold start 1.48 s; at 160 sequential tasks Docker
+///    ≈ 100 s vs Knative ≈ 78 s; per-task compute similar in both.
+///  * Fig. 2: regression slopes native 0.28, Knative 0.30,
+///    condor-container 0.96 s/task.
+///  * Fig. 6: all-native average makespan ≈ 250 s for 10 concurrent
+///    10-task workflows; all-Knative = 1.08 × native; all-container
+///    slowest.
+struct CalibrationProfile {
+  // ---- Task (350×350 int matmul in Python/NumPy, incl. file I/O) ------
+  /// Warm per-invocation cost. Fig. 1's Knative slope is
+  /// matmul_work_s + HTTP overhead ≈ 0.455 s/task (paper ≈ 78/160 minus
+  /// cold start).
+  double matmul_work_s = 0.45;
+  /// Interpreter + import cost paid by every fresh process: each Docker
+  /// task and each containerized Pegasus task, but *not* warm Knative
+  /// requests. Docker slope = work + startup + docker lifecycle
+  /// = 0.45 + 0.065 + 0.11 ≈ 0.625 (paper: 100 s / 160 tasks).
+  double python_startup_s = 0.065;
+  /// Flask + NumPy app boot inside a Knative pod. Chosen so that
+  /// scale-from-zero with a pre-staged image lands on the paper's 1.48 s
+  /// cold start (boot + pod create/start + control-plane latencies).
+  double flask_boot_s = 1.25;
+  /// 350 × 350 × 4 B matrices.
+  double matrix_bytes = 490000;
+  double task_memory_bytes = 512e6;
+  /// CPU cost of (de)serializing pass-by-value payloads inside the
+  /// function (JSON over HTTP in Python). Only the integrated workflow
+  /// path pays it — Fig. 1's motivation experiment kept data on the node
+  /// and sent empty triggers. This is what lifts the all-Knative Fig. 6
+  /// bar to ≈1.08× native and the Fig. 2 Knative slope to ≈0.30.
+  double payload_codec_s_per_mb = 1.0;
+
+  // ---- Docker CLI engine (the Fig. 1 baseline) ------------------------
+  /// `docker run --rm` lifecycle: create+start+stop+rm ≈ 0.11 s.
+  container::RuntimeOverheads docker_engine{0.035, 0.025, 0.02, 0.03};
+
+  // ---- Kubernetes pod engine (Knative data plane) ---------------------
+  /// containerd via kubelet: heavier create/start than raw docker CLI.
+  container::RuntimeOverheads kube_engine{0.10, 0.06, 0.05, 0.06};
+
+  // ---- HTCondor pool ---------------------------------------------------
+  /// The decomposition that satisfies Fig. 2 and Fig. 6 simultaneously:
+  ///  * slot occupancy per job = setup (5.9 s: shadow + starter +
+  ///    pegasus-lite wrapper) + work ≈ 6.4 s → Fig. 2's parallel slope =
+  ///    max(dispatch 0.27, slot / 24 workers ≈ 0.267) ≈ 0.28 s/task;
+  ///  * sequential hop = POST script (12.4 s, runs per node, concurrent
+  ///    across workflows) + DAGMan scan (1 s grid) + dispatch + slot
+  ///    ≈ 21 s → 12 DAG nodes ≈ 250 s (Fig. 6's native bar).
+  /// Claims are long-lived (600 s idle timeout), so matchmaking happens
+  /// once per burst — negotiation contributes intercept, not slope.
+  condor::CondorConfig condor{15.0, 0.27, 5.9, 600.0, 0};
+
+  /// DAGMan log-scan period: sequential hops quantize to this.
+  double dag_scan_interval_s = 1.0;
+  /// pegasus-exitcode POST script per node (see condor comment above).
+  double dag_post_script_s = 12.4;
+
+  // ---- Documented paper targets (for EXPERIMENTS.md comparisons) ------
+  double paper_cold_start_s = 1.48;
+  double paper_docker_160_s = 100.0;
+  double paper_knative_160_s = 78.0;
+  double paper_native_slope = 0.28;
+  double paper_knative_slope = 0.30;
+  double paper_container_slope = 0.96;
+  double paper_native_makespan_s = 250.0;
+  double paper_knative_over_native = 1.08;
+
+  /// The "matmul" transformation entry implied by this profile.
+  [[nodiscard]] pegasus::Transformation matmul_transformation() const {
+    pegasus::Transformation t;
+    t.name = "matmul";
+    t.work_coreseconds = matmul_work_s;
+    t.startup_s = python_startup_s;
+    t.memory_bytes = task_memory_bytes;
+    t.container_image = "matmul:latest";
+    return t;
+  }
+};
+
+}  // namespace sf::core

@@ -1,0 +1,88 @@
+#include "core/redirect.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::core {
+
+namespace {
+
+/// Minimal native path: read staged inputs, burn the work single-threaded,
+/// write the outputs — what pegasus-lite does without a container.
+void run_native(condor::ExecContext& ctx,
+                const std::vector<storage::FileRef>& inputs,
+                const std::vector<storage::FileRef>& outputs, double work,
+                std::function<void(bool)> done) {
+  auto write_next = std::make_shared<std::function<void(std::size_t)>>();
+  auto done_ptr =
+      std::make_shared<std::function<void(bool)>>(std::move(done));
+  auto read_next = std::make_shared<std::function<void(std::size_t)>>();
+  *write_next = [&ctx, outputs, write_next, done_ptr](std::size_t i) {
+    if (i >= outputs.size()) {
+      (*done_ptr)(true);
+      return;
+    }
+    ctx.scratch->write(outputs[i],
+                       [write_next, i] { (*write_next)(i + 1); });
+  };
+  *read_next = [&ctx, inputs, work, read_next, write_next,
+                done_ptr](std::size_t i) {
+    if (i >= inputs.size()) {
+      ctx.node->run_process(work, [write_next] { (*write_next)(0); },
+                            /*max_cores=*/1.0);
+      return;
+    }
+    ctx.scratch->read(inputs[i].lfn, [read_next, done_ptr, i](
+                                         bool found, storage::FileRef) {
+      if (!found) {
+        (*done_ptr)(false);
+        return;
+      }
+      (*read_next)(i + 1);
+    });
+  };
+  (*read_next)(0);
+}
+
+}  // namespace
+
+TaskRedirector::TaskRedirector(ServerlessIntegration& integration,
+                               double utilization_threshold)
+    : integration_(integration), threshold_(utilization_threshold) {
+  if (utilization_threshold <= 0 || utilization_threshold > 1) {
+    throw std::invalid_argument(
+        "TaskRedirector: threshold must be in (0, 1]");
+  }
+}
+
+pegasus::ServerlessWrapperFactory TaskRedirector::adaptive_factory() {
+  auto serverless_factory = integration_.wrapper_factory();
+  return [this, serverless_factory](
+             const pegasus::AbstractJob& job,
+             const pegasus::Transformation& t,
+             std::vector<storage::FileRef> inputs,
+             std::vector<storage::FileRef> outputs)
+             -> condor::JobExecutable {
+    condor::JobExecutable serverless =
+        serverless_factory(job, t, inputs, outputs);
+    const double work = t.startup_s + t.work_coreseconds;
+    return [this, serverless = std::move(serverless), inputs, outputs,
+            work](condor::ExecContext& ctx,
+                  std::function<void(bool)> done) {
+      const double busy_fraction =
+          ctx.node->cpu_utilization() / ctx.node->spec().cores;
+      if (busy_fraction > threshold_) {
+        ++redirected_;
+        ctx.sim->trace().record(ctx.sim->now(), "redirect", "to_serverless",
+                                {{"node", ctx.node->name()}});
+        serverless(ctx, std::move(done));
+      } else {
+        ++ran_native_;
+        run_native(ctx, inputs, outputs, work, std::move(done));
+      }
+    };
+  };
+}
+
+}  // namespace sf::core

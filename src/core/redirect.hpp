@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/integration.hpp"
+
+namespace sf::core {
+
+/// §IX-D future work, implemented: serverless redirection of tasks away
+/// from over-utilized nodes at runtime.
+///
+/// Wraps every task in an *adaptive* executable: when the condor-matched
+/// node's CPU utilization is below the threshold the task runs natively
+/// (no overhead); when the node is busy, the task is redirected to the
+/// pre-registered serverless function, letting Knative place it on a pod
+/// with spare capacity. Combine with
+/// `KnativeServing::set_load_balancing(kLeastLoaded)` so redirected work
+/// also avoids busy pods.
+class TaskRedirector {
+ public:
+  /// `utilization_threshold` is the busy fraction of the node's cores
+  /// above which a task is redirected (0.75 = redirect when more than
+  /// three quarters of the cores are already committed).
+  TaskRedirector(ServerlessIntegration& integration,
+                 double utilization_threshold = 0.75);
+
+  TaskRedirector(const TaskRedirector&) = delete;
+  TaskRedirector& operator=(const TaskRedirector&) = delete;
+
+  /// Drop-in replacement for `ServerlessIntegration::wrapper_factory()`:
+  /// give this to the planner (with the jobs marked kServerless) to get
+  /// adaptive native-or-redirect behaviour per task.
+  [[nodiscard]] pegasus::ServerlessWrapperFactory adaptive_factory();
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] std::uint64_t redirected() const { return redirected_; }
+  [[nodiscard]] std::uint64_t ran_native() const { return ran_native_; }
+
+ private:
+  ServerlessIntegration& integration_;
+  double threshold_;
+  std::uint64_t redirected_ = 0;
+  std::uint64_t ran_native_ = 0;
+};
+
+}  // namespace sf::core

@@ -1,0 +1,116 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "condor/dagman.hpp"
+#include "condor/pool.hpp"
+#include "container/registry.hpp"
+#include "core/calibration.hpp"
+#include "core/integration.hpp"
+#include "k8s/kube_cluster.hpp"
+#include "knative/serving.hpp"
+#include "metrics/ternary.hpp"
+#include "pegasus/planner.hpp"
+#include "storage/object_store.hpp"
+#include "storage/replica_catalog.hpp"
+#include "storage/shared_fs.hpp"
+#include "workload/generators.hpp"
+
+namespace sf::core {
+
+/// Options for assembling the simulated evaluation environment.
+struct TestbedOptions {
+  std::size_t node_count = 4;  ///< the paper's 4-VM cluster
+  CalibrationProfile calibration{};
+  DataStrategy strategy = DataStrategy::kPassByValue;
+  /// Default provisioning for registered functions (paper: pre-staged,
+  /// one warm pod per worker, one request per container at a time —
+  /// the Figure 5/6 "serverless containers" configuration).
+  ProvisioningPolicy provisioning = [] {
+    ProvisioningPolicy p = ProvisioningPolicy::prestaged(3);
+    p.container_concurrency = 1;
+    return p;
+  }();
+  /// Pre-seed task images into every engine (the "containers distributed
+  /// to workers before workflow execution" scenario). When false, images
+  /// must travel from the registry.
+  bool prestage_images = true;
+};
+
+/// The fully assembled evaluation environment of Section V: node0 hosts
+/// the condor submit side, the Kubernetes control plane, the image
+/// registry, the Knative ingress gateway and the storage services; nodes
+/// 1..N-1 are both condor workers and Kubernetes workers.
+///
+/// This is the top-level object benches and examples drive.
+class PaperTestbed {
+ public:
+  explicit PaperTestbed(std::uint64_t seed = 42, TestbedOptions options = {});
+
+  PaperTestbed(const PaperTestbed&) = delete;
+  PaperTestbed& operator=(const PaperTestbed&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+  cluster::Cluster& cluster() { return *cluster_; }
+  container::Registry& registry() { return *registry_; }
+  condor::CondorPool& condor() { return *condor_; }
+  k8s::KubeCluster& kube() { return *kube_; }
+  knative::KnativeServing& serving() { return *serving_; }
+  pegasus::DockerEnv& docker() { return *docker_; }
+  ServerlessIntegration& integration() { return *integration_; }
+  storage::ReplicaCatalog& replicas() { return replicas_; }
+  pegasus::TransformationCatalog& transformations() { return catalog_; }
+  storage::SharedFileSystem& shared_fs() { return *shared_fs_; }
+  storage::ObjectStore& object_store() { return *object_store_; }
+  const CalibrationProfile& calibration() const {
+    return options_.calibration;
+  }
+  const TestbedOptions& options() const { return options_; }
+
+  /// Registers the matmul transformation's function with Knative (done
+  /// before workflow execution, per the paper) and waits until warm pods
+  /// (if any) are ready.
+  void register_matmul_function();
+  void register_matmul_function(const ProvisioningPolicy& policy);
+
+  /// Outcome of one workflow-set run.
+  struct RunResult {
+    std::vector<double> makespans;  ///< per workflow, seconds
+    double slowest = 0;             ///< the paper's headline metric
+    bool all_succeeded = false;
+    std::map<pegasus::JobMode, int> mode_counts;
+  };
+
+  /// Plans and concurrently executes the given workflows with per-task
+  /// execution modes, running the simulation until all complete.
+  RunResult run_workflows(
+      const std::vector<pegasus::AbstractWorkflow>& workflows,
+      const std::map<std::string, pegasus::JobMode>& modes,
+      int cluster_size = 1);
+
+  /// The paper's Section V experiment: `n_workflows` concurrent 10-task
+  /// chains with modes drawn randomly to realize `mix`.
+  RunResult run_concurrent_mix(int n_workflows, int tasks_per_workflow,
+                               const metrics::MixPoint& mix);
+
+ private:
+  TestbedOptions options_;
+  sim::Simulation sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<container::Registry> registry_;
+  std::unique_ptr<condor::CondorPool> condor_;
+  std::unique_ptr<k8s::KubeCluster> kube_;
+  std::unique_ptr<knative::KnativeServing> serving_;
+  std::unique_ptr<pegasus::DockerEnv> docker_;
+  std::unique_ptr<storage::SharedFileSystem> shared_fs_;
+  std::unique_ptr<storage::ObjectStore> object_store_;
+  std::unique_ptr<ServerlessIntegration> integration_;
+  storage::ReplicaCatalog replicas_;
+  pegasus::TransformationCatalog catalog_;
+};
+
+}  // namespace sf::core

@@ -1,0 +1,182 @@
+#include "k8s/api_server.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sf::k8s {
+
+void ApiServer::register_node(NodeObject node) {
+  nodes_[node.name] = std::move(node);
+}
+
+// ---- Pods -------------------------------------------------------------
+
+Uid ApiServer::create_pod(Pod pod) {
+  if (pods_.contains(pod.name)) {
+    throw std::invalid_argument("ApiServer: pod exists: " + pod.name);
+  }
+  pod.uid = next_uid_++;
+  pod.phase = PodPhase::kPending;
+  auto [it, ok] = pods_.emplace(pod.name, std::move(pod));
+  notify_pod(EventType::kAdded, it->second);
+  return it->second.uid;
+}
+
+bool ApiServer::mutate_pod(const std::string& name,
+                           std::function<void(Pod&)> mutate) {
+  auto it = pods_.find(name);
+  if (it == pods_.end()) return false;
+  mutate(it->second);
+  notify_pod(EventType::kModified, it->second);
+  return true;
+}
+
+const Pod* ApiServer::get_pod(const std::string& name) const {
+  auto it = pods_.find(name);
+  return it == pods_.end() ? nullptr : &it->second;
+}
+
+std::vector<Pod> ApiServer::list_pods() const {
+  std::vector<Pod> out;
+  out.reserve(pods_.size());
+  for (const auto& [name, pod] : pods_) out.push_back(pod);
+  return out;
+}
+
+std::vector<Pod> ApiServer::list_pods(const Labels& selector) const {
+  std::vector<Pod> out;
+  for (const auto& [name, pod] : pods_) {
+    if (selector_matches(selector, pod.labels)) out.push_back(pod);
+  }
+  return out;
+}
+
+void ApiServer::delete_pod(const std::string& name) {
+  auto it = pods_.find(name);
+  if (it == pods_.end()) return;
+  if (it->second.phase == PodPhase::kTerminating) return;
+  const bool never_ran = it->second.node_name.empty();
+  it->second.phase = PodPhase::kTerminating;
+  it->second.ready = false;
+  notify_pod(EventType::kModified, it->second);
+  if (never_ran) {
+    // No kubelet owns it; finalize directly.
+    finalize_pod_deletion(name);
+  }
+}
+
+void ApiServer::finalize_pod_deletion(const std::string& name) {
+  auto it = pods_.find(name);
+  if (it == pods_.end()) return;
+  Pod removed = std::move(it->second);
+  pods_.erase(it);
+  notify_pod(EventType::kDeleted, removed);
+}
+
+// ---- Deployments ------------------------------------------------------
+
+Uid ApiServer::apply_deployment(Deployment dep) {
+  auto it = deployments_.find(dep.name);
+  if (it == deployments_.end()) {
+    dep.uid = next_uid_++;
+    auto [jt, ok] = deployments_.emplace(dep.name, std::move(dep));
+    notify_deployment(EventType::kAdded, jt->second);
+    return jt->second.uid;
+  }
+  dep.uid = it->second.uid;
+  it->second = std::move(dep);
+  notify_deployment(EventType::kModified, it->second);
+  return it->second.uid;
+}
+
+bool ApiServer::set_deployment_replicas(const std::string& name,
+                                        int replicas) {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return false;
+  if (it->second.replicas == replicas) return true;
+  it->second.replicas = replicas;
+  notify_deployment(EventType::kModified, it->second);
+  return true;
+}
+
+const Deployment* ApiServer::get_deployment(const std::string& name) const {
+  auto it = deployments_.find(name);
+  return it == deployments_.end() ? nullptr : &it->second;
+}
+
+void ApiServer::delete_deployment(const std::string& name) {
+  auto it = deployments_.find(name);
+  if (it == deployments_.end()) return;
+  Deployment removed = std::move(it->second);
+  deployments_.erase(it);
+  notify_deployment(EventType::kDeleted, removed);
+}
+
+// ---- Services & endpoints ----------------------------------------------
+
+Uid ApiServer::create_service(Service svc) {
+  svc.uid = next_uid_++;
+  auto [it, ok] = services_.emplace(svc.name, std::move(svc));
+  if (!ok) throw std::invalid_argument("ApiServer: service exists");
+  // A fresh service starts with empty endpoints.
+  endpoints_[it->second.name] = Endpoints{it->second.name, {}};
+  return it->second.uid;
+}
+
+void ApiServer::delete_service(const std::string& name) {
+  services_.erase(name);
+  auto it = endpoints_.find(name);
+  if (it != endpoints_.end()) {
+    Endpoints removed = std::move(it->second);
+    endpoints_.erase(it);
+    notify_endpoints(EventType::kDeleted, removed);
+  }
+}
+
+const Service* ApiServer::get_service(const std::string& name) const {
+  auto it = services_.find(name);
+  return it == services_.end() ? nullptr : &it->second;
+}
+
+std::vector<Service> ApiServer::list_services() const {
+  std::vector<Service> out;
+  out.reserve(services_.size());
+  for (const auto& [name, svc] : services_) out.push_back(svc);
+  return out;
+}
+
+void ApiServer::set_endpoints(Endpoints eps) {
+  auto it = endpoints_.find(eps.service_name);
+  const bool existed = it != endpoints_.end();
+  if (existed && it->second.ready == eps.ready) return;  // no change
+  endpoints_[eps.service_name] = eps;
+  notify_endpoints(existed ? EventType::kModified : EventType::kAdded, eps);
+}
+
+const Endpoints* ApiServer::get_endpoints(
+    const std::string& service_name) const {
+  auto it = endpoints_.find(service_name);
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+// ---- Watch delivery ----------------------------------------------------
+
+void ApiServer::notify_pod(EventType type, const Pod& pod) {
+  for (const auto& watch : pod_watches_) {
+    sim_.call_in(api_latency_, [watch, type, pod] { watch(type, pod); });
+  }
+}
+
+void ApiServer::notify_deployment(EventType type, const Deployment& dep) {
+  for (const auto& watch : deployment_watches_) {
+    sim_.call_in(api_latency_, [watch, type, dep] { watch(type, dep); });
+  }
+}
+
+void ApiServer::notify_endpoints(EventType type, const Endpoints& eps) {
+  for (const auto& watch : endpoints_watches_) {
+    sim_.call_in(api_latency_, [watch, type, eps] { watch(type, eps); });
+  }
+}
+
+}  // namespace sf::k8s

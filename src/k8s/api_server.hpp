@@ -1,0 +1,115 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "k8s/objects.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::k8s {
+
+/// Watch event kinds, mirroring the Kubernetes watch protocol.
+enum class EventType { kAdded, kModified, kDeleted };
+
+/// The cluster's source of truth: typed object stores plus asynchronous
+/// watch streams. Every watch notification is delivered after the
+/// configured API latency, which is what strings control-plane actions
+/// (schedule → kubelet → endpoints) into a realistic cold-start path.
+class ApiServer {
+ public:
+  explicit ApiServer(sim::Simulation& sim, double api_latency_s = 0.005)
+      : sim_(sim), api_latency_(api_latency_s) {}
+
+  ApiServer(const ApiServer&) = delete;
+  ApiServer& operator=(const ApiServer&) = delete;
+
+  [[nodiscard]] sim::Simulation& sim() { return sim_; }
+  [[nodiscard]] double api_latency() const { return api_latency_; }
+
+  // ---- Nodes ----------------------------------------------------------
+
+  void register_node(NodeObject node);
+  [[nodiscard]] const std::map<std::string, NodeObject>& nodes() const {
+    return nodes_;
+  }
+
+  // ---- Pods -----------------------------------------------------------
+
+  using PodWatch = std::function<void(EventType, const Pod&)>;
+
+  /// Creates a pod (phase Pending). Returns its uid. Throws when a pod of
+  /// the same name exists.
+  Uid create_pod(Pod pod);
+
+  /// Applies `mutate` to the stored pod and notifies watchers (Modified).
+  /// Returns false when no such pod exists.
+  bool mutate_pod(const std::string& name, std::function<void(Pod&)> mutate);
+
+  [[nodiscard]] const Pod* get_pod(const std::string& name) const;
+  [[nodiscard]] std::vector<Pod> list_pods() const;
+  [[nodiscard]] std::vector<Pod> list_pods(const Labels& selector) const;
+
+  /// Marks the pod Terminating and notifies watchers; the owning kubelet
+  /// (or, for never-scheduled pods, the API server itself) finalizes.
+  void delete_pod(const std::string& name);
+
+  /// Removes the object entirely (kubelet confirmation). Watchers see
+  /// Deleted.
+  void finalize_pod_deletion(const std::string& name);
+
+  void watch_pods(PodWatch watch) { pod_watches_.push_back(std::move(watch)); }
+
+  // ---- Deployments ----------------------------------------------------
+
+  using DeploymentWatch = std::function<void(EventType, const Deployment&)>;
+
+  /// Creates or updates (by name). Returns the uid.
+  Uid apply_deployment(Deployment dep);
+  bool set_deployment_replicas(const std::string& name, int replicas);
+  [[nodiscard]] const Deployment* get_deployment(
+      const std::string& name) const;
+  void delete_deployment(const std::string& name);
+  void watch_deployments(DeploymentWatch watch) {
+    deployment_watches_.push_back(std::move(watch));
+  }
+
+  // ---- Services & endpoints -------------------------------------------
+
+  using EndpointsWatch = std::function<void(EventType, const Endpoints&)>;
+
+  Uid create_service(Service svc);
+  /// Removes a service and its endpoints object (no-op when absent).
+  void delete_service(const std::string& name);
+  [[nodiscard]] const Service* get_service(const std::string& name) const;
+  [[nodiscard]] std::vector<Service> list_services() const;
+  void set_endpoints(Endpoints eps);
+  [[nodiscard]] const Endpoints* get_endpoints(
+      const std::string& service_name) const;
+  void watch_endpoints(EndpointsWatch watch) {
+    endpoints_watches_.push_back(std::move(watch));
+  }
+
+ private:
+  void notify_pod(EventType type, const Pod& pod);
+  void notify_deployment(EventType type, const Deployment& dep);
+  void notify_endpoints(EventType type, const Endpoints& eps);
+
+  sim::Simulation& sim_;
+  double api_latency_;
+  Uid next_uid_ = 1;
+
+  std::map<std::string, NodeObject> nodes_;
+  std::map<std::string, Pod> pods_;
+  std::map<std::string, Deployment> deployments_;
+  std::map<std::string, Service> services_;
+  std::map<std::string, Endpoints> endpoints_;
+
+  std::vector<PodWatch> pod_watches_;
+  std::vector<DeploymentWatch> deployment_watches_;
+  std::vector<EndpointsWatch> endpoints_watches_;
+};
+
+}  // namespace sf::k8s

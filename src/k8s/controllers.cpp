@@ -1,0 +1,93 @@
+#include "k8s/controllers.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace sf::k8s {
+
+// ---- DeploymentController ----------------------------------------------
+
+DeploymentController::DeploymentController(ApiServer& api,
+                                           double restart_backoff_s)
+    : api_(api), restart_backoff_(restart_backoff_s) {
+  api_.watch_deployments([this](EventType type, const Deployment& dep) {
+    if (type == EventType::kDeleted) {
+      // Remove every pod the deployment owned.
+      for (const auto& pod : api_.list_pods()) {
+        if (pod.owner == dep.name) api_.delete_pod(pod.name);
+      }
+      next_index_.erase(dep.name);
+      return;
+    }
+    reconcile(dep.name);
+  });
+  api_.watch_pods([this](EventType type, const Pod& pod) {
+    if (pod.owner.empty()) return;
+    if (type == EventType::kDeleted) {
+      reconcile(pod.owner);
+    } else if (type == EventType::kModified &&
+               pod.phase == PodPhase::kFailed) {
+      // Replace crashed pods after a backoff (crash-loop protection).
+      api_.delete_pod(pod.name);
+      api_.sim().call_in(restart_backoff_,
+                         [this, owner = pod.owner] { reconcile(owner); });
+    }
+  });
+}
+
+void DeploymentController::reconcile(const std::string& deployment_name) {
+  const Deployment* dep = api_.get_deployment(deployment_name);
+  if (dep == nullptr) return;
+
+  std::vector<Pod> owned;
+  for (const auto& pod : api_.list_pods()) {
+    if (pod.owner == dep->name && pod.phase != PodPhase::kTerminating &&
+        pod.phase != PodPhase::kFailed) {
+      owned.push_back(pod);
+    }
+  }
+  const int live = static_cast<int>(owned.size());
+
+  if (live < dep->replicas) {
+    for (int i = live; i < dep->replicas; ++i) {
+      Pod pod;
+      pod.name = dep->name + "-" + std::to_string(next_index_[dep->name]++);
+      pod.labels = dep->pod_labels;
+      pod.container = dep->pod_template;
+      pod.cpu_request = dep->cpu_request;
+      pod.memory_request = dep->memory_request;
+      pod.owner = dep->name;
+      ++pods_created_;
+      api_.create_pod(std::move(pod));
+    }
+  } else if (live > dep->replicas) {
+    // Newest first (highest uid): keeps the longest-warm pods alive, which
+    // is also what Knative wants for container reuse.
+    std::sort(owned.begin(), owned.end(),
+              [](const Pod& a, const Pod& b) { return a.uid > b.uid; });
+    for (int i = 0; i < live - dep->replicas; ++i) {
+      api_.delete_pod(owned[i].name);
+    }
+  }
+}
+
+// ---- EndpointsController -------------------------------------------------
+
+EndpointsController::EndpointsController(ApiServer& api) : api_(api) {
+  api_.watch_pods([this](EventType, const Pod&) { refresh_all(); });
+}
+
+void EndpointsController::refresh_all() {
+  for (const auto& svc : api_.list_services()) {
+    Endpoints eps;
+    eps.service_name = svc.name;
+    for (const auto& pod : api_.list_pods(svc.selector)) {
+      if (pod.ready && pod.phase == PodPhase::kRunning) {
+        eps.ready.push_back(Endpoint{pod.name, pod.host_net_id, pod.port});
+      }
+    }
+    api_.set_endpoints(std::move(eps));
+  }
+}
+
+}  // namespace sf::k8s

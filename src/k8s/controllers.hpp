@@ -1,0 +1,47 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "k8s/api_server.hpp"
+
+namespace sf::k8s {
+
+/// Reconciles Deployments to their desired replica count (the ReplicaSet
+/// layer is folded in). Scale-down removes the newest pods first; failed
+/// pods are replaced after a backoff.
+class DeploymentController {
+ public:
+  explicit DeploymentController(ApiServer& api,
+                                double restart_backoff_s = 1.0);
+
+  DeploymentController(const DeploymentController&) = delete;
+  DeploymentController& operator=(const DeploymentController&) = delete;
+
+  [[nodiscard]] std::uint64_t pods_created() const { return pods_created_; }
+
+ private:
+  void reconcile(const std::string& deployment_name);
+
+  ApiServer& api_;
+  double restart_backoff_;
+  std::map<std::string, int> next_index_;  // per-deployment pod name counter
+  std::uint64_t pods_created_ = 0;
+};
+
+/// Maintains each Service's Endpoints as the set of ready pods matching
+/// its selector.
+class EndpointsController {
+ public:
+  explicit EndpointsController(ApiServer& api);
+
+  EndpointsController(const EndpointsController&) = delete;
+  EndpointsController& operator=(const EndpointsController&) = delete;
+
+ private:
+  void refresh_all();
+
+  ApiServer& api_;
+};
+
+}  // namespace sf::k8s

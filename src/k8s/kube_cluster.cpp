@@ -1,0 +1,79 @@
+#include "k8s/kube_cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace sf::k8s {
+
+KubeCluster::KubeCluster(cluster::Cluster& cluster,
+                         container::Registry& registry,
+                         std::vector<cluster::Node*> workers,
+                         container::RuntimeOverheads overheads)
+    : cluster_(cluster),
+      registry_(registry),
+      api_(cluster.sim()),
+      scheduler_(api_,
+                 [this](const std::string& node, const std::string& image) {
+                   auto it = workers_.find(node);
+                   return it != workers_.end() &&
+                          it->second.cache->has_image(image, registry_);
+                 }),
+      deployment_controller_(api_),
+      endpoints_controller_(api_) {
+  for (cluster::Node* node : workers) {
+    WorkerNode w;
+    w.node = node;
+    w.cache = std::make_unique<container::ImageCache>(*node,
+                                                      cluster_.network());
+    w.runtime = std::make_unique<container::ContainerRuntime>(
+        *node, *w.cache, overheads);
+    w.kubelet = std::make_unique<Kubelet>(api_, *node, *w.cache, *w.runtime,
+                                          registry_);
+    api_.register_node(NodeObject{node->name(), node->spec().cores,
+                                  node->spec().memory_bytes,
+                                  node->net_id()});
+    workers_.emplace(node->name(), std::move(w));
+  }
+}
+
+WorkerNode& KubeCluster::worker(const std::string& node_name) {
+  auto it = workers_.find(node_name);
+  if (it == workers_.end()) {
+    throw std::out_of_range("KubeCluster: unknown worker " + node_name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> KubeCluster::worker_names() const {
+  std::vector<std::string> names;
+  names.reserve(workers_.size());
+  for (const auto& [name, w] : workers_) names.push_back(name);
+  return names;
+}
+
+void KubeCluster::exec_in_pod(const std::string& pod_name, double work,
+                              std::function<void(bool)> on_done) {
+  const Pod* pod = api_.get_pod(pod_name);
+  if (pod == nullptr || pod->node_name.empty()) {
+    cluster_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  auto it = workers_.find(pod->node_name);
+  if (it == workers_.end()) {
+    cluster_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  WorkerNode& w = it->second;
+  const container::ContainerId cid = w.kubelet->container_for(pod_name);
+  if (cid == container::kNoContainer) {
+    cluster_.sim().call_in(0, [cb = std::move(on_done)] { cb(false); });
+    return;
+  }
+  w.runtime->exec(cid, work, std::move(on_done));
+}
+
+void KubeCluster::seed_image_everywhere(const container::Image& image) {
+  for (auto& [name, w] : workers_) w.cache->seed_image(image);
+}
+
+}  // namespace sf::k8s

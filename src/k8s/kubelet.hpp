@@ -1,0 +1,67 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "cluster/node.hpp"
+#include "container/image_cache.hpp"
+#include "container/registry.hpp"
+#include "container/runtime.hpp"
+#include "k8s/api_server.hpp"
+
+namespace sf::k8s {
+
+/// Node agent: realizes pods bound to its node.
+///
+/// Pipeline per pod: image pull (layer-cached) → container create →
+/// container start (+ app boot) → phase Running → readiness probe →
+/// ready. On termination it honours the pod's pre-stop drain hook before
+/// stopping the container, then confirms deletion to the API server.
+class Kubelet {
+ public:
+  Kubelet(ApiServer& api, cluster::Node& node, container::ImageCache& cache,
+          container::ContainerRuntime& runtime, container::Registry& registry,
+          double readiness_probe_delay_s = 0.05);
+
+  Kubelet(const Kubelet&) = delete;
+  Kubelet& operator=(const Kubelet&) = delete;
+
+  [[nodiscard]] const std::string& node_name() const { return node_.name(); }
+  [[nodiscard]] std::size_t managed_pods() const { return managed_.size(); }
+
+  /// Container backing a pod this kubelet runs; kNoContainer when the pod
+  /// is unknown or not yet started.
+  [[nodiscard]] container::ContainerId container_for(
+      const std::string& pod_name) const;
+
+ private:
+  enum class Stage {
+    kPulling,
+    kCreating,
+    kStarting,
+    kRunning,
+    kDraining,
+    kStopping,
+  };
+  struct Managed {
+    Stage stage = Stage::kPulling;
+    container::ContainerId cid = container::kNoContainer;
+    bool terminate_requested = false;
+  };
+
+  void on_pod_event(EventType type, const Pod& pod);
+  void realize(const Pod& pod);
+  void terminate(const std::string& pod_name);
+  void teardown(const std::string& pod_name);
+  void fail_pod(const std::string& pod_name);
+
+  ApiServer& api_;
+  cluster::Node& node_;
+  container::ImageCache& cache_;
+  container::ContainerRuntime& runtime_;
+  container::Registry& registry_;
+  double readiness_delay_;
+  std::map<std::string, Managed> managed_;
+};
+
+}  // namespace sf::k8s

@@ -1,0 +1,29 @@
+#include "k8s/objects.hpp"
+
+namespace sf::k8s {
+
+bool selector_matches(const Labels& selector, const Labels& labels) {
+  for (const auto& [key, value] : selector) {
+    auto it = labels.find(key);
+    if (it == labels.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+const char* to_string(PodPhase phase) {
+  switch (phase) {
+    case PodPhase::kPending:
+      return "Pending";
+    case PodPhase::kScheduled:
+      return "Scheduled";
+    case PodPhase::kRunning:
+      return "Running";
+    case PodPhase::kTerminating:
+      return "Terminating";
+    case PodPhase::kFailed:
+      return "Failed";
+  }
+  return "Unknown";
+}
+
+}  // namespace sf::k8s

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "container/runtime.hpp"
+#include "net/http.hpp"
+
+namespace sf::k8s {
+
+using Uid = std::uint64_t;
+
+/// Label set used for selector matching.
+using Labels = std::map<std::string, std::string>;
+
+/// True when every selector entry appears in `labels`.
+bool selector_matches(const Labels& selector, const Labels& labels);
+
+/// A registered worker node's allocatable capacity.
+struct NodeObject {
+  std::string name;
+  double allocatable_cpu = 0;      ///< cores
+  double allocatable_memory = 0;   ///< bytes
+  net::NodeId net_id = 0;
+};
+
+enum class PodPhase {
+  kPending,      ///< created, not yet bound to a node
+  kScheduled,    ///< bound; kubelet is pulling/creating
+  kRunning,      ///< container started
+  kTerminating,  ///< deletion requested; draining
+  kFailed,       ///< could not start (image missing, OOM)
+};
+
+const char* to_string(PodPhase phase);
+
+/// A single-container pod. `ready` flips once the kubelet's readiness
+/// probe passes; `port` is where the pod's server (for Knative: the
+/// queue-proxy) listens on its node.
+struct Pod {
+  Uid uid = 0;
+  std::string name;
+  Labels labels;
+  container::ContainerSpec container;
+  double cpu_request = 0.5;
+  double memory_request = 512e6;
+  std::string owner;  ///< owning Deployment name ("" for bare pods)
+
+  // Status.
+  std::string node_name;  ///< "" until scheduled
+  PodPhase phase = PodPhase::kPending;
+  bool ready = false;
+  net::NodeId host_net_id = 0;
+  net::Port port = 0;
+
+  /// Graceful-shutdown hook (Knative queue-proxy drain). The kubelet calls
+  /// it on termination and waits for `done` before killing the container.
+  std::function<void(std::function<void()> done)> pre_stop;
+};
+
+/// A Deployment: keeps `replicas` pods matching `selector` alive.
+/// (ServerFlow folds the ReplicaSet layer into the Deployment controller —
+/// the indirection adds nothing at this fidelity.)
+struct Deployment {
+  Uid uid = 0;
+  std::string name;
+  Labels selector;
+  Labels pod_labels;
+  container::ContainerSpec pod_template;
+  double cpu_request = 0.5;
+  double memory_request = 512e6;
+  int replicas = 0;
+};
+
+/// A Service: stable name load-balancing across ready pods.
+struct Service {
+  Uid uid = 0;
+  std::string name;
+  Labels selector;
+};
+
+/// One routable backend of a Service.
+struct Endpoint {
+  std::string pod_name;
+  net::NodeId net_id = 0;
+  net::Port port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Ready backends of one Service, maintained by the endpoints controller.
+struct Endpoints {
+  std::string service_name;
+  std::vector<Endpoint> ready;
+};
+
+}  // namespace sf::k8s

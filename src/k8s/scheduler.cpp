@@ -1,0 +1,109 @@
+#include "k8s/scheduler.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace sf::k8s {
+
+Scheduler::Scheduler(ApiServer& api, ImageLocalityFn image_locality)
+    : api_(api), image_locality_(std::move(image_locality)) {
+  api_.watch_pods([this](EventType type, const Pod& pod) {
+    switch (type) {
+      case EventType::kAdded:
+        try_schedule(pod.name);
+        break;
+      case EventType::kModified:
+        break;
+      case EventType::kDeleted:
+        // Capacity may have freed; retry anything stuck.
+        unschedulable_.erase(pod.name);
+        retry_pending();
+        break;
+    }
+  });
+}
+
+double Scheduler::requested_cpu_on(const std::string& node) const {
+  double total = 0;
+  for (const auto& pod : api_.list_pods()) {
+    if (pod.node_name == node && pod.phase != PodPhase::kFailed) {
+      total += pod.cpu_request;
+    }
+  }
+  return total;
+}
+
+double Scheduler::requested_memory_on(const std::string& node) const {
+  double total = 0;
+  for (const auto& pod : api_.list_pods()) {
+    if (pod.node_name == node && pod.phase != PodPhase::kFailed) {
+      total += pod.memory_request;
+    }
+  }
+  return total;
+}
+
+void Scheduler::try_schedule(const std::string& pod_name) {
+  const Pod* pod = api_.get_pod(pod_name);
+  if (pod == nullptr || pod->phase != PodPhase::kPending ||
+      !pod->node_name.empty()) {
+    return;
+  }
+
+  std::string best_node;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (const auto& [name, node] : api_.nodes()) {
+    const double used_cpu = requested_cpu_on(name);
+    const double used_mem = requested_memory_on(name);
+    if (used_cpu + pod->cpu_request > node.allocatable_cpu ||
+        used_mem + pod->memory_request > node.allocatable_memory) {
+      continue;  // filter: does not fit
+    }
+    // Score: least-requested CPU fraction, plus image-locality bonus.
+    double score =
+        1.0 - (used_cpu + pod->cpu_request) / node.allocatable_cpu;
+    if (image_locality_ && image_locality_(name, pod->container.image)) {
+      score += locality_weight_;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_node = name;
+    }
+  }
+
+  if (best_node.empty()) {
+    // Unschedulable: remember it and retry after backoff.
+    if (unschedulable_.insert(pod_name).second && !retry_scheduled_) {
+      retry_scheduled_ = true;
+      api_.sim().call_in(1.0, [this] {
+        retry_scheduled_ = false;
+        retry_pending();
+      });
+    }
+    return;
+  }
+
+  unschedulable_.erase(pod_name);
+  ++binds_;
+  api_.sim().trace().record(api_.sim().now(), "k8s", "bind",
+                            {{"pod", pod_name}, {"node", best_node}});
+  api_.mutate_pod(pod_name, [&best_node](Pod& p) {
+    p.node_name = best_node;
+    p.phase = PodPhase::kScheduled;
+  });
+}
+
+void Scheduler::retry_pending() {
+  // Copy: try_schedule mutates the set.
+  const std::set<std::string> pending = unschedulable_;
+  for (const auto& name : pending) try_schedule(name);
+  if (!unschedulable_.empty() && !retry_scheduled_) {
+    retry_scheduled_ = true;
+    api_.sim().call_in(1.0, [this] {
+      retry_scheduled_ = false;
+      retry_pending();
+    });
+  }
+}
+
+}  // namespace sf::k8s

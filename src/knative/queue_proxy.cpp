@@ -1,0 +1,84 @@
+#include "knative/queue_proxy.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace sf::knative {
+
+QueueProxy::QueueProxy(sim::Simulation& sim, net::HttpFabric& http,
+                       FunctionContext context, FunctionHandler handler,
+                       int container_concurrency)
+    : sim_(sim),
+      http_(http),
+      context_(std::move(context)),
+      handler_(std::move(handler)),
+      container_concurrency_(container_concurrency) {}
+
+QueueProxy::~QueueProxy() {
+  if (installed_) http_.close(context_.node, port_);
+}
+
+void QueueProxy::install(net::Port port) {
+  port_ = port;
+  installed_ = true;
+  http_.listen(context_.node, port_,
+               [this](const net::HttpRequest& req, net::Responder respond) {
+                 on_request(req, std::move(respond));
+               });
+}
+
+void QueueProxy::on_request(const net::HttpRequest& req,
+                            net::Responder respond) {
+  if (draining_) {
+    net::HttpResponse resp;
+    resp.status = net::kStatusServiceUnavailable;
+    respond(std::move(resp));
+    return;
+  }
+  queue_.push_back(Pending{req, std::move(respond)});
+  maybe_dispatch();
+}
+
+void QueueProxy::maybe_dispatch() {
+  while (!queue_.empty() && (container_concurrency_ <= 0 ||
+                             executing_ < container_concurrency_)) {
+    // shared_ptr keeps the request alive for handlers that respond after
+    // further simulated events.
+    auto p = std::make_shared<Pending>(std::move(queue_.front()));
+    queue_.pop_front();
+    ++executing_;
+    // The handler responds through a wrapper that updates bookkeeping
+    // before the response leaves the pod.
+    auto respond_wrapper = [this, p](net::HttpResponse resp) {
+      p->respond(std::move(resp));
+      finished_one();
+    };
+    handler_(p->req, context_, std::move(respond_wrapper));
+  }
+}
+
+void QueueProxy::finished_one() {
+  --executing_;
+  ++served_;
+  maybe_dispatch();
+  if (draining_ && executing_ == 0 && queue_.empty() && drain_done_) {
+    auto done = std::move(drain_done_);
+    drain_done_ = nullptr;
+    done();
+  }
+}
+
+void QueueProxy::drain(std::function<void()> done) {
+  draining_ = true;
+  if (installed_) {
+    http_.close(context_.node, port_);
+    installed_ = false;
+  }
+  if (executing_ == 0 && queue_.empty()) {
+    sim_.call_in(0, std::move(done));
+    return;
+  }
+  drain_done_ = std::move(done);
+}
+
+}  // namespace sf::knative

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "net/http.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::knative {
+
+/// Execution environment a function handler sees for one request.
+struct FunctionContext {
+  sim::Simulation* sim = nullptr;
+  /// Node the pod runs on (functions use it for data-locality decisions
+  /// and for talking to shared storage).
+  net::NodeId node = 0;
+  /// Pod backing this context (diagnostics).
+  std::string pod_name;
+  /// Runs `work` core-seconds inside the pod's container cgroup;
+  /// `done(ok)` fires on completion (ok=false if the container died).
+  std::function<void(double work, std::function<void(bool ok)> done)> exec;
+};
+
+/// User function: receives the request and must eventually respond.
+/// Mirrors the paper's Flask HTTP event listener wrapping the task.
+using FunctionHandler = std::function<void(
+    const net::HttpRequest&, FunctionContext&, net::Responder)>;
+
+/// Knative's per-pod sidecar: accepts requests on the pod's port,
+/// enforces the revision's container-concurrency, queues the excess, and
+/// reports observed concurrency (executing + queued) to the autoscaler.
+/// On pod termination it drains: stops accepting, finishes in-flight
+/// work, then releases the pod.
+class QueueProxy {
+ public:
+  /// `container_concurrency` 0 = unlimited (Knative semantics).
+  QueueProxy(sim::Simulation& sim, net::HttpFabric& http,
+             FunctionContext context, FunctionHandler handler,
+             int container_concurrency);
+
+  ~QueueProxy();
+  QueueProxy(const QueueProxy&) = delete;
+  QueueProxy& operator=(const QueueProxy&) = delete;
+
+  /// Binds the proxy to its pod's (node, port).
+  void install(net::Port port);
+
+  /// Observed concurrency: executing plus queued (what KPA scrapes).
+  [[nodiscard]] double concurrency() const {
+    return static_cast<double>(executing_ + queue_.size());
+  }
+  [[nodiscard]] int executing() const { return executing_; }
+  [[nodiscard]] std::size_t queued() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  /// Graceful shutdown (the pod's pre-stop hook): unbinds the listener,
+  /// lets in-flight and queued requests finish, then calls `done`.
+  void drain(std::function<void()> done);
+
+ private:
+  void on_request(const net::HttpRequest& req, net::Responder respond);
+  void maybe_dispatch();
+  void finished_one();
+
+  sim::Simulation& sim_;
+  net::HttpFabric& http_;
+  FunctionContext context_;
+  FunctionHandler handler_;
+  int container_concurrency_;
+  net::Port port_ = 0;
+  bool installed_ = false;
+  bool draining_ = false;
+  std::function<void()> drain_done_;
+
+  struct Pending {
+    net::HttpRequest req;
+    net::Responder respond;
+  };
+  std::deque<Pending> queue_;
+  int executing_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace sf::knative

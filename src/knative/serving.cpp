@@ -1,0 +1,509 @@
+#include "knative/serving.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace sf::knative {
+
+namespace {
+constexpr int kMaxRouteAttempts = 3;
+constexpr double kRetryBackoff = 0.05;
+const std::string kRevisionLabel = "serving.knative.dev/revision";
+}  // namespace
+
+KnativeServing::KnativeServing(k8s::KubeCluster& kube, cluster::Node& gateway)
+    : kube_(kube), gateway_(gateway) {
+  // Ingress gateway: route by Host header.
+  kube_.cluster().http().listen(
+      gateway_.net_id(), kGatewayPort,
+      [this](const net::HttpRequest& req, net::Responder respond) {
+        auto it = req.headers.find("Host");
+        if (it == req.headers.end() || !revisions_.contains(it->second)) {
+          net::HttpResponse resp;
+          resp.status = 404;
+          respond(std::move(resp));
+          return;
+        }
+        route(it->second, req, std::move(respond), /*attempt=*/1);
+      });
+
+  kube_.api().watch_pods([this](k8s::EventType type, const k8s::Pod& pod) {
+    on_pod_event(type, pod);
+  });
+
+  // Endpoint events drive two things: flushing the activator buffer when
+  // the active revision gains ready pods, and completing a rollout when
+  // the pending revision does.
+  kube_.api().watch_endpoints(
+      [this](k8s::EventType, const k8s::Endpoints& eps) {
+        auto svc_it = revision_to_service_.find(eps.service_name);
+        if (svc_it == revision_to_service_.end() || eps.ready.empty()) {
+          return;
+        }
+        auto it = revisions_.find(svc_it->second);
+        if (it == revisions_.end()) return;
+        Revision& rev = it->second;
+        if (eps.service_name == rev.pending_rev &&
+            rev.canary_fraction < 0) {
+          finalize_rollout(rev);  // automatic blue/green switch
+        }
+        if (eps.service_name == rev.rev_name) {
+          flush_activator(rev);
+        }
+      });
+}
+
+namespace {
+
+KpaScaler::Config kpa_config_from(const Annotations& a) {
+  KpaScaler::Config config;
+  config.target_concurrency = a.target_concurrency;
+  config.min_scale = a.min_scale;
+  config.max_scale = a.max_scale;
+  config.stable_window_s = a.stable_window_s;
+  config.panic_window_s = a.panic_window_s;
+  config.scale_to_zero_grace_s = a.scale_to_zero_grace_s;
+  return config;
+}
+
+int initial_replicas(const Annotations& a) {
+  return a.initial_scale >= 0 ? std::max(a.initial_scale, a.min_scale)
+                              : std::max(1, a.min_scale);
+}
+
+}  // namespace
+
+std::string KnativeServing::revision_name(const std::string& service,
+                                          int generation) {
+  char suffix[8];
+  std::snprintf(suffix, sizeof(suffix), "-%05d", generation);
+  return service + suffix;
+}
+
+void KnativeServing::deploy_revision(const std::string& service,
+                                     const std::string& rev_name,
+                                     const KnServiceSpec& spec,
+                                     int replicas) {
+  k8s::Deployment dep;
+  dep.name = rev_name + "-deployment";
+  dep.selector = {{kRevisionLabel, rev_name}};
+  dep.pod_labels = {{kRevisionLabel, rev_name}};
+  dep.pod_template = spec.container;
+  dep.cpu_request = spec.cpu_request;
+  dep.memory_request = spec.container.memory_bytes;
+  dep.replicas = replicas;
+
+  k8s::Service svc;
+  svc.name = rev_name;  // per-revision endpoints
+  svc.selector = {{kRevisionLabel, rev_name}};
+
+  revision_to_service_[rev_name] = service;
+  kube_.api().create_service(std::move(svc));
+  kube_.api().apply_deployment(std::move(dep));
+}
+
+void KnativeServing::create_service(KnServiceSpec spec) {
+  if (revisions_.contains(spec.name)) {
+    throw std::invalid_argument("KnativeServing: service exists: " +
+                                spec.name);
+  }
+  Revision rev;
+  rev.spec = spec;
+  rev.generation = 1;
+  rev.rev_name = revision_name(spec.name, 1);
+  rev.deployment_name = rev.rev_name + "-deployment";
+  rev.kpa = KpaScaler(kpa_config_from(spec.annotations));
+  rev.current_desired = initial_replicas(spec.annotations);
+
+  const int initial = rev.current_desired;
+  const std::string rev_name = rev.rev_name;
+  revisions_.emplace(spec.name, std::move(rev));
+  deploy_revision(spec.name, rev_name, spec, initial);
+  ensure_ticking(spec.name);
+}
+
+void KnativeServing::update_service(KnServiceSpec spec) {
+  start_rollout(std::move(spec), /*canary_fraction=*/-1);
+}
+
+void KnativeServing::update_service_canary(KnServiceSpec spec,
+                                           double fraction) {
+  if (fraction < 0 || fraction > 1) {
+    throw std::invalid_argument(
+        "KnativeServing: canary fraction must be in [0, 1]");
+  }
+  start_rollout(std::move(spec), fraction);
+}
+
+void KnativeServing::start_rollout(KnServiceSpec spec,
+                                   double canary_fraction) {
+  auto it = revisions_.find(spec.name);
+  if (it == revisions_.end()) {
+    throw std::invalid_argument("KnativeServing: unknown service: " +
+                                spec.name);
+  }
+  Revision& rev = it->second;
+  if (!rev.pending_rev.empty()) {
+    throw std::logic_error("KnativeServing: rollout already in flight for " +
+                           spec.name);
+  }
+  rev.pending_rev = revision_name(spec.name, rev.generation + 1);
+  rev.pending_deployment = rev.pending_rev + "-deployment";
+  rev.pending_spec = spec;
+  rev.canary_fraction = canary_fraction;
+  // The new revision warms at least one pod before taking traffic, unless
+  // the service allows scale-to-zero with nothing warm.
+  const int initial = std::max(initial_replicas(spec.annotations),
+                               spec.annotations.min_scale > 0 ? 1 : 0);
+  kube_.cluster().sim().trace().record(
+      kube_.cluster().sim().now(), "knative", "rollout_start",
+      {{"service", spec.name}, {"revision", rev.pending_rev}});
+  deploy_revision(spec.name, rev.pending_rev, spec, std::max(initial, 1));
+  // With min-scale 0 the pending revision still brings up one pod to
+  // validate, then the autoscaler may take it to zero after the switch.
+}
+
+void KnativeServing::finalize_rollout(Revision& rev) {
+  if (rev.pending_rev.empty()) return;
+  const std::string old_deployment = rev.deployment_name;
+  const std::string old_rev = rev.rev_name;
+  kube_.cluster().sim().trace().record(
+      kube_.cluster().sim().now(), "knative", "rollout_switch",
+      {{"service", rev.spec.name}, {"revision", rev.pending_rev}});
+  rev.rev_name = rev.pending_rev;
+  rev.deployment_name = rev.pending_deployment;
+  rev.spec = rev.pending_spec;
+  ++rev.generation;
+  rev.kpa = KpaScaler(kpa_config_from(rev.spec.annotations));
+  const k8s::Deployment* dep = kube_.api().get_deployment(rev.deployment_name);
+  rev.current_desired = dep == nullptr ? 1 : dep->replicas;
+  rev.pending_rev.clear();
+  rev.pending_deployment.clear();
+  rev.canary_fraction = -1;
+  // Old revision drains: deleting its deployment terminates the pods,
+  // whose pre-stop hooks let in-flight requests finish. Its per-revision
+  // k8s service goes with it.
+  kube_.api().delete_deployment(old_deployment);
+  kube_.api().delete_service(old_rev);
+  flush_activator(rev);
+  ensure_ticking(rev.spec.name);
+}
+
+std::string KnativeServing::active_revision(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? std::string{} : it->second.rev_name;
+}
+
+void KnativeServing::delete_service(const std::string& name) {
+  auto it = revisions_.find(name);
+  if (it == revisions_.end()) return;
+  Revision& rev = it->second;
+  rev.deleted = true;
+  for (auto& [req, respond] : rev.activator) {
+    net::HttpResponse resp;
+    resp.status = net::kStatusServiceUnavailable;
+    respond(std::move(resp));
+  }
+  rev.activator.clear();
+  rev.proxies.clear();  // destructors unbind the listeners
+  kube_.api().delete_deployment(rev.deployment_name);
+  kube_.api().delete_service(rev.rev_name);
+  if (!rev.pending_deployment.empty()) {
+    kube_.api().delete_deployment(rev.pending_deployment);
+    kube_.api().delete_service(rev.pending_rev);
+    revision_to_service_.erase(rev.pending_rev);
+  }
+  revision_to_service_.erase(rev.rev_name);
+  revisions_.erase(it);
+}
+
+void KnativeServing::invoke(net::NodeId client, const std::string& service,
+                            net::HttpRequest req,
+                            std::function<void(net::HttpResponse)> on_response) {
+  req.headers["Host"] = service;
+  kube_.cluster().http().request(client, gateway_.net_id(), kGatewayPort,
+                                 std::move(req), std::move(on_response));
+}
+
+// ---- Routing -----------------------------------------------------------
+
+void KnativeServing::route(const std::string& service,
+                           const net::HttpRequest& req, net::Responder respond,
+                           int attempt) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) {
+    net::HttpResponse resp;
+    resp.status = 404;
+    respond(std::move(resp));
+    return;
+  }
+  Revision& rev = it->second;
+  if (attempt == 1) ++rev.requests;
+
+  const k8s::Endpoints* eps = kube_.api().get_endpoints(rev.rev_name);
+  if (eps == nullptr || eps->ready.empty()) {
+    // Activator path: buffer, count the cold start, poke the autoscaler.
+    ++rev.cold_starts;
+    rev.activator.emplace_back(req, std::move(respond));
+    kube_.cluster().sim().trace().record(
+        kube_.cluster().sim().now(), "knative", "activator_buffer",
+        {{"service", service}});
+    if (rev.current_desired == 0) {
+      apply_scale(rev, rev.kpa.scale_from_zero_target());
+    }
+    ensure_ticking(service);
+    return;
+  }
+  // Canary split: a fraction of requests goes to the pending revision
+  // once it has ready pods.
+  if (!rev.pending_rev.empty() && rev.canary_fraction > 0) {
+    const k8s::Endpoints* canary_eps =
+        kube_.api().get_endpoints(rev.pending_rev);
+    if (canary_eps != nullptr && !canary_eps->ready.empty() &&
+        kube_.cluster().sim().rng().chance(rev.canary_fraction)) {
+      const k8s::Endpoint ep = pick_endpoint(rev, *canary_eps);
+      ensure_ticking(service);
+      forward(service, ep, req, std::move(respond), attempt);
+      return;
+    }
+  }
+  const k8s::Endpoint ep = pick_endpoint(rev, *eps);
+  ensure_ticking(service);
+  forward(service, ep, req, std::move(respond), attempt);
+}
+
+void KnativeServing::promote_canary(const std::string& service) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.pending_rev.empty()) {
+    throw std::logic_error("KnativeServing: no canary to promote for " +
+                           service);
+  }
+  finalize_rollout(it->second);
+}
+
+void KnativeServing::rollback_canary(const std::string& service) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.pending_rev.empty()) {
+    throw std::logic_error("KnativeServing: no canary to roll back for " +
+                           service);
+  }
+  Revision& rev = it->second;
+  kube_.cluster().sim().trace().record(
+      kube_.cluster().sim().now(), "knative", "rollout_rollback",
+      {{"service", service}, {"revision", rev.pending_rev}});
+  kube_.api().delete_deployment(rev.pending_deployment);
+  kube_.api().delete_service(rev.pending_rev);
+  // The rolled-back revision number is burned (Knative never reuses one).
+  ++rev.generation;
+  rev.pending_rev.clear();
+  rev.pending_deployment.clear();
+  rev.canary_fraction = -1;
+}
+
+double KnativeServing::canary_fraction(const std::string& service) const {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.pending_rev.empty()) return 0;
+  return std::max(0.0, it->second.canary_fraction);
+}
+
+k8s::Endpoint KnativeServing::pick_endpoint(Revision& rev,
+                                            const k8s::Endpoints& eps) {
+  if (lb_policy_ == LoadBalancingPolicy::kLeastLoaded) {
+    const k8s::Endpoint* best = nullptr;
+    double best_load = 0;
+    for (const auto& ep : eps.ready) {
+      auto it = rev.proxies.find(ep.pod_name);
+      const double load = it == rev.proxies.end()
+                              ? 0.0
+                              : it->second->concurrency();
+      if (best == nullptr || load < best_load) {
+        best = &ep;
+        best_load = load;
+      }
+    }
+    if (best != nullptr) return *best;
+  }
+  const k8s::Endpoint ep = eps.ready[rev.rr_cursor % eps.ready.size()];
+  ++rev.rr_cursor;
+  return ep;
+}
+
+void KnativeServing::forward(const std::string& service,
+                             const k8s::Endpoint& ep,
+                             const net::HttpRequest& req,
+                             net::Responder respond, int attempt) {
+  // Second network hop: gateway → pod (the payload is paid again, which is
+  // exactly the ingress-proxy cost a real Knative data path has).
+  kube_.cluster().http().request(
+      gateway_.net_id(), ep.net_id, ep.port, req,
+      [this, service, req, respond = std::move(respond),
+       attempt](net::HttpResponse resp) mutable {
+        const bool retryable = resp.status == net::kStatusConnectionRefused ||
+                               resp.status == net::kStatusServiceUnavailable;
+        if (retryable && attempt < kMaxRouteAttempts &&
+            revisions_.contains(service)) {
+          // Endpoint vanished mid-flight (drain/scale-down); retry.
+          kube_.cluster().sim().call_in(
+              kRetryBackoff,
+              [this, service, req, respond = std::move(respond), attempt]() mutable {
+                route(service, req, std::move(respond), attempt + 1);
+              });
+          return;
+        }
+        respond(std::move(resp));
+      });
+}
+
+void KnativeServing::flush_activator(Revision& rev) {
+  while (!rev.activator.empty()) {
+    const k8s::Endpoints* eps = kube_.api().get_endpoints(rev.rev_name);
+    if (eps == nullptr || eps->ready.empty()) return;
+    auto [req, respond] = std::move(rev.activator.front());
+    rev.activator.pop_front();
+    const k8s::Endpoint ep = pick_endpoint(rev, *eps);
+    forward(rev.spec.name, ep, req, std::move(respond), /*attempt=*/1);
+  }
+}
+
+// ---- Autoscaling --------------------------------------------------------
+
+double KnativeServing::scrape(const Revision& rev) const {
+  double total = static_cast<double>(rev.activator.size());
+  for (const auto& [pod, proxy] : rev.proxies) total += proxy->concurrency();
+  return total;
+}
+
+void KnativeServing::apply_scale(Revision& rev, int desired) {
+  if (desired == rev.current_desired) return;
+  kube_.cluster().sim().trace().record(
+      kube_.cluster().sim().now(), "knative", "scale",
+      {{"service", rev.spec.name},
+       {"from", std::to_string(rev.current_desired)},
+       {"to", std::to_string(desired)}});
+  rev.current_desired = desired;
+  kube_.api().set_deployment_replicas(rev.deployment_name, desired);
+}
+
+void KnativeServing::ensure_ticking(const std::string& service) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.ticking || it->second.deleted) {
+    return;
+  }
+  it->second.ticking = true;
+  kube_.cluster().sim().call_in(it->second.spec.annotations.tick_s,
+                                [this, service] { tick(service); });
+}
+
+void KnativeServing::tick(const std::string& service) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) return;
+  Revision& rev = it->second;
+  rev.ticking = false;
+  if (rev.deleted) return;
+  const double conc = scrape(rev);
+  const auto decision = rev.kpa.observe(kube_.cluster().sim().now(), conc,
+                                        rev.current_desired);
+  apply_scale(rev, decision.desired);
+  if (decision.work_pending) ensure_ticking(service);
+}
+
+// ---- Pod lifecycle -------------------------------------------------------
+
+void KnativeServing::on_pod_event(k8s::EventType type, const k8s::Pod& pod) {
+  auto lbl = pod.labels.find(kRevisionLabel);
+  if (lbl == pod.labels.end()) return;
+  auto svc_it = revision_to_service_.find(lbl->second);
+  if (svc_it == revision_to_service_.end()) return;
+  auto rev_it = revisions_.find(svc_it->second);
+  if (rev_it == revisions_.end()) return;
+  Revision& rev = rev_it->second;
+
+  switch (type) {
+    case k8s::EventType::kAdded:
+      break;
+    case k8s::EventType::kModified:
+      if (pod.ready && pod.phase == k8s::PodPhase::kRunning &&
+          !rev.proxies.contains(pod.name)) {
+        attach_proxy(rev, pod);
+      }
+      break;
+    case k8s::EventType::kDeleted:
+      rev.proxies.erase(pod.name);
+      break;
+  }
+}
+
+void KnativeServing::attach_proxy(Revision& rev, const k8s::Pod& pod) {
+  FunctionContext ctx;
+  ctx.sim = &kube_.cluster().sim();
+  ctx.node = pod.host_net_id;
+  ctx.pod_name = pod.name;
+  ctx.exec = [this, pod_name = pod.name](double work,
+                                         std::function<void(bool)> done) {
+    kube_.exec_in_pod(pod_name, work, std::move(done));
+  };
+
+  // During a rollout, pods of the pending revision serve its (new) spec.
+  auto lbl = pod.labels.find(kRevisionLabel);
+  const bool is_pending = lbl != pod.labels.end() &&
+                          !rev.pending_rev.empty() &&
+                          lbl->second == rev.pending_rev;
+  const KnServiceSpec& pod_spec = is_pending ? rev.pending_spec : rev.spec;
+
+  auto proxy = std::make_unique<QueueProxy>(
+      kube_.cluster().sim(), kube_.cluster().http(), std::move(ctx),
+      pod_spec.handler, pod_spec.annotations.container_concurrency);
+  proxy->install(pod.port);
+  rev.proxies.emplace(pod.name, std::move(proxy));
+
+  // Graceful drain before the kubelet tears the pod down.
+  const std::string service = rev.spec.name;
+  kube_.api().mutate_pod(pod.name, [this, service,
+                                    pod_name = pod.name](k8s::Pod& p) {
+    p.pre_stop = [this, service, pod_name](std::function<void()> done) {
+      auto it = revisions_.find(service);
+      if (it == revisions_.end() ||
+          !it->second.proxies.contains(pod_name)) {
+        done();
+        return;
+      }
+      it->second.proxies.at(pod_name)->drain(std::move(done));
+    };
+  });
+}
+
+// ---- Introspection -------------------------------------------------------
+
+int KnativeServing::ready_replicas(const std::string& service) const {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) return 0;
+  const k8s::Endpoints* eps = kube_.api().get_endpoints(it->second.rev_name);
+  return eps == nullptr ? 0 : static_cast<int>(eps->ready.size());
+}
+
+int KnativeServing::desired_replicas(const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? 0 : it->second.current_desired;
+}
+
+double KnativeServing::observed_concurrency(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? 0 : scrape(it->second);
+}
+
+std::uint64_t KnativeServing::cold_start_requests(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? 0 : it->second.cold_starts;
+}
+
+std::uint64_t KnativeServing::requests_routed(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? 0 : it->second.requests;
+}
+
+}  // namespace sf::knative

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/node.hpp"
+#include "k8s/kube_cluster.hpp"
+#include "knative/kpa.hpp"
+#include "knative/queue_proxy.hpp"
+
+namespace sf::knative {
+
+/// Endpoint-selection policy of the ingress router. Round-robin is
+/// Knative's default; least-loaded picks the ready pod whose queue-proxy
+/// reports the lowest concurrency — the building block for the paper's
+/// future-work "task redirection away from over-utilized nodes" (§IX-D).
+enum class LoadBalancingPolicy { kRoundRobin, kLeastLoaded };
+
+/// `autoscaling.knative.dev/*` annotations plus revision-level settings.
+struct Annotations {
+  /// Pods kept warm at all times; the paper's pre-staging knob ("min-scale
+  /// to specify the number of worker nodes that should download the
+  /// container ahead of time").
+  int min_scale = 0;
+  /// Pods created at registration; 0 defers the image download until the
+  /// first invocation ("initial-scale to zero defers container downloads
+  /// until a task is actually invoked"); -1 = Knative default (1).
+  int initial_scale = -1;
+  int max_scale = 0;  ///< 0 = unlimited
+  /// Hard per-pod request cap enforced by the queue-proxy; 0 = unlimited;
+  /// 1 reproduces the paper's "one request per container at a time".
+  int container_concurrency = 0;
+  double target_concurrency = 1.0;  ///< KPA soft target per pod
+  double stable_window_s = 60.0;
+  double panic_window_s = 6.0;
+  double scale_to_zero_grace_s = 30.0;
+  double tick_s = 2.0;  ///< autoscaler evaluation period
+};
+
+/// A Knative Service definition: container, resource requests, the
+/// function handler (the Flask app), and scaling annotations.
+struct KnServiceSpec {
+  std::string name;
+  container::ContainerSpec container;
+  double cpu_request = 0.5;
+  FunctionHandler handler;
+  Annotations annotations;
+};
+
+/// Knative Serving control plane: revisions, KPA autoscaler loops, the
+/// activator (scale-from-zero buffering) and the ingress router, all on
+/// top of the k8s substrate.
+///
+/// Request path: client → gateway (ingress) → ready pod's queue-proxy →
+/// user container; or, at zero scale, client → gateway → activator buffer
+/// → (autoscaler poke, pod comes up) → queue-proxy. Payload bytes are paid
+/// on every network hop, reproducing the paper's data-movement costs.
+class KnativeServing {
+ public:
+  static constexpr net::Port kGatewayPort = 80;
+
+  KnativeServing(k8s::KubeCluster& kube, cluster::Node& gateway);
+
+  KnativeServing(const KnativeServing&) = delete;
+  KnativeServing& operator=(const KnativeServing&) = delete;
+
+  /// Registers a service: creates the revision's Deployment + k8s Service
+  /// and starts its autoscaler. Mirrors the paper's pre-run registration
+  /// step ("the containerized application is deployed on Knative *before*
+  /// workflow execution").
+  void create_service(KnServiceSpec spec);
+
+  /// Rolls out a new revision of an existing service (blue/green, as
+  /// Knative does on spec changes): the new revision's pods come up
+  /// first, traffic switches atomically once they are ready, then the
+  /// old revision is torn down — in-flight requests drain gracefully.
+  /// With min-scale 0 the switch happens immediately (nothing to warm).
+  void update_service(KnServiceSpec spec);
+
+  /// Canary rollout (Knative traffic splitting): brings the new revision
+  /// up but only routes `fraction` of requests to it once ready; the rest
+  /// stay on the current revision. Finish with promote_canary() (full
+  /// switch) or rollback_canary() (discard the new revision).
+  void update_service_canary(KnServiceSpec spec, double fraction);
+  void promote_canary(const std::string& service);
+  void rollback_canary(const std::string& service);
+  /// Current canary fraction (0 when no canary is active).
+  [[nodiscard]] double canary_fraction(const std::string& service) const;
+
+  void delete_service(const std::string& name);
+  [[nodiscard]] bool has_service(const std::string& name) const {
+    return revisions_.contains(name);
+  }
+
+  /// Name of the currently routed revision (e.g. "fn-matmul-00002").
+  [[nodiscard]] std::string active_revision(const std::string& service) const;
+
+  [[nodiscard]] net::NodeId gateway_net_id() const {
+    return gateway_.net_id();
+  }
+
+  [[nodiscard]] k8s::KubeCluster& kube() { return kube_; }
+
+  /// Convenience client call: POSTs to the service through the gateway.
+  void invoke(net::NodeId client, const std::string& service,
+              net::HttpRequest req,
+              std::function<void(net::HttpResponse)> on_response);
+
+  void set_load_balancing(LoadBalancingPolicy policy) {
+    lb_policy_ = policy;
+  }
+  [[nodiscard]] LoadBalancingPolicy load_balancing() const {
+    return lb_policy_;
+  }
+
+  // ---- Introspection (benches, tests) --------------------------------
+
+  [[nodiscard]] int ready_replicas(const std::string& service) const;
+  [[nodiscard]] int desired_replicas(const std::string& service) const;
+  [[nodiscard]] double observed_concurrency(const std::string& service) const;
+  /// Requests that had to wait in the activator (cold starts).
+  [[nodiscard]] std::uint64_t cold_start_requests(
+      const std::string& service) const;
+  [[nodiscard]] std::uint64_t requests_routed(
+      const std::string& service) const;
+
+ private:
+  struct Revision {
+    KnServiceSpec spec;  ///< spec of the active revision (handler!)
+    std::string rev_name;
+    std::string deployment_name;
+    KpaScaler kpa{KpaScaler::Config{}};
+    int current_desired = 0;
+    bool ticking = false;
+    bool deleted = false;
+    std::map<std::string, std::unique_ptr<QueueProxy>> proxies;
+    std::deque<std::pair<net::HttpRequest, net::Responder>> activator;
+    std::size_t rr_cursor = 0;
+    std::uint64_t cold_starts = 0;
+    std::uint64_t requests = 0;
+    int generation = 1;
+    /// Rollout in flight (update_service): the next revision's name,
+    /// deployment and spec; traffic switches once it has ready pods.
+    std::string pending_rev;
+    std::string pending_deployment;
+    KnServiceSpec pending_spec;
+    /// -1 = automatic blue/green switch; [0,1] = held canary split.
+    double canary_fraction = -1;
+  };
+
+  void route(const std::string& service, const net::HttpRequest& req,
+             net::Responder respond, int attempt);
+  [[nodiscard]] k8s::Endpoint pick_endpoint(Revision& rev,
+                                            const k8s::Endpoints& eps);
+  void forward(const std::string& service, const k8s::Endpoint& ep,
+               const net::HttpRequest& req, net::Responder respond,
+               int attempt);
+  void flush_activator(Revision& rev);
+  void finalize_rollout(Revision& rev);
+  void start_rollout(KnServiceSpec spec, double canary_fraction);
+  static std::string revision_name(const std::string& service,
+                                   int generation);
+  void deploy_revision(const std::string& service,
+                       const std::string& rev_name,
+                       const KnServiceSpec& spec, int replicas);
+  void apply_scale(Revision& rev, int desired);
+  void ensure_ticking(const std::string& service);
+  void tick(const std::string& service);
+  [[nodiscard]] double scrape(const Revision& rev) const;
+  void on_pod_event(k8s::EventType type, const k8s::Pod& pod);
+  void attach_proxy(Revision& rev, const k8s::Pod& pod);
+
+  k8s::KubeCluster& kube_;
+  cluster::Node& gateway_;
+  LoadBalancingPolicy lb_policy_ = LoadBalancingPolicy::kRoundRobin;
+  std::map<std::string, Revision> revisions_;  // keyed by service name
+  std::map<std::string, std::string> revision_to_service_;
+};
+
+}  // namespace sf::knative

@@ -1,0 +1,48 @@
+#include "metrics/regression.hpp"
+
+#include <cmath>
+
+namespace sf::metrics {
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n < 2 || ys.size() != n) return fit;
+
+  double mx = 0;
+  double my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+
+  double sxx = 0;
+  double sxy = 0;
+  double syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0) return fit;
+
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  if (syy == 0) {
+    fit.r2 = 1.0;  // constant ys perfectly explained by zero slope
+  } else {
+    double ss_res = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double pred = fit.slope * xs[i] + fit.intercept;
+      ss_res += (ys[i] - pred) * (ys[i] - pred);
+    }
+    fit.r2 = 1.0 - ss_res / syy;
+  }
+  return fit;
+}
+
+}  // namespace sf::metrics

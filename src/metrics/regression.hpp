@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+namespace sf::metrics {
+
+/// Ordinary-least-squares fit of y = slope * x + intercept.
+///
+/// Both figures in the paper's motivation section report regression slopes
+/// (Fig. 1: Docker vs Knative total time; Fig. 2: native 0.28, Knative
+/// 0.30, condor-container 0.96), so slope extraction is a first-class
+/// metric here.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r2 = 0;  ///< coefficient of determination
+};
+
+/// Fits a line through (xs[i], ys[i]). Requires xs.size() == ys.size() >= 2
+/// and non-constant xs; otherwise returns a zeroed fit.
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace sf::metrics

@@ -1,0 +1,39 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sf::metrics {
+
+SummaryStats summarize(std::span<const double> values) {
+  SummaryStats s;
+  if (values.empty()) return s;
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    s.sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double sq = 0;
+  for (double v : values) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+  return s;
+}
+
+double percentile(std::vector<double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0 && p <= 100);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double pos = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+}  // namespace sf::metrics

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace sf::metrics {
+
+/// Summary statistics over a sample.
+struct SummaryStats {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;  ///< population standard deviation
+  double min = 0;
+  double max = 0;
+  double sum = 0;
+};
+
+/// Computes summary statistics; an empty span yields a zeroed struct.
+SummaryStats summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile (p in [0,100]) of a sample.
+/// Precondition: values non-empty.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace sf::metrics

@@ -1,0 +1,93 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::metrics {
+
+Table::Table(std::vector<std::string> headers, int precision)
+    : headers_(std::move(headers)), precision_(precision) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("Table: needs at least one column");
+  }
+}
+
+Table& Table::add_row(std::vector<Cell> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("Table::add_row: wrong cell count");
+  }
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::render(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  std::ostringstream os;
+  if (const auto* d = std::get_if<double>(&c)) {
+    os << std::fixed << std::setprecision(precision_) << *d;
+  } else {
+    os << std::get<std::int64_t>(c);
+  }
+  return os.str();
+}
+
+std::vector<std::size_t> Table::widths() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) w[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      w[i] = std::max(w[i], render(row[i]).size());
+    }
+  }
+  return w;
+}
+
+void Table::print_text(std::ostream& os) const {
+  const auto w = widths();
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << "  " << std::setw(static_cast<int>(w[i])) << cells[i];
+    }
+    os << '\n';
+  };
+  line(headers_);
+  std::vector<std::string> rule;
+  rule.reserve(w.size());
+  for (auto width : w) rule.emplace_back(width, '-');
+  line(rule);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const auto& c : row) cells.push_back(render(c));
+    line(cells);
+  }
+}
+
+void Table::print_markdown(std::ostream& os) const {
+  os << '|';
+  for (const auto& h : headers_) os << ' ' << h << " |";
+  os << "\n|";
+  for (std::size_t i = 0; i < headers_.size(); ++i) os << "---|";
+  os << '\n';
+  for (const auto& row : rows_) {
+    os << '|';
+    for (const auto& c : row) os << ' ' << render(c) << " |";
+    os << '\n';
+  }
+}
+
+void Table::print_csv(std::ostream& os) const {
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    os << headers_[i] << (i + 1 < headers_.size() ? "," : "\n");
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << render(row[i]) << (i + 1 < row.size() ? "," : "\n");
+    }
+  }
+}
+
+}  // namespace sf::metrics

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sf::metrics {
+
+/// A table cell: text or a number (printed with fixed precision).
+using Cell = std::variant<std::string, double, std::int64_t>;
+
+/// Small result-table builder used by the bench harness to print the rows
+/// and series each paper figure reports, as aligned text, markdown or CSV.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int precision = 3);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+  void print_text(std::ostream& os) const;
+  void print_markdown(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  [[nodiscard]] std::string render(const Cell& c) const;
+  [[nodiscard]] std::vector<std::size_t> widths() const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace sf::metrics

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sf::metrics {
+
+/// A point on the (native, container, serverless) execution-mode simplex
+/// used by Figure 5's ternary trade-off plot. Fractions sum to 1.
+struct MixPoint {
+  double native = 0;
+  double container = 0;
+  double serverless = 0;
+
+  void validate() const {
+    if (native < -1e-9 || container < -1e-9 || serverless < -1e-9 ||
+        std::abs(native + container + serverless - 1.0) > 1e-6) {
+      throw std::invalid_argument("MixPoint: fractions must sum to 1");
+    }
+  }
+};
+
+/// Cartesian coordinates of a simplex point inside the unit-side triangle
+/// with corners native=(0,0), container=(1,0), serverless=(0.5, sqrt(3)/2).
+struct TernaryXY {
+  double x = 0;
+  double y = 0;
+};
+
+inline TernaryXY to_ternary_xy(const MixPoint& m) {
+  m.validate();
+  TernaryXY p;
+  p.x = m.container + 0.5 * m.serverless;
+  p.y = std::sqrt(3.0) / 2.0 * m.serverless;
+  return p;
+}
+
+/// Isolation score of a mix, following the paper's qualitative axis:
+/// per-task containers give full isolation (1.0), serverless containers
+/// give "weak isolation through container reuse" (0.5), native gives none.
+inline double isolation_score(const MixPoint& m) {
+  m.validate();
+  return m.container * 1.0 + m.serverless * 0.5;
+}
+
+}  // namespace sf::metrics

@@ -1,0 +1,198 @@
+#include "net/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::net {
+
+namespace {
+constexpr double kDoneSlack = 1e-6;  // bytes
+// Flows within this time-to-finish are complete: a shorter delay may not
+// be representable at a large clock value, and waiting for it would spin
+// the event loop at a frozen timestamp.
+constexpr double kTimeSlack = 1e-9;  // seconds
+
+bool flow_done(double remaining, double rate) {
+  return remaining <= kDoneSlack ||
+         (rate > 0 && remaining <= rate * kTimeSlack);
+}
+}
+
+NodeId FlowNetwork::add_node(double bandwidth_Bps, double latency_s) {
+  if (bandwidth_Bps <= 0 || latency_s < 0) {
+    throw std::invalid_argument("FlowNetwork::add_node: bad NIC spec");
+  }
+  nodes_.push_back(NodeNic{bandwidth_Bps, latency_s});
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+double FlowNetwork::latency(NodeId src, NodeId dst) const {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  if (src == dst) return 1e-6;  // loopback
+  return nodes_[src].latency + nodes_[dst].latency;
+}
+
+FlowId FlowNetwork::transfer(NodeId src, NodeId dst, double bytes,
+                             std::function<void()> on_complete) {
+  if (src >= nodes_.size() || dst >= nodes_.size()) {
+    throw std::invalid_argument("FlowNetwork::transfer: unknown node");
+  }
+  const double lat = latency(src, dst);
+  const FlowId id = next_id_++;
+  if (bytes <= 0) {
+    // Control message: latency only, no bandwidth consumed.
+    sim_.call_in(lat, std::move(on_complete));
+    return id;
+  }
+  // The flow enters the fair-sharing pool after propagation delay.
+  sim_.call_in(lat, [this, id, src, dst, bytes,
+                     cb = std::move(on_complete)]() mutable {
+    advance();
+    Flow f;
+    f.src = src;
+    f.dst = dst;
+    f.remaining = bytes;
+    f.loopback = (src == dst);
+    f.on_complete = std::move(cb);
+    flows_.emplace(id, std::move(f));
+    rebalance();
+  });
+  return id;
+}
+
+bool FlowNetwork::cancel(FlowId id) {
+  advance();
+  const bool erased = flows_.erase(id) > 0;
+  if (erased) rebalance();
+  return erased;
+}
+
+double FlowNetwork::remaining_bytes(FlowId id) {
+  advance();
+  auto it = flows_.find(id);
+  return it == flows_.end() ? -1.0 : it->second.remaining;
+}
+
+double FlowNetwork::current_rate(FlowId id) {
+  advance();
+  auto it = flows_.find(id);
+  return it == flows_.end() ? -1.0 : it->second.rate;
+}
+
+void FlowNetwork::advance() {
+  const sim::SimTime now = sim_.now();
+  const sim::SimTime dt = now - last_advance_;
+  if (dt <= 0) {
+    last_advance_ = now;
+    return;
+  }
+  for (auto& [id, f] : flows_) {
+    const double sent = std::min(f.remaining, f.rate * dt);
+    f.remaining -= sent;
+    bytes_delivered_ += sent;
+  }
+  last_advance_ = now;
+}
+
+void FlowNetwork::rebalance() {
+  if (completion_event_ != sim::kNoEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = sim::kNoEvent;
+  }
+  if (flows_.empty()) return;
+
+  // Progressive filling over {egress(node), ingress(node)} constraints.
+  // Loopback flows only contend for the memory bus, modelled as a fixed
+  // per-flow rate (no sharing — the bus is far faster than any NIC).
+  struct Constraint {
+    double residual = 0;
+    std::vector<FlowId> members;
+  };
+  std::map<std::pair<int, NodeId>, Constraint> cons;  // 0=egress, 1=ingress
+  std::map<FlowId, double> rate;
+  std::size_t unfrozen = 0;
+  for (const auto& [id, f] : flows_) {
+    if (f.loopback) {
+      rate[id] = loopback_Bps_;
+      continue;
+    }
+    rate[id] = -1;  // unfrozen
+    ++unfrozen;
+    auto& eg = cons[{0, f.src}];
+    eg.residual = nodes_[f.src].bandwidth;
+    eg.members.push_back(id);
+    auto& in = cons[{1, f.dst}];
+    in.residual = nodes_[f.dst].bandwidth;
+    in.members.push_back(id);
+  }
+  while (unfrozen > 0) {
+    // Find the tightest constraint (smallest fair share per unfrozen flow).
+    double best_share = std::numeric_limits<double>::infinity();
+    const Constraint* best = nullptr;
+    for (const auto& [key, c] : cons) {
+      std::size_t live = 0;
+      for (FlowId id : c.members) {
+        if (rate[id] < 0) ++live;
+      }
+      if (live == 0) continue;
+      const double share = c.residual / static_cast<double>(live);
+      if (share < best_share) {
+        best_share = share;
+        best = &c;
+      }
+    }
+    if (best == nullptr) break;
+    // Freeze that constraint's flows at the fair share and charge every
+    // other constraint they traverse.
+    for (FlowId id : best->members) {
+      if (rate[id] >= 0) continue;
+      rate[id] = best_share;
+      --unfrozen;
+      const Flow& f = flows_.at(id);
+      for (auto key : {std::pair<int, NodeId>{0, f.src},
+                       std::pair<int, NodeId>{1, f.dst}}) {
+        auto it = cons.find(key);
+        if (it != cons.end()) {
+          it->second.residual =
+              std::max(0.0, it->second.residual - best_share);
+        }
+      }
+    }
+  }
+  for (auto& [id, f] : flows_) f.rate = rate.at(id);
+
+  sim::SimTime soonest = sim::kTimeInfinity;
+  for (const auto& [id, f] : flows_) {
+    if (flow_done(f.remaining, f.rate)) {
+      soonest = 0;
+      break;
+    }
+    if (f.rate > 0) soonest = std::min(soonest, f.remaining / f.rate);
+  }
+  if (soonest < sim::kTimeInfinity) {
+    completion_event_ = sim_.call_in(soonest, [this] { fire_completions(); });
+  }
+}
+
+void FlowNetwork::fire_completions() {
+  completion_event_ = sim::kNoEvent;
+  advance();
+  std::vector<std::function<void()>> done;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (flow_done(it->second.remaining, it->second.rate)) {
+      done.push_back(std::move(it->second.on_complete));
+      it = flows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rebalance();
+  for (auto& cb : done) {
+    if (cb) cb();
+  }
+}
+
+}  // namespace sf::net

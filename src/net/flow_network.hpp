@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sf::net {
+
+/// Identifier of a network endpoint (a cluster node or external host).
+using NodeId = std::uint32_t;
+
+/// Identifier of an in-flight transfer.
+using FlowId = std::uint64_t;
+
+/// Point-to-point data-transfer model with global max-min fairness.
+///
+/// Every node has an egress and an ingress capacity (its NIC, full duplex).
+/// Concurrent flows share these via progressive filling: the bottleneck
+/// constraint with the smallest fair share is saturated first, its flows
+/// frozen at that rate, and the procedure repeats. This captures the two
+/// patterns that matter in the paper: a hub (the submit node staging files
+/// to many workers shares its egress) and incast (many payloads landing on
+/// one worker share its ingress).
+///
+/// Loopback transfers (src == dst) bypass the NIC and use a separate
+/// memory-bus bandwidth.
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(sim::Simulation& sim) : sim_(sim) {}
+
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Registers a node. `bandwidth_Bps` applies to egress and ingress
+  /// independently; `latency_s` is the one-way propagation delay added to
+  /// every transfer that starts or ends here (both endpoints' latencies
+  /// add up).
+  NodeId add_node(double bandwidth_Bps, double latency_s);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
+  /// when the last byte arrives. Zero-byte transfers pay latency only.
+  FlowId transfer(NodeId src, NodeId dst, double bytes,
+                  std::function<void()> on_complete);
+
+  /// Cancels an in-flight transfer. Returns true iff it was active.
+  bool cancel(FlowId id);
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+
+  /// Bytes still to deliver for a flow; -1 when inactive/unknown.
+  [[nodiscard]] double remaining_bytes(FlowId id);
+
+  /// Current rate of a flow in bytes/s; -1 when inactive.
+  [[nodiscard]] double current_rate(FlowId id);
+
+  /// One-way latency between a pair of nodes.
+  [[nodiscard]] double latency(NodeId src, NodeId dst) const;
+
+  void set_loopback_bandwidth(double Bps) { loopback_Bps_ = Bps; }
+
+  /// Total bytes ever delivered (for data-movement accounting).
+  [[nodiscard]] double total_bytes_delivered() const {
+    return bytes_delivered_;
+  }
+
+ private:
+  struct NodeNic {
+    double bandwidth = 0;
+    double latency = 0;
+  };
+  struct Flow {
+    NodeId src = 0;
+    NodeId dst = 0;
+    double remaining = 0;
+    double rate = 0;
+    bool loopback = false;
+    std::function<void()> on_complete;
+  };
+
+  void advance();
+  void rebalance();
+  void fire_completions();
+
+  sim::Simulation& sim_;
+  std::vector<NodeNic> nodes_;
+  std::map<FlowId, Flow> flows_;  // ordered for determinism
+  double loopback_Bps_ = 8e9;     // ~8 GB/s memory-bus copy
+  sim::SimTime last_advance_ = 0;
+  sim::EventId completion_event_ = sim::kNoEvent;
+  FlowId next_id_ = 1;
+  double bytes_delivered_ = 0;
+};
+
+}  // namespace sf::net

@@ -1,0 +1,58 @@
+#include "net/http.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace sf::net {
+
+void HttpFabric::listen(NodeId node, Port port, HttpHandler handler) {
+  listeners_[{node, port}] = std::move(handler);
+}
+
+void HttpFabric::close(NodeId node, Port port) {
+  listeners_.erase({node, port});
+}
+
+bool HttpFabric::is_listening(NodeId node, Port port) const {
+  return listeners_.contains({node, port});
+}
+
+void HttpFabric::request(NodeId src, NodeId dst, Port port, HttpRequest req,
+                         std::function<void(HttpResponse)> on_response) {
+  ++requests_sent_;
+  const double overhead = request_overhead_;
+  // Request leg: protocol overhead then body transfer to the server.
+  auto req_ptr = std::make_shared<HttpRequest>(std::move(req));
+  sim_.call_in(overhead, [this, src, dst, port, req_ptr,
+                          cb = std::move(on_response)]() mutable {
+    net_.transfer(src, dst, req_ptr->body_bytes, [this, src, dst, port,
+                                                  req_ptr,
+                                                  cb = std::move(cb)]() mutable {
+      auto it = listeners_.find({dst, port});
+      if (it == listeners_.end()) {
+        HttpResponse resp;
+        resp.status = kStatusConnectionRefused;
+        // Refusal still pays the return latency.
+        net_.transfer(dst, src, 0, [cb = std::move(cb), resp]() mutable {
+          cb(std::move(resp));
+        });
+        return;
+      }
+      // Dispatch to the handler; the response leg mirrors the request leg.
+      auto respond = [this, src, dst,
+                      cb = std::move(cb)](HttpResponse resp) mutable {
+        auto resp_ptr = std::make_shared<HttpResponse>(std::move(resp));
+        sim_.call_in(request_overhead_, [this, src, dst, resp_ptr,
+                                         cb = std::move(cb)]() mutable {
+          net_.transfer(dst, src, resp_ptr->body_bytes,
+                        [resp_ptr, cb = std::move(cb)]() mutable {
+                          cb(std::move(*resp_ptr));
+                        });
+        });
+      };
+      it->second(*req_ptr, std::move(respond));
+    });
+  });
+}
+
+}  // namespace sf::net

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+namespace sf::pegasus {
+
+/// Transformation-catalog entry: the executable behind an abstract task,
+/// with its cost model and (optionally) a container image requirement.
+struct Transformation {
+  std::string name;
+  /// CPU cost of one invocation, in core-seconds (single-threaded).
+  double work_coreseconds = 0.5;
+  double memory_bytes = 512e6;
+  /// Interpreter/startup time when launched as a fresh process — paid per
+  /// native invocation and per fresh container, but not on warm reuse.
+  double startup_s = 0.0;
+  /// Image for containerized execution ("" = no container available).
+  std::string container_image;
+};
+
+class TransformationCatalog {
+ public:
+  void add(Transformation t) { entries_[t.name] = std::move(t); }
+
+  [[nodiscard]] const Transformation& get(const std::string& name) const {
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      throw std::out_of_range("TransformationCatalog: unknown " + name);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] bool has(const std::string& name) const {
+    return entries_.contains(name);
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, Transformation> entries_;
+};
+
+}  // namespace sf::pegasus

@@ -1,0 +1,511 @@
+#include "pegasus/planner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::pegasus {
+
+const char* to_string(JobMode mode) {
+  switch (mode) {
+    case JobMode::kNative:
+      return "native";
+    case JobMode::kContainer:
+      return "container";
+    case JobMode::kServerless:
+      return "serverless";
+  }
+  return "unknown";
+}
+
+// ---- DockerEnv ------------------------------------------------------------
+
+DockerEnv::DockerEnv(cluster::Cluster& cluster, condor::CondorPool& pool,
+                     container::RuntimeOverheads overheads) {
+  for (const auto& name : pool.worker_names()) {
+    cluster::Node& node = pool.startd(name).node();
+    PerNode per;
+    per.cache =
+        std::make_unique<container::ImageCache>(node, cluster.network());
+    per.runtime = std::make_unique<container::ContainerRuntime>(
+        node, *per.cache, overheads);
+    nodes_.emplace(name, std::move(per));
+  }
+}
+
+container::ImageCache& DockerEnv::cache(const std::string& node) {
+  return *nodes_.at(node).cache;
+}
+
+container::ContainerRuntime& DockerEnv::runtime(const std::string& node) {
+  return *nodes_.at(node).runtime;
+}
+
+// ---- Plan ------------------------------------------------------------------
+
+void Plan::load_into(condor::DagMan& dag) const {
+  for (const auto& node : nodes) dag.add_node(node);
+}
+
+// ---- Executable builders ----------------------------------------------------
+
+namespace {
+
+/// Sequentially writes `outputs` into the job scratch, then done(true).
+void write_outputs(condor::ExecContext& ctx,
+                   std::vector<storage::FileRef> outputs,
+                   std::function<void(bool)> done, std::size_t i = 0) {
+  if (i >= outputs.size()) {
+    done(true);
+    return;
+  }
+  const storage::FileRef file = outputs[i];
+  ctx.scratch->write(file, [&ctx, outputs = std::move(outputs),
+                            done = std::move(done), i]() mutable {
+    write_outputs(ctx, std::move(outputs), std::move(done), i + 1);
+  });
+}
+
+/// Sequentially reads `inputs` from scratch (staged there, or produced by
+/// an earlier task of the same clustered job), then `then(ok)`.
+void read_inputs(condor::ExecContext& ctx, std::vector<std::string> inputs,
+                 std::function<void(bool)> then, std::size_t i = 0) {
+  if (i >= inputs.size()) {
+    then(true);
+    return;
+  }
+  const std::string lfn = inputs[i];
+  ctx.scratch->read(lfn, [&ctx, inputs = std::move(inputs),
+                          then = std::move(then),
+                          i](bool found, storage::FileRef) mutable {
+    if (!found) {
+      then(false);
+      return;
+    }
+    read_inputs(ctx, std::move(inputs), std::move(then), i + 1);
+  });
+}
+
+/// Chains task executables sequentially, aborting on the first failure —
+/// the body of a vertically clustered job.
+condor::JobExecutable chain_executables(
+    std::vector<condor::JobExecutable> execs) {
+  if (execs.size() == 1) return std::move(execs.front());
+  return [execs = std::move(execs)](condor::ExecContext& ctx,
+                                    std::function<void(bool)> done) {
+    auto run = std::make_shared<std::function<void(std::size_t)>>();
+    *run = [&ctx, &execs, run, done = std::move(done)](std::size_t i) mutable {
+      if (i >= execs.size()) {
+        done(true);
+        return;
+      }
+      execs[i](ctx, [run, i, &done](bool ok) {
+        if (!ok) {
+          done(false);
+          return;
+        }
+        (*run)(i + 1);
+      });
+    };
+    (*run)(0);
+  };
+}
+
+}  // namespace
+
+// ---- Planner ----------------------------------------------------------------
+
+Planner::Planner(const AbstractWorkflow& workflow,
+                 const TransformationCatalog& transformations,
+                 storage::ReplicaCatalog& replicas, condor::CondorPool& pool,
+                 PlannerOptions options)
+    : workflow_(workflow),
+      transformations_(transformations),
+      replicas_(replicas),
+      pool_(pool),
+      options_(std::move(options)) {}
+
+JobMode Planner::mode_of(const AbstractJob& job) const {
+  auto it = options_.mode_overrides.find(job.id);
+  return it == options_.mode_overrides.end() ? options_.default_mode
+                                             : it->second;
+}
+
+condor::JobSpec Planner::base_spec(const AbstractJob& job) const {
+  const Transformation& t = transformations_.get(job.transformation);
+  condor::JobSpec spec;
+  spec.name = job.id;
+  spec.request_cpus = 1;
+  spec.request_memory = t.memory_bytes;
+  for (const auto& lfn : job.inputs()) {
+    spec.inputs.push_back({lfn, workflow_.file_bytes(lfn)});
+  }
+  spec.outputs = job.outputs();
+  spec.submit_volume = &pool_.submit_staging();
+  return spec;
+}
+
+condor::JobExecutable Planner::make_native(const AbstractJob& job,
+                                           const Transformation& t) const {
+  std::vector<std::string> inputs = job.inputs();
+  std::vector<storage::FileRef> outputs;
+  for (const auto& lfn : job.outputs()) {
+    outputs.push_back({lfn, workflow_.file_bytes(lfn)});
+  }
+  const double work = t.startup_s + t.work_coreseconds;
+  return [inputs, outputs, work](condor::ExecContext& ctx,
+                                 std::function<void(bool)> done) {
+    read_inputs(ctx, inputs, [&ctx, outputs, work,
+                              done = std::move(done)](bool ok) mutable {
+      if (!ok) {
+        done(false);
+        return;
+      }
+      // Native execution: a single-threaded process that contends freely
+      // with whatever else runs on the node (no isolation).
+      ctx.node->run_process(
+          work,
+          [&ctx, outputs, done = std::move(done)]() mutable {
+            write_outputs(ctx, outputs, std::move(done));
+          },
+          /*max_cores=*/1.0);
+    });
+  };
+}
+
+condor::JobExecutable Planner::make_container(const AbstractJob& job,
+                                              const Transformation& t) const {
+  if (options_.docker == nullptr || options_.registry == nullptr) {
+    throw std::invalid_argument(
+        "Planner: container mode requires docker + registry options");
+  }
+  const auto manifest = options_.registry->manifest(t.container_image);
+  if (!manifest) {
+    throw std::invalid_argument("Planner: image not in registry: " +
+                                t.container_image);
+  }
+  std::vector<std::string> inputs = job.inputs();
+  std::vector<storage::FileRef> outputs;
+  for (const auto& lfn : job.outputs()) {
+    outputs.push_back({lfn, workflow_.file_bytes(lfn)});
+  }
+  DockerEnv* docker = options_.docker;
+  container::Registry* registry = options_.registry;
+  const container::Image image = *manifest;
+
+  container::ContainerSpec cspec;
+  cspec.name = job.id;
+  cspec.image = image.name;
+  cspec.cpu_limit = 1.0;  // strong isolation: a one-core cgroup per task
+  cspec.memory_bytes = t.memory_bytes;
+  cspec.boot_s = t.startup_s;
+  const double work = t.work_coreseconds;
+
+  return [inputs, outputs, docker, registry, image, cspec, work](
+             condor::ExecContext& ctx, std::function<void(bool)> done) {
+    read_inputs(ctx, inputs, [&ctx, outputs, docker, registry, image, cspec,
+                              work, done = std::move(done)](bool ok) mutable {
+      if (!ok) {
+        done(false);
+        return;
+      }
+      // `docker load` of the tarball pegasus-lite transferred with this
+      // job: one extraction pass over the image bytes.
+      auto& cache = docker->cache(ctx.node->name());
+      auto& runtime = docker->runtime(ctx.node->name());
+      ctx.node->disk_io(
+          image.total_bytes(),
+          [&ctx, &cache, &runtime, outputs, registry, image, cspec, work,
+           done = std::move(done)]() mutable {
+            cache.seed_image(image);
+            runtime.run_task_once(
+                cspec, work, *registry,
+                [&ctx, outputs, done = std::move(done)](bool ran) mutable {
+                  if (!ran) {
+                    done(false);
+                    return;
+                  }
+                  write_outputs(ctx, outputs, std::move(done));
+                });
+          });
+    });
+  };
+}
+
+// ---- Stage-in / stage-out ---------------------------------------------------
+
+void Planner::add_stage_in(Plan& plan) const {
+  const auto initial = workflow_.initial_inputs();
+  if (initial.empty()) return;
+  storage::ReplicaCatalog* replicas = &replicas_;
+  storage::Volume* staging = &pool_.submit_staging();
+  net::FlowNetwork* network = &pool_.cluster().network();
+
+  condor::DagNode node;
+  node.name = "stage_in_" + workflow_.name();
+  node.retries = options_.dag_retries;
+  node.job.name = node.name;
+  node.job.submit_volume = staging;
+  node.job.executable = [initial, replicas, staging, network](
+                            condor::ExecContext&,
+                            std::function<void(bool)> done) {
+    auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
+    auto done_ptr =
+        std::make_shared<std::function<void(bool)>>(std::move(done));
+    *stage_next = [initial, replicas, staging, network, stage_next,
+                   done_ptr](std::size_t i) {
+      if (i >= initial.size()) {
+        (*done_ptr)(true);
+        return;
+      }
+      storage::Volume* source = replicas->primary(initial[i]);
+      if (source == nullptr) {
+        (*done_ptr)(false);
+        return;
+      }
+      if (source == staging) {  // data already on the submit node
+        (*stage_next)(i + 1);
+        return;
+      }
+      storage::stage_file(*network, *source, *staging, initial[i],
+                          [stage_next, done_ptr, i](bool ok) {
+                            if (!ok) {
+                              (*done_ptr)(false);
+                            } else {
+                              (*stage_next)(i + 1);
+                            }
+                          });
+    };
+    (*stage_next)(0);
+  };
+  plan.nodes.push_back(std::move(node));
+  ++plan.stage_in_jobs;
+}
+
+void Planner::add_stage_out(Plan& plan) const {
+  const auto finals = workflow_.final_outputs();
+  if (finals.empty()) return;
+  storage::ReplicaCatalog* replicas = &replicas_;
+  storage::Volume* staging = &pool_.submit_staging();
+
+  condor::DagNode node;
+  node.name = "stage_out_" + workflow_.name();
+  node.retries = options_.dag_retries;
+  node.job.name = node.name;
+  node.job.submit_volume = staging;
+  // Parents (the producers of final outputs) are filled in by plan().
+  node.job.executable = [finals, replicas, staging](
+                            condor::ExecContext&,
+                            std::function<void(bool)> done) {
+    for (const auto& lfn : finals) {
+      if (!staging->contains(lfn)) {
+        done(false);
+        return;
+      }
+      replicas->register_replica(lfn, *staging);
+    }
+    done(true);
+  };
+  plan.nodes.push_back(std::move(node));
+  ++plan.stage_out_jobs;
+}
+
+// ---- plan() ------------------------------------------------------------------
+
+Plan Planner::plan() {
+  Plan plan;
+
+  // Mode + transformation validation happens as we touch each job.
+  const auto& jobs = workflow_.jobs();
+
+  // --- Vertical clustering: group consecutive same-mode chain segments.
+  std::map<std::string, std::vector<std::string>> children;
+  std::map<std::string, std::vector<std::string>> parents;
+  for (const auto& j : jobs) {
+    parents[j.id] = workflow_.parents_of(j.id);
+    for (const auto& p : parents[j.id]) children[p].push_back(j.id);
+  }
+  auto chain_next = [&](const std::string& id) -> std::string {
+    const auto& ch = children[id];
+    if (ch.size() != 1) return {};
+    const std::string& next = ch.front();
+    if (parents[next].size() != 1) return {};
+    if (mode_of(workflow_.job(next)) != mode_of(workflow_.job(id))) return {};
+    return next;
+  };
+  auto has_chain_prev = [&](const std::string& id) {
+    const auto& ps = parents[id];
+    if (ps.size() != 1) return false;
+    return chain_next(ps.front()) == id;
+  };
+
+  struct Group {
+    std::string name;
+    std::vector<std::string> members;  // topological order
+  };
+  std::vector<Group> groups;
+  std::map<std::string, std::string> rep;  // job id → group name
+  const int k = std::max(1, options_.cluster_size);
+  for (const auto& j : jobs) {
+    if (rep.contains(j.id) || (k > 1 && has_chain_prev(j.id))) continue;
+    // Walk the chain from this head, splitting into groups of size k.
+    std::string current = j.id;
+    while (!current.empty()) {
+      Group g;
+      for (int n = 0; n < k && !current.empty(); ++n) {
+        g.members.push_back(current);
+        current = k > 1 ? chain_next(current) : std::string{};
+      }
+      g.name = g.members.size() == 1
+                   ? g.members.front()
+                   : "cluster_" + g.members.front() + "_" + g.members.back();
+      for (const auto& m : g.members) rep[m] = g.name;
+      if (g.members.size() > 1) plan.clustered_tasks += g.members.size();
+      groups.push_back(std::move(g));
+    }
+  }
+
+  // --- Stage-in first (so compute nodes can name it as a parent).
+  const auto initial = workflow_.initial_inputs();
+  const std::set<std::string> initial_set(initial.begin(), initial.end());
+  add_stage_in(plan);
+  const std::string stage_in_name =
+      plan.stage_in_jobs > 0 ? "stage_in_" + workflow_.name() : "";
+
+  // --- One executable node per group.
+  for (const auto& g : groups) {
+    const std::set<std::string> member_set(g.members.begin(),
+                                           g.members.end());
+    condor::DagNode node;
+    node.name = g.name;
+    node.retries = options_.dag_retries;
+    node.job.name = g.name;
+    node.job.submit_volume = &pool_.submit_staging();
+
+    std::vector<condor::JobExecutable> execs;
+    std::set<std::string> dag_parents;
+    double max_memory = 0;
+    std::set<std::string> external_inputs;
+    std::set<std::string> external_outputs;
+
+    for (const auto& member_id : g.members) {
+      const AbstractJob& aj = workflow_.job(member_id);
+      const Transformation& t = transformations_.get(aj.transformation);
+      max_memory = std::max(max_memory, t.memory_bytes);
+      const JobMode mode = mode_of(aj);
+
+      for (const auto& lfn : aj.inputs()) {
+        const std::string producer = workflow_.producer_of(lfn);
+        if (producer.empty()) {
+          external_inputs.insert(lfn);
+          if (!stage_in_name.empty()) dag_parents.insert(stage_in_name);
+        } else if (!member_set.contains(producer)) {
+          external_inputs.insert(lfn);
+          dag_parents.insert(rep.at(producer));
+        }
+      }
+      for (const auto& lfn : aj.outputs()) {
+        // Outputs leave the job unless consumed exclusively inside it.
+        bool internal_only = true;
+        bool consumed = false;
+        for (const auto& other : jobs) {
+          const auto ins = other.inputs();
+          if (std::find(ins.begin(), ins.end(), lfn) != ins.end()) {
+            consumed = true;
+            if (!member_set.contains(other.id)) internal_only = false;
+          }
+        }
+        if (!consumed || !internal_only) external_outputs.insert(lfn);
+      }
+
+      switch (mode) {
+        case JobMode::kNative:
+          execs.push_back(make_native(aj, t));
+          break;
+        case JobMode::kContainer: {
+          execs.push_back(make_container(aj, t));
+          // pegasus-lite ships the image tarball as a per-job input.
+          const auto manifest =
+              options_.registry->manifest(t.container_image);
+          const std::string tar_lfn = "__image_" + t.container_image;
+          pool_.submit_staging().put_instant(
+              {tar_lfn, manifest->total_bytes()});
+          external_inputs.insert(tar_lfn);
+          break;
+        }
+        case JobMode::kServerless: {
+          if (!options_.serverless_factory) {
+            throw std::invalid_argument(
+                "Planner: serverless mode requires a wrapper factory");
+          }
+          std::vector<storage::FileRef> ins;
+          for (const auto& lfn : aj.inputs()) {
+            ins.push_back({lfn, workflow_.file_bytes(lfn)});
+          }
+          std::vector<storage::FileRef> outs;
+          for (const auto& lfn : aj.outputs()) {
+            outs.push_back({lfn, workflow_.file_bytes(lfn)});
+          }
+          execs.push_back(options_.serverless_factory(aj, t, std::move(ins),
+                                                      std::move(outs)));
+          break;
+        }
+      }
+    }
+
+    node.job.request_cpus = 1;
+    node.job.request_memory = std::max(max_memory, 512e6);
+    for (const auto& lfn : external_inputs) {
+      const double bytes = workflow_.has_file(lfn)
+                               ? workflow_.file_bytes(lfn)
+                               : pool_.submit_staging().stat(lfn)->bytes;
+      node.job.inputs.push_back({lfn, bytes});
+    }
+    for (const auto& lfn : external_outputs) node.job.outputs.push_back(lfn);
+    node.parents.assign(dag_parents.begin(), dag_parents.end());
+    node.job.executable = chain_executables(std::move(execs));
+    plan.nodes.push_back(std::move(node));
+    ++plan.compute_jobs;
+  }
+
+  // --- Stage-out, depending on every producer of a final output.
+  const auto finals = workflow_.final_outputs();
+  if (!finals.empty()) {
+    add_stage_out(plan);
+    condor::DagNode& out_node = plan.nodes.back();
+    std::set<std::string> producers;
+    for (const auto& lfn : finals) {
+      const std::string producer = workflow_.producer_of(lfn);
+      if (!producer.empty()) producers.insert(rep.at(producer));
+    }
+    out_node.parents.assign(producers.begin(), producers.end());
+  }
+
+  return plan;
+}
+
+RunStatistics collect_statistics(const condor::DagMan& dag,
+                                 const std::vector<std::string>& node_names) {
+  RunStatistics stats;
+  stats.makespan = dag.makespan();
+  double wait = 0;
+  double exec = 0;
+  std::size_t counted = 0;
+  for (const auto& name : node_names) {
+    const condor::JobRecord* rec = dag.node_record(name);
+    if (rec == nullptr || rec->start_time < 0) continue;
+    wait += rec->start_time - rec->submit_time;
+    exec += rec->end_time - rec->start_time;
+    ++counted;
+  }
+  if (counted > 0) {
+    stats.mean_queue_wait = wait / static_cast<double>(counted);
+    stats.mean_exec_time = exec / static_cast<double>(counted);
+  }
+  stats.jobs = counted;
+  return stats;
+}
+
+}  // namespace sf::pegasus

@@ -1,0 +1,50 @@
+#include "pegasus/statistics.hpp"
+
+#include <map>
+
+namespace sf::pegasus {
+
+std::vector<GanttRow> collect_gantt(
+    const condor::DagMan& dag, const std::vector<std::string>& node_names) {
+  std::vector<GanttRow> rows;
+  rows.reserve(node_names.size());
+  for (const auto& name : node_names) {
+    const condor::JobRecord* rec = dag.node_record(name);
+    if (rec == nullptr) continue;
+    GanttRow row;
+    row.node = name;
+    row.worker = rec->worker;
+    row.submit = rec->submit_time;
+    row.start = rec->start_time;
+    row.end = rec->end_time;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_gantt_csv(const std::vector<GanttRow>& rows, std::ostream& os) {
+  os << "node,worker,submit,start,end,queue_wait,exec_time\n";
+  for (const auto& row : rows) {
+    os << row.node << ',' << row.worker << ',' << row.submit << ','
+       << row.start << ',' << row.end << ',' << row.queue_wait() << ','
+       << row.exec_time() << '\n';
+  }
+}
+
+std::vector<std::pair<std::string, double>> worker_busy_fractions(
+    const std::vector<GanttRow>& rows, double makespan) {
+  std::map<std::string, double> busy;
+  for (const auto& row : rows) {
+    if (row.start >= 0 && !row.worker.empty()) {
+      busy[row.worker] += row.exec_time();
+    }
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(busy.size());
+  for (const auto& [worker, seconds] : busy) {
+    out.emplace_back(worker, makespan > 0 ? seconds / makespan : 0.0);
+  }
+  return out;
+}
+
+}  // namespace sf::pegasus

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "condor/dagman.hpp"
+
+namespace sf::pegasus {
+
+/// One row of a workflow execution timeline (pegasus-statistics /
+/// pegasus-plots equivalent).
+struct GanttRow {
+  std::string node;
+  std::string worker;
+  double submit = 0;
+  double start = -1;  ///< executable start (post stage-in); -1 = never ran
+  double end = -1;
+
+  [[nodiscard]] double queue_wait() const {
+    return start < 0 ? 0 : start - submit;
+  }
+  [[nodiscard]] double exec_time() const {
+    return start < 0 ? 0 : end - start;
+  }
+};
+
+/// Extracts the per-node timeline of a finished DAG in `node_names` order.
+std::vector<GanttRow> collect_gantt(const condor::DagMan& dag,
+                                    const std::vector<std::string>& node_names);
+
+/// CSV dump: node,worker,submit,start,end,queue_wait,exec_time — feed it
+/// to any plotting tool to draw the workflow Gantt chart.
+void write_gantt_csv(const std::vector<GanttRow>& rows, std::ostream& os);
+
+/// Aggregate utilization: fraction of the makespan each worker spent
+/// executing jobs (pairs of worker name → busy fraction).
+std::vector<std::pair<std::string, double>> worker_busy_fractions(
+    const std::vector<GanttRow>& rows, double makespan);
+
+}  // namespace sf::pegasus

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sf::sim {
+
+EventId EventQueue::schedule(SimTime t, Callback fn) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id});
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+
+void EventQueue::drop_dead_tops() const {
+  while (!heap_.empty() && !live_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() const {
+  drop_dead_tops();
+  return heap_.empty() ? kTimeInfinity : heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_dead_tops();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  const Entry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.id);
+  Fired fired{top.time, top.id, std::move(it->second)};
+  live_.erase(it);
+  return fired;
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sf::sim {
+
+/// Deterministic cancellable event queue.
+///
+/// Events scheduled for the same instant fire in scheduling order (FIFO by
+/// monotonically increasing EventId), which makes every simulation run
+/// bit-reproducible. Cancellation is lazy: cancelled ids are dropped when
+/// they reach the top of the heap.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `t`. Returns a handle usable with
+  /// cancel(). `t` may equal the current top time; ordering stays FIFO.
+  EventId schedule(SimTime t, Callback fn);
+
+  /// Cancels a pending event. Returns true iff the event was still pending.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+
+  /// Number of live (non-cancelled, not yet fired) events.
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event; kTimeInfinity when empty.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Removes and returns the earliest live event. Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (statistics / debugging).
+  [[nodiscard]] std::uint64_t total_scheduled() const {
+    return next_id_ - 1;
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  void drop_dead_tops() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  std::unordered_map<EventId, Callback> live_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace sf::sim

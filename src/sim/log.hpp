@@ -1,0 +1,38 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sf::sim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide log configuration. Tests run with logging off; the
+/// examples and benches turn on kInfo to narrate control-plane activity.
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kOff;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+  /// Streams a timestamped line: `[  12.345s] [knative] message`.
+  template <typename... Args>
+  static void write(LogLevel lvl, double sim_time, std::string_view component,
+                    Args&&... args) {
+    if (!enabled(lvl)) return;
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << '[' << sim_time << "s] [" << component << "] ";
+    (os << ... << std::forward<Args>(args));
+    os << '\n';
+    std::clog << os.str();
+  }
+};
+
+}  // namespace sf::sim

@@ -1,0 +1,182 @@
+#include "sim/ps_resource.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sf::sim {
+
+namespace {
+constexpr double kDoneSlack = 1e-9;
+// Jobs whose remaining time-to-finish is below this are complete: a
+// smaller delay is not representable once the clock is large, and waiting
+// for it would spin the event loop at a frozen timestamp.
+constexpr double kTimeSlack = 1e-9;
+
+bool job_done(double remaining, double rate) {
+  return remaining <= kDoneSlack ||
+         (rate > 0 && remaining <= rate * kTimeSlack);
+}
+}
+
+PsResource::PsResource(Simulation& sim, double capacity, std::string name)
+    : sim_(sim), capacity_(capacity), name_(std::move(name)) {
+  if (capacity < 0) {
+    throw std::invalid_argument("PsResource: negative capacity");
+  }
+  last_advance_ = sim_.now();
+}
+
+PsResource::JobId PsResource::submit(double work, Callback on_complete,
+                                     double rate_cap, double weight) {
+  if (rate_cap < 0) {
+    throw std::invalid_argument("PsResource::submit: negative rate cap");
+  }
+  if (weight <= 0) {
+    throw std::invalid_argument("PsResource::submit: non-positive weight");
+  }
+  advance();
+  const JobId id = next_id_++;
+  Job job;
+  job.remaining = std::max(work, 0.0);
+  job.weight = weight;
+  job.cap = rate_cap;
+  job.on_complete = std::move(on_complete);
+  jobs_.emplace(id, std::move(job));
+  rebalance();
+  return id;
+}
+
+bool PsResource::cancel(JobId id) {
+  advance();
+  const bool erased = jobs_.erase(id) > 0;
+  if (erased) rebalance();
+  return erased;
+}
+
+bool PsResource::set_rate_cap(JobId id, double rate_cap) {
+  if (rate_cap < 0) {
+    throw std::invalid_argument("PsResource::set_rate_cap: negative cap");
+  }
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  advance();
+  it->second.cap = rate_cap;
+  rebalance();
+  return true;
+}
+
+void PsResource::set_capacity(double capacity) {
+  if (capacity < 0) {
+    throw std::invalid_argument("PsResource::set_capacity: negative");
+  }
+  advance();
+  capacity_ = capacity;
+  rebalance();
+}
+
+double PsResource::remaining(JobId id) {
+  advance();
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? -1.0 : it->second.remaining;
+}
+
+double PsResource::current_rate(JobId id) {
+  advance();
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? -1.0 : it->second.rate;
+}
+
+double PsResource::utilization() const {
+  double total = 0;
+  for (const auto& [id, job] : jobs_) total += job.rate;
+  return total;
+}
+
+void PsResource::advance() {
+  const SimTime now = sim_.now();
+  const SimTime dt = now - last_advance_;
+  if (dt <= 0) {
+    last_advance_ = now;
+    return;
+  }
+  for (auto& [id, job] : jobs_) {
+    job.remaining = std::max(0.0, job.remaining - job.rate * dt);
+  }
+  last_advance_ = now;
+}
+
+void PsResource::rebalance() {
+  if (completion_event_ != kNoEvent) {
+    sim_.cancel(completion_event_);
+    completion_event_ = kNoEvent;
+  }
+  if (jobs_.empty()) return;
+
+  // Weighted water-filling: repeatedly grant capped jobs their cap and
+  // fair-share the rest by weight.
+  std::vector<std::pair<const JobId, Job>*> open;
+  open.reserve(jobs_.size());
+  for (auto& entry : jobs_) open.push_back(&entry);
+  double cap_left = capacity_;
+  while (!open.empty()) {
+    double sum_w = 0;
+    for (auto* e : open) sum_w += e->second.weight;
+    const double lambda = cap_left / sum_w;
+    bool any_capped = false;
+    for (auto it = open.begin(); it != open.end();) {
+      Job& job = (*it)->second;
+      if (job.cap < lambda * job.weight) {
+        job.rate = job.cap;
+        cap_left -= job.cap;
+        it = open.erase(it);
+        any_capped = true;
+      } else {
+        ++it;
+      }
+    }
+    if (!any_capped) {
+      for (auto* e : open) e->second.rate = lambda * e->second.weight;
+      break;
+    }
+  }
+
+  // Schedule the earliest completion (or an immediate one for zero-work
+  // jobs) as a single cancellable event.
+  SimTime soonest = kTimeInfinity;
+  for (const auto& [id, job] : jobs_) {
+    if (job_done(job.remaining, job.rate)) {
+      soonest = 0;
+      break;
+    }
+    if (job.rate > 0) {
+      soonest = std::min(soonest, job.remaining / job.rate);
+    }
+  }
+  if (soonest < kTimeInfinity) {
+    completion_event_ =
+        sim_.call_in(soonest, [this] { fire_completions(); });
+  }
+}
+
+void PsResource::fire_completions() {
+  completion_event_ = kNoEvent;
+  advance();
+  std::vector<Callback> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (job_done(it->second.remaining, it->second.rate)) {
+      done.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  rebalance();
+  for (auto& cb : done) {
+    if (cb) cb();
+  }
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace sf::sim {
+
+/// Deterministic random source. All stochastic choices in a simulation draw
+/// from one Rng owned by the Simulation, so a (seed, scenario) pair fully
+/// determines every result.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  void reseed(std::uint64_t seed) { engine_.seed(seed); }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean) {
+    assert(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Normal, truncated below at zero (durations must be non-negative).
+  double normal_nonneg(double mean, double stddev) {
+    const double v = std::normal_distribution<double>(mean, stddev)(engine_);
+    return v < 0 ? 0 : v;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniformly chosen index in [0, n).
+  std::size_t index(std::size_t n) {
+    assert(n > 0);
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  template <typename It>
+  void shuffle(It first, It last) {
+    std::shuffle(first, last, engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sf::sim

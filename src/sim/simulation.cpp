@@ -1,0 +1,48 @@
+#include "sim/simulation.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::sim {
+
+EventId Simulation::call_at(SimTime t, std::function<void()> fn) {
+  if (t < now_ - kEpsilon) {
+    throw std::invalid_argument("Simulation::call_at: time in the past");
+  }
+  return queue_.schedule(t < now_ ? now_ : t, std::move(fn));
+}
+
+EventId Simulation::call_in(SimTime delay, std::function<void()> fn) {
+  if (delay < 0) {
+    throw std::invalid_argument("Simulation::call_in: negative delay");
+  }
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.next_time() == kTimeInfinity) return false;
+  auto fired = queue_.pop();
+  assert(fired.time >= now_ - kEpsilon);
+  now_ = fired.time > now_ ? fired.time : now_;
+  ++processed_;
+  fired.fn();
+  return true;
+}
+
+std::size_t Simulation::run() {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && step()) ++n;
+  return n;
+}
+
+std::size_t Simulation::run_until(SimTime t) {
+  stopped_ = false;
+  std::size_t n = 0;
+  while (!stopped_ && queue_.next_time() <= t && step()) ++n;
+  if (!stopped_ && now_ < t) now_ = t;
+  return n;
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/trace.hpp"
+#include "sim/types.hpp"
+
+namespace sf::sim {
+
+/// Discrete-event simulation driver.
+///
+/// Owns the virtual clock, the event queue, the deterministic RNG and the
+/// trace recorder. Every other subsystem holds a reference to one
+/// Simulation and advances purely by scheduling callbacks on it.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 42) : rng_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
+  EventId call_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` seconds (must be >= 0).
+  EventId call_in(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event; returns true iff it was still pending.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or stop() is called.
+  /// Returns the number of events processed.
+  std::size_t run();
+
+  /// Runs all events with time <= `t`; the clock then reads exactly `t`.
+  std::size_t run_until(SimTime t);
+
+  /// Processes a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Stops run()/run_until() after the current callback returns.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] bool has_pending_events() const { return !queue_.empty(); }
+  [[nodiscard]] SimTime next_event_time() const { return queue_.next_time(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  Rng& rng() { return rng_; }
+  TraceRecorder& trace() { return trace_; }
+  const TraceRecorder& trace() const { return trace_; }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t processed_ = 0;
+  Rng rng_;
+  TraceRecorder trace_;
+};
+
+}  // namespace sf::sim

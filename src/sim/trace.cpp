@@ -1,0 +1,55 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace sf::sim {
+
+std::string_view TraceEvent::attr(std::string_view key) const {
+  for (const auto& [k, v] : attrs) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+void TraceRecorder::record(
+    SimTime t, std::string category, std::string name,
+    std::vector<std::pair<std::string, std::string>> attrs) {
+  if (!enabled_) return;
+  events_.push_back(
+      TraceEvent{t, std::move(category), std::move(name), std::move(attrs)});
+}
+
+std::vector<const TraceEvent*> TraceRecorder::find(
+    std::string_view category, std::string_view name) const {
+  std::vector<const TraceEvent*> out;
+  for (const auto& e : events_) {
+    if (e.category == category && (name.empty() || e.name == name)) {
+      out.push_back(&e);
+    }
+  }
+  return out;
+}
+
+std::size_t TraceRecorder::count(std::string_view category,
+                                 std::string_view name) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [&](const TraceEvent& e) {
+        return e.category == category && (name.empty() || e.name == name);
+      }));
+}
+
+void TraceRecorder::write_csv(std::ostream& os) const {
+  os << "time,category,name,attrs\n";
+  for (const auto& e : events_) {
+    os << e.time << ',' << e.category << ',' << e.name << ',';
+    bool first = true;
+    for (const auto& [k, v] : e.attrs) {
+      if (!first) os << ';';
+      first = false;
+      os << k << '=' << v;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace sf::sim

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sf::sim {
+
+/// One recorded simulation event (task started, pod scheduled, ...).
+struct TraceEvent {
+  SimTime time = 0;
+  std::string category;  ///< subsystem, e.g. "knative", "condor"
+  std::string name;      ///< event name, e.g. "pod.cold_start"
+  std::vector<std::pair<std::string, std::string>> attrs;
+
+  /// Value of attribute `key`, or "" when absent.
+  [[nodiscard]] std::string_view attr(std::string_view key) const;
+};
+
+/// Append-only in-memory trace of everything a simulation did. Disabled
+/// recorders drop events with near-zero cost so hot paths can trace
+/// unconditionally.
+class TraceRecorder {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(SimTime t, std::string category, std::string name,
+              std::vector<std::pair<std::string, std::string>> attrs = {});
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Events matching a category (and optionally a name).
+  [[nodiscard]] std::vector<const TraceEvent*> find(
+      std::string_view category, std::string_view name = {}) const;
+
+  /// Number of events matching category/name.
+  [[nodiscard]] std::size_t count(std::string_view category,
+                                  std::string_view name = {}) const;
+
+  void clear() { events_.clear(); }
+
+  /// CSV dump: time,category,name,key=value;key=value...
+  void write_csv(std::ostream& os) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace sf::sim

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Core vocabulary types shared by every ServerFlow subsystem.
+namespace sf::sim {
+
+/// Virtual time in seconds since simulation start.
+using SimTime = double;
+
+/// Identifier of a scheduled event; valid until the event fires or is
+/// cancelled. Id 0 is never issued and means "no event".
+using EventId = std::uint64_t;
+
+inline constexpr EventId kNoEvent = 0;
+
+/// A time far beyond any simulated horizon.
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+/// Comparison slack for virtual-time and remaining-work arithmetic.
+inline constexpr double kEpsilon = 1e-9;
+
+}  // namespace sf::sim

@@ -1,0 +1,92 @@
+#include "storage/object_store.hpp"
+
+#include <utility>
+
+namespace sf::storage {
+
+namespace {
+struct ObjectRequest {
+  std::string op;  // "put" | "get" | "delete"
+  std::string bucket;
+  std::string key;
+};
+}  // namespace
+
+ObjectStore::ObjectStore(cluster::Cluster& cluster, cluster::Node& server)
+    : cluster_(cluster), server_(server) {
+  install_handler();
+}
+
+void ObjectStore::install_handler() {
+  cluster_.http().listen(
+      server_.net_id(), kPort,
+      [this](const net::HttpRequest& req, net::Responder respond) {
+        const auto& obj = std::any_cast<const ObjectRequest&>(req.body);
+        const std::string id = obj.bucket + "/" + obj.key;
+        if (obj.op == "put") {
+          // Persist to the server's disk before acknowledging.
+          server_.disk_io(req.body_bytes, [this, id, bytes = req.body_bytes,
+                                           respond = std::move(respond)] {
+            objects_[id] = bytes;
+            respond(net::HttpResponse{});
+          });
+        } else if (obj.op == "get") {
+          auto it = objects_.find(id);
+          if (it == objects_.end()) {
+            net::HttpResponse resp;
+            resp.status = 404;
+            respond(std::move(resp));
+            return;
+          }
+          server_.disk_io(it->second, [bytes = it->second,
+                                       respond = std::move(respond)] {
+            net::HttpResponse resp;
+            resp.body_bytes = bytes;
+            respond(std::move(resp));
+          });
+        } else {  // delete
+          net::HttpResponse resp;
+          resp.status = objects_.erase(id) > 0 ? 204 : 404;
+          respond(std::move(resp));
+        }
+      });
+}
+
+void ObjectStore::put(net::NodeId client, const std::string& bucket,
+                      const std::string& key, double bytes,
+                      std::function<void(bool)> on_done) {
+  net::HttpRequest req;
+  req.method = "PUT";
+  req.body = ObjectRequest{"put", bucket, key};
+  req.body_bytes = bytes;
+  cluster_.http().request(client, server_.net_id(), kPort, std::move(req),
+                          [cb = std::move(on_done)](net::HttpResponse resp) {
+                            cb(resp.ok());
+                          });
+}
+
+void ObjectStore::get(net::NodeId client, const std::string& bucket,
+                      const std::string& key,
+                      std::function<void(bool, double)> on_done) {
+  net::HttpRequest req;
+  req.method = "GET";
+  req.body = ObjectRequest{"get", bucket, key};
+  cluster_.http().request(client, server_.net_id(), kPort, std::move(req),
+                          [cb = std::move(on_done)](net::HttpResponse resp) {
+                            cb(resp.ok(), resp.body_bytes);
+                          });
+}
+
+void ObjectStore::remove(net::NodeId client, const std::string& bucket,
+                         const std::string& key,
+                         std::function<void(bool)> on_done) {
+  net::HttpRequest req;
+  req.method = "DELETE";
+  req.body = ObjectRequest{"delete", bucket, key};
+  cluster_.http().request(client, server_.net_id(), kPort, std::move(req),
+                          [cb = std::move(on_done)](net::HttpResponse resp) {
+                            cb(resp.status == 204);
+                          });
+}
+
+}  // namespace sf::storage

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "storage/volume.hpp"
+
+namespace sf::storage {
+
+/// Minio-like S3 object store hosted on one node, reached over HTTP.
+/// Implements the paper's third data strategy ("using a storage service
+/// like Minio", Section V-E): workflow wrappers PUT inputs, serverless
+/// functions GET them and PUT outputs back.
+class ObjectStore {
+ public:
+  static constexpr net::Port kPort = 9000;
+
+  ObjectStore(cluster::Cluster& cluster, cluster::Node& server);
+
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  [[nodiscard]] cluster::Node& server() { return server_; }
+
+  /// PUT an object from `client`. `on_done(ok)`.
+  void put(net::NodeId client, const std::string& bucket,
+           const std::string& key, double bytes,
+           std::function<void(bool ok)> on_done);
+
+  /// GET an object to `client`. `on_done(ok, bytes)`.
+  void get(net::NodeId client, const std::string& bucket,
+           const std::string& key,
+           std::function<void(bool ok, double bytes)> on_done);
+
+  /// DELETE; `on_done(existed)`.
+  void remove(net::NodeId client, const std::string& bucket,
+              const std::string& key, std::function<void(bool)> on_done);
+
+  [[nodiscard]] bool contains(const std::string& bucket,
+                              const std::string& key) const {
+    return objects_.contains(bucket + "/" + key);
+  }
+  [[nodiscard]] std::size_t object_count() const { return objects_.size(); }
+
+ private:
+  void install_handler();
+
+  cluster::Cluster& cluster_;
+  cluster::Node& server_;
+  std::map<std::string, double> objects_;  // "bucket/key" → bytes
+};
+
+}  // namespace sf::storage

@@ -1,0 +1,38 @@
+#include "storage/replica_catalog.hpp"
+
+#include <algorithm>
+
+namespace sf::storage {
+
+void ReplicaCatalog::register_replica(const std::string& lfn,
+                                      Volume& volume) {
+  auto& vols = replicas_[lfn];
+  if (std::find(vols.begin(), vols.end(), &volume) == vols.end()) {
+    vols.push_back(&volume);
+  }
+}
+
+bool ReplicaCatalog::deregister_replica(const std::string& lfn,
+                                        const Volume& volume) {
+  auto it = replicas_.find(lfn);
+  if (it == replicas_.end()) return false;
+  auto& vols = it->second;
+  auto pos = std::find(vols.begin(), vols.end(), &volume);
+  if (pos == vols.end()) return false;
+  vols.erase(pos);
+  if (vols.empty()) replicas_.erase(it);
+  return true;
+}
+
+std::vector<Volume*> ReplicaCatalog::lookup(const std::string& lfn) const {
+  auto it = replicas_.find(lfn);
+  return it == replicas_.end() ? std::vector<Volume*>{} : it->second;
+}
+
+Volume* ReplicaCatalog::primary(const std::string& lfn) const {
+  auto it = replicas_.find(lfn);
+  return (it == replicas_.end() || it->second.empty()) ? nullptr
+                                                       : it->second.front();
+}
+
+}  // namespace sf::storage

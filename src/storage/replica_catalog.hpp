@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "storage/volume.hpp"
+
+namespace sf::storage {
+
+/// Pegasus-style replica catalog: maps a logical file name to the volumes
+/// that hold a physical copy. The planner consults it to decide where
+/// stage-in jobs fetch inputs from, and registers workflow outputs back.
+class ReplicaCatalog {
+ public:
+  void register_replica(const std::string& lfn, Volume& volume);
+
+  /// Removes one volume's replica entry. Returns true iff present.
+  bool deregister_replica(const std::string& lfn, const Volume& volume);
+
+  /// All volumes currently holding `lfn` (may be empty).
+  [[nodiscard]] std::vector<Volume*> lookup(const std::string& lfn) const;
+
+  /// The first registered replica, or nullptr.
+  [[nodiscard]] Volume* primary(const std::string& lfn) const;
+
+  [[nodiscard]] bool has(const std::string& lfn) const {
+    auto it = replicas_.find(lfn);
+    return it != replicas_.end() && !it->second.empty();
+  }
+
+  [[nodiscard]] std::size_t entry_count() const { return replicas_.size(); }
+
+ private:
+  std::map<std::string, std::vector<Volume*>> replicas_;
+};
+
+}  // namespace sf::storage

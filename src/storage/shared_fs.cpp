@@ -1,0 +1,42 @@
+#include "storage/shared_fs.hpp"
+
+#include <utility>
+
+namespace sf::storage {
+
+SharedFileSystem::SharedFileSystem(cluster::Cluster& cluster,
+                                   cluster::Node& server,
+                                   std::string export_name)
+    : cluster_(cluster), backing_(server, std::move(export_name)) {}
+
+void SharedFileSystem::write(net::NodeId client, const FileRef& file,
+                             std::function<void()> on_done) {
+  const net::NodeId server_id = backing_.node().net_id();
+  if (client == server_id) {
+    backing_.write(file, std::move(on_done));
+    return;
+  }
+  cluster_.network().transfer(
+      client, server_id, file.bytes,
+      [this, file, cb = std::move(on_done)]() mutable {
+        backing_.write(file, std::move(cb));
+      });
+}
+
+void SharedFileSystem::read(net::NodeId client, const std::string& lfn,
+                            std::function<void(bool, FileRef)> on_done) {
+  const net::NodeId server_id = backing_.node().net_id();
+  backing_.read(lfn, [this, client, server_id, cb = std::move(on_done)](
+                         bool found, FileRef file) mutable {
+    if (!found || client == server_id) {
+      cb(found, std::move(file));
+      return;
+    }
+    cluster_.network().transfer(server_id, client, file.bytes,
+                                [cb = std::move(cb), file]() mutable {
+                                  cb(true, std::move(file));
+                                });
+  });
+}
+
+}  // namespace sf::storage

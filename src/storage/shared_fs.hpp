@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "storage/volume.hpp"
+
+namespace sf::storage {
+
+/// NFS-like shared filesystem: one server node exports a volume that every
+/// cluster node can read and write over the network. This is the paper's
+/// alternative data strategy ("files stored in a location accessible to the
+/// function, such as a shared file system", Section III-C) and one arm of
+/// the data-movement ablation.
+class SharedFileSystem {
+ public:
+  SharedFileSystem(cluster::Cluster& cluster, cluster::Node& server,
+                   std::string export_name = "nfs");
+
+  SharedFileSystem(const SharedFileSystem&) = delete;
+  SharedFileSystem& operator=(const SharedFileSystem&) = delete;
+
+  [[nodiscard]] cluster::Node& server() { return backing_.node(); }
+  [[nodiscard]] bool contains(const std::string& lfn) const {
+    return backing_.contains(lfn);
+  }
+  [[nodiscard]] std::optional<FileRef> stat(const std::string& lfn) const {
+    return backing_.stat(lfn);
+  }
+
+  /// Client write: network transfer client→server, then server disk write.
+  /// Local clients (client == server) skip the network.
+  void write(net::NodeId client, const FileRef& file,
+             std::function<void()> on_done);
+
+  /// Client read: server disk read, then transfer server→client.
+  void read(net::NodeId client, const std::string& lfn,
+            std::function<void(bool found, FileRef file)> on_done);
+
+  /// Seeds a file without simulated cost.
+  void put_instant(const FileRef& file) { backing_.put_instant(file); }
+
+  bool remove(const std::string& lfn) { return backing_.remove(lfn); }
+
+  [[nodiscard]] std::size_t file_count() const {
+    return backing_.file_count();
+  }
+
+ private:
+  cluster::Cluster& cluster_;
+  Volume backing_;
+};
+
+}  // namespace sf::storage

@@ -1,0 +1,62 @@
+#include "storage/volume.hpp"
+
+#include <utility>
+
+namespace sf::storage {
+
+Volume::Volume(cluster::Node& node, std::string name)
+    : node_(node), name_(std::move(name)) {}
+
+std::optional<FileRef> Volume::stat(const std::string& lfn) const {
+  auto it = files_.find(lfn);
+  if (it == files_.end()) return std::nullopt;
+  return FileRef{it->first, it->second};
+}
+
+double Volume::total_bytes() const {
+  double total = 0;
+  for (const auto& [lfn, bytes] : files_) total += bytes;
+  return total;
+}
+
+void Volume::write(const FileRef& file, std::function<void()> on_done) {
+  node_.disk_io(file.bytes, [this, file, cb = std::move(on_done)] {
+    files_[file.lfn] = file.bytes;
+    if (cb) cb();
+  });
+}
+
+void Volume::read(const std::string& lfn,
+                  std::function<void(bool, FileRef)> on_done) {
+  auto it = files_.find(lfn);
+  if (it == files_.end()) {
+    node_.disk_io(0, [cb = std::move(on_done), lfn] {
+      cb(false, FileRef{lfn, 0});
+    });
+    return;
+  }
+  const FileRef file{it->first, it->second};
+  node_.disk_io(file.bytes, [cb = std::move(on_done), file] {
+    cb(true, file);
+  });
+}
+
+void stage_file(net::FlowNetwork& network, Volume& src, Volume& dst,
+                const std::string& lfn,
+                std::function<void(bool)> on_done) {
+  src.read(lfn, [&network, &src, &dst, cb = std::move(on_done)](
+                    bool found, FileRef file) mutable {
+    if (!found) {
+      cb(false);
+      return;
+    }
+    network.transfer(src.node().net_id(), dst.node().net_id(), file.bytes,
+                     [&dst, file, cb = std::move(cb)]() mutable {
+                       dst.write(file, [cb = std::move(cb)]() mutable {
+                         cb(true);
+                       });
+                     });
+  });
+}
+
+}  // namespace sf::storage

@@ -1,0 +1,254 @@
+#include "workload/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sf::workload {
+
+pegasus::AbstractWorkflow make_matmul_chain(const std::string& name,
+                                            int n_tasks,
+                                            double matrix_bytes) {
+  pegasus::AbstractWorkflow wf(name);
+  wf.declare_file(name + ".m0", matrix_bytes);
+  for (int i = 0; i < n_tasks; ++i) {
+    const std::string fresh = name + ".b" + std::to_string(i);
+    const std::string out = name + ".m" + std::to_string(i + 1);
+    wf.declare_file(fresh, matrix_bytes);
+    wf.declare_file(out, matrix_bytes);
+    pegasus::AbstractJob job;
+    job.id = name + ".t" + std::to_string(i);
+    job.transformation = "matmul";
+    job.uses = {{name + ".m" + std::to_string(i), pegasus::LinkType::kInput},
+                {fresh, pegasus::LinkType::kInput},
+                {out, pegasus::LinkType::kOutput}};
+    wf.add_job(std::move(job));
+  }
+  return wf;
+}
+
+pegasus::AbstractWorkflow make_parallel_matmuls(const std::string& name,
+                                                int n_tasks,
+                                                double matrix_bytes) {
+  pegasus::AbstractWorkflow wf(name);
+  for (int i = 0; i < n_tasks; ++i) {
+    const std::string a = name + ".a" + std::to_string(i);
+    const std::string b = name + ".b" + std::to_string(i);
+    const std::string out = name + ".c" + std::to_string(i);
+    wf.declare_file(a, matrix_bytes);
+    wf.declare_file(b, matrix_bytes);
+    wf.declare_file(out, matrix_bytes);
+    pegasus::AbstractJob job;
+    job.id = name + ".t" + std::to_string(i);
+    job.transformation = "matmul";
+    job.uses = {{a, pegasus::LinkType::kInput},
+                {b, pegasus::LinkType::kInput},
+                {out, pegasus::LinkType::kOutput}};
+    wf.add_job(std::move(job));
+  }
+  return wf;
+}
+
+pegasus::AbstractWorkflow make_resized_chain(const std::string& name,
+                                             int n_stages, int split_factor,
+                                             double matrix_bytes) {
+  if (split_factor < 1) {
+    throw std::invalid_argument("make_resized_chain: split_factor >= 1");
+  }
+  pegasus::AbstractWorkflow wf(name);
+  wf.declare_file(name + ".m0", matrix_bytes);
+  const double part_bytes = matrix_bytes / split_factor;
+  for (int stage = 0; stage < n_stages; ++stage) {
+    const std::string prev = name + ".m" + std::to_string(stage);
+    const std::string fresh = name + ".b" + std::to_string(stage);
+    const std::string out = name + ".m" + std::to_string(stage + 1);
+    wf.declare_file(fresh, matrix_bytes);
+    wf.declare_file(out, matrix_bytes);
+
+    // Row-block partial products, each consuming the full operands but
+    // producing 1/split of the result.
+    pegasus::AbstractJob concat;
+    concat.id = name + ".join" + std::to_string(stage);
+    concat.transformation = "concat";
+    for (int part = 0; part < split_factor; ++part) {
+      const std::string partial = name + ".p" + std::to_string(stage) +
+                                  "_" + std::to_string(part);
+      wf.declare_file(partial, part_bytes);
+      pegasus::AbstractJob job;
+      job.id = name + ".t" + std::to_string(stage) + "_" +
+               std::to_string(part);
+      job.transformation = split_factor == 1 ? "matmul" : "matmul_part";
+      job.uses = {{prev, pegasus::LinkType::kInput},
+                  {fresh, pegasus::LinkType::kInput},
+                  {partial, pegasus::LinkType::kOutput}};
+      wf.add_job(std::move(job));
+      concat.uses.push_back({partial, pegasus::LinkType::kInput});
+    }
+    concat.uses.push_back({out, pegasus::LinkType::kOutput});
+    wf.add_job(std::move(concat));
+  }
+  return wf;
+}
+
+pegasus::Transformation make_part_transformation(
+    const pegasus::Transformation& matmul, int split_factor) {
+  pegasus::Transformation part = matmul;
+  part.name = "matmul_part";
+  part.work_coreseconds = matmul.work_coreseconds / split_factor;
+  return part;
+}
+
+pegasus::Transformation make_concat_transformation(
+    const pegasus::Transformation& matmul) {
+  pegasus::Transformation concat = matmul;
+  concat.name = "concat";
+  concat.work_coreseconds = 0.02;  // memcpy of the row blocks
+  concat.startup_s = matmul.startup_s;
+  return concat;
+}
+
+pegasus::AbstractWorkflow make_montage_like(const std::string& name,
+                                            int width, double tile_bytes) {
+  if (width < 2) {
+    throw std::invalid_argument("make_montage_like: width >= 2");
+  }
+  pegasus::AbstractWorkflow wf(name);
+  auto file = [&name](const std::string& stem, int i = -1) {
+    return i < 0 ? name + "." + stem
+                 : name + "." + stem + std::to_string(i);
+  };
+
+  // Level 1: per-tile projection.
+  for (int i = 0; i < width; ++i) {
+    wf.declare_file(file("raw", i), tile_bytes);
+    wf.declare_file(file("proj", i), tile_bytes);
+    pegasus::AbstractJob job;
+    job.id = file("project", i);
+    job.transformation = "project";
+    job.uses = {{file("raw", i), pegasus::LinkType::kInput},
+                {file("proj", i), pegasus::LinkType::kOutput}};
+    wf.add_job(std::move(job));
+  }
+  // Level 2: pairwise overlap differences.
+  for (int i = 0; i + 1 < width; ++i) {
+    wf.declare_file(file("diff", i), tile_bytes / 8);
+    pegasus::AbstractJob job;
+    job.id = file("mdiff", i);
+    job.transformation = "diff";
+    job.uses = {{file("proj", i), pegasus::LinkType::kInput},
+                {file("proj", i + 1), pegasus::LinkType::kInput},
+                {file("diff", i), pegasus::LinkType::kOutput}};
+    wf.add_job(std::move(job));
+  }
+  // Level 3: global plane fit over every difference.
+  wf.declare_file(file("fitplane"), tile_bytes / 16);
+  {
+    pegasus::AbstractJob job;
+    job.id = file("fit");
+    job.transformation = "fit";
+    for (int i = 0; i + 1 < width; ++i) {
+      job.uses.push_back({file("diff", i), pegasus::LinkType::kInput});
+    }
+    job.uses.push_back({file("fitplane"), pegasus::LinkType::kOutput});
+    wf.add_job(std::move(job));
+  }
+  // Level 4: per-tile background correction.
+  for (int i = 0; i < width; ++i) {
+    wf.declare_file(file("bg", i), tile_bytes);
+    pegasus::AbstractJob job;
+    job.id = file("background", i);
+    job.transformation = "background";
+    job.uses = {{file("proj", i), pegasus::LinkType::kInput},
+                {file("fitplane"), pegasus::LinkType::kInput},
+                {file("bg", i), pegasus::LinkType::kOutput}};
+    wf.add_job(std::move(job));
+  }
+  // Level 5: the mosaic.
+  wf.declare_file(file("mosaic.out"), tile_bytes * width / 2);
+  {
+    pegasus::AbstractJob job;
+    job.id = file("mosaic");
+    job.transformation = "mosaic";
+    for (int i = 0; i < width; ++i) {
+      job.uses.push_back({file("bg", i), pegasus::LinkType::kInput});
+    }
+    job.uses.push_back({file("mosaic.out"), pegasus::LinkType::kOutput});
+    wf.add_job(std::move(job));
+  }
+  return wf;
+}
+
+void add_montage_transformations(pegasus::TransformationCatalog& catalog,
+                                 const pegasus::Transformation& base) {
+  auto derived = [&base](const std::string& tname, double work_scale) {
+    pegasus::Transformation t = base;
+    t.name = tname;
+    t.work_coreseconds = base.work_coreseconds * work_scale;
+    return t;
+  };
+  catalog.add(derived("project", 1.0));
+  catalog.add(derived("diff", 0.4));
+  catalog.add(derived("fit", 0.6));
+  catalog.add(derived("background", 0.8));
+  catalog.add(derived("mosaic", 1.5));
+}
+
+void seed_initial_inputs(const pegasus::AbstractWorkflow& workflow,
+                         storage::Volume& staging,
+                         storage::ReplicaCatalog& replicas) {
+  for (const auto& lfn : workflow.initial_inputs()) {
+    staging.put_instant({lfn, workflow.file_bytes(lfn)});
+    replicas.register_replica(lfn, staging);
+  }
+}
+
+std::map<std::string, pegasus::JobMode> assign_modes(
+    const std::vector<const pegasus::AbstractWorkflow*>& workflows,
+    const metrics::MixPoint& mix, sim::Rng& rng) {
+  mix.validate();
+  std::vector<std::string> task_ids;
+  for (const auto* wf : workflows) {
+    for (const auto& job : wf->jobs()) task_ids.push_back(job.id);
+  }
+  const std::size_t total = task_ids.size();
+
+  // Exact proportional counts (largest remainder), then a seeded shuffle
+  // decides which concrete task gets which mode.
+  const double exact_native = mix.native * static_cast<double>(total);
+  const double exact_container = mix.container * static_cast<double>(total);
+  auto n_native = static_cast<std::size_t>(std::floor(exact_native));
+  auto n_container = static_cast<std::size_t>(std::floor(exact_container));
+  // Distribute the rounding remainder: native first, then container.
+  while (n_native + n_container < total &&
+         exact_native - static_cast<double>(n_native) >= 0.5) {
+    ++n_native;
+  }
+  while (n_native + n_container < total &&
+         exact_container - static_cast<double>(n_container) >= 0.5) {
+    ++n_container;
+  }
+  // Whatever remains is serverless (absorbs all residual rounding).
+
+  rng.shuffle(task_ids.begin(), task_ids.end());
+  std::map<std::string, pegasus::JobMode> modes;
+  std::size_t index = 0;
+  for (; index < n_native; ++index) {
+    modes[task_ids[index]] = pegasus::JobMode::kNative;
+  }
+  for (; index < n_native + n_container; ++index) {
+    modes[task_ids[index]] = pegasus::JobMode::kContainer;
+  }
+  for (; index < total; ++index) {
+    modes[task_ids[index]] = pegasus::JobMode::kServerless;
+  }
+  return modes;
+}
+
+std::map<pegasus::JobMode, int> mode_histogram(
+    const std::map<std::string, pegasus::JobMode>& modes) {
+  std::map<pegasus::JobMode, int> hist;
+  for (const auto& [id, mode] : modes) ++hist[mode];
+  return hist;
+}
+
+}  // namespace sf::workload

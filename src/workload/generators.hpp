@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/ternary.hpp"
+#include "pegasus/abstract_workflow.hpp"
+#include "pegasus/planner.hpp"
+#include "sim/random.hpp"
+#include "storage/replica_catalog.hpp"
+#include "storage/volume.hpp"
+
+namespace sf::workload {
+
+/// The paper's Figure 3 workflow: a chain of `n_tasks` matrix
+/// multiplications, where task i multiplies the previous result with a
+/// fresh input matrix and writes the product for task i+1.
+/// File names are prefixed with the workflow name so concurrent instances
+/// (Figure 4) do not collide.
+pegasus::AbstractWorkflow make_matmul_chain(const std::string& name,
+                                            int n_tasks,
+                                            double matrix_bytes);
+
+/// The Figure 2 workload: `n_tasks` independent matmul tasks fanned out
+/// from shared inputs (fully parallel once stage-in completes).
+pegasus::AbstractWorkflow make_parallel_matmuls(const std::string& name,
+                                                int n_tasks,
+                                                double matrix_bytes);
+
+/// §IX-C future work, implemented: task resizing. The same chain as
+/// `make_matmul_chain`, but each matmul stage is split into
+/// `split_factor` finer-grained row-block tasks ("matmul_part", each
+/// carrying 1/split of the work and of the output bytes) joined by a
+/// cheap "concat" task. Finer tasks expose more parallelism per stage —
+/// the fit with serverless allocation the paper hypothesizes — at the
+/// price of more per-task scheduling overhead.
+pegasus::AbstractWorkflow make_resized_chain(const std::string& name,
+                                             int n_stages, int split_factor,
+                                             double matrix_bytes);
+
+/// Transformation-catalog entries used by resized chains, derived from
+/// the full-size matmul entry.
+pegasus::Transformation make_part_transformation(
+    const pegasus::Transformation& matmul, int split_factor);
+pegasus::Transformation make_concat_transformation(
+    const pegasus::Transformation& matmul);
+
+/// §IX-A future work, implemented: a complex multi-level scientific
+/// workflow in the style of Montage. `width` parallel projections feed
+/// pairwise difference fits, a global plane fit joins them, per-tile
+/// background corrections fan out again, and a final mosaic joins
+/// everything:
+///
+///   project×W → diff×(W-1) → fit → background×W → mosaic
+///
+/// Uses transformations "project", "diff", "fit", "background", "mosaic"
+/// (see add_montage_transformations).
+pegasus::AbstractWorkflow make_montage_like(const std::string& name,
+                                            int width, double tile_bytes);
+
+/// Registers the five Montage transformation entries, with costs derived
+/// from the calibrated matmul entry (same order of magnitude per task).
+void add_montage_transformations(pegasus::TransformationCatalog& catalog,
+                                 const pegasus::Transformation& base);
+
+/// Seeds every workflow-initial input in `staging` and registers it in
+/// the replica catalog (the paper stores the input matrices on disk on
+/// the submit node before each run).
+void seed_initial_inputs(const pegasus::AbstractWorkflow& workflow,
+                         storage::Volume& staging,
+                         storage::ReplicaCatalog& replicas);
+
+/// Randomly assigns an execution mode to every task so that the workflow
+/// set realizes the given mix fractions exactly (the paper: "the
+/// distribution of tasks among these platforms is determined randomly
+/// before initiating the 10 workflows"). Deterministic under a seed.
+std::map<std::string, pegasus::JobMode> assign_modes(
+    const std::vector<const pegasus::AbstractWorkflow*>& workflows,
+    const metrics::MixPoint& mix, sim::Rng& rng);
+
+/// Count of tasks per mode in an assignment (sanity checks / reporting).
+std::map<pegasus::JobMode, int> mode_histogram(
+    const std::map<std::string, pegasus::JobMode>& modes);
+
+}  // namespace sf::workload

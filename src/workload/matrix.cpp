@@ -1,0 +1,55 @@
+#include "workload/matrix.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace sf::workload {
+
+Matrix Matrix::random(std::size_t n, sim::Rng& rng) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    m.data_[i] = static_cast<std::int32_t>(rng.uniform_int(-100, 100));
+  }
+  return m;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::multiply: dimension mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t ii = 0; ii < rows_; ii += kBlock) {
+    const std::size_t i_end = std::min(ii + kBlock, rows_);
+    for (std::size_t kk = 0; kk < cols_; kk += kBlock) {
+      const std::size_t k_end = std::min(kk + kBlock, cols_);
+      for (std::size_t i = ii; i < i_end; ++i) {
+        for (std::size_t k = kk; k < k_end; ++k) {
+          const std::int64_t a = data_[i * cols_ + k];
+          if (a == 0) continue;
+          const std::size_t row = k * other.cols_;
+          for (std::size_t j = 0; j < other.cols_; ++j) {
+            out.data_[i * other.cols_ + j] += static_cast<std::int32_t>(
+                a * other.data_[row + j]);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double measure_matmul_seconds(std::size_t n, sim::Rng& rng) {
+  const Matrix a = Matrix::random(n, rng);
+  const Matrix b = Matrix::random(n, rng);
+  const auto start = std::chrono::steady_clock::now();
+  const Matrix c = a.multiply(b);
+  const auto end = std::chrono::steady_clock::now();
+  // Keep the result alive so the multiply is not optimized away.
+  volatile std::int32_t sink = c.at(0, 0);
+  (void)sink;
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace sf::workload

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace sf::workload {
+
+/// A dense integer matrix — the paper's workload unit: 350×350 matrices of
+/// integers in [-100, 100], multiplied pairwise. This kernel is actually
+/// computed (examples, calibration, tests); the DES models only its cost.
+class Matrix {
+ public:
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+  /// The paper's random matrix: entries uniform in [-100, 100].
+  static Matrix random(std::size_t n, sim::Rng& rng);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] std::int32_t at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  std::int32_t& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+
+  /// Serialized size (int32 elements) — what travels in HTTP payloads and
+  /// staged files.
+  [[nodiscard]] double bytes() const {
+    return static_cast<double>(rows_ * cols_ * sizeof(std::int32_t));
+  }
+
+  /// Cache-blocked product; requires cols() == other.rows().
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<std::int32_t> data_;
+};
+
+/// The paper's matrix order (350) and payload size (≈490 kB).
+inline constexpr std::size_t kPaperMatrixOrder = 350;
+inline constexpr double kPaperMatrixBytes =
+    kPaperMatrixOrder * kPaperMatrixOrder * sizeof(std::int32_t);
+
+/// Wall-clock seconds to multiply two n×n matrices with this kernel on the
+/// current host — used to sanity-check the calibrated task cost.
+double measure_matmul_seconds(std::size_t n, sim::Rng& rng);
+
+}  // namespace sf::workload

@@ -1,0 +1,86 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace sf::cluster {
+namespace {
+
+TEST(Cluster, PaperTestbedShape) {
+  sim::Simulation sim;
+  auto cluster = make_paper_testbed(sim);
+  ASSERT_EQ(cluster->size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(cluster->node(i).spec().cores, 8.0);
+    EXPECT_DOUBLE_EQ(cluster->node(i).spec().memory_bytes,
+                     32.0 * (1ull << 30));
+  }
+  EXPECT_EQ(cluster->node(0).name(), "node0");
+  EXPECT_EQ(cluster->network().node_count(), 4u);
+}
+
+TEST(Cluster, UniformClusterSized) {
+  sim::Simulation sim;
+  NodeSpec base;
+  base.cores = 16;
+  auto cluster = make_uniform_cluster(sim, 7, base);
+  EXPECT_EQ(cluster->size(), 7u);
+  EXPECT_DOUBLE_EQ(cluster->node(6).spec().cores, 16.0);
+}
+
+TEST(Cluster, LookupByName) {
+  sim::Simulation sim;
+  auto cluster = make_paper_testbed(sim);
+  EXPECT_EQ(cluster->node_by_name("node2").net_id(),
+            cluster->node(2).net_id());
+  EXPECT_THROW(cluster->node_by_name("nope"), std::out_of_range);
+}
+
+TEST(Cluster, LookupByNetId) {
+  sim::Simulation sim;
+  auto cluster = make_paper_testbed(sim);
+  const auto id = cluster->node(3).net_id();
+  EXPECT_EQ(&cluster->node_by_net_id(id), &cluster->node(3));
+  EXPECT_THROW(cluster->node_by_net_id(999), std::out_of_range);
+}
+
+TEST(Cluster, AddNodeAutoNames) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  auto& n = cluster.add_node(NodeSpec{});
+  EXPECT_EQ(n.name(), "node0");
+  auto& m = cluster.add_node(NodeSpec{.name = "special"});
+  EXPECT_EQ(m.name(), "special");
+  EXPECT_EQ(cluster.nodes().size(), 2u);
+}
+
+TEST(Cluster, NodesCommunicateOverSharedNetwork) {
+  sim::Simulation sim;
+  auto cluster = make_paper_testbed(sim);
+  double done_at = -1;
+  cluster->network().transfer(cluster->node(0).net_id(),
+                              cluster->node(1).net_id(), 1.25e9,
+                              [&] { done_at = sim.now(); });
+  sim.run();
+  // 1.25 GB at 1.25 GB/s + 200 µs latency.
+  EXPECT_NEAR(done_at, 1.0002, 1e-6);
+}
+
+TEST(Cluster, HttpFabricWorksAcrossNodes) {
+  sim::Simulation sim;
+  auto cluster = make_paper_testbed(sim);
+  cluster->http().listen(cluster->node(1).net_id(), 8080,
+                         [](const net::HttpRequest&, net::Responder respond) {
+                           respond({});
+                         });
+  bool ok = false;
+  cluster->http().request(cluster->node(0).net_id(),
+                          cluster->node(1).net_id(), 8080, {},
+                          [&](net::HttpResponse r) { ok = r.ok(); });
+  sim.run();
+  EXPECT_TRUE(ok);
+}
+
+}  // namespace
+}  // namespace sf::cluster

@@ -1,0 +1,136 @@
+#include "cluster/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::cluster {
+namespace {
+
+class NodeTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  net::FlowNetwork net{sim};
+  NodeSpec spec_{.name = "w0", .cores = 4, .memory_bytes = 1000,
+                 .disk_bandwidth_Bps = 100.0};
+  Node node{sim, net, spec_};
+};
+
+TEST_F(NodeTest, SingleThreadedProcessTakesWorkSeconds) {
+  double done_at = -1;
+  node.run_process(3.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST_F(NodeTest, ContentionAboveCoreCount) {
+  // 8 single-threaded tasks on 4 cores → 2× slowdown.
+  std::vector<double> done;
+  for (int i = 0; i < 8; ++i) {
+    node.run_process(1.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 8u);
+  EXPECT_NEAR(done.back(), 2.0, 1e-9);
+}
+
+TEST_F(NodeTest, CgroupQuotaCapsRate) {
+  double done_at = -1;
+  node.run_process(1.0, [&] { done_at = sim.now(); }, /*max_cores=*/0.5);
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST_F(NodeTest, CgroupSharesSkewContention) {
+  // Weight 3 vs weight 1 on one busy core's worth of competition.
+  sim::Simulation s2;
+  net::FlowNetwork n2{s2};
+  Node single{s2, n2, NodeSpec{.name = "n", .cores = 1}};
+  std::vector<std::pair<char, double>> done;
+  single.run_process(0.75, [&] { done.emplace_back('h', s2.now()); },
+                     1.0, /*weight=*/3.0);
+  single.run_process(0.25, [&] { done.emplace_back('l', s2.now()); },
+                     1.0, /*weight=*/1.0);
+  s2.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Rates 0.75 and 0.25 → both finish at t=1.
+  EXPECT_NEAR(done[0].second, 1.0, 1e-9);
+  EXPECT_NEAR(done[1].second, 1.0, 1e-9);
+}
+
+TEST_F(NodeTest, KillProcessStopsIt) {
+  bool ran = false;
+  const auto pid = node.run_process(100.0, [&] { ran = true; });
+  sim.call_at(1.0, [&] { EXPECT_TRUE(node.kill_process(pid)); });
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(node.running_processes(), 0u);
+}
+
+TEST_F(NodeTest, DynamicCapChange) {
+  double done_at = -1;
+  const auto pid = node.run_process(2.0, [&] { done_at = sim.now(); }, 2.0);
+  sim.call_at(0.5, [&] { EXPECT_TRUE(node.set_process_cap(pid, 0.5)); });
+  sim.run();
+  // 1.0 done by 0.5 s, then 1.0 at 0.5 cores → 2 s more.
+  EXPECT_NEAR(done_at, 2.5, 1e-9);
+}
+
+TEST_F(NodeTest, MemoryAccounting) {
+  EXPECT_TRUE(node.allocate_memory(600));
+  EXPECT_DOUBLE_EQ(node.memory_used(), 600);
+  EXPECT_DOUBLE_EQ(node.memory_free(), 400);
+  EXPECT_TRUE(node.allocate_memory(400));
+  EXPECT_FALSE(node.allocate_memory(1));
+  EXPECT_EQ(node.oom_events(), 1u);
+  node.release_memory(500);
+  EXPECT_TRUE(node.allocate_memory(1));
+}
+
+TEST_F(NodeTest, OomHandlerFires) {
+  double requested = 0;
+  node.set_oom_handler([&](double r) { requested = r; });
+  EXPECT_FALSE(node.allocate_memory(5000));
+  EXPECT_DOUBLE_EQ(requested, 5000);
+}
+
+TEST_F(NodeTest, ReleaseNeverGoesNegative) {
+  node.release_memory(100);
+  EXPECT_DOUBLE_EQ(node.memory_used(), 0);
+}
+
+TEST_F(NodeTest, DiskIoPaysBandwidth) {
+  double done_at = -1;
+  node.disk_io(200.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST_F(NodeTest, ConcurrentDiskIoShares) {
+  std::vector<double> done;
+  node.disk_io(100.0, [&] { done.push_back(sim.now()); });
+  node.disk_io(100.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done.back(), 2.0, 1e-9);
+}
+
+TEST_F(NodeTest, ZeroByteDiskIoImmediate) {
+  double done_at = -1;
+  node.disk_io(0.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.0, 1e-12);
+}
+
+TEST_F(NodeTest, CpuUtilizationReflectsLoad) {
+  node.run_process(10.0, [] {}, 1.0);
+  node.run_process(10.0, [] {}, 1.0);
+  sim.run_until(0.1);
+  EXPECT_NEAR(node.cpu_utilization(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sf::cluster

@@ -1,0 +1,240 @@
+#include "container/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "container/image.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::container {
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  Registry hub{cl->node(0)};
+  ImageCache cache{cl->node(1), cl->network()};
+  ContainerRuntime docker{cl->node(1), cache};
+
+  ContainerSpec spec() {
+    ContainerSpec s;
+    s.name = "matmul";
+    s.image = "matmul:latest";
+    s.cpu_limit = 1.0;
+    s.memory_bytes = 512e6;
+    return s;
+  }
+
+  void SetUp() override {
+    hub.push(make_task_image("matmul"));
+    cache.seed_image(make_task_image("matmul"));
+  }
+
+  ContainerId create_started() {
+    ContainerId id = kNoContainer;
+    docker.create(spec(), [&](ContainerId c) { id = c; });
+    sim.run();
+    docker.start(id, [](bool ok) { EXPECT_TRUE(ok); });
+    sim.run();
+    return id;
+  }
+};
+
+TEST_F(RuntimeTest, FullLifecycle) {
+  ContainerId id = kNoContainer;
+  docker.create(spec(), [&](ContainerId c) { id = c; });
+  sim.run();
+  ASSERT_NE(id, kNoContainer);
+  EXPECT_EQ(docker.state(id), ContainerRuntime::State::kCreated);
+
+  bool started = false;
+  docker.start(id, [&](bool ok) { started = ok; });
+  sim.run();
+  EXPECT_TRUE(started);
+  EXPECT_EQ(docker.state(id), ContainerRuntime::State::kRunning);
+
+  bool ran = false;
+  docker.exec(id, 0.5, [&](bool ok) { ran = ok; });
+  sim.run();
+  EXPECT_TRUE(ran);
+
+  bool stopped = false;
+  docker.stop(id, [&](bool ok) { stopped = ok; });
+  sim.run();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(docker.state(id), ContainerRuntime::State::kStopped);
+
+  bool removed = false;
+  docker.remove(id, [&](bool ok) { removed = ok; });
+  sim.run();
+  EXPECT_TRUE(removed);
+  EXPECT_FALSE(docker.exists(id));
+  EXPECT_DOUBLE_EQ(cl->node(1).memory_used(), 0.0);
+}
+
+TEST_F(RuntimeTest, LifecycleOverheadsAccumulate) {
+  const RuntimeOverheads& oh = docker.overheads();
+  double done_at = -1;
+  docker.run_task_once(spec(), 0.5, hub, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = sim.now();
+  });
+  sim.run();
+  const double expected =
+      oh.create_s + oh.start_s + 0.5 + oh.stop_s + oh.remove_s;
+  EXPECT_NEAR(done_at, expected, 1e-9);
+}
+
+TEST_F(RuntimeTest, BootTimePaidOnStart) {
+  ContainerSpec s = spec();
+  s.boot_s = 1.0;
+  ContainerId id = kNoContainer;
+  docker.create(s, [&](ContainerId c) { id = c; });
+  sim.run();
+  double started_at = -1;
+  docker.start(id, [&](bool) { started_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(started_at, docker.overheads().create_s +
+                              docker.overheads().start_s + 1.0, 1e-9);
+}
+
+TEST_F(RuntimeTest, CpuQuotaEnforcedInExec) {
+  ContainerSpec s = spec();
+  s.cpu_limit = 0.5;
+  ContainerId id = kNoContainer;
+  docker.create(s, [&](ContainerId c) { id = c; });
+  sim.run();
+  docker.start(id, [](bool) {});
+  sim.run();
+  const double start_time = sim.now();
+  double done_at = -1;
+  docker.exec(id, 1.0, [&](bool) { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at - start_time, 2.0, 1e-9);
+}
+
+TEST_F(RuntimeTest, ConcurrentExecsShareQuota) {
+  ContainerSpec s = spec();
+  s.cpu_limit = 1.0;
+  ContainerId id = kNoContainer;
+  docker.create(s, [&](ContainerId c) { id = c; });
+  sim.run();
+  docker.start(id, [](bool) {});
+  sim.run();
+  const double t0 = sim.now();
+  std::vector<double> done;
+  docker.exec(id, 1.0, [&](bool) { done.push_back(sim.now()); });
+  docker.exec(id, 1.0, [&](bool) { done.push_back(sim.now()); });
+  EXPECT_EQ(docker.active_execs(id), 2u);
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both capped at 1 core each → node has 8 cores, both run at 1 core.
+  EXPECT_NEAR(done.back() - t0, 1.0, 1e-9);
+}
+
+TEST_F(RuntimeTest, OutOfMemoryFailsCreate) {
+  ContainerSpec s = spec();
+  s.memory_bytes = 100e9;  // > 32 GB node
+  ContainerId id = 1234;
+  docker.create(s, [&](ContainerId c) { id = c; });
+  sim.run();
+  EXPECT_EQ(id, kNoContainer);
+  EXPECT_EQ(cl->node(1).oom_events(), 1u);
+}
+
+TEST_F(RuntimeTest, MemoryReleasedAfterRemove) {
+  ContainerId id = create_started();
+  EXPECT_GT(cl->node(1).memory_used(), 0.0);
+  docker.stop(id, [](bool) {});
+  sim.run();
+  docker.remove(id, [](bool) {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(cl->node(1).memory_used(), 0.0);
+}
+
+TEST_F(RuntimeTest, ExecOnNonRunningFails) {
+  ContainerId id = kNoContainer;
+  docker.create(spec(), [&](ContainerId c) { id = c; });
+  sim.run();
+  bool ok = true;
+  docker.exec(id, 1.0, [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(RuntimeTest, StartTwiceFails) {
+  ContainerId id = create_started();
+  bool ok = true;
+  docker.start(id, [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(RuntimeTest, RemoveRunningFails) {
+  ContainerId id = create_started();
+  bool ok = true;
+  docker.remove(id, [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_TRUE(docker.exists(id));
+}
+
+TEST_F(RuntimeTest, StopKillsInflightExecs) {
+  ContainerId id = create_started();
+  bool exec_ok = true;
+  docker.exec(id, 100.0, [&](bool r) { exec_ok = r; });
+  sim.call_in(1.0, [&] { docker.stop(id, [](bool ok) { EXPECT_TRUE(ok); }); });
+  sim.run();
+  EXPECT_FALSE(exec_ok);
+  EXPECT_EQ(docker.active_execs(id), 0u);
+}
+
+TEST_F(RuntimeTest, RunTaskOncePullsWhenMissing) {
+  cache.clear();
+  double done_at = -1;
+  docker.run_task_once(spec(), 0.5, hub, [&](bool ok) {
+    EXPECT_TRUE(ok);
+    done_at = sim.now();
+  });
+  sim.run();
+  // Must exceed the no-pull cost because ~242 MB were fetched.
+  const RuntimeOverheads& oh = docker.overheads();
+  EXPECT_GT(done_at, oh.create_s + oh.start_s + 0.5 + oh.stop_s +
+                         oh.remove_s + 0.1);
+  EXPECT_TRUE(cache.has_image("matmul:latest", hub));
+}
+
+TEST_F(RuntimeTest, RunTaskOnceUnknownImageFails) {
+  ContainerSpec s = spec();
+  s.image = "ghost:1";
+  bool ok = true;
+  docker.run_task_once(s, 0.5, hub, [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(RuntimeTest, SequentialDockerRunsAccumulateOverhead) {
+  // The Figure 1 Docker pattern: N tasks, each in a fresh container.
+  constexpr int kTasks = 10;
+  const RuntimeOverheads& oh = docker.overheads();
+  int completed = 0;
+  std::function<void()> run_next = [&] {
+    if (completed == kTasks) return;
+    docker.run_task_once(spec(), 0.1, hub, [&](bool ok) {
+      EXPECT_TRUE(ok);
+      ++completed;
+      run_next();
+    });
+  };
+  run_next();
+  sim.run();
+  EXPECT_EQ(completed, kTasks);
+  const double per_task =
+      oh.create_s + oh.start_s + 0.1 + oh.stop_s + oh.remove_s;
+  EXPECT_NEAR(sim.now(), kTasks * per_task, 1e-6);
+  EXPECT_EQ(docker.containers_created(), kTasks);
+}
+
+}  // namespace
+}  // namespace sf::container

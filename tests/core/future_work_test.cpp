@@ -1,0 +1,112 @@
+// Tests for the paper's §IX future-work features: automated integration
+// (§IX-B) and task resizing (§IX-C).
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace sf::core {
+namespace {
+
+TEST(AutoRegister, RegistersEveryTransformationAndReturnsModes) {
+  PaperTestbed tb(42);
+  auto wf = workload::make_matmul_chain("w", 4,
+                                        tb.calibration().matrix_bytes);
+  const auto modes = tb.integration().auto_register(
+      wf, tb.transformations(), ProvisioningPolicy::prestaged(2));
+  EXPECT_TRUE(tb.integration().is_registered("matmul"));
+  EXPECT_EQ(modes.size(), 4u);
+  for (const auto& [id, mode] : modes) {
+    EXPECT_EQ(mode, pegasus::JobMode::kServerless);
+  }
+}
+
+TEST(AutoRegister, AutoRegisteredWorkflowRunsEndToEnd) {
+  PaperTestbed tb(42);
+  auto wf = workload::make_matmul_chain("w", 3,
+                                        tb.calibration().matrix_bytes);
+  const auto modes = tb.integration().auto_register(
+      wf, tb.transformations(), ProvisioningPolicy::prestaged(3));
+  const auto result = tb.run_workflows({wf}, modes);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(tb.integration().invocations(), 3u);
+}
+
+TEST(AutoRegister, UnknownTransformationThrows) {
+  PaperTestbed tb(42);
+  pegasus::AbstractWorkflow wf("w");
+  wf.declare_file("in", 1);
+  wf.declare_file("out", 1);
+  pegasus::AbstractJob job;
+  job.id = "mystery";
+  job.transformation = "not-in-catalog";
+  job.uses = {{"in", pegasus::LinkType::kInput},
+              {"out", pegasus::LinkType::kOutput}};
+  wf.add_job(std::move(job));
+  EXPECT_THROW(tb.integration().auto_register(wf, tb.transformations(),
+                                              ProvisioningPolicy{}),
+               std::out_of_range);
+}
+
+class ResizedChainTest : public ::testing::Test {
+ protected:
+  PaperTestbed tb{42};
+
+  void SetUp() override {
+    const auto matmul = tb.calibration().matmul_transformation();
+    tb.transformations().add(workload::make_part_transformation(matmul, 4));
+    tb.transformations().add(workload::make_concat_transformation(matmul));
+  }
+};
+
+TEST_F(ResizedChainTest, ShapeSplitsStages) {
+  const auto wf = workload::make_resized_chain("r", 3, 4, 490000);
+  // Per stage: 4 parts + 1 join.
+  EXPECT_EQ(wf.jobs().size(), 15u);
+  // Joins depend on all parts of their stage.
+  EXPECT_EQ(wf.parents_of("r.join0").size(), 4u);
+  // Stage 1 parts depend on stage 0's join (via m1).
+  EXPECT_EQ(wf.parents_of("r.t1_0"),
+            (std::vector<std::string>{"r.join0"}));
+  EXPECT_EQ(wf.final_outputs(), (std::vector<std::string>{"r.m3"}));
+}
+
+TEST_F(ResizedChainTest, SplitFactorOnePlainChainShape) {
+  const auto wf = workload::make_resized_chain("r", 2, 1, 490000);
+  EXPECT_EQ(wf.jobs().size(), 4u);  // 2 × (1 part + join)
+  EXPECT_THROW(workload::make_resized_chain("bad", 2, 0, 1),
+               std::invalid_argument);
+}
+
+TEST_F(ResizedChainTest, PartTransformationDividesWork) {
+  const auto matmul = tb.calibration().matmul_transformation();
+  const auto part = workload::make_part_transformation(matmul, 4);
+  EXPECT_EQ(part.name, "matmul_part");
+  EXPECT_DOUBLE_EQ(part.work_coreseconds, matmul.work_coreseconds / 4);
+  const auto concat = workload::make_concat_transformation(matmul);
+  EXPECT_EQ(concat.name, "concat");
+  EXPECT_LT(concat.work_coreseconds, 0.1);
+}
+
+TEST_F(ResizedChainTest, ResizedWorkflowRunsNative) {
+  const auto wf = workload::make_resized_chain(
+      "r", 2, 4, tb.calibration().matrix_bytes);
+  const auto result = tb.run_workflows({wf}, {});
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_TRUE(tb.condor().submit_staging().contains("r.m2"));
+}
+
+TEST_F(ResizedChainTest, ResizedWorkflowRunsServerless) {
+  tb.register_matmul_function();
+  const auto wf = workload::make_resized_chain(
+      "r", 2, 4, tb.calibration().matrix_bytes);
+  const auto modes = tb.integration().auto_register(
+      wf, tb.transformations(), ProvisioningPolicy::prestaged(3));
+  const auto result = tb.run_workflows({wf}, modes);
+  EXPECT_TRUE(result.all_succeeded);
+  // parts + joins all went through functions.
+  EXPECT_EQ(tb.integration().invocations(), 10u);
+}
+
+}  // namespace
+}  // namespace sf::core

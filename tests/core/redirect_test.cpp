@@ -1,0 +1,123 @@
+#include "core/redirect.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace sf::core {
+namespace {
+
+/// Fixture providing an idle testbed plus helpers to load worker nodes
+/// with background CPU hogs (the over-utilization §IX-D targets).
+class RedirectTest : public ::testing::Test {
+ protected:
+  PaperTestbed tb{42};
+
+  void SetUp() override { tb.register_matmul_function(); }
+
+  /// Saturates a worker with long-running uncapped background work.
+  void load_node(const std::string& name, int hogs, double work = 1e6) {
+    auto& node = tb.cluster().node_by_name(name);
+    for (int i = 0; i < hogs; ++i) {
+      node.run_process(work, [] {}, 1.0);
+    }
+  }
+
+  PaperTestbed::RunResult run_adaptive(TaskRedirector& redirector,
+                                       int n_tasks) {
+    auto wf = workload::make_parallel_matmuls(
+        "adapt", n_tasks, tb.calibration().matrix_bytes);
+    workload::seed_initial_inputs(wf, tb.condor().submit_staging(),
+                                  tb.replicas());
+    pegasus::PlannerOptions opts;
+    opts.default_mode = pegasus::JobMode::kServerless;
+    opts.registry = &tb.registry();
+    opts.docker = &tb.docker();
+    opts.serverless_factory = redirector.adaptive_factory();
+    pegasus::Planner planner(wf, tb.transformations(), tb.replicas(),
+                             tb.condor(), opts);
+    condor::DagMan dag(tb.condor());
+    planner.plan().load_into(dag);
+    bool ok = false;
+    bool finished = false;
+    dag.run([&](bool success) {
+      ok = success;
+      finished = true;
+    });
+    while (!finished && tb.sim().has_pending_events()) tb.sim().step();
+    PaperTestbed::RunResult result;
+    result.all_succeeded = ok;
+    result.slowest = dag.makespan();
+    return result;
+  }
+};
+
+TEST_F(RedirectTest, IdleNodesRunNative) {
+  TaskRedirector redirector(tb.integration(), 0.75);
+  const auto result = run_adaptive(redirector, 6);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(redirector.redirected(), 0u);
+  EXPECT_EQ(redirector.ran_native(), 6u);
+}
+
+TEST_F(RedirectTest, LoadedNodesRedirectToServerless) {
+  // Saturate every worker: all tasks should flee to the function (whose
+  // pods, albeit co-located, have their own cgroup share).
+  for (const auto& name : {"node1", "node2", "node3"}) {
+    load_node(name, 16);
+  }
+  TaskRedirector redirector(tb.integration(), 0.75);
+  const auto result = run_adaptive(redirector, 6);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(redirector.redirected(), 6u);
+  EXPECT_EQ(redirector.ran_native(), 0u);
+}
+
+TEST_F(RedirectTest, MixedLoadSplitsDecisions) {
+  load_node("node1", 16);
+  load_node("node2", 16);
+  TaskRedirector redirector(tb.integration(), 0.75);
+  const auto result = run_adaptive(redirector, 9);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_GT(redirector.redirected(), 0u);
+  EXPECT_GT(redirector.ran_native(), 0u);
+  EXPECT_EQ(redirector.redirected() + redirector.ran_native(), 9u);
+}
+
+TEST_F(RedirectTest, InvalidThresholdThrows) {
+  EXPECT_THROW(TaskRedirector(tb.integration(), 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(TaskRedirector(tb.integration(), 1.5),
+               std::invalid_argument);
+}
+
+TEST_F(RedirectTest, RedirectionBeatsStaticNativeUnderLoad) {
+  // Static native on loaded workers vs adaptive redirection; the
+  // redirected tasks escape contention through the pods' cgroup shares.
+  PaperTestbed native_tb(42);
+  for (const auto& name : {"node1", "node2"}) {
+    auto& node = native_tb.cluster().node_by_name(name);
+    for (int i = 0; i < 24; ++i) node.run_process(1e6, [] {}, 1.0);
+  }
+  auto wf = workload::make_parallel_matmuls(
+      "load", 12, native_tb.calibration().matrix_bytes);
+  std::map<std::string, pegasus::JobMode> native_modes;
+  for (const auto& j : wf.jobs()) {
+    native_modes[j.id] = pegasus::JobMode::kNative;
+  }
+  const auto native = native_tb.run_workflows({wf}, native_modes);
+
+  for (const auto& name : {"node1", "node2"}) {
+    load_node(name, 24);
+  }
+  tb.serving().set_load_balancing(knative::LoadBalancingPolicy::kLeastLoaded);
+  TaskRedirector redirector(tb.integration(), 0.75);
+  const auto adaptive = run_adaptive(redirector, 12);
+  EXPECT_TRUE(native.all_succeeded);
+  EXPECT_TRUE(adaptive.all_succeeded);
+  EXPECT_GT(redirector.redirected(), 0u);
+  EXPECT_LE(adaptive.slowest, native.slowest);
+}
+
+}  // namespace
+}  // namespace sf::core

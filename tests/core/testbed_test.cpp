@@ -1,0 +1,75 @@
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::core {
+namespace {
+
+TEST(Testbed, AssemblesPaperTopology) {
+  PaperTestbed tb(42);
+  EXPECT_EQ(tb.cluster().size(), 4u);
+  EXPECT_EQ(tb.condor().worker_count(), 3u);
+  EXPECT_EQ(tb.kube().worker_count(), 3u);
+  EXPECT_TRUE(tb.transformations().has("matmul"));
+  EXPECT_TRUE(tb.registry().has("matmul:latest"));
+}
+
+TEST(Testbed, RejectsDegenerateCluster) {
+  TestbedOptions opts;
+  opts.node_count = 1;
+  EXPECT_THROW(PaperTestbed(1, opts), std::invalid_argument);
+}
+
+TEST(Testbed, AllNativeWorkflowSetSucceeds) {
+  PaperTestbed tb(42);
+  const auto r = tb.run_concurrent_mix(3, 3, {1, 0, 0});
+  EXPECT_TRUE(r.all_succeeded);
+  EXPECT_EQ(r.makespans.size(), 3u);
+  EXPECT_GT(r.slowest, 0);
+  EXPECT_EQ(r.mode_counts.at(pegasus::JobMode::kNative), 9);
+}
+
+TEST(Testbed, MixedModesRespectFractions) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function();
+  const auto r = tb.run_concurrent_mix(2, 5, {0.5, 0.2, 0.3});
+  EXPECT_TRUE(r.all_succeeded);
+  EXPECT_EQ(r.mode_counts.at(pegasus::JobMode::kNative), 5);
+  EXPECT_EQ(r.mode_counts.at(pegasus::JobMode::kContainer), 2);
+  EXPECT_EQ(r.mode_counts.at(pegasus::JobMode::kServerless), 3);
+}
+
+TEST(Testbed, DeterministicAcrossIdenticalSeeds) {
+  auto run = [](std::uint64_t seed) {
+    PaperTestbed tb(seed);
+    tb.register_matmul_function();
+    return tb.run_concurrent_mix(3, 4, {0.5, 0.0, 0.5}).slowest;
+  };
+  EXPECT_DOUBLE_EQ(run(123), run(123));
+}
+
+TEST(Testbed, ConsecutiveRunsAreIndependent) {
+  PaperTestbed tb(42);
+  const auto a = tb.run_concurrent_mix(2, 3, {1, 0, 0});
+  const auto b = tb.run_concurrent_mix(2, 3, {1, 0, 0});
+  EXPECT_TRUE(a.all_succeeded);
+  EXPECT_TRUE(b.all_succeeded);
+  // Warm claims may make the second run slightly faster, but both must be
+  // in the same regime.
+  EXPECT_NEAR(a.slowest, b.slowest, a.slowest * 0.5);
+}
+
+TEST(Testbed, NativeBeatsContainerOnMakespan) {
+  // Fresh testbeds: back-to-back runs in one pool would share warm
+  // claims and bias the comparison.
+  PaperTestbed native_tb(42);
+  const auto native = native_tb.run_concurrent_mix(2, 5, {1, 0, 0});
+  PaperTestbed container_tb(42);
+  const auto container = container_tb.run_concurrent_mix(2, 5, {0, 1, 0});
+  EXPECT_TRUE(native.all_succeeded);
+  EXPECT_TRUE(container.all_succeeded);
+  EXPECT_LT(native.slowest, container.slowest);
+}
+
+}  // namespace
+}  // namespace sf::core

@@ -1,0 +1,113 @@
+// Full-stack integration tests: determinism, scale-out beyond the paper's
+// testbed, and cross-subsystem accounting invariants.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace sf::core {
+namespace {
+
+struct RunSignature {
+  double slowest;
+  std::vector<double> makespans;
+  std::uint64_t invocations;
+  std::uint64_t condor_completed;
+  double network_bytes;
+
+  friend bool operator==(const RunSignature&, const RunSignature&) = default;
+};
+
+RunSignature run_mixed(std::uint64_t seed) {
+  PaperTestbed tb(seed);
+  tb.register_matmul_function();
+  const auto result = tb.run_concurrent_mix(4, 6, {0.4, 0.2, 0.4});
+  return RunSignature{result.slowest, result.makespans,
+                      tb.integration().invocations(),
+                      tb.condor().completed_jobs(),
+                      tb.cluster().network().total_bytes_delivered()};
+}
+
+TEST(EndToEnd, BitIdenticalUnderSameSeed) {
+  EXPECT_EQ(run_mixed(99), run_mixed(99));
+}
+
+TEST(EndToEnd, DifferentSeedsChangePlacementNotCorrectness) {
+  const auto a = run_mixed(1);
+  const auto b = run_mixed(2);
+  // Same task counts either way.
+  EXPECT_EQ(a.condor_completed, b.condor_completed);
+  // Placement (and hence timing details) differ.
+  EXPECT_NE(a.makespans, b.makespans);
+}
+
+TEST(EndToEnd, EveryTaskBecomesExactlyOneCondorJobPlusStaging) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function();
+  const auto result = tb.run_concurrent_mix(3, 5, {0.4, 0.2, 0.4});
+  EXPECT_TRUE(result.all_succeeded);
+  // Per workflow: 5 compute + stage-in + stage-out.
+  EXPECT_EQ(tb.condor().completed_jobs(), 3u * (5 + 2));
+  EXPECT_EQ(tb.condor().failed_jobs(), 0u);
+}
+
+TEST(EndToEnd, ServerlessInvocationCountMatchesTaskCount) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function();
+  const auto result = tb.run_concurrent_mix(4, 5, {0.5, 0.0, 0.5});
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(tb.integration().invocations(), 10u);  // 20 tasks × 0.5
+  EXPECT_EQ(tb.integration().failures(), 0u);
+  EXPECT_EQ(tb.serving().requests_routed("fn-matmul"), 10u);
+}
+
+TEST(EndToEnd, LargerClusterShortensContainerWorkflows) {
+  // Doubling the workers relieves the parallel-task bottleneck.
+  TestbedOptions small_opts;
+  small_opts.node_count = 4;
+  PaperTestbed small(42, small_opts);
+  auto wf = workload::make_parallel_matmuls(
+      "p", 48, small.calibration().matrix_bytes);
+  std::map<std::string, pegasus::JobMode> modes;
+  for (const auto& j : wf.jobs()) modes[j.id] = pegasus::JobMode::kNative;
+  const auto small_run = small.run_workflows({wf}, modes);
+
+  TestbedOptions big_opts;
+  big_opts.node_count = 8;
+  PaperTestbed big(42, big_opts);
+  auto wf2 = workload::make_parallel_matmuls(
+      "p", 48, big.calibration().matrix_bytes);
+  const auto big_run = big.run_workflows({wf2}, modes);
+  EXPECT_TRUE(small_run.all_succeeded);
+  EXPECT_TRUE(big_run.all_succeeded);
+  EXPECT_LT(big_run.slowest, small_run.slowest);
+}
+
+TEST(EndToEnd, MemoryFullyReclaimedAfterMixedRun) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function(ProvisioningPolicy::deferred());
+  const auto result = tb.run_concurrent_mix(2, 4, {0.25, 0.25, 0.5});
+  EXPECT_TRUE(result.all_succeeded);
+  // Let knative scale back to zero and claims expire.
+  tb.sim().run_until(tb.sim().now() + 700.0);
+  for (std::size_t i = 1; i < tb.cluster().size(); ++i) {
+    EXPECT_DOUBLE_EQ(tb.cluster().node(i).memory_used(), 0.0)
+        << "leak on node " << i;
+  }
+}
+
+TEST(EndToEnd, TraceCapturesWholePipeline) {
+  PaperTestbed tb(42);
+  tb.sim().trace().set_enabled(true);
+  tb.register_matmul_function();
+  const auto result = tb.run_concurrent_mix(2, 3, {0.5, 0.0, 0.5});
+  EXPECT_TRUE(result.all_succeeded);
+  const auto& trace = tb.sim().trace();
+  EXPECT_GT(trace.count("condor", "submit"), 0u);
+  EXPECT_GT(trace.count("condor", "job_complete"), 0u);
+  EXPECT_GT(trace.count("k8s", "bind"), 0u);
+  EXPECT_GT(trace.count("kubelet", "realize"), 0u);
+}
+
+}  // namespace
+}  // namespace sf::core

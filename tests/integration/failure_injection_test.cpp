@@ -1,0 +1,162 @@
+// Failure-injection tests across the full stack: the paper's own failure
+// anecdote (concurrent invocation without HTCondor queueing crashed the
+// VM), pod loss mid-workflow, and service teardown under live traffic.
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace sf::core {
+namespace {
+
+/// §III-C: "attempting to run concurrent Knative tasks without
+/// HTCondor's queuing ability caused the virtual machine to crash."
+/// Model: each in-flight wrapper buffers its payload in memory on the
+/// submit node. Unthrottled, a burst overcommits the node (OOM events);
+/// DAGMan's max-jobs throttle keeps the footprint bounded.
+class ThrottleTest : public ::testing::Test {
+ protected:
+  static constexpr double kWrapperFootprint = 4.0 * (1ull << 30);  // 4 GB
+
+  /// Runs `n_tasks` parallel "wrapper" jobs that hold memory on the
+  /// submit node while a (simulated) invocation is in flight.
+  std::uint64_t run_burst(int n_tasks, int max_jobs) {
+    PaperTestbed tb(42);
+    cluster::Node& submit = tb.cluster().node(0);
+    condor::DagMan dag(tb.condor(),
+                       condor::DagConfig{1.0, max_jobs, 0.0});
+    for (int i = 0; i < n_tasks; ++i) {
+      condor::DagNode node;
+      node.name = "w" + std::to_string(i);
+      node.job.submit_volume = &tb.condor().submit_staging();
+      node.job.executable = [&submit](condor::ExecContext& ctx,
+                                      std::function<void(bool)> done) {
+        // The invocation script buffers the matrices on the submit node.
+        const bool got = submit.allocate_memory(kWrapperFootprint);
+        ctx.sim->call_in(6.0, [&submit, got,
+                               done = std::move(done)]() mutable {
+          if (got) submit.release_memory(kWrapperFootprint);
+          done(true);  // the task finishes; the "crash" is the OOM event
+        });
+      };
+      dag.add_node(std::move(node));
+    }
+    bool finished = false;
+    dag.run([&](bool) { finished = true; });
+    while (!finished && tb.sim().has_pending_events()) tb.sim().step();
+    EXPECT_TRUE(finished);
+    return tb.cluster().node(0).oom_events();
+  }
+};
+
+TEST_F(ThrottleTest, UnthrottledBurstOvercommitsSubmitNode) {
+  // ~18 × 4 GB in flight vs 32 GB of RAM → OOM, the paper's crash.
+  EXPECT_GT(run_burst(24, /*max_jobs=*/0), 0u);
+}
+
+TEST_F(ThrottleTest, DagmanThrottlePreventsTheCrash) {
+  EXPECT_EQ(run_burst(24, /*max_jobs=*/6), 0u);
+}
+
+TEST(FailureInjection, PodLossMidWorkflowRecovers) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function();
+  auto wf = workload::make_matmul_chain("w", 6,
+                                        tb.calibration().matrix_bytes);
+  std::map<std::string, pegasus::JobMode> modes;
+  for (const auto& j : wf.jobs()) modes[j.id] = pegasus::JobMode::kServerless;
+
+  // Kill one warm pod shortly after the workflow starts; min-scale brings
+  // a replacement and the router retries around the gap.
+  tb.sim().call_in(30.0, [&tb] {
+    const auto pods = tb.kube().api().list_pods();
+    ASSERT_FALSE(pods.empty());
+    tb.kube().api().delete_pod(pods.front().name);
+  });
+  const auto result = tb.run_workflows({wf}, modes);
+  EXPECT_TRUE(result.all_succeeded);
+  // The replacement pod restored the warm fleet.
+  EXPECT_EQ(tb.serving().ready_replicas("fn-matmul"), 3);
+}
+
+TEST(FailureInjection, ServiceDeletedMidRunFailsGracefully) {
+  PaperTestbed tb(42);
+  tb.register_matmul_function();
+  auto wf = workload::make_matmul_chain("w", 6,
+                                        tb.calibration().matrix_bytes);
+  std::map<std::string, pegasus::JobMode> modes;
+  for (const auto& j : wf.jobs()) modes[j.id] = pegasus::JobMode::kServerless;
+  tb.sim().call_in(60.0, [&tb] { tb.serving().delete_service("fn-matmul"); });
+  const auto result = tb.run_workflows({wf}, modes);
+  // The workflow fails (invocations 404) but nothing hangs or crashes.
+  EXPECT_FALSE(result.all_succeeded);
+  EXPECT_GT(tb.integration().failures(), 0u);
+}
+
+TEST(FailureInjection, MissingContainerImageFailsOnlyContainerTasks) {
+  PaperTestbed tb(42);
+  // Remove the task image from the registry after planning would need it.
+  pegasus::Transformation broken = tb.calibration().matmul_transformation();
+  broken.name = "matmul-broken";
+  broken.container_image = "ghost:1";
+  tb.transformations().add(broken);
+
+  pegasus::AbstractWorkflow wf("w");
+  wf.declare_file("w.in", 1000);
+  wf.declare_file("w.out", 1000);
+  pegasus::AbstractJob job;
+  job.id = "w.t0";
+  job.transformation = "matmul-broken";
+  job.uses = {{"w.in", pegasus::LinkType::kInput},
+              {"w.out", pegasus::LinkType::kOutput}};
+  wf.add_job(std::move(job));
+  workload::seed_initial_inputs(wf, tb.condor().submit_staging(),
+                                tb.replicas());
+  pegasus::PlannerOptions opts;
+  opts.default_mode = pegasus::JobMode::kContainer;
+  opts.registry = &tb.registry();
+  opts.docker = &tb.docker();
+  pegasus::Planner planner(wf, tb.transformations(), tb.replicas(),
+                           tb.condor(), opts);
+  EXPECT_THROW(planner.plan(), std::invalid_argument);
+}
+
+TEST(FailureInjection, WorkerSaturationDelaysButCompletes) {
+  PaperTestbed tb(42);
+  // Saturate every worker with background load; native workflow slows
+  // down but still completes (processor sharing never starves it).
+  for (std::size_t i = 1; i < tb.cluster().size(); ++i) {
+    for (int h = 0; h < 32; ++h) {
+      tb.cluster().node(i).run_process(500.0, [] {}, 1.0);
+    }
+  }
+  auto wf = workload::make_matmul_chain("w", 3,
+                                        tb.calibration().matrix_bytes);
+  const auto loaded = tb.run_workflows({wf}, {});
+  EXPECT_TRUE(loaded.all_succeeded);
+
+  PaperTestbed idle_tb(42);
+  auto wf2 = workload::make_matmul_chain("w", 3,
+                                         idle_tb.calibration().matrix_bytes);
+  const auto idle = idle_tb.run_workflows({wf2}, {});
+  EXPECT_TRUE(idle.all_succeeded);
+  EXPECT_GT(loaded.slowest, idle.slowest);
+}
+
+TEST(FailureInjection, ColdRegistryPullDelaysFirstServerlessTask) {
+  TestbedOptions opts;
+  opts.prestage_images = false;
+  opts.provisioning = ProvisioningPolicy::deferred();
+  PaperTestbed tb(42, opts);
+  tb.register_matmul_function();
+  auto wf = workload::make_matmul_chain("w", 1,
+                                        tb.calibration().matrix_bytes);
+  std::map<std::string, pegasus::JobMode> modes{
+      {"w.t0", pegasus::JobMode::kServerless}};
+  const auto result = tb.run_workflows({wf}, modes);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(tb.serving().cold_start_requests("fn-matmul"), 1u);
+}
+
+}  // namespace
+}  // namespace sf::core

@@ -1,0 +1,188 @@
+#include "k8s/api_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sf::k8s {
+namespace {
+
+Pod make_pod(const std::string& name) {
+  Pod p;
+  p.name = name;
+  p.labels = {{"app", "matmul"}};
+  p.container.image = "matmul:latest";
+  return p;
+}
+
+class ApiServerTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  ApiServer api{sim};
+};
+
+TEST_F(ApiServerTest, CreatePodAssignsUidAndPending) {
+  const Uid uid = api.create_pod(make_pod("p0"));
+  EXPECT_GT(uid, 0u);
+  const Pod* p = api.get_pod("p0");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->phase, PodPhase::kPending);
+}
+
+TEST_F(ApiServerTest, DuplicatePodNameThrows) {
+  api.create_pod(make_pod("p0"));
+  EXPECT_THROW(api.create_pod(make_pod("p0")), std::invalid_argument);
+}
+
+TEST_F(ApiServerTest, WatchSeesAddedAfterLatency) {
+  std::vector<std::pair<EventType, std::string>> events;
+  api.watch_pods([&](EventType t, const Pod& p) {
+    events.emplace_back(t, p.name);
+  });
+  api.create_pod(make_pod("p0"));
+  EXPECT_TRUE(events.empty());  // delivery is asynchronous
+  sim.run();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].first, EventType::kAdded);
+  EXPECT_GE(sim.now(), api.api_latency());
+}
+
+TEST_F(ApiServerTest, MutateNotifiesModified) {
+  api.create_pod(make_pod("p0"));
+  sim.run();
+  int modified = 0;
+  api.watch_pods([&](EventType t, const Pod&) {
+    if (t == EventType::kModified) ++modified;
+  });
+  EXPECT_TRUE(api.mutate_pod("p0", [](Pod& p) { p.ready = true; }));
+  sim.run();
+  EXPECT_EQ(modified, 1);
+  EXPECT_TRUE(api.get_pod("p0")->ready);
+}
+
+TEST_F(ApiServerTest, MutateUnknownPodFalse) {
+  EXPECT_FALSE(api.mutate_pod("ghost", [](Pod&) {}));
+}
+
+TEST_F(ApiServerTest, DeleteUnscheduledPodFinalizesDirectly) {
+  api.create_pod(make_pod("p0"));
+  sim.run();
+  std::vector<EventType> events;
+  api.watch_pods([&](EventType t, const Pod&) { events.push_back(t); });
+  api.delete_pod("p0");
+  sim.run();
+  EXPECT_EQ(api.get_pod("p0"), nullptr);
+  // Modified (Terminating) then Deleted.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], EventType::kModified);
+  EXPECT_EQ(events[1], EventType::kDeleted);
+}
+
+TEST_F(ApiServerTest, DeleteScheduledPodWaitsForKubelet) {
+  api.create_pod(make_pod("p0"));
+  api.mutate_pod("p0", [](Pod& p) {
+    p.node_name = "node1";
+    p.phase = PodPhase::kScheduled;
+  });
+  sim.run();
+  api.delete_pod("p0");
+  sim.run();
+  // Still present until a kubelet finalizes.
+  ASSERT_NE(api.get_pod("p0"), nullptr);
+  EXPECT_EQ(api.get_pod("p0")->phase, PodPhase::kTerminating);
+  api.finalize_pod_deletion("p0");
+  sim.run();
+  EXPECT_EQ(api.get_pod("p0"), nullptr);
+}
+
+TEST_F(ApiServerTest, DoubleDeleteIsIdempotent) {
+  api.create_pod(make_pod("p0"));
+  api.mutate_pod("p0", [](Pod& p) {
+    p.node_name = "n";
+    p.phase = PodPhase::kScheduled;
+  });
+  sim.run();
+  api.delete_pod("p0");
+  api.delete_pod("p0");
+  sim.run();
+  EXPECT_EQ(api.get_pod("p0")->phase, PodPhase::kTerminating);
+}
+
+TEST_F(ApiServerTest, ListPodsBySelector) {
+  api.create_pod(make_pod("p0"));
+  Pod other = make_pod("p1");
+  other.labels = {{"app", "fft"}};
+  api.create_pod(std::move(other));
+  EXPECT_EQ(api.list_pods().size(), 2u);
+  EXPECT_EQ(api.list_pods({{"app", "matmul"}}).size(), 1u);
+  EXPECT_EQ(api.list_pods({{"app", "nope"}}).size(), 0u);
+  // Empty selector matches everything.
+  EXPECT_EQ(api.list_pods({}).size(), 2u);
+}
+
+TEST_F(ApiServerTest, DeploymentApplyCreatesThenUpdates) {
+  Deployment d;
+  d.name = "matmul-rev1";
+  d.replicas = 2;
+  const Uid uid = api.apply_deployment(d);
+  d.replicas = 5;
+  EXPECT_EQ(api.apply_deployment(d), uid);
+  EXPECT_EQ(api.get_deployment("matmul-rev1")->replicas, 5);
+}
+
+TEST_F(ApiServerTest, SetReplicasNotifiesOnlyOnChange) {
+  Deployment d;
+  d.name = "dep";
+  d.replicas = 1;
+  api.apply_deployment(d);
+  sim.run();
+  int events = 0;
+  api.watch_deployments([&](EventType, const Deployment&) { ++events; });
+  EXPECT_TRUE(api.set_deployment_replicas("dep", 1));  // no-op
+  sim.run();
+  EXPECT_EQ(events, 0);
+  EXPECT_TRUE(api.set_deployment_replicas("dep", 3));
+  sim.run();
+  EXPECT_EQ(events, 1);
+  EXPECT_FALSE(api.set_deployment_replicas("ghost", 1));
+}
+
+TEST_F(ApiServerTest, ServiceAndEndpoints) {
+  Service s;
+  s.name = "matmul";
+  s.selector = {{"app", "matmul"}};
+  api.create_service(s);
+  ASSERT_NE(api.get_endpoints("matmul"), nullptr);
+  EXPECT_TRUE(api.get_endpoints("matmul")->ready.empty());
+
+  int notified = 0;
+  api.watch_endpoints([&](EventType, const Endpoints&) { ++notified; });
+  Endpoints eps;
+  eps.service_name = "matmul";
+  eps.ready.push_back(Endpoint{"p0", 1, 10001});
+  api.set_endpoints(eps);
+  api.set_endpoints(eps);  // identical → suppressed
+  sim.run();
+  EXPECT_EQ(notified, 1);
+  EXPECT_EQ(api.get_endpoints("matmul")->ready.size(), 1u);
+}
+
+TEST(SelectorMatch, Semantics) {
+  EXPECT_TRUE(selector_matches({}, {{"a", "1"}}));
+  EXPECT_TRUE(selector_matches({{"a", "1"}}, {{"a", "1"}, {"b", "2"}}));
+  EXPECT_FALSE(selector_matches({{"a", "1"}}, {{"a", "2"}}));
+  EXPECT_FALSE(selector_matches({{"a", "1"}}, {}));
+}
+
+TEST(PodPhaseNames, AllDistinct) {
+  EXPECT_STREQ(to_string(PodPhase::kPending), "Pending");
+  EXPECT_STREQ(to_string(PodPhase::kScheduled), "Scheduled");
+  EXPECT_STREQ(to_string(PodPhase::kRunning), "Running");
+  EXPECT_STREQ(to_string(PodPhase::kTerminating), "Terminating");
+  EXPECT_STREQ(to_string(PodPhase::kFailed), "Failed");
+}
+
+}  // namespace
+}  // namespace sf::k8s

@@ -1,0 +1,189 @@
+#include "k8s/kube_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "container/image.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::k8s {
+namespace {
+
+/// End-to-end control-plane tests: deployment → scheduler → kubelet →
+/// ready pods → endpoints.
+class KubeClusterTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  container::Registry hub{cl->node(0)};
+  KubeCluster kube{*cl, hub,
+                   {&cl->node(1), &cl->node(2), &cl->node(3)}};
+
+  void SetUp() override {
+    hub.push(container::make_task_image("matmul"));
+  }
+
+  Deployment deployment(int replicas) {
+    Deployment d;
+    d.name = "matmul-rev1";
+    d.selector = {{"app", "matmul"}};
+    d.pod_labels = {{"app", "matmul"}};
+    d.pod_template.name = "matmul";
+    d.pod_template.image = "matmul:latest";
+    d.pod_template.memory_bytes = 512e6;
+    d.cpu_request = 0.5;
+    d.memory_request = 512e6;
+    d.replicas = replicas;
+    return d;
+  }
+
+  Service service() {
+    Service s;
+    s.name = "matmul";
+    s.selector = {{"app", "matmul"}};
+    return s;
+  }
+
+  int ready_pods() {
+    int n = 0;
+    for (const auto& p : kube.api().list_pods()) n += p.ready ? 1 : 0;
+    return n;
+  }
+};
+
+TEST_F(KubeClusterTest, DeploymentBringsUpReadyPods) {
+  kube.api().apply_deployment(deployment(2));
+  sim.run();
+  EXPECT_EQ(ready_pods(), 2);
+  for (const auto& p : kube.api().list_pods()) {
+    EXPECT_EQ(p.phase, PodPhase::kRunning);
+    EXPECT_FALSE(p.node_name.empty());
+    EXPECT_NE(p.port, 0);
+  }
+}
+
+TEST_F(KubeClusterTest, PodsSpreadAcrossNodes) {
+  kube.api().apply_deployment(deployment(3));
+  sim.run();
+  std::set<std::string> nodes;
+  for (const auto& p : kube.api().list_pods()) nodes.insert(p.node_name);
+  EXPECT_EQ(nodes.size(), 3u);  // least-requested spreads them
+}
+
+TEST_F(KubeClusterTest, ImagePullPaidOncePerNode) {
+  kube.api().apply_deployment(deployment(3));
+  sim.run();
+  const double t_first = sim.now();
+  // Scale up: new pods land on nodes that already cached the image.
+  kube.api().set_deployment_replicas("matmul-rev1", 6);
+  sim.run();
+  const double delta = sim.now() - t_first;
+  EXPECT_LT(delta, t_first);  // warm pulls are much cheaper
+  for (const auto& name : kube.worker_names()) {
+    EXPECT_TRUE(kube.worker(name).cache->has_image("matmul:latest", hub));
+  }
+}
+
+TEST_F(KubeClusterTest, ScaleToZeroDeletesPods) {
+  kube.api().apply_deployment(deployment(2));
+  sim.run();
+  kube.api().set_deployment_replicas("matmul-rev1", 0);
+  sim.run();
+  EXPECT_TRUE(kube.api().list_pods().empty());
+  // Containers removed, memory freed.
+  for (const auto& name : kube.worker_names()) {
+    EXPECT_EQ(kube.worker(name).runtime->container_count(), 0u);
+    EXPECT_DOUBLE_EQ(kube.worker(name).node->memory_used(), 0.0);
+  }
+}
+
+TEST_F(KubeClusterTest, EndpointsTrackReadyPods) {
+  kube.api().create_service(service());
+  kube.api().apply_deployment(deployment(2));
+  sim.run();
+  const Endpoints* eps = kube.api().get_endpoints("matmul");
+  ASSERT_NE(eps, nullptr);
+  EXPECT_EQ(eps->ready.size(), 2u);
+
+  kube.api().set_deployment_replicas("matmul-rev1", 1);
+  sim.run();
+  EXPECT_EQ(kube.api().get_endpoints("matmul")->ready.size(), 1u);
+}
+
+TEST_F(KubeClusterTest, SeededImageSkipsPullLatency) {
+  kube.seed_image_everywhere(container::make_task_image("matmul"));
+  kube.api().apply_deployment(deployment(1));
+  sim.run();
+  // Control-plane latency + create + start + readiness only: well under
+  // a second; a cold pull of ~242 MB would take several seconds.
+  EXPECT_LT(sim.now(), 1.0);
+  EXPECT_EQ(ready_pods(), 1);
+}
+
+TEST_F(KubeClusterTest, UnschedulablePodWaitsForCapacity) {
+  Deployment d = deployment(1);
+  d.cpu_request = 100.0;  // impossible
+  kube.api().apply_deployment(d);
+  sim.run_until(5.0);
+  EXPECT_EQ(ready_pods(), 0);
+  EXPECT_EQ(kube.scheduler().pending_count(), 1u);
+  // Shrink the request: the controller template is fixed, so instead
+  // verify a feasible second deployment still schedules.
+  kube.api().apply_deployment([&] {
+    Deployment ok = deployment(1);
+    ok.name = "matmul-rev2";
+    return ok;
+  }());
+  sim.run_until(60.0);
+  EXPECT_EQ(ready_pods(), 1);
+}
+
+TEST_F(KubeClusterTest, DeleteDeploymentCleansUp) {
+  kube.api().create_service(service());
+  kube.api().apply_deployment(deployment(3));
+  sim.run();
+  kube.api().delete_deployment("matmul-rev1");
+  sim.run();
+  EXPECT_TRUE(kube.api().list_pods().empty());
+  EXPECT_TRUE(kube.api().get_endpoints("matmul")->ready.empty());
+}
+
+TEST_F(KubeClusterTest, FailedPodIsReplaced) {
+  // Image missing from the registry → pull fails → pod Failed → the
+  // controller replaces it (which fails again); verify replacement
+  // happens rather than a silent wedge.
+  Deployment d = deployment(1);
+  d.pod_template.image = "ghost:1";
+  kube.api().apply_deployment(d);
+  sim.run_until(3.5);
+  EXPECT_GT(kube.controller_pods_created(), 1u);
+  EXPECT_EQ(ready_pods(), 0);
+}
+
+TEST_F(KubeClusterTest, PreStopHookRunsBeforeTermination) {
+  kube.api().apply_deployment(deployment(1));
+  sim.run();
+  const auto pods = kube.api().list_pods();
+  ASSERT_EQ(pods.size(), 1u);
+  bool drained = false;
+  kube.api().mutate_pod(pods[0].name, [&](Pod& p) {
+    p.pre_stop = [&drained](std::function<void()> done) {
+      drained = true;
+      done();
+    };
+  });
+  sim.run();
+  kube.api().set_deployment_replicas("matmul-rev1", 0);
+  sim.run();
+  EXPECT_TRUE(drained);
+  EXPECT_TRUE(kube.api().list_pods().empty());
+}
+
+TEST_F(KubeClusterTest, WorkerLookup) {
+  EXPECT_EQ(kube.worker_count(), 3u);
+  EXPECT_EQ(kube.worker("node1").node->name(), "node1");
+  EXPECT_THROW(static_cast<void>(kube.worker("node0")), std::out_of_range);
+  EXPECT_EQ(kube.worker_names().size(), 3u);
+}
+
+}  // namespace
+}  // namespace sf::k8s

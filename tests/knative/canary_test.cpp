@@ -1,0 +1,126 @@
+// Canary traffic splitting: a held rollout routes a configured fraction
+// of requests to the new revision until promoted or rolled back.
+
+#include <gtest/gtest.h>
+
+#include "container/image.hpp"
+#include "knative/serving.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::knative {
+namespace {
+
+class CanaryTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  container::Registry hub{cl->node(0)};
+  k8s::KubeCluster kube{*cl, hub, {&cl->node(1), &cl->node(2), &cl->node(3)}};
+  KnativeServing serving{kube, cl->node(0)};
+  int v1_hits = 0;
+  int v2_hits = 0;
+
+  void SetUp() override {
+    hub.push(container::make_task_image("matmul"));
+    serving.create_service(spec(&v1_hits));
+    sim.run_until(30.0);
+    ASSERT_EQ(serving.ready_replicas("fn"), 1);
+  }
+
+  KnServiceSpec spec(int* counter) {
+    KnServiceSpec s;
+    s.name = "fn";
+    s.container.name = "fn";
+    s.container.image = "matmul:latest";
+    s.container.cpu_limit = 1.0;
+    s.handler = [counter](const net::HttpRequest&, FunctionContext& ctx,
+                          net::Responder respond) {
+      ++*counter;
+      ctx.exec(0.05, [respond = std::move(respond)](bool ok) mutable {
+        net::HttpResponse resp;
+        resp.status = ok ? 200 : 500;
+        respond(std::move(resp));
+      });
+    };
+    s.annotations.min_scale = 1;
+    return s;
+  }
+
+  void drive_requests(int n) {
+    for (int i = 0; i < n; ++i) {
+      serving.invoke(cl->node(0).net_id(), "fn", {},
+                     [](net::HttpResponse resp) { EXPECT_TRUE(resp.ok()); });
+      sim.run_until(sim.now() + 1.0);
+    }
+  }
+};
+
+TEST_F(CanaryTest, SplitsTrafficRoughlyByFraction) {
+  serving.update_service_canary(spec(&v2_hits), 0.3);
+  sim.run_until(sim.now() + 30.0);  // canary pod warms
+  EXPECT_DOUBLE_EQ(serving.canary_fraction("fn"), 0.3);
+  EXPECT_EQ(serving.active_revision("fn"), "fn-00001");  // still v1
+
+  drive_requests(100);
+  EXPECT_EQ(v1_hits + v2_hits, 100);
+  EXPECT_GT(v2_hits, 10);  // ~30 expected
+  EXPECT_LT(v2_hits, 55);
+  EXPECT_GT(v1_hits, 45);
+}
+
+TEST_F(CanaryTest, PromoteSwitchesAllTraffic) {
+  serving.update_service_canary(spec(&v2_hits), 0.2);
+  sim.run_until(sim.now() + 30.0);
+  serving.promote_canary("fn");
+  sim.run_until(sim.now() + 30.0);
+  EXPECT_EQ(serving.active_revision("fn"), "fn-00002");
+  EXPECT_DOUBLE_EQ(serving.canary_fraction("fn"), 0.0);
+  const int before = v2_hits;
+  drive_requests(10);
+  EXPECT_EQ(v2_hits, before + 10);
+  // Old revision's pods are gone.
+  for (const auto& pod : kube.api().list_pods()) {
+    EXPECT_EQ(pod.labels.at("serving.knative.dev/revision"), "fn-00002");
+  }
+}
+
+TEST_F(CanaryTest, RollbackKeepsOldRevision) {
+  serving.update_service_canary(spec(&v2_hits), 0.5);
+  sim.run_until(sim.now() + 30.0);
+  serving.rollback_canary("fn");
+  sim.run_until(sim.now() + 30.0);
+  EXPECT_EQ(serving.active_revision("fn"), "fn-00001");
+  EXPECT_DOUBLE_EQ(serving.canary_fraction("fn"), 0.0);
+  drive_requests(10);
+  EXPECT_EQ(v2_hits, 0);
+  EXPECT_GE(v1_hits, 10);
+  // A later full rollout still works; the rolled-back revision number is
+  // burned, so the next one is fn-00003.
+  serving.update_service(spec(&v2_hits));
+  sim.run_until(sim.now() + 60.0);
+  EXPECT_EQ(serving.active_revision("fn"), "fn-00003");
+}
+
+TEST_F(CanaryTest, ZeroFractionServesOnlyOld) {
+  serving.update_service_canary(spec(&v2_hits), 0.0);
+  sim.run_until(sim.now() + 30.0);
+  drive_requests(20);
+  EXPECT_EQ(v2_hits, 0);
+  EXPECT_EQ(v1_hits, 20);
+}
+
+TEST_F(CanaryTest, InvalidFractionThrows) {
+  EXPECT_THROW(serving.update_service_canary(spec(&v2_hits), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(serving.update_service_canary(spec(&v2_hits), -0.1),
+               std::invalid_argument);
+}
+
+TEST_F(CanaryTest, PromoteWithoutCanaryThrows) {
+  EXPECT_THROW(serving.promote_canary("fn"), std::logic_error);
+  EXPECT_THROW(serving.rollback_canary("fn"), std::logic_error);
+  EXPECT_THROW(serving.promote_canary("ghost"), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sf::knative

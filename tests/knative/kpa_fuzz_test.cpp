@@ -1,0 +1,68 @@
+// Seeded random-walk fuzz over the KPA control law: whatever the traffic
+// does, the decisions must respect the configured bounds and converge
+// when traffic stops.
+
+#include <gtest/gtest.h>
+
+#include "knative/kpa.hpp"
+#include "sim/random.hpp"
+
+namespace sf::knative {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  double target;
+  int min_scale;
+  int max_scale;
+};
+
+class KpaFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(KpaFuzz, DecisionsAlwaysWithinBounds) {
+  const auto param = GetParam();
+  sim::Rng rng(param.seed);
+  KpaScaler::Config config;
+  config.target_concurrency = param.target;
+  config.min_scale = param.min_scale;
+  config.max_scale = param.max_scale;
+  KpaScaler kpa(config);
+
+  int current = std::max(1, param.min_scale);
+  double load = 0;
+  for (double t = 0; t < 600; t += 2) {
+    // Random-walk the offered concurrency, with occasional bursts/idles.
+    if (rng.chance(0.05)) {
+      load = rng.uniform(0, 100);
+    } else if (rng.chance(0.1)) {
+      load = 0;
+    } else {
+      load = std::max(0.0, load + rng.uniform(-3, 3));
+    }
+    const auto decision = kpa.observe(t, load, current);
+    EXPECT_GE(decision.desired, param.min_scale);
+    EXPECT_GE(decision.desired, 0);
+    if (param.max_scale > 0) {
+      EXPECT_LE(decision.desired, param.max_scale);
+    }
+    current = decision.desired;
+  }
+  // Traffic stops: the scaler must reach its floor and go quiescent.
+  KpaScaler::Decision final_decision{};
+  for (double t = 600; t < 800; t += 2) {
+    final_decision = kpa.observe(t, 0, current);
+    current = final_decision.desired;
+  }
+  EXPECT_EQ(final_decision.desired, param.min_scale);
+  EXPECT_FALSE(final_decision.work_pending);
+  EXPECT_FALSE(final_decision.panicking);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KpaFuzz,
+    ::testing::Values(FuzzCase{1, 1.0, 0, 0}, FuzzCase{2, 1.0, 2, 0},
+                      FuzzCase{3, 4.0, 0, 8}, FuzzCase{4, 0.5, 1, 4},
+                      FuzzCase{5, 2.0, 3, 3}, FuzzCase{6, 8.0, 0, 0}));
+
+}  // namespace
+}  // namespace sf::knative

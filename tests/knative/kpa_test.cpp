@@ -1,0 +1,154 @@
+#include "knative/kpa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::knative {
+namespace {
+
+KpaScaler::Config config(double target = 1.0, int min_scale = 0,
+                         int max_scale = 0) {
+  KpaScaler::Config c;
+  c.target_concurrency = target;
+  c.min_scale = min_scale;
+  c.max_scale = max_scale;
+  return c;
+}
+
+TEST(Kpa, DesiredTracksConcurrencyOverTarget) {
+  KpaScaler kpa(config(1.0));
+  const auto d = kpa.observe(0.0, 3.0, 1);
+  EXPECT_EQ(d.desired, 3);
+}
+
+TEST(Kpa, TargetConcurrencyDividesLoad) {
+  KpaScaler kpa(config(4.0));
+  EXPECT_EQ(kpa.observe(0.0, 8.0, 1).desired, 2);
+  EXPECT_EQ(kpa.observe(2.0, 9.0, 2).desired, 3);  // ceil(8.5/4)
+}
+
+TEST(Kpa, MinScaleFloor) {
+  KpaScaler kpa(config(1.0, /*min=*/2));
+  EXPECT_EQ(kpa.observe(0.0, 0.0, 2).desired, 2);
+  // Load averaged over the window {0, 10} → 5 pods, floored at min 2.
+  EXPECT_EQ(kpa.observe(2.0, 10.0, 2).desired, 5);
+}
+
+TEST(Kpa, MaxScaleCeiling) {
+  KpaScaler kpa(config(1.0, 0, /*max=*/4));
+  EXPECT_EQ(kpa.observe(0.0, 100.0, 1).desired, 4);
+}
+
+TEST(Kpa, ScaleFromZeroTarget) {
+  EXPECT_EQ(KpaScaler(config(1.0, 0)).scale_from_zero_target(), 1);
+  EXPECT_EQ(KpaScaler(config(1.0, 3)).scale_from_zero_target(), 3);
+}
+
+TEST(Kpa, StableWindowSmoothsSpikes) {
+  KpaScaler kpa(config(1.0));
+  // Sustained load 1, one spike to 3 (below the panic threshold of
+  // 2×capacity=4 in the panic window... 3 < 4 at capacity 2).
+  for (double t = 0; t < 58; t += 2) kpa.observe(t, 1.0, 1);
+  const auto d = kpa.observe(58.0, 3.0, 2);
+  // Average ≈ (29×1 + 3)/30 ≈ 1.07 → desired 2 at most, not 3.
+  EXPECT_LE(d.desired, 2);
+}
+
+TEST(Kpa, PanicScalesUpImmediately) {
+  KpaScaler kpa(config(1.0));
+  kpa.observe(0.0, 1.0, 1);
+  // Burst of 10 concurrent on 1 pod: panic window avg jumps.
+  const auto d = kpa.observe(2.0, 10.0, 1);
+  EXPECT_TRUE(d.panicking);
+  EXPECT_GE(d.desired, 5);  // panic-window average (1+10)/2 → 6
+}
+
+TEST(Kpa, PanicNeverScalesDown) {
+  KpaScaler kpa(config(1.0));
+  kpa.observe(0.0, 10.0, 1);  // enter panic, desired 10
+  const auto d1 = kpa.observe(2.0, 10.0, 10);
+  EXPECT_TRUE(d1.panicking);
+  const int high = d1.desired;
+  // Load vanishes but we are still inside the panic stabilisation window.
+  const auto d2 = kpa.observe(4.0, 0.0, high);
+  EXPECT_TRUE(d2.panicking);
+  EXPECT_GE(d2.desired, high);
+}
+
+TEST(Kpa, PanicExitsAfterStableWindow) {
+  KpaScaler kpa(config(1.0));
+  kpa.observe(0.0, 10.0, 1);
+  auto d = kpa.observe(2.0, 10.0, 10);
+  EXPECT_TRUE(d.panicking);
+  // One quiet stable-window later, panic ends.
+  for (double t = 4.0; t <= 70.0; t += 2) d = kpa.observe(t, 0.0, d.desired);
+  EXPECT_FALSE(d.panicking);
+}
+
+TEST(Kpa, ScaleToZeroWaitsForGrace) {
+  KpaScaler kpa(config(1.0));
+  kpa.observe(0.0, 1.0, 1);
+  // Load gone at t=2; grace is 30 s from last positive sample.
+  auto d = kpa.observe(2.0, 0.0, 1);
+  // Still inside stable window: average > 0 → desired 1 anyway.
+  EXPECT_EQ(d.desired, 1);
+  // Far past window + grace: zero.
+  for (double t = 4.0; t <= 96.0; t += 2) d = kpa.observe(t, 0.0, 1);
+  EXPECT_EQ(d.desired, 0);
+}
+
+TEST(Kpa, MinScaleServicesNeverReachZero) {
+  KpaScaler kpa(config(1.0, /*min=*/2));
+  KpaScaler::Decision d{};
+  for (double t = 0.0; t <= 200.0; t += 2) d = kpa.observe(t, 0.0, 2);
+  EXPECT_EQ(d.desired, 2);
+  EXPECT_FALSE(d.work_pending);  // quiescent → serving can pause its loop
+}
+
+TEST(Kpa, WorkPendingWhileTrafficFlows) {
+  KpaScaler kpa(config(1.0));
+  EXPECT_TRUE(kpa.observe(0.0, 1.0, 1).work_pending);
+}
+
+TEST(Kpa, QuiescenceAfterScaleToZero) {
+  KpaScaler kpa(config(1.0));
+  KpaScaler::Decision d{};
+  int current = 1;
+  for (double t = 0.0; t <= 200.0; t += 2) {
+    d = kpa.observe(t, 0.0, current);
+    current = d.desired;
+  }
+  EXPECT_EQ(d.desired, 0);
+  EXPECT_FALSE(d.work_pending);
+}
+
+// Parameterized sweep: steady concurrency c with target T settles at
+// ceil(c/T) replicas.
+struct SteadyCase {
+  double concurrency;
+  double target;
+  int expected;
+};
+
+class KpaSteadySweep : public ::testing::TestWithParam<SteadyCase> {};
+
+TEST_P(KpaSteadySweep, SettlesAtCeilRatio) {
+  const auto [conc, target, expected] = GetParam();
+  KpaScaler kpa(config(target));
+  KpaScaler::Decision d{};
+  int current = 1;
+  for (double t = 0; t <= 120; t += 2) {
+    d = kpa.observe(t, conc, current);
+    current = d.desired;
+  }
+  EXPECT_EQ(d.desired, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KpaSteadySweep,
+    ::testing::Values(SteadyCase{1, 1, 1}, SteadyCase{2, 1, 2},
+                      SteadyCase{10, 1, 10}, SteadyCase{10, 4, 3},
+                      SteadyCase{7, 2, 4}, SteadyCase{0.5, 1, 1},
+                      SteadyCase{16, 8, 2}));
+
+}  // namespace
+}  // namespace sf::knative

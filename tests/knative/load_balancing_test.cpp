@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "container/image.hpp"
+#include "knative/serving.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::knative {
+namespace {
+
+/// Two warm pods, one kept busy: least-loaded routing must steer new
+/// requests to the idle pod; round-robin alternates regardless.
+class LoadBalancingTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  container::Registry hub{cl->node(0)};
+  k8s::KubeCluster kube{*cl, hub, {&cl->node(1), &cl->node(2), &cl->node(3)}};
+  KnativeServing serving{kube, cl->node(0)};
+  std::vector<std::string> served_by;
+
+  void SetUp() override {
+    hub.push(container::make_task_image("matmul"));
+    KnServiceSpec spec;
+    spec.name = "fn";
+    spec.container.name = "fn";
+    spec.container.image = "matmul:latest";
+    spec.container.cpu_limit = 1.0;
+    spec.handler = [this](const net::HttpRequest& req, FunctionContext& ctx,
+                          net::Responder respond) {
+      served_by.push_back(ctx.pod_name);
+      const double work = std::any_cast<double>(req.body);
+      ctx.exec(work, [respond = std::move(respond)](bool ok) mutable {
+        net::HttpResponse resp;
+        resp.status = ok ? 200 : 500;
+        respond(std::move(resp));
+      });
+    };
+    spec.annotations.min_scale = 2;
+    spec.annotations.max_scale = 2;
+    spec.annotations.container_concurrency = 0;
+    serving.create_service(std::move(spec));
+    sim.run_until(30.0);
+    ASSERT_EQ(serving.ready_replicas("fn"), 2);
+  }
+
+  void invoke(double work) {
+    net::HttpRequest req;
+    req.body = work;
+    serving.invoke(cl->node(0).net_id(), "fn", std::move(req),
+                   [](net::HttpResponse) {});
+  }
+};
+
+TEST_F(LoadBalancingTest, RoundRobinAlternates) {
+  serving.set_load_balancing(LoadBalancingPolicy::kRoundRobin);
+  for (int i = 0; i < 4; ++i) invoke(0.05);
+  sim.run_until(sim.now() + 10.0);
+  ASSERT_EQ(served_by.size(), 4u);
+  EXPECT_NE(served_by[0], served_by[1]);
+  EXPECT_EQ(served_by[0], served_by[2]);
+}
+
+TEST_F(LoadBalancingTest, LeastLoadedAvoidsBusyPod) {
+  serving.set_load_balancing(LoadBalancingPolicy::kLeastLoaded);
+  EXPECT_EQ(serving.load_balancing(), LoadBalancingPolicy::kLeastLoaded);
+  // Pin a long request first; it occupies one pod.
+  invoke(30.0);
+  sim.run_until(sim.now() + 1.0);
+  ASSERT_EQ(served_by.size(), 1u);
+  const std::string busy = served_by[0];
+  // Every subsequent short request must land on the other pod.
+  for (int i = 0; i < 5; ++i) {
+    invoke(0.05);
+    sim.run_until(sim.now() + 1.0);
+  }
+  ASSERT_EQ(served_by.size(), 6u);
+  for (std::size_t i = 1; i < served_by.size(); ++i) {
+    EXPECT_NE(served_by[i], busy);
+  }
+}
+
+TEST_F(LoadBalancingTest, DefaultPolicyIsRoundRobin) {
+  EXPECT_EQ(serving.load_balancing(), LoadBalancingPolicy::kRoundRobin);
+}
+
+}  // namespace
+}  // namespace sf::knative

@@ -1,0 +1,154 @@
+#include "knative/queue_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sf::knative {
+namespace {
+
+/// QueueProxy in isolation: a handler that responds after a simulated
+/// delay stands in for the user container.
+class QueueProxyTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  net::FlowNetwork net{sim};
+  net::HttpFabric http{sim, net};
+  net::NodeId client = net.add_node(1e9, 0.0001);
+  net::NodeId pod_node = net.add_node(1e9, 0.0001);
+
+  FunctionContext context() {
+    FunctionContext ctx;
+    ctx.sim = &sim;
+    ctx.node = pod_node;
+    ctx.pod_name = "pod-0";
+    ctx.exec = [this](double work, std::function<void(bool)> done) {
+      sim.call_in(work, [done = std::move(done)] { done(true); });
+    };
+    return ctx;
+  }
+
+  static FunctionHandler delay_handler() {
+    return [](const net::HttpRequest& req, FunctionContext& ctx,
+              net::Responder respond) {
+      const double work = std::any_cast<double>(req.body);
+      ctx.exec(work, [respond = std::move(respond)](bool ok) mutable {
+        net::HttpResponse resp;
+        resp.status = ok ? 200 : 500;
+        respond(std::move(resp));
+      });
+    };
+  }
+
+  void send(double work, std::function<void(net::HttpResponse)> cb) {
+    net::HttpRequest req;
+    req.body = work;
+    http.request(client, pod_node, 10001, std::move(req), std::move(cb));
+  }
+};
+
+TEST_F(QueueProxyTest, ServesSingleRequest) {
+  QueueProxy qp(sim, http, context(), delay_handler(), 1);
+  qp.install(10001);
+  bool ok = false;
+  send(0.5, [&](net::HttpResponse resp) { ok = resp.ok(); });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(qp.served(), 1u);
+  EXPECT_EQ(qp.executing(), 0);
+}
+
+TEST_F(QueueProxyTest, ConcurrencyLimitQueuesExcess) {
+  QueueProxy qp(sim, http, context(), delay_handler(), 2);
+  qp.install(10001);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    send(1.0, [&](net::HttpResponse) { done.push_back(sim.now()); });
+  }
+  sim.run_until(0.5);
+  EXPECT_EQ(qp.executing(), 2);
+  EXPECT_EQ(qp.queued(), 2u);
+  EXPECT_DOUBLE_EQ(qp.concurrency(), 4.0);
+  sim.run();
+  ASSERT_EQ(done.size(), 4u);
+  // Two waves: ~1 s and ~2 s.
+  EXPECT_NEAR(done[1], 1.0, 0.01);
+  EXPECT_NEAR(done[3], 2.0, 0.01);
+}
+
+TEST_F(QueueProxyTest, UnlimitedConcurrencyNeverQueues) {
+  QueueProxy qp(sim, http, context(), delay_handler(), 0);
+  qp.install(10001);
+  for (int i = 0; i < 8; ++i) {
+    send(1.0, [](net::HttpResponse) {});
+  }
+  sim.run_until(0.5);
+  EXPECT_EQ(qp.executing(), 8);
+  EXPECT_EQ(qp.queued(), 0u);
+  sim.run();
+  EXPECT_EQ(qp.served(), 8u);
+}
+
+TEST_F(QueueProxyTest, DrainFinishesInFlightThenSignals) {
+  QueueProxy qp(sim, http, context(), delay_handler(), 1);
+  qp.install(10001);
+  int completed = 0;
+  send(1.0, [&](net::HttpResponse resp) { completed += resp.ok(); });
+  send(1.0, [&](net::HttpResponse resp) { completed += resp.ok(); });
+  double drained_at = -1;
+  sim.call_in(0.5, [&] {
+    qp.drain([&] { drained_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(completed, 2);          // queued request still served
+  EXPECT_NEAR(drained_at, 2.0, 0.01);  // after both finish
+  EXPECT_TRUE(qp.draining());
+}
+
+TEST_F(QueueProxyTest, DrainWithNoWorkSignalsImmediately) {
+  QueueProxy qp(sim, http, context(), delay_handler(), 1);
+  qp.install(10001);
+  double drained_at = -1;
+  qp.drain([&] { drained_at = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(drained_at, 0.0);
+}
+
+TEST_F(QueueProxyTest, RequestsDuringDrainAreRejected) {
+  QueueProxy qp(sim, http, context(), delay_handler(), 1);
+  qp.install(10001);
+  qp.drain([] {});
+  int status = 0;
+  send(0.1, [&](net::HttpResponse resp) { status = resp.status; });
+  sim.run();
+  // Listener closed → connection refused at the fabric level.
+  EXPECT_EQ(status, net::kStatusConnectionRefused);
+}
+
+TEST_F(QueueProxyTest, DestructorUnbindsListener) {
+  {
+    QueueProxy qp(sim, http, context(), delay_handler(), 1);
+    qp.install(10001);
+    EXPECT_TRUE(http.is_listening(pod_node, 10001));
+  }
+  EXPECT_FALSE(http.is_listening(pod_node, 10001));
+}
+
+TEST_F(QueueProxyTest, FailedExecPropagates500) {
+  FunctionContext ctx = context();
+  ctx.exec = [this](double, std::function<void(bool)> done) {
+    sim.call_in(0.1, [done = std::move(done)] { done(false); });
+  };
+  QueueProxy qp(sim, http, std::move(ctx), delay_handler(), 1);
+  qp.install(10001);
+  int status = 0;
+  send(0.1, [&](net::HttpResponse resp) { status = resp.status; });
+  sim.run();
+  EXPECT_EQ(status, 500);
+  EXPECT_EQ(qp.served(), 1u);  // still counted as handled
+}
+
+}  // namespace
+}  // namespace sf::knative

@@ -1,0 +1,298 @@
+#include "knative/serving.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "container/image.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::knative {
+namespace {
+
+/// Shared fixture: paper testbed, node0 = gateway/registry, nodes 1-3
+/// Knative workers, one "matmul" function whose handler burns `work`
+/// core-seconds from the request body and echoes a payload back.
+class ServingTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  container::Registry hub{cl->node(0)};
+  k8s::KubeCluster kube{*cl, hub, {&cl->node(1), &cl->node(2), &cl->node(3)}};
+  KnativeServing serving{kube, cl->node(0)};
+  net::NodeId client = 0;
+
+  void SetUp() override {
+    hub.push(container::make_task_image("matmul"));
+    client = cl->node(0).net_id();
+  }
+
+  static FunctionHandler compute_handler() {
+    return [](const net::HttpRequest& req, FunctionContext& ctx,
+              net::Responder respond) {
+      const double work =
+          req.body.has_value() ? std::any_cast<double>(req.body) : 0.1;
+      ctx.exec(work, [respond = std::move(respond),
+                      bytes = req.body_bytes](bool ok) mutable {
+        net::HttpResponse resp;
+        resp.status = ok ? 200 : 500;
+        resp.body_bytes = bytes;  // echo: output matrix ≈ input matrix
+        respond(std::move(resp));
+      });
+    };
+  }
+
+  KnServiceSpec spec(const std::string& name, Annotations a = {}) {
+    KnServiceSpec s;
+    s.name = name;
+    s.container.name = name;
+    s.container.image = "matmul:latest";
+    s.container.memory_bytes = 512e6;
+    s.container.boot_s = 0.6;
+    s.container.cpu_limit = 1.0;  // single-threaded Python task
+    s.handler = compute_handler();
+    s.annotations = a;
+    return s;
+  }
+
+  double invoke_and_wait(const std::string& service, double work) {
+    double done_at = -1;
+    net::HttpRequest req;
+    req.body = work;
+    req.body_bytes = 490000;
+    serving.invoke(client, service, std::move(req),
+                   [&](net::HttpResponse resp) {
+                     EXPECT_TRUE(resp.ok());
+                     done_at = sim.now();
+                   });
+    // Step until the response arrives (bounded), so the clock stops there
+    // and the service cannot idle back to zero between calls.
+    const double deadline = sim.now() + 600.0;
+    while (done_at < 0 && sim.has_pending_events() &&
+           sim.next_event_time() <= deadline) {
+      sim.step();
+    }
+    EXPECT_GE(done_at, 0) << "invocation never completed";
+    return done_at;
+  }
+};
+
+TEST_F(ServingTest, ColdStartThenWarmReuse) {
+  Annotations a;
+  a.initial_scale = 0;  // deferred: nothing runs until first invocation
+  serving.create_service(spec("matmul", a));
+  sim.run_until(1.0);
+  EXPECT_EQ(serving.ready_replicas("matmul"), 0);
+
+  const double t0 = sim.now();
+  const double first_done = invoke_and_wait("matmul", 0.1);
+  const double cold = first_done - t0;
+  // Cold start: image pull + create + start + boot dominates.
+  EXPECT_GT(cold, 1.0);
+  EXPECT_EQ(serving.cold_start_requests("matmul"), 1u);
+
+  const double t1 = sim.now();
+  const double second_done = invoke_and_wait("matmul", 0.1);
+  const double warm = second_done - t1;
+  EXPECT_LT(warm, 0.3);  // container reused: work + network only
+  EXPECT_EQ(serving.cold_start_requests("matmul"), 1u);  // no new cold start
+}
+
+TEST_F(ServingTest, MinScalePrestagesPods) {
+  Annotations a;
+  a.min_scale = 2;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+  EXPECT_EQ(serving.ready_replicas("matmul"), 2);
+  // Image was pulled onto the pods' nodes ahead of any invocation.
+  const double t0 = sim.now();
+  invoke_and_wait("matmul", 0.1);
+  EXPECT_LT(sim.now() - t0, 0.3);
+  EXPECT_EQ(serving.cold_start_requests("matmul"), 0u);
+}
+
+TEST_F(ServingTest, ScaleToZeroAfterIdle) {
+  Annotations a;
+  a.min_scale = 0;
+  a.stable_window_s = 10.0;  // shrink windows to keep the test fast
+  a.scale_to_zero_grace_s = 5.0;
+  serving.create_service(spec("matmul", a));
+  invoke_and_wait("matmul", 0.1);
+  EXPECT_GE(serving.ready_replicas("matmul"), 1);
+  sim.run_until(sim.now() + 60.0);
+  EXPECT_EQ(serving.ready_replicas("matmul"), 0);
+  EXPECT_EQ(serving.desired_replicas("matmul"), 0);
+  // All containers gone; memory reclaimed.
+  for (const auto& name : kube.worker_names()) {
+    EXPECT_DOUBLE_EQ(kube.worker(name).node->memory_used(), 0.0);
+  }
+}
+
+TEST_F(ServingTest, ConcurrentBurstAutoscales) {
+  Annotations a;
+  a.min_scale = 1;
+  a.target_concurrency = 1.0;
+  a.container_concurrency = 1;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+
+  int completed = 0;
+  for (int i = 0; i < 12; ++i) {
+    net::HttpRequest req;
+    req.body = 2.0;  // 2 s of work each
+    serving.invoke(client, "matmul", std::move(req),
+                   [&](net::HttpResponse resp) {
+                     EXPECT_TRUE(resp.ok());
+                     ++completed;
+                   });
+  }
+  // Step through the burst, tracking the scale-out peak (the autoscaler
+  // returns to min-scale once the burst drains).
+  int peak_desired = 0;
+  const double deadline = sim.now() + 120.0;
+  while (completed < 12 && sim.has_pending_events() &&
+         sim.next_event_time() <= deadline) {
+    sim.step();
+    peak_desired = std::max(peak_desired, serving.desired_replicas("matmul"));
+  }
+  EXPECT_EQ(completed, 12);
+  // The burst must have forced scale-out beyond the single warm pod.
+  EXPECT_GT(peak_desired, 1);
+}
+
+TEST_F(ServingTest, ContainerConcurrencyOneSerializesPerPod) {
+  Annotations a;
+  a.min_scale = 1;
+  a.max_scale = 1;  // pin to one pod to observe serialization
+  a.container_concurrency = 1;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+  const double t0 = sim.now();
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    net::HttpRequest req;
+    req.body = 1.0;
+    serving.invoke(client, "matmul", std::move(req),
+                   [&](net::HttpResponse) { done.push_back(sim.now()); });
+  }
+  sim.run_until(t0 + 60.0);
+  ASSERT_EQ(done.size(), 3u);
+  // Strictly serialized: ≈1, 2, 3 s after t0 (plus small network cost).
+  EXPECT_NEAR(done[0] - t0, 1.0, 0.1);
+  EXPECT_NEAR(done[1] - t0, 2.0, 0.1);
+  EXPECT_NEAR(done[2] - t0, 3.0, 0.1);
+}
+
+TEST_F(ServingTest, UnlimitedConcurrencySharesContainer) {
+  Annotations a;
+  a.min_scale = 1;
+  a.max_scale = 1;
+  a.container_concurrency = 0;  // all requests co-located in one container
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+  const double t0 = sim.now();
+  std::vector<double> done;
+  for (int i = 0; i < 3; ++i) {
+    net::HttpRequest req;
+    req.body = 1.0;
+    serving.invoke(client, "matmul", std::move(req),
+                   [&](net::HttpResponse) { done.push_back(sim.now()); });
+  }
+  sim.run_until(t0 + 60.0);
+  ASSERT_EQ(done.size(), 3u);
+  // Three single-threaded execs on an 8-core node run in parallel.
+  EXPECT_NEAR(done.back() - t0, 1.0, 0.1);
+}
+
+TEST_F(ServingTest, UnknownServiceIs404) {
+  int status = 0;
+  serving.invoke(client, "ghost", {},
+                 [&](net::HttpResponse resp) { status = resp.status; });
+  sim.run();
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(ServingTest, MissingHostHeaderIs404) {
+  int status = 0;
+  cl->http().request(client, serving.gateway_net_id(),
+                     KnativeServing::kGatewayPort, {},
+                     [&](net::HttpResponse resp) { status = resp.status; });
+  sim.run();
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(ServingTest, DuplicateServiceThrows) {
+  serving.create_service(spec("matmul"));
+  EXPECT_THROW(serving.create_service(spec("matmul")),
+               std::invalid_argument);
+}
+
+TEST_F(ServingTest, DeleteServiceTearsDownPods) {
+  Annotations a;
+  a.min_scale = 2;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+  EXPECT_EQ(serving.ready_replicas("matmul"), 2);
+  serving.delete_service("matmul");
+  sim.run_until(60.0);
+  EXPECT_FALSE(serving.has_service("matmul"));
+  EXPECT_TRUE(kube.api().list_pods().empty());
+  int status = 0;
+  serving.invoke(client, "matmul", {},
+                 [&](net::HttpResponse resp) { status = resp.status; });
+  sim.run_until(61.0);
+  EXPECT_EQ(status, 404);
+}
+
+TEST_F(ServingTest, RequestsSpreadRoundRobinAcrossPods) {
+  Annotations a;
+  a.min_scale = 3;
+  a.container_concurrency = 1;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+  ASSERT_EQ(serving.ready_replicas("matmul"), 3);
+  const double t0 = sim.now();
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    net::HttpRequest req;
+    req.body = 1.0;
+    serving.invoke(client, "matmul", std::move(req),
+                   [&](net::HttpResponse) { ++completed; });
+  }
+  sim.run_until(t0 + 30.0);
+  EXPECT_EQ(completed, 3);
+  // Round-robin lands one request per pod → all finish in ≈1 s.
+  EXPECT_LT(sim.now(), t0 + 30.0 + 1e-9);
+}
+
+TEST_F(ServingTest, ColdStartLatencyMatchesPaperBallpark) {
+  // With the image pre-staged (paper: "containers distributed to
+  // workers"), scale-from-zero pays scheduling + create + start + boot.
+  kube.seed_image_everywhere(container::make_task_image("matmul"));
+  Annotations a;
+  a.initial_scale = 0;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(1.0);
+  const double t0 = sim.now();
+  const double done = invoke_and_wait("matmul", 0.0);
+  const double cold = done - t0;
+  // Paper reports 1.48 s; accept the right order of magnitude here (the
+  // calibrated figure is asserted in the core-library tests).
+  EXPECT_GT(cold, 0.5);
+  EXPECT_LT(cold, 3.0);
+}
+
+TEST_F(ServingTest, PayloadBytesFlowThroughBothHops) {
+  Annotations a;
+  a.min_scale = 1;
+  serving.create_service(spec("matmul", a));
+  sim.run_until(30.0);
+  const double bytes_before = cl->network().total_bytes_delivered();
+  invoke_and_wait("matmul", 0.0);
+  const double delta = cl->network().total_bytes_delivered() - bytes_before;
+  // Request payload twice (client→gw, gw→pod) + response twice.
+  EXPECT_GE(delta, 4 * 490000.0 - 1.0);
+}
+
+}  // namespace
+}  // namespace sf::knative

@@ -1,0 +1,58 @@
+#include "metrics/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace sf::metrics {
+namespace {
+
+TEST(Regression, PerfectLine) {
+  const std::array<double, 4> xs{1, 2, 3, 4};
+  const std::array<double, 4> ys{3, 5, 7, 9};  // y = 2x + 1
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineSlopeClose) {
+  const std::array<double, 5> xs{0, 1, 2, 3, 4};
+  const std::array<double, 5> ys{0.1, 0.9, 2.1, 2.9, 4.1};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 1.0, 0.05);
+  EXPECT_GT(f.r2, 0.99);
+}
+
+TEST(Regression, ConstantYsZeroSlope) {
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 3> ys{5, 5, 5};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 5.0);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(Regression, DegenerateInputsReturnZeroFit) {
+  EXPECT_DOUBLE_EQ(fit_line({}, {}).slope, 0.0);
+  const std::array<double, 1> one{1};
+  EXPECT_DOUBLE_EQ(fit_line(one, one).slope, 0.0);
+  const std::array<double, 2> same_x{2, 2};
+  const std::array<double, 2> ys{1, 3};
+  EXPECT_DOUBLE_EQ(fit_line(same_x, ys).slope, 0.0);
+  const std::array<double, 3> xs{1, 2, 3};
+  const std::array<double, 2> mismatched{1, 2};
+  EXPECT_DOUBLE_EQ(fit_line(xs, mismatched).slope, 0.0);
+}
+
+TEST(Regression, NegativeSlope) {
+  const std::array<double, 3> xs{0, 1, 2};
+  const std::array<double, 3> ys{4, 2, 0};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, -2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sf::metrics

@@ -1,0 +1,64 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace sf::metrics {
+namespace {
+
+TEST(Stats, EmptyYieldsZeroes) {
+  const SummaryStats s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0);
+  EXPECT_DOUBLE_EQ(s.sum, 0);
+}
+
+TEST(Stats, SingleValue) {
+  const std::array<double, 1> v{5.0};
+  const SummaryStats s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Stats, KnownSample) {
+  const std::array<double, 4> v{2.0, 4.0, 4.0, 6.0};
+  const SummaryStats s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum, 16.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, NegativeValues) {
+  const std::array<double, 3> v{-3.0, 0.0, 3.0};
+  const SummaryStats s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, -3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100), 9.0);
+}
+
+TEST(Percentile, Interpolates) {
+  EXPECT_DOUBLE_EQ(percentile({0, 10}, 25), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7}, 99), 7.0);
+}
+
+}  // namespace
+}  // namespace sf::metrics

@@ -1,0 +1,54 @@
+#include "metrics/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sf::metrics {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, RejectsWrongRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), std::invalid_argument);
+}
+
+TEST(Table, CsvRendersAllCellKinds) {
+  Table t({"name", "value", "count"}, 2);
+  t.add_row({std::string("docker"), 99.5, std::int64_t{160}});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value,count\ndocker,99.50,160\n");
+}
+
+TEST(Table, MarkdownHasHeaderRule) {
+  Table t({"x"});
+  t.add_row({std::int64_t{1}});
+  std::ostringstream os;
+  t.print_markdown(os);
+  EXPECT_EQ(os.str(), "| x |\n|---|\n| 1 |\n");
+}
+
+TEST(Table, TextAlignsColumns) {
+  Table t({"mode", "s"}, 1);
+  t.add_row({std::string("native"), 250.0});
+  std::ostringstream os;
+  t.print_text(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("native"), std::string::npos);
+  EXPECT_NE(out.find("250.0"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.columns(), 2u);
+  t.add_row({1.0, 2.0}).add_row({3.0, 4.0});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace sf::metrics

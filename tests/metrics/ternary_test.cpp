@@ -1,0 +1,40 @@
+#include "metrics/ternary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::metrics {
+namespace {
+
+TEST(Ternary, CornersMapToTriangleVertices) {
+  const auto n = to_ternary_xy({1, 0, 0});
+  EXPECT_DOUBLE_EQ(n.x, 0.0);
+  EXPECT_DOUBLE_EQ(n.y, 0.0);
+  const auto c = to_ternary_xy({0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+  const auto s = to_ternary_xy({0, 0, 1});
+  EXPECT_DOUBLE_EQ(s.x, 0.5);
+  EXPECT_NEAR(s.y, 0.8660254, 1e-6);
+}
+
+TEST(Ternary, CenterIsCentroid) {
+  const auto p = to_ternary_xy({1.0 / 3, 1.0 / 3, 1.0 / 3});
+  EXPECT_NEAR(p.x, 0.5, 1e-9);
+  EXPECT_NEAR(p.y, 0.2886751, 1e-6);
+}
+
+TEST(Ternary, InvalidMixThrows) {
+  EXPECT_THROW(to_ternary_xy({0.5, 0.5, 0.5}), std::invalid_argument);
+  EXPECT_THROW(to_ternary_xy({-0.1, 0.6, 0.5}), std::invalid_argument);
+}
+
+TEST(Ternary, IsolationScoreOrdersModes) {
+  EXPECT_DOUBLE_EQ(isolation_score({1, 0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(isolation_score({0, 1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(isolation_score({0, 0, 1}), 0.5);
+  // Half container / half native, as in Figure 6's fourth bar.
+  EXPECT_DOUBLE_EQ(isolation_score({0.5, 0.5, 0}), 0.5);
+}
+
+}  // namespace
+}  // namespace sf::metrics

@@ -1,0 +1,161 @@
+#include "net/flow_network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sf::net {
+namespace {
+
+class FlowNetworkTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  FlowNetwork net{sim};
+  // 100 B/s NICs, 10 ms one-way latency → 20 ms per pair.
+  NodeId a = net.add_node(100.0, 0.01);
+  NodeId b = net.add_node(100.0, 0.01);
+  NodeId c = net.add_node(100.0, 0.01);
+};
+
+TEST_F(FlowNetworkTest, SingleTransferPaysLatencyPlusBandwidth) {
+  double done_at = -1;
+  net.transfer(a, b, 100.0, [&] { done_at = sim.now(); });
+  sim.run();
+  // 0.02 s latency + 100 B at 100 B/s = 1.02 s.
+  EXPECT_NEAR(done_at, 1.02, 1e-9);
+}
+
+TEST_F(FlowNetworkTest, ZeroBytesIsLatencyOnly) {
+  double done_at = -1;
+  net.transfer(a, b, 0.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 0.02, 1e-12);
+}
+
+TEST_F(FlowNetworkTest, HubEgressShared) {
+  // Two flows out of `a` share a's egress: each gets 50 B/s.
+  std::vector<double> done;
+  net.transfer(a, b, 100.0, [&] { done.push_back(sim.now()); });
+  net.transfer(a, c, 100.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.02, 1e-6);
+  EXPECT_NEAR(done[1], 2.02, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, IncastIngressShared) {
+  std::vector<double> done;
+  net.transfer(a, c, 100.0, [&] { done.push_back(sim.now()); });
+  net.transfer(b, c, 100.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.02, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, DisjointPairsDoNotInterfere) {
+  NodeId d = net.add_node(100.0, 0.01);
+  std::vector<double> done;
+  net.transfer(a, b, 100.0, [&] { done.push_back(sim.now()); });
+  net.transfer(c, d, 100.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.02, 1e-6);
+  EXPECT_NEAR(done[1], 1.02, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, BottleneckAsymmetry) {
+  // Slow receiver constrains one flow; the other uses a's leftover egress.
+  NodeId slow = net.add_node(25.0, 0.01);
+  std::vector<std::pair<char, double>> done;
+  net.transfer(a, slow, 50.0, [&] { done.emplace_back('s', sim.now()); });
+  net.transfer(a, b, 150.0, [&] { done.emplace_back('f', sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // slow flow: 25 B/s → 2 s; fast flow: 75 B/s → 2 s... both ≈ 2.02.
+  EXPECT_NEAR(done[0].second, 2.02, 1e-6);
+  EXPECT_NEAR(done[1].second, 2.02, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, DepartureReallocatesBandwidth) {
+  std::vector<double> done;
+  net.transfer(a, b, 50.0, [&] { done.push_back(sim.now()); });
+  net.transfer(a, c, 150.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Shared 50/50 until t=1.02 (first done), then 100 B/s for the rest:
+  // second sent 50 by then, 100 remaining → finishes 1 s later.
+  EXPECT_NEAR(done[0], 1.02, 1e-6);
+  EXPECT_NEAR(done[1], 2.02, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, LoopbackBypassesNic) {
+  net.set_loopback_bandwidth(1000.0);
+  double loop_done = -1;
+  double net_done = -1;
+  net.transfer(a, a, 1000.0, [&] { loop_done = sim.now(); });
+  net.transfer(a, b, 100.0, [&] { net_done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(loop_done, 1.0 + 1e-6, 1e-6);  // loopback latency ~1 µs
+  EXPECT_NEAR(net_done, 1.02, 1e-6);         // NIC unaffected by loopback
+}
+
+TEST_F(FlowNetworkTest, CancelStopsFlow) {
+  bool fired = false;
+  const FlowId id = net.transfer(a, b, 1000.0, [&] { fired = true; });
+  sim.call_at(0.5, [&] { EXPECT_TRUE(net.cancel(id)); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST_F(FlowNetworkTest, RemainingBytesProgress) {
+  const FlowId id = net.transfer(a, b, 100.0, [] {});
+  sim.run_until(0.52);  // 0.5 s of transfer after latency
+  EXPECT_NEAR(net.remaining_bytes(id), 50.0, 1e-6);
+  EXPECT_NEAR(net.current_rate(id), 100.0, 1e-6);
+  sim.run();
+  EXPECT_DOUBLE_EQ(net.remaining_bytes(id), -1.0);
+}
+
+TEST_F(FlowNetworkTest, TotalBytesDeliveredAccumulates) {
+  net.transfer(a, b, 100.0, [] {});
+  net.transfer(b, c, 40.0, [] {});
+  sim.run();
+  EXPECT_NEAR(net.total_bytes_delivered(), 140.0, 1e-6);
+}
+
+TEST_F(FlowNetworkTest, UnknownNodeThrows) {
+  EXPECT_THROW(net.transfer(a, 999, 1.0, [] {}), std::invalid_argument);
+}
+
+TEST_F(FlowNetworkTest, BadNicSpecThrows) {
+  EXPECT_THROW(net.add_node(0.0, 0.01), std::invalid_argument);
+  EXPECT_THROW(net.add_node(100.0, -1.0), std::invalid_argument);
+}
+
+// Property sweep: N equal flows through one egress finish together at
+// latency + N * bytes / bandwidth.
+class FlowFairnessSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowFairnessSweep, EqualFlowsFinishTogether) {
+  const int n = GetParam();
+  sim::Simulation sim;
+  FlowNetwork net(sim);
+  const NodeId src = net.add_node(100.0, 0.0);
+  std::vector<double> done;
+  for (int i = 0; i < n; ++i) {
+    const NodeId dst = net.add_node(1e9, 0.0);
+    net.transfer(src, dst, 100.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), static_cast<std::size_t>(n));
+  for (double t : done) EXPECT_NEAR(t, n * 1.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FlowFairnessSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace sf::net

@@ -1,0 +1,99 @@
+// Invariant tests for the max-min fair flow network over seeded random
+// traffic patterns.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::net {
+namespace {
+
+class FlowPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowPropertyTest, AllFlowsCompleteAndBytesConserved) {
+  sim::Simulation sim(GetParam());
+  FlowNetwork net(sim);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(net.add_node(sim.rng().uniform(50.0, 500.0), 0.001));
+  }
+  constexpr int kFlows = 40;
+  double total_bytes = 0;
+  int completed = 0;
+  for (int i = 0; i < kFlows; ++i) {
+    const NodeId src = nodes[sim.rng().index(nodes.size())];
+    const NodeId dst = nodes[sim.rng().index(nodes.size())];
+    const double bytes = sim.rng().uniform(1.0, 5000.0);
+    const double start = sim.rng().uniform(0.0, 30.0);
+    total_bytes += bytes;
+    sim.call_at(start, [&, src, dst, bytes] {
+      net.transfer(src, dst, bytes, [&] { ++completed; });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, kFlows);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_NEAR(net.total_bytes_delivered(), total_bytes,
+              total_bytes * 1e-6 + 1.0);
+}
+
+TEST_P(FlowPropertyTest, PerNodeRatesRespectNicCapacity) {
+  sim::Simulation sim(GetParam());
+  FlowNetwork net(sim);
+  constexpr double kBandwidth = 100.0;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 4; ++i) nodes.push_back(net.add_node(kBandwidth, 0.0));
+
+  std::vector<FlowId> flows;
+  std::vector<std::pair<NodeId, NodeId>> endpoints;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId src = nodes[sim.rng().index(nodes.size())];
+    NodeId dst = nodes[sim.rng().index(nodes.size())];
+    if (src == dst) dst = nodes[(src + 1) % nodes.size()];
+    flows.push_back(net.transfer(src, dst, 1e5, [] {}));
+    endpoints.emplace_back(src, dst);
+  }
+  for (double t = 0.5; t < 20.0; t += 2.5) {
+    sim.run_until(t);
+    std::vector<double> egress(nodes.size(), 0);
+    std::vector<double> ingress(nodes.size(), 0);
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      const double rate = net.current_rate(flows[i]);
+      if (rate < 0) continue;  // finished
+      egress[endpoints[i].first] += rate;
+      ingress[endpoints[i].second] += rate;
+    }
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      EXPECT_LE(egress[n], kBandwidth * (1 + 1e-9));
+      EXPECT_LE(ingress[n], kBandwidth * (1 + 1e-9));
+    }
+  }
+  sim.run();
+}
+
+TEST_P(FlowPropertyTest, WorkConservingSingleBottleneck) {
+  // All flows into one sink: the sink NIC must run at full rate until the
+  // last flow finishes.
+  sim::Simulation sim(GetParam());
+  FlowNetwork net(sim);
+  const NodeId sink = net.add_node(100.0, 0.0);
+  double total = 0;
+  const int n = 3 + static_cast<int>(sim.rng().index(6));
+  for (int i = 0; i < n; ++i) {
+    const NodeId src = net.add_node(1e9, 0.0);
+    const double bytes = sim.rng().uniform(100.0, 2000.0);
+    total += bytes;
+    net.transfer(src, sink, bytes, [] {});
+  }
+  sim.run();
+  EXPECT_NEAR(sim.now(), total / 100.0, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowPropertyTest,
+                         ::testing::Values(11, 23, 47, 1001));
+
+}  // namespace
+}  // namespace sf::net

@@ -1,0 +1,159 @@
+#include "net/http.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sf::net {
+namespace {
+
+class HttpTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  FlowNetwork net{sim};
+  HttpFabric http{sim, net};
+  NodeId client = net.add_node(1e6, 0.001);
+  NodeId server = net.add_node(1e6, 0.001);
+};
+
+TEST_F(HttpTest, RoundTripDeliversBody) {
+  http.listen(server, 8080, [](const HttpRequest& req, Responder respond) {
+    EXPECT_EQ(req.path, "/multiply");
+    const int x = std::any_cast<int>(req.body);
+    HttpResponse resp;
+    resp.body = x * 2;
+    respond(std::move(resp));
+  });
+  int result = 0;
+  HttpRequest req;
+  req.path = "/multiply";
+  req.body = 21;
+  http.request(client, server, 8080, std::move(req),
+               [&](HttpResponse resp) {
+                 EXPECT_TRUE(resp.ok());
+                 result = std::any_cast<int>(resp.body);
+               });
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST_F(HttpTest, NoListenerYields502) {
+  int status = 0;
+  http.request(client, server, 9999, {}, [&](HttpResponse resp) {
+    status = resp.status;
+    EXPECT_FALSE(resp.ok());
+  });
+  sim.run();
+  EXPECT_EQ(status, kStatusConnectionRefused);
+}
+
+TEST_F(HttpTest, ClosedListenerRefuses) {
+  http.listen(server, 8080, [](const HttpRequest&, Responder respond) {
+    respond({});
+  });
+  http.close(server, 8080);
+  EXPECT_FALSE(http.is_listening(server, 8080));
+  int status = 0;
+  http.request(client, server, 8080, {},
+               [&](HttpResponse resp) { status = resp.status; });
+  sim.run();
+  EXPECT_EQ(status, kStatusConnectionRefused);
+}
+
+TEST_F(HttpTest, PayloadBytesDriveTransferTime) {
+  http.listen(server, 8080, [](const HttpRequest&, Responder respond) {
+    HttpResponse resp;
+    resp.body_bytes = 1e6;  // 1 MB response
+    respond(std::move(resp));
+  });
+  http.set_request_overhead(0.0);
+  double done_at = -1;
+  HttpRequest req;
+  req.body_bytes = 2e6;  // 2 MB request
+  http.request(client, server, 8080, std::move(req),
+               [&](HttpResponse) { done_at = sim.now(); });
+  sim.run();
+  // 2 s request transfer + 1 s response at 1 MB/s, + 2×2 ms latency.
+  EXPECT_NEAR(done_at, 3.004, 1e-6);
+}
+
+TEST_F(HttpTest, RequestOverheadAppliedPerHop) {
+  http.listen(server, 8080,
+              [](const HttpRequest&, Responder respond) { respond({}); });
+  http.set_request_overhead(0.1);
+  double done_at = -1;
+  http.request(client, server, 8080, {},
+               [&](HttpResponse) { done_at = sim.now(); });
+  sim.run();
+  // 0.1 overhead + 2 ms + 0.1 + 2 ms.
+  EXPECT_NEAR(done_at, 0.204, 1e-9);
+}
+
+TEST_F(HttpTest, DeferredResponseSupported) {
+  // The handler responds 5 s later — the queue-proxy / activator pattern.
+  http.listen(server, 8080, [this](const HttpRequest&, Responder respond) {
+    sim.call_in(5.0, [respond = std::move(respond)]() mutable {
+      respond({});
+    });
+  });
+  double done_at = -1;
+  http.request(client, server, 8080, {},
+               [&](HttpResponse) { done_at = sim.now(); });
+  sim.run();
+  EXPECT_GT(done_at, 5.0);
+}
+
+TEST_F(HttpTest, ConcurrentRequestsAllAnswered) {
+  int served = 0;
+  http.listen(server, 8080, [&](const HttpRequest&, Responder respond) {
+    ++served;
+    respond({});
+  });
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    http.request(client, server, 8080, {},
+                 [&](HttpResponse resp) { answered += resp.ok() ? 1 : 0; });
+  }
+  sim.run();
+  EXPECT_EQ(served, 20);
+  EXPECT_EQ(answered, 20);
+  EXPECT_EQ(http.requests_sent(), 20u);
+}
+
+TEST_F(HttpTest, ListenerReplacement) {
+  http.listen(server, 8080, [](const HttpRequest&, Responder respond) {
+    HttpResponse r;
+    r.body = std::string("old");
+    respond(std::move(r));
+  });
+  http.listen(server, 8080, [](const HttpRequest&, Responder respond) {
+    HttpResponse r;
+    r.body = std::string("new");
+    respond(std::move(r));
+  });
+  std::string got;
+  http.request(client, server, 8080, {}, [&](HttpResponse resp) {
+    got = std::any_cast<std::string>(resp.body);
+  });
+  sim.run();
+  EXPECT_EQ(got, "new");
+}
+
+TEST_F(HttpTest, HeadersArePreserved) {
+  std::string host_seen;
+  http.listen(server, 80, [&](const HttpRequest& req, Responder respond) {
+    host_seen = req.headers.at("Host");
+    respond({});
+  });
+  HttpRequest req;
+  req.headers["Host"] = "matmul.default.example.com";
+  http.request(client, server, 80, std::move(req), [](HttpResponse) {});
+  sim.run();
+  EXPECT_EQ(host_seen, "matmul.default.example.com");
+}
+
+}  // namespace
+}  // namespace sf::net

@@ -1,0 +1,294 @@
+#include "pegasus/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "container/image.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::pegasus {
+namespace {
+
+class PlannerTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  condor::CondorPool pool{*cl, cl->node(0),
+                          {&cl->node(1), &cl->node(2), &cl->node(3)}};
+  container::Registry hub{cl->node(0)};
+  DockerEnv docker{*cl, pool};
+  TransformationCatalog tc;
+  storage::ReplicaCatalog rc;
+
+  void SetUp() override {
+    Transformation matmul;
+    matmul.name = "matmul";
+    matmul.work_coreseconds = 0.4;
+    matmul.startup_s = 0.2;
+    matmul.container_image = "matmul:latest";
+    tc.add(matmul);
+    hub.push(container::make_task_image("matmul"));
+  }
+
+  /// Chain of n matmul tasks (Figure 3), initial inputs on the submit node.
+  AbstractWorkflow chain(int n, const std::string& name = "wf") {
+    AbstractWorkflow wf(name);
+    wf.declare_file(name + ".m0", 490000);
+    rc.register_replica(name + ".m0", pool.submit_staging());
+    pool.submit_staging().put_instant({name + ".m0", 490000});
+    for (int i = 0; i < n; ++i) {
+      const std::string b = name + ".b" + std::to_string(i);
+      const std::string out = name + ".m" + std::to_string(i + 1);
+      wf.declare_file(b, 490000);
+      wf.declare_file(out, 490000);
+      rc.register_replica(b, pool.submit_staging());
+      pool.submit_staging().put_instant({b, 490000});
+      AbstractJob job;
+      job.id = name + ".t" + std::to_string(i);
+      job.transformation = "matmul";
+      job.uses = {{name + ".m" + std::to_string(i), LinkType::kInput},
+                  {b, LinkType::kInput},
+                  {out, LinkType::kOutput}};
+      wf.add_job(std::move(job));
+    }
+    return wf;
+  }
+
+  bool run_plan(const Plan& plan, condor::DagMan& dag) {
+    plan.load_into(dag);
+    bool ok = false;
+    bool finished = false;
+    dag.run([&](bool success) {
+      ok = success;
+      finished = true;
+    });
+    sim.run();
+    EXPECT_TRUE(finished);
+    return ok;
+  }
+};
+
+TEST_F(PlannerTest, NativePlanShape) {
+  const auto wf = chain(3);
+  Planner planner(wf, tc, rc, pool, PlannerOptions{});
+  const Plan plan = planner.plan();
+  EXPECT_EQ(plan.stage_in_jobs, 1u);
+  EXPECT_EQ(plan.compute_jobs, 3u);
+  EXPECT_EQ(plan.stage_out_jobs, 1u);
+  EXPECT_EQ(plan.nodes.size(), 5u);
+}
+
+TEST_F(PlannerTest, NativePlanRunsToCompletion) {
+  const auto wf = chain(3);
+  Planner planner(wf, tc, rc, pool, PlannerOptions{});
+  condor::DagMan dag(pool);
+  EXPECT_TRUE(run_plan(planner.plan(), dag));
+  // Final output registered back into the replica catalog.
+  EXPECT_TRUE(rc.has("wf.m3"));
+  EXPECT_TRUE(pool.submit_staging().contains("wf.m3"));
+}
+
+TEST_F(PlannerTest, ContainerModeRunsAndPaysImageTransfer) {
+  const auto wf = chain(2);
+  PlannerOptions native_opts;
+  Planner native_planner(wf, tc, rc, pool, native_opts);
+  condor::DagMan native_dag(pool);
+  EXPECT_TRUE(run_plan(native_planner.plan(), native_dag));
+  const double native_time = native_dag.makespan();
+
+  // Fresh state for the containerized run.
+  sim::Simulation sim2;
+  auto cl2 = cluster::make_paper_testbed(sim2);
+  condor::CondorPool pool2{*cl2, cl2->node(0),
+                           {&cl2->node(1), &cl2->node(2), &cl2->node(3)}};
+  container::Registry hub2{cl2->node(0)};
+  hub2.push(container::make_task_image("matmul"));
+  DockerEnv docker2{*cl2, pool2};
+  storage::ReplicaCatalog rc2;
+
+  AbstractWorkflow wf2("wf2");
+  wf2.declare_file("wf2.m0", 490000);
+  pool2.submit_staging().put_instant({"wf2.m0", 490000});
+  rc2.register_replica("wf2.m0", pool2.submit_staging());
+  for (int i = 0; i < 2; ++i) {
+    const std::string b = "wf2.b" + std::to_string(i);
+    const std::string out = "wf2.m" + std::to_string(i + 1);
+    wf2.declare_file(b, 490000);
+    wf2.declare_file(out, 490000);
+    pool2.submit_staging().put_instant({b, 490000});
+    rc2.register_replica(b, pool2.submit_staging());
+    AbstractJob job;
+    job.id = "wf2.t" + std::to_string(i);
+    job.transformation = "matmul";
+    job.uses = {{"wf2.m" + std::to_string(i), LinkType::kInput},
+                {b, LinkType::kInput},
+                {out, LinkType::kOutput}};
+    wf2.add_job(std::move(job));
+  }
+  PlannerOptions copts;
+  copts.default_mode = JobMode::kContainer;
+  copts.registry = &hub2;
+  copts.docker = &docker2;
+  Planner cplanner(wf2, tc, rc2, pool2, copts);
+  condor::DagMan cdag(pool2);
+  const Plan cplan = cplanner.plan();
+  cplan.load_into(cdag);
+  bool ok = false;
+  cdag.run([&](bool success) { ok = success; });
+  sim2.run();
+  EXPECT_TRUE(ok);
+  // DAGMan's 5 s scan quantizes makespans, so compare per-task execution
+  // time: the containerized task pays docker load + container lifecycle
+  // on top of the same compute.
+  EXPECT_LE(cdag.makespan(), native_time + 10.0);  // same order of magnitude
+  const condor::JobRecord* native_rec = native_dag.node_record("wf.t0");
+  const condor::JobRecord* container_rec = cdag.node_record("wf2.t0");
+  ASSERT_NE(native_rec, nullptr);
+  ASSERT_NE(container_rec, nullptr);
+  const double native_exec = native_rec->end_time - native_rec->start_time;
+  const double container_exec =
+      container_rec->end_time - container_rec->start_time;
+  // docker load (~0.48 s) + lifecycle (~0.31 s) over the same compute.
+  EXPECT_GT(container_exec, native_exec + 0.7);
+}
+
+TEST_F(PlannerTest, ModeOverridesPerJob) {
+  const auto wf = chain(2);
+  PlannerOptions opts;
+  opts.default_mode = JobMode::kNative;
+  opts.mode_overrides["wf.t1"] = JobMode::kContainer;
+  opts.registry = &hub;
+  opts.docker = &docker;
+  Planner planner(wf, tc, rc, pool, opts);
+  condor::DagMan dag(pool);
+  EXPECT_TRUE(run_plan(planner.plan(), dag));
+}
+
+TEST_F(PlannerTest, ContainerModeWithoutDockerThrows) {
+  const auto wf = chain(1);
+  PlannerOptions opts;
+  opts.default_mode = JobMode::kContainer;
+  Planner planner(wf, tc, rc, pool, opts);
+  EXPECT_THROW(planner.plan(), std::invalid_argument);
+}
+
+TEST_F(PlannerTest, ServerlessModeWithoutFactoryThrows) {
+  const auto wf = chain(1);
+  PlannerOptions opts;
+  opts.default_mode = JobMode::kServerless;
+  Planner planner(wf, tc, rc, pool, opts);
+  EXPECT_THROW(planner.plan(), std::invalid_argument);
+}
+
+TEST_F(PlannerTest, ServerlessFactoryIsInvokedPerTask) {
+  const auto wf = chain(3);
+  int factory_calls = 0;
+  PlannerOptions opts;
+  opts.default_mode = JobMode::kServerless;
+  opts.serverless_factory =
+      [&factory_calls](const AbstractJob&, const Transformation&,
+                       std::vector<storage::FileRef> ins,
+                       std::vector<storage::FileRef>) -> condor::JobExecutable {
+    ++factory_calls;
+    EXPECT_EQ(ins.size(), 2u);
+    // Trivial stand-in: instantly succeed and write nothing — the DAG
+    // fails at stage-out, which is fine for this shape test.
+    return [](condor::ExecContext&, std::function<void(bool)> done) {
+      done(true);
+    };
+  };
+  Planner planner(wf, tc, rc, pool, opts);
+  const Plan plan = planner.plan();
+  EXPECT_EQ(factory_calls, 3);
+  EXPECT_EQ(plan.compute_jobs, 3u);
+}
+
+TEST_F(PlannerTest, ClusteringMergesChains) {
+  const auto wf = chain(6);
+  PlannerOptions opts;
+  opts.cluster_size = 3;
+  Planner planner(wf, tc, rc, pool, opts);
+  const Plan plan = planner.plan();
+  // 6 chain tasks → 2 clustered jobs.
+  EXPECT_EQ(plan.compute_jobs, 2u);
+  EXPECT_EQ(plan.clustered_tasks, 6u);
+  condor::DagMan dag(pool);
+  EXPECT_TRUE(run_plan(plan, dag));
+  EXPECT_TRUE(pool.submit_staging().contains("wf.m6"));
+}
+
+TEST_F(PlannerTest, ClusteringReducesMakespan) {
+  // Same chain, clustered vs not: fewer condor jobs → fewer scheduling
+  // round-trips → faster (the paper's §II-C claim about task clustering).
+  const auto wf = chain(6, "plain");
+  Planner p1(wf, tc, rc, pool, PlannerOptions{});
+  condor::DagMan d1(pool);
+  EXPECT_TRUE(run_plan(p1.plan(), d1));
+
+  const auto wf2 = chain(6, "clustered");
+  PlannerOptions opts;
+  opts.cluster_size = 6;
+  Planner p2(wf2, tc, rc, pool, opts);
+  condor::DagMan d2(pool);
+  EXPECT_TRUE(run_plan(p2.plan(), d2));
+  // 6 scheduling hops collapse into one: 50 s → 25 s on the testbed.
+  EXPECT_LE(d2.makespan(), d1.makespan() / 2);
+}
+
+TEST_F(PlannerTest, MissingReplicaFailsStageIn) {
+  AbstractWorkflow wf("broken");
+  wf.declare_file("nowhere.dat", 100);
+  wf.declare_file("out.dat", 100);
+  AbstractJob job;
+  job.id = "t";
+  job.transformation = "matmul";
+  job.uses = {{"nowhere.dat", LinkType::kInput},
+              {"out.dat", LinkType::kOutput}};
+  wf.add_job(std::move(job));
+  Planner planner(wf, tc, rc, pool, PlannerOptions{});
+  condor::DagMan dag(pool);
+  EXPECT_FALSE(run_plan(planner.plan(), dag));
+}
+
+TEST_F(PlannerTest, StageInFetchesFromRemoteReplica) {
+  // The initial input lives on node2; stage-in must move it to staging.
+  storage::Volume remote(cl->node(2), "archive");
+  AbstractWorkflow wf("remote");
+  wf.declare_file("remote.m0", 490000);
+  wf.declare_file("remote.out", 490000);
+  remote.put_instant({"remote.m0", 490000});
+  rc.register_replica("remote.m0", remote);
+  AbstractJob job;
+  job.id = "remote.t0";
+  job.transformation = "matmul";
+  job.uses = {{"remote.m0", LinkType::kInput},
+              {"remote.out", LinkType::kOutput}};
+  wf.add_job(std::move(job));
+  Planner planner(wf, tc, rc, pool, PlannerOptions{});
+  condor::DagMan dag(pool);
+  EXPECT_TRUE(run_plan(planner.plan(), dag));
+  EXPECT_TRUE(pool.submit_staging().contains("remote.m0"));
+}
+
+TEST_F(PlannerTest, StatisticsSummarizeRecords) {
+  const auto wf = chain(3);
+  Planner planner(wf, tc, rc, pool, PlannerOptions{});
+  const Plan plan = planner.plan();
+  condor::DagMan dag(pool);
+  EXPECT_TRUE(run_plan(plan, dag));
+  std::vector<std::string> names;
+  for (const auto& n : plan.nodes) names.push_back(n.name);
+  const RunStatistics stats = collect_statistics(dag, names);
+  EXPECT_EQ(stats.jobs, 5u);
+  EXPECT_GT(stats.makespan, 0);
+  EXPECT_GT(stats.mean_queue_wait, 0);
+  EXPECT_GT(stats.mean_exec_time, 0);
+}
+
+TEST_F(PlannerTest, JobModeNames) {
+  EXPECT_STREQ(to_string(JobMode::kNative), "native");
+  EXPECT_STREQ(to_string(JobMode::kContainer), "container");
+  EXPECT_STREQ(to_string(JobMode::kServerless), "serverless");
+}
+
+}  // namespace
+}  // namespace sf::pegasus

@@ -1,0 +1,124 @@
+#include "pegasus/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pegasus/planner.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::pegasus {
+namespace {
+
+class StatisticsTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  condor::CondorPool pool{*cl, cl->node(0),
+                          {&cl->node(1), &cl->node(2), &cl->node(3)}};
+  TransformationCatalog tc;
+  storage::ReplicaCatalog rc;
+  std::vector<std::string> names;
+
+  void SetUp() override {
+    Transformation matmul;
+    matmul.name = "matmul";
+    matmul.work_coreseconds = 0.4;
+    tc.add(matmul);
+  }
+
+  condor::DagMan& run_chain(int n) {
+    AbstractWorkflow wf("wf");
+    wf.declare_file("wf.m0", 490000);
+    pool.submit_staging().put_instant({"wf.m0", 490000});
+    rc.register_replica("wf.m0", pool.submit_staging());
+    for (int i = 0; i < n; ++i) {
+      const std::string b = "wf.b" + std::to_string(i);
+      const std::string out = "wf.m" + std::to_string(i + 1);
+      wf.declare_file(b, 490000);
+      wf.declare_file(out, 490000);
+      pool.submit_staging().put_instant({b, 490000});
+      rc.register_replica(b, pool.submit_staging());
+      AbstractJob job;
+      job.id = "wf.t" + std::to_string(i);
+      job.transformation = "matmul";
+      job.uses = {{"wf.m" + std::to_string(i), LinkType::kInput},
+                  {b, LinkType::kInput},
+                  {out, LinkType::kOutput}};
+      wf.add_job(std::move(job));
+    }
+    Planner planner(wf, tc, rc, pool, PlannerOptions{});
+    dag_ = std::make_unique<condor::DagMan>(pool);
+    const Plan plan = planner.plan();
+    for (const auto& node : plan.nodes) names.push_back(node.name);
+    plan.load_into(*dag_);
+    dag_->run([](bool ok) { EXPECT_TRUE(ok); });
+    sim.run();
+    return *dag_;
+  }
+
+  std::unique_ptr<condor::DagMan> dag_;
+};
+
+TEST_F(StatisticsTest, GanttRowsCoverEveryNode) {
+  const auto& dag = run_chain(3);
+  const auto rows = collect_gantt(dag, names);
+  EXPECT_EQ(rows.size(), 5u);  // stage_in + 3 + stage_out
+  for (const auto& row : rows) {
+    EXPECT_GE(row.start, row.submit);
+    EXPECT_GE(row.end, row.start);
+    EXPECT_FALSE(row.worker.empty());
+  }
+}
+
+TEST_F(StatisticsTest, ChainRowsAreTemporallyOrdered) {
+  const auto& dag = run_chain(3);
+  const auto rows = collect_gantt(dag, names);
+  // Compute nodes appear in chain order and never overlap.
+  for (std::size_t i = 2; i < rows.size() - 1; ++i) {
+    EXPECT_GE(rows[i].start, rows[i - 1].end);
+  }
+}
+
+TEST_F(StatisticsTest, CsvHasHeaderAndRows) {
+  const auto& dag = run_chain(2);
+  const auto rows = collect_gantt(dag, names);
+  std::ostringstream os;
+  write_gantt_csv(rows, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("node,worker,submit,start,end,queue_wait,exec_time"),
+            std::string::npos);
+  EXPECT_NE(text.find("wf.t0"), std::string::npos);
+  // header + 4 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST_F(StatisticsTest, BusyFractionsBounded) {
+  const auto& dag = run_chain(4);
+  const auto rows = collect_gantt(dag, names);
+  const auto fractions = worker_busy_fractions(rows, dag.makespan());
+  EXPECT_FALSE(fractions.empty());
+  double total = 0;
+  for (const auto& [worker, fraction] : fractions) {
+    EXPECT_GE(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+    total += fraction;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST_F(StatisticsTest, QueueWaitAndExecDerivedCorrectly) {
+  GanttRow row;
+  row.submit = 10;
+  row.start = 15;
+  row.end = 18;
+  EXPECT_DOUBLE_EQ(row.queue_wait(), 5.0);
+  EXPECT_DOUBLE_EQ(row.exec_time(), 3.0);
+  GanttRow never_ran;
+  never_ran.submit = 1;
+  EXPECT_DOUBLE_EQ(never_ran.queue_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(never_ran.exec_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace sf::pegasus

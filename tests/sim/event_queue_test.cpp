@@ -1,0 +1,108 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sf::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(q.next_time(), kTimeInfinity);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.schedule(7.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 7.0);
+  q.schedule(2.5, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.5);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledEventSkippedAtTop) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId early = q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  q.cancel(early);
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+  auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 2.0);
+  fired.fn();
+  EXPECT_EQ(order, (std::vector<int>{2}));
+}
+
+TEST(EventQueue, SizeExcludesCancelled) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, IdsAreUniqueAndIncreasing) {
+  EventQueue q;
+  const EventId a = q.schedule(1.0, [] {});
+  const EventId b = q.schedule(1.0, [] {});
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, kNoEvent);
+}
+
+TEST(EventQueue, ManyInterleavedSchedulesAndCancels) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(static_cast<double>(i % 10), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 50);
+}
+
+}  // namespace
+}  // namespace sf::sim

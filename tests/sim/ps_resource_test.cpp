@@ -1,0 +1,259 @@
+#include "sim/ps_resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/simulation.hpp"
+
+namespace sf::sim {
+namespace {
+
+TEST(PsResource, SingleJobRunsAtCap) {
+  Simulation sim;
+  PsResource cpu(sim, 8.0);
+  double done_at = -1;
+  cpu.submit(2.0, [&] { done_at = sim.now(); }, /*rate_cap=*/1.0);
+  sim.run();
+  // 2 core-seconds at 1 core → 2 s even though 8 cores are free.
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(PsResource, UncappedJobUsesFullCapacity) {
+  Simulation sim;
+  PsResource cpu(sim, 4.0);
+  double done_at = -1;
+  cpu.submit(8.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+}
+
+TEST(PsResource, TwoJobsFairShare) {
+  Simulation sim;
+  PsResource nic(sim, 100.0);  // e.g. 100 B/s
+  std::vector<double> done;
+  nic.submit(100.0, [&] { done.push_back(sim.now()); });
+  nic.submit(100.0, [&] { done.push_back(sim.now()); });
+  sim.run();
+  // Each gets 50 B/s → both complete at t=2.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(PsResource, ContentionSlowsCompletion) {
+  // Two single-threaded tasks on one core: each takes twice as long.
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  std::vector<double> done;
+  cpu.submit(1.0, [&] { done.push_back(sim.now()); }, 1.0);
+  cpu.submit(1.0, [&] { done.push_back(sim.now()); }, 1.0);
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 2.0, 1e-9);
+}
+
+TEST(PsResource, NoContentionBelowCoreCount) {
+  // Two single-threaded tasks on 8 cores: no slowdown.
+  Simulation sim;
+  PsResource cpu(sim, 8.0);
+  std::vector<double> done;
+  cpu.submit(3.0, [&] { done.push_back(sim.now()); }, 1.0);
+  cpu.submit(3.0, [&] { done.push_back(sim.now()); }, 1.0);
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 3.0, 1e-9);
+  EXPECT_NEAR(done[1], 3.0, 1e-9);
+}
+
+TEST(PsResource, WeightsSkewShares) {
+  Simulation sim;
+  PsResource cpu(sim, 3.0);
+  std::vector<std::pair<int, double>> done;
+  cpu.submit(2.0, [&] { done.emplace_back(1, sim.now()); },
+             PsResource::kNoCap, /*weight=*/2.0);
+  cpu.submit(1.0, [&] { done.emplace_back(2, sim.now()); },
+             PsResource::kNoCap, /*weight=*/1.0);
+  // Rates: 2 and 1 → both finish at t=1.
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0].second, 1.0, 1e-9);
+  EXPECT_NEAR(done[1].second, 1.0, 1e-9);
+}
+
+TEST(PsResource, CapRedistributesToOthers) {
+  Simulation sim;
+  PsResource cpu(sim, 4.0);
+  double slow_done = -1;
+  double fast_done = -1;
+  // Job A capped at 1 core; job B uncapped gets the remaining 3.
+  cpu.submit(2.0, [&] { slow_done = sim.now(); }, 1.0);
+  cpu.submit(6.0, [&] { fast_done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(slow_done, 2.0, 1e-9);
+  EXPECT_NEAR(fast_done, 2.0, 1e-9);
+}
+
+TEST(PsResource, LateArrivalRebalances) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  std::vector<double> done;
+  cpu.submit(1.0, [&] { done.push_back(sim.now()); }, 1.0);
+  sim.call_at(0.5, [&] {
+    cpu.submit(0.5, [&] { done.push_back(sim.now()); }, 1.0);
+  });
+  sim.run();
+  // First job: 0.5 work done by t=0.5, then shares; finishes at 1.5.
+  // Second: 0.5 work at 0.5 rate → also 1.5.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.5, 1e-9);
+  EXPECT_NEAR(done[1], 1.5, 1e-9);
+}
+
+TEST(PsResource, DepartureSpeedsUpRemaining) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  std::vector<double> done;
+  cpu.submit(0.5, [&] { done.push_back(sim.now()); }, 1.0);
+  cpu.submit(1.0, [&] { done.push_back(sim.now()); }, 1.0);
+  sim.run();
+  // Shared until t=1 (first finishes, 0.5 each done), then second runs
+  // alone: 0.5 remaining at rate 1 → t=1.5.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 1.5, 1e-9);
+}
+
+TEST(PsResource, CancelRemovesJob) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  bool cancelled_ran = false;
+  double done_at = -1;
+  const auto id = cpu.submit(10.0, [&] { cancelled_ran = true; }, 1.0);
+  cpu.submit(1.0, [&] { done_at = sim.now(); }, 1.0);
+  sim.call_at(0.5, [&] { EXPECT_TRUE(cpu.cancel(id)); });
+  sim.run();
+  EXPECT_FALSE(cancelled_ran);
+  // Shared 0.5 s (0.25 done), then full rate: 0.75 more → t=1.25.
+  EXPECT_NEAR(done_at, 1.25, 1e-9);
+}
+
+TEST(PsResource, CancelUnknownReturnsFalse) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  EXPECT_FALSE(cpu.cancel(999));
+}
+
+TEST(PsResource, SetRateCapMidFlight) {
+  Simulation sim;
+  PsResource cpu(sim, 4.0);
+  double done_at = -1;
+  const auto id = cpu.submit(4.0, [&] { done_at = sim.now(); }, 4.0);
+  sim.call_at(0.5, [&] { EXPECT_TRUE(cpu.set_rate_cap(id, 1.0)); });
+  sim.run();
+  // 2 core-s done by 0.5, then 2 more at rate 1 → t=2.5.
+  EXPECT_NEAR(done_at, 2.5, 1e-9);
+}
+
+TEST(PsResource, ZeroCapPausesJob) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  double done_at = -1;
+  const auto id = cpu.submit(1.0, [&] { done_at = sim.now(); }, 0.0);
+  sim.call_at(5.0, [&] { cpu.set_rate_cap(id, 1.0); });
+  sim.run();
+  EXPECT_NEAR(done_at, 6.0, 1e-9);
+}
+
+TEST(PsResource, ZeroWorkCompletesImmediately) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  double done_at = -1;
+  cpu.submit(0.0, [&] { done_at = sim.now(); }, 1.0);
+  sim.run();
+  EXPECT_NEAR(done_at, 0.0, 1e-12);
+}
+
+TEST(PsResource, CompletionCallbackMaySubmit) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  std::vector<double> done;
+  cpu.submit(1.0, [&] {
+    done.push_back(sim.now());
+    cpu.submit(1.0, [&] { done.push_back(sim.now()); }, 1.0);
+  }, 1.0);
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 1.0, 1e-9);
+  EXPECT_NEAR(done[1], 2.0, 1e-9);
+}
+
+TEST(PsResource, RemainingAndRateQueries) {
+  Simulation sim;
+  PsResource cpu(sim, 2.0);
+  const auto id = cpu.submit(4.0, [] {}, 2.0);
+  sim.run_until(1.0);
+  EXPECT_NEAR(cpu.remaining(id), 2.0, 1e-9);
+  EXPECT_NEAR(cpu.current_rate(id), 2.0, 1e-9);
+  EXPECT_NEAR(cpu.utilization(), 2.0, 1e-9);
+  EXPECT_EQ(cpu.active_jobs(), 1u);
+}
+
+TEST(PsResource, CapacityChangeMidFlight) {
+  Simulation sim;
+  PsResource cpu(sim, 2.0);
+  double done_at = -1;
+  cpu.submit(4.0, [&] { done_at = sim.now(); });
+  sim.call_at(1.0, [&] { cpu.set_capacity(1.0); });
+  sim.run();
+  // 2 done in first second, 2 remaining at rate 1 → t=3.
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+}
+
+TEST(PsResource, InvalidArgumentsThrow) {
+  Simulation sim;
+  EXPECT_THROW(PsResource(sim, -1.0), std::invalid_argument);
+  PsResource cpu(sim, 1.0);
+  EXPECT_THROW(cpu.submit(1.0, [] {}, -1.0), std::invalid_argument);
+  EXPECT_THROW(cpu.submit(1.0, [] {}, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(cpu.set_capacity(-2.0), std::invalid_argument);
+}
+
+// Property: with N identical capped jobs on C cores, makespan is
+// work * ceil-free scaling max(1, N/C). Swept with TEST_P.
+struct PsSweep {
+  int jobs;
+  double cores;
+};
+
+class PsFairnessSweep : public ::testing::TestWithParam<PsSweep> {};
+
+TEST_P(PsFairnessSweep, MakespanMatchesTheory) {
+  const auto [jobs, cores] = GetParam();
+  Simulation sim;
+  PsResource cpu(sim, cores);
+  constexpr double kWork = 2.0;
+  int finished = 0;
+  double last = 0;
+  for (int i = 0; i < jobs; ++i) {
+    cpu.submit(kWork, [&] {
+      ++finished;
+      last = sim.now();
+    }, 1.0);
+  }
+  sim.run();
+  EXPECT_EQ(finished, jobs);
+  const double expected =
+      kWork * std::max(1.0, static_cast<double>(jobs) / cores);
+  EXPECT_NEAR(last, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PsFairnessSweep,
+    ::testing::Values(PsSweep{1, 1}, PsSweep{2, 1}, PsSweep{5, 1},
+                      PsSweep{8, 8}, PsSweep{16, 8}, PsSweep{32, 8},
+                      PsSweep{3, 4}, PsSweep{100, 8}));
+
+}  // namespace
+}  // namespace sf::sim

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "sim/random.hpp"
+#include "sim/trace.hpp"
+
+namespace sf::sim {
+namespace {
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(5);
+  const auto first = rng.uniform_int(0, 1 << 30);
+  rng.uniform_int(0, 1 << 30);
+  rng.reseed(5);
+  EXPECT_EQ(rng.uniform_int(0, 1 << 30), first);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / kN, 2.0, 0.1);
+}
+
+TEST(Rng, NormalNonnegClamps) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.normal_nonneg(0.01, 5.0), 0.0);
+  }
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng rng(1);
+  const std::vector<int> v{10, 20, 30};
+  for (int i = 0; i < 100; ++i) {
+    const int x = rng.pick(v);
+    EXPECT_TRUE(x == 10 || x == 20 || x == 30);
+  }
+}
+
+TEST(Trace, FindFiltersByCategoryAndName) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(1, "knative", "cold_start");
+  tr.record(2, "knative", "scale_up");
+  tr.record(3, "condor", "match");
+  EXPECT_EQ(tr.find("knative").size(), 2u);
+  EXPECT_EQ(tr.find("knative", "cold_start").size(), 1u);
+  EXPECT_EQ(tr.count("condor"), 1u);
+  EXPECT_EQ(tr.count("nope"), 0u);
+}
+
+TEST(Trace, CsvOutputWellFormed) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(1.5, "cat", "name", {{"a", "1"}, {"b", "2"}});
+  std::ostringstream os;
+  tr.write_csv(os);
+  EXPECT_EQ(os.str(), "time,category,name,attrs\n1.5,cat,name,a=1;b=2\n");
+}
+
+TEST(Trace, ClearEmpties) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(0, "x", "y");
+  tr.clear();
+  EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(Trace, MissingAttrIsEmpty) {
+  TraceEvent e{0, "c", "n", {{"k", "v"}}};
+  EXPECT_EQ(e.attr("k"), "v");
+  EXPECT_EQ(e.attr("missing"), "");
+}
+
+}  // namespace
+}  // namespace sf::sim

@@ -1,0 +1,128 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace sf::sim {
+namespace {
+
+TEST(Simulation, ClockAdvancesToEventTime) {
+  Simulation sim;
+  double seen = -1;
+  sim.call_at(4.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.5);
+}
+
+TEST(Simulation, CallInIsRelative) {
+  Simulation sim;
+  std::vector<double> times;
+  sim.call_at(2.0, [&] {
+    sim.call_in(3.0, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Simulation, PastSchedulingThrows) {
+  Simulation sim;
+  sim.call_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.call_at(5.0, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.call_in(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Simulation, RunReturnsEventCount) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.call_at(i, [] {});
+  EXPECT_EQ(sim.run(), 7u);
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulation, RunUntilStopsAtBoundaryInclusive) {
+  Simulation sim;
+  int fired = 0;
+  sim.call_at(1.0, [&] { ++fired; });
+  sim.call_at(2.0, [&] { ++fired; });
+  sim.call_at(3.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulation, StopHaltsRun) {
+  Simulation sim;
+  int fired = 0;
+  sim.call_at(1.0, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.call_at(2.0, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  // A fresh run resumes the remaining events.
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CancelledEventsDoNotRun) {
+  Simulation sim;
+  int fired = 0;
+  const EventId id = sim.call_at(1.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulation, EventsScheduledFromCallbacksRun) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.call_at(1.0, [&] {
+    order.push_back(1);
+    sim.call_in(0.0, [&] { order.push_back(2); });
+    sim.call_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulation, DeterministicRngAcrossRuns) {
+  Simulation a(123);
+  Simulation b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.rng().uniform(0, 1), b.rng().uniform(0, 1));
+  }
+}
+
+TEST(Simulation, TraceRecordsWhenEnabled) {
+  Simulation sim;
+  sim.trace().set_enabled(true);
+  sim.call_at(1.5, [&] {
+    sim.trace().record(sim.now(), "test", "tick", {{"k", "v"}});
+  });
+  sim.run();
+  ASSERT_EQ(sim.trace().events().size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.trace().events()[0].time, 1.5);
+  EXPECT_EQ(sim.trace().events()[0].attr("k"), "v");
+}
+
+TEST(Simulation, TraceDisabledByDefault) {
+  Simulation sim;
+  sim.trace().record(0, "test", "tick");
+  EXPECT_TRUE(sim.trace().events().empty());
+}
+
+}  // namespace
+}  // namespace sf::sim

@@ -1,0 +1,82 @@
+#include "storage/object_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace sf::storage {
+namespace {
+
+class ObjectStoreTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  ObjectStore minio{*cl, cl->node(0)};
+  net::NodeId client = 0;
+
+  void SetUp() override { client = cl->node(2).net_id(); }
+};
+
+TEST_F(ObjectStoreTest, PutThenGetRoundTrip) {
+  bool put_ok = false;
+  minio.put(client, "wf", "in0.dat", 490000, [&](bool ok) { put_ok = ok; });
+  sim.run();
+  EXPECT_TRUE(put_ok);
+  EXPECT_TRUE(minio.contains("wf", "in0.dat"));
+
+  bool get_ok = false;
+  double size = 0;
+  minio.get(client, "wf", "in0.dat", [&](bool ok, double bytes) {
+    get_ok = ok;
+    size = bytes;
+  });
+  sim.run();
+  EXPECT_TRUE(get_ok);
+  EXPECT_DOUBLE_EQ(size, 490000);
+}
+
+TEST_F(ObjectStoreTest, GetMissingIs404) {
+  bool ok = true;
+  minio.get(client, "wf", "ghost", [&](bool r, double) { ok = r; });
+  sim.run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(ObjectStoreTest, DeleteRemoves) {
+  minio.put(client, "b", "k", 10, [](bool) {});
+  sim.run();
+  bool removed = false;
+  minio.remove(client, "b", "k", [&](bool r) { removed = r; });
+  sim.run();
+  EXPECT_TRUE(removed);
+  EXPECT_FALSE(minio.contains("b", "k"));
+
+  bool removed_again = true;
+  minio.remove(client, "b", "k", [&](bool r) { removed_again = r; });
+  sim.run();
+  EXPECT_FALSE(removed_again);
+}
+
+TEST_F(ObjectStoreTest, BucketsNamespaceKeys) {
+  minio.put(client, "b1", "k", 1, [](bool) {});
+  minio.put(client, "b2", "k", 2, [](bool) {});
+  sim.run();
+  EXPECT_EQ(minio.object_count(), 2u);
+}
+
+TEST_F(ObjectStoreTest, TransferCostScalesWithSize) {
+  double small_done = -1;
+  double big_done = -1;
+  minio.put(client, "b", "small", 1e3, [&](bool) { small_done = sim.now(); });
+  sim.run();
+  sim::Simulation sim2;
+  auto cl2 = cluster::make_paper_testbed(sim2);
+  ObjectStore minio2{*cl2, cl2->node(0)};
+  minio2.put(cl2->node(2).net_id(), "b", "big", 1.25e9,
+             [&](bool) { big_done = sim2.now(); });
+  sim2.run();
+  EXPECT_GT(big_done, small_done + 1.0);
+}
+
+}  // namespace
+}  // namespace sf::storage

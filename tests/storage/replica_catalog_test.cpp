@@ -1,0 +1,60 @@
+#include "storage/replica_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::storage {
+namespace {
+
+class ReplicaCatalogTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  Volume v0{cl->node(0), "v0"};
+  Volume v1{cl->node(1), "v1"};
+  ReplicaCatalog rc;
+};
+
+TEST_F(ReplicaCatalogTest, RegisterAndLookup) {
+  rc.register_replica("f", v0);
+  ASSERT_TRUE(rc.has("f"));
+  EXPECT_EQ(rc.lookup("f").size(), 1u);
+  EXPECT_EQ(rc.primary("f"), &v0);
+}
+
+TEST_F(ReplicaCatalogTest, MultipleReplicasPreserveOrder) {
+  rc.register_replica("f", v0);
+  rc.register_replica("f", v1);
+  const auto vols = rc.lookup("f");
+  ASSERT_EQ(vols.size(), 2u);
+  EXPECT_EQ(vols[0], &v0);
+  EXPECT_EQ(vols[1], &v1);
+}
+
+TEST_F(ReplicaCatalogTest, DuplicateRegistrationIgnored) {
+  rc.register_replica("f", v0);
+  rc.register_replica("f", v0);
+  EXPECT_EQ(rc.lookup("f").size(), 1u);
+}
+
+TEST_F(ReplicaCatalogTest, DeregisterRemoves) {
+  rc.register_replica("f", v0);
+  rc.register_replica("f", v1);
+  EXPECT_TRUE(rc.deregister_replica("f", v0));
+  EXPECT_EQ(rc.primary("f"), &v1);
+  EXPECT_TRUE(rc.deregister_replica("f", v1));
+  EXPECT_FALSE(rc.has("f"));
+  EXPECT_FALSE(rc.deregister_replica("f", v1));
+}
+
+TEST_F(ReplicaCatalogTest, UnknownLfnEmpty) {
+  EXPECT_FALSE(rc.has("nope"));
+  EXPECT_TRUE(rc.lookup("nope").empty());
+  EXPECT_EQ(rc.primary("nope"), nullptr);
+  EXPECT_EQ(rc.entry_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sf::storage

@@ -1,0 +1,79 @@
+#include "storage/shared_fs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace sf::storage {
+namespace {
+
+class SharedFsTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  SharedFileSystem nfs{*cl, cl->node(0)};
+};
+
+TEST_F(SharedFsTest, RemoteWriteStoresOnServer) {
+  bool done = false;
+  nfs.write(cl->node(2).net_id(), {"out.dat", 1e6}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(nfs.contains("out.dat"));
+  EXPECT_DOUBLE_EQ(nfs.stat("out.dat")->bytes, 1e6);
+}
+
+TEST_F(SharedFsTest, RemoteReadTransfersToClient) {
+  nfs.put_instant({"in.dat", 1.25e9});
+  double done_at = -1;
+  bool found = false;
+  nfs.read(cl->node(1).net_id(), "in.dat", [&](bool ok, FileRef) {
+    found = ok;
+    done_at = sim.now();
+  });
+  sim.run();
+  EXPECT_TRUE(found);
+  // Disk read 2.5 s + network 1 s (+latency).
+  EXPECT_NEAR(done_at, 3.5002, 1e-3);
+}
+
+TEST_F(SharedFsTest, LocalClientSkipsNetwork) {
+  nfs.put_instant({"in.dat", 1.25e9});
+  double done_at = -1;
+  nfs.read(cl->node(0).net_id(), "in.dat",
+           [&](bool, FileRef) { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.5, 1e-6);  // disk only
+}
+
+TEST_F(SharedFsTest, MissingFileNotFound) {
+  bool found = true;
+  nfs.read(cl->node(1).net_id(), "nope",
+           [&](bool ok, FileRef) { found = ok; });
+  sim.run();
+  EXPECT_FALSE(found);
+}
+
+TEST_F(SharedFsTest, RemoveWorks) {
+  nfs.put_instant({"x", 10});
+  EXPECT_TRUE(nfs.remove("x"));
+  EXPECT_FALSE(nfs.contains("x"));
+  EXPECT_EQ(nfs.file_count(), 0u);
+}
+
+TEST_F(SharedFsTest, ConcurrentReadersShareServerResources) {
+  nfs.put_instant({"in.dat", 1.25e9});
+  std::vector<double> done;
+  for (int client = 1; client <= 3; ++client) {
+    nfs.read(cl->node(client).net_id(), "in.dat",
+             [&](bool, FileRef) { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 3u);
+  // Three 2.5 s disk reads share the disk (7.5 s) then three 1 s
+  // transfers share the server egress (3 s): slower than a lone reader.
+  EXPECT_GT(done.back(), 3.5002);
+}
+
+}  // namespace
+}  // namespace sf::storage

@@ -1,0 +1,112 @@
+#include "storage/volume.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::storage {
+namespace {
+
+class VolumeTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  Volume vol{cl->node(0), "scratch"};
+};
+
+TEST_F(VolumeTest, WriteThenStat) {
+  bool done = false;
+  vol.write({"a.dat", 1000}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  ASSERT_TRUE(vol.contains("a.dat"));
+  EXPECT_DOUBLE_EQ(vol.stat("a.dat")->bytes, 1000);
+  EXPECT_EQ(vol.file_count(), 1u);
+}
+
+TEST_F(VolumeTest, WritePaysDiskBandwidth) {
+  double done_at = -1;
+  // 500 MB at 500 MB/s → 1 s.
+  vol.write({"big.dat", 500e6}, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.0, 1e-9);
+}
+
+TEST_F(VolumeTest, ReadMissingFileReportsNotFound) {
+  bool found = true;
+  vol.read("missing", [&](bool ok, FileRef) { found = ok; });
+  sim.run();
+  EXPECT_FALSE(found);
+}
+
+TEST_F(VolumeTest, ReadReturnsSize) {
+  vol.put_instant({"m.dat", 490000});
+  FileRef got;
+  vol.read("m.dat", [&](bool ok, FileRef f) {
+    EXPECT_TRUE(ok);
+    got = std::move(f);
+  });
+  sim.run();
+  EXPECT_EQ(got.lfn, "m.dat");
+  EXPECT_DOUBLE_EQ(got.bytes, 490000);
+}
+
+TEST_F(VolumeTest, PutInstantIsFree) {
+  vol.put_instant({"x", 1e12});
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_FALSE(sim.has_pending_events());
+  EXPECT_DOUBLE_EQ(vol.total_bytes(), 1e12);
+}
+
+TEST_F(VolumeTest, RemoveDeletes) {
+  vol.put_instant({"x", 1});
+  EXPECT_TRUE(vol.remove("x"));
+  EXPECT_FALSE(vol.remove("x"));
+  EXPECT_FALSE(vol.contains("x"));
+}
+
+TEST_F(VolumeTest, OverwriteReplacesSize) {
+  vol.put_instant({"x", 100});
+  bool done = false;
+  vol.write({"x", 300}, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(vol.stat("x")->bytes, 300);
+  EXPECT_EQ(vol.file_count(), 1u);
+}
+
+TEST_F(VolumeTest, StageFileCopiesAcrossNodes) {
+  Volume dst(cl->node(1), "scratch1");
+  vol.put_instant({"in.dat", 1e6});
+  bool ok = false;
+  stage_file(cl->network(), vol, dst, "in.dat", [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_TRUE(ok);
+  EXPECT_TRUE(dst.contains("in.dat"));
+  EXPECT_DOUBLE_EQ(dst.stat("in.dat")->bytes, 1e6);
+  // Source keeps its copy.
+  EXPECT_TRUE(vol.contains("in.dat"));
+}
+
+TEST_F(VolumeTest, StageMissingFileFails) {
+  Volume dst(cl->node(1), "scratch1");
+  bool ok = true;
+  stage_file(cl->network(), vol, dst, "ghost", [&](bool r) { ok = r; });
+  sim.run();
+  EXPECT_FALSE(ok);
+  EXPECT_FALSE(dst.contains("ghost"));
+}
+
+TEST_F(VolumeTest, StageCostIncludesAllThreeLegs) {
+  Volume dst(cl->node(1), "scratch1");
+  // 1.25 GB: read 2.5 s (500 MB/s) + transfer 1 s (1.25 GB/s) + write 2.5 s.
+  vol.put_instant({"big", 1.25e9});
+  double done_at = -1;
+  stage_file(cl->network(), vol, dst, "big", [&](bool) { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 6.0002, 1e-3);
+}
+
+}  // namespace
+}  // namespace sf::storage

@@ -1,0 +1,115 @@
+#include "workload/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::workload {
+namespace {
+
+TEST(Generators, ChainShapeMatchesFigure3) {
+  const auto wf = make_matmul_chain("w", 10, 490000);
+  EXPECT_EQ(wf.jobs().size(), 10u);
+  // Sequential dependencies through the running product m_i.
+  for (int i = 1; i < 10; ++i) {
+    EXPECT_EQ(wf.parents_of("w.t" + std::to_string(i)),
+              (std::vector<std::string>{"w.t" + std::to_string(i - 1)}));
+  }
+  // 1 seed matrix + 10 fresh inputs, one final product.
+  EXPECT_EQ(wf.initial_inputs().size(), 11u);
+  EXPECT_EQ(wf.final_outputs(), (std::vector<std::string>{"w.m10"}));
+}
+
+TEST(Generators, ParallelShapeMatchesFigure2) {
+  const auto wf = make_parallel_matmuls("p", 8, 490000);
+  EXPECT_EQ(wf.jobs().size(), 8u);
+  for (const auto& job : wf.jobs()) {
+    EXPECT_TRUE(wf.parents_of(job.id).empty());
+  }
+  EXPECT_EQ(wf.final_outputs().size(), 8u);
+  EXPECT_EQ(wf.initial_inputs().size(), 16u);
+}
+
+TEST(Generators, DistinctNamesAvoidCollisions) {
+  const auto a = make_matmul_chain("wf0", 3, 1);
+  const auto b = make_matmul_chain("wf1", 3, 1);
+  for (const auto& lfn : a.initial_inputs()) {
+    EXPECT_FALSE(b.has_file(lfn));
+  }
+}
+
+TEST(Generators, SeedInitialInputsPopulatesStagingAndCatalog) {
+  sim::Simulation sim;
+  auto cl = cluster::make_paper_testbed(sim);
+  storage::Volume staging(cl->node(0), "staging");
+  storage::ReplicaCatalog rc;
+  const auto wf = make_matmul_chain("w", 4, 490000);
+  seed_initial_inputs(wf, staging, rc);
+  EXPECT_EQ(staging.file_count(), 5u);
+  for (const auto& lfn : wf.initial_inputs()) {
+    EXPECT_TRUE(rc.has(lfn));
+    EXPECT_DOUBLE_EQ(staging.stat(lfn)->bytes, 490000);
+  }
+}
+
+TEST(AssignModes, ExactCountsForPureMixes) {
+  const auto wf = make_matmul_chain("w", 10, 1);
+  sim::Rng rng(1);
+  const auto modes = assign_modes({&wf}, {1, 0, 0}, rng);
+  EXPECT_EQ(mode_histogram(modes)[pegasus::JobMode::kNative], 10);
+  sim::Rng rng2(1);
+  const auto serverless = assign_modes({&wf}, {0, 0, 1}, rng2);
+  EXPECT_EQ(mode_histogram(serverless)[pegasus::JobMode::kServerless], 10);
+}
+
+TEST(AssignModes, HalfAndHalfSplitsEvenly) {
+  const auto a = make_matmul_chain("a", 10, 1);
+  const auto b = make_matmul_chain("b", 10, 1);
+  sim::Rng rng(9);
+  const auto modes = assign_modes({&a, &b}, {0.5, 0.0, 0.5}, rng);
+  auto hist = mode_histogram(modes);
+  EXPECT_EQ(hist[pegasus::JobMode::kNative], 10);
+  EXPECT_EQ(hist[pegasus::JobMode::kServerless], 10);
+  EXPECT_EQ(hist[pegasus::JobMode::kContainer], 0);
+}
+
+TEST(AssignModes, ThreeWayMixTotalsPreserved) {
+  const auto wf = make_matmul_chain("w", 30, 1);
+  sim::Rng rng(3);
+  const auto modes =
+      assign_modes({&wf}, {1.0 / 3, 1.0 / 3, 1.0 / 3}, rng);
+  auto hist = mode_histogram(modes);
+  EXPECT_EQ(hist[pegasus::JobMode::kNative] +
+                hist[pegasus::JobMode::kContainer] +
+                hist[pegasus::JobMode::kServerless],
+            30);
+  EXPECT_NEAR(hist[pegasus::JobMode::kNative], 10, 1);
+  EXPECT_NEAR(hist[pegasus::JobMode::kContainer], 10, 1);
+}
+
+TEST(AssignModes, DeterministicUnderSeed) {
+  const auto wf = make_matmul_chain("w", 20, 1);
+  sim::Rng r1(7);
+  sim::Rng r2(7);
+  EXPECT_EQ(assign_modes({&wf}, {0.4, 0.3, 0.3}, r1),
+            assign_modes({&wf}, {0.4, 0.3, 0.3}, r2));
+}
+
+TEST(AssignModes, DifferentSeedsDifferentPlacement) {
+  const auto wf = make_matmul_chain("w", 20, 1);
+  sim::Rng r1(7);
+  sim::Rng r2(8);
+  EXPECT_NE(assign_modes({&wf}, {0.5, 0.0, 0.5}, r1),
+            assign_modes({&wf}, {0.5, 0.0, 0.5}, r2));
+}
+
+TEST(AssignModes, InvalidMixThrows) {
+  const auto wf = make_matmul_chain("w", 5, 1);
+  sim::Rng rng(1);
+  EXPECT_THROW(assign_modes({&wf}, {0.9, 0.9, 0.9}, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sf::workload

@@ -1,0 +1,103 @@
+#include "workload/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::workload {
+namespace {
+
+TEST(Matrix, IdentityMultiplication) {
+  Matrix id(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) id.at(i, i) = 1;
+  Matrix m(3, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m.at(r, c) = v++;
+  }
+  EXPECT_EQ(id.multiply(m), m);
+  EXPECT_EQ(m.multiply(id), m);
+}
+
+TEST(Matrix, KnownSmallProduct) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  Matrix b(2, 2);
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.at(0, 0), 19);
+  EXPECT_EQ(c.at(0, 1), 22);
+  EXPECT_EQ(c.at(1, 0), 43);
+  EXPECT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, NonSquareShapes) {
+  Matrix a(2, 3);
+  Matrix b(3, 4);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) a.at(i, j) = 1;
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) b.at(i, j) = 2;
+  }
+  const Matrix c = a.multiply(b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 4u);
+  EXPECT_EQ(c.at(1, 3), 6);
+}
+
+TEST(Matrix, DimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(static_cast<void>(a.multiply(b)), std::invalid_argument);
+}
+
+TEST(Matrix, RandomEntriesInPaperRange) {
+  sim::Rng rng(1);
+  const Matrix m = Matrix::random(50, rng);
+  for (std::size_t r = 0; r < 50; ++r) {
+    for (std::size_t c = 0; c < 50; ++c) {
+      EXPECT_GE(m.at(r, c), -100);
+      EXPECT_LE(m.at(r, c), 100);
+    }
+  }
+}
+
+TEST(Matrix, PaperPayloadSize) {
+  Matrix m(kPaperMatrixOrder, kPaperMatrixOrder);
+  EXPECT_DOUBLE_EQ(m.bytes(), kPaperMatrixBytes);
+  EXPECT_DOUBLE_EQ(kPaperMatrixBytes, 490000.0);
+}
+
+TEST(Matrix, BlockedMultiplyMatchesNaive) {
+  sim::Rng rng(5);
+  const Matrix a = Matrix::random(73, rng);  // deliberately non-block-size
+  const Matrix b = Matrix::random(73, rng);
+  const Matrix fast = a.multiply(b);
+  // Naive reference.
+  Matrix ref(73, 73);
+  for (std::size_t i = 0; i < 73; ++i) {
+    for (std::size_t j = 0; j < 73; ++j) {
+      std::int64_t acc = 0;
+      for (std::size_t k = 0; k < 73; ++k) {
+        acc += static_cast<std::int64_t>(a.at(i, k)) * b.at(k, j);
+      }
+      ref.at(i, j) = static_cast<std::int32_t>(acc);
+    }
+  }
+  EXPECT_EQ(fast, ref);
+}
+
+TEST(Matrix, MeasureMatmulRunsAndIsPositive) {
+  sim::Rng rng(2);
+  const double secs = measure_matmul_seconds(64, rng);
+  EXPECT_GT(secs, 0.0);
+  EXPECT_LT(secs, 5.0);
+}
+
+}  // namespace
+}  // namespace sf::workload

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "workload/generators.hpp"
+
+namespace sf::workload {
+namespace {
+
+TEST(Montage, ShapeMatchesFiveLevels) {
+  const auto wf = make_montage_like("m", 4, 490000);
+  // 4 project + 3 diff + 1 fit + 4 background + 1 mosaic.
+  EXPECT_EQ(wf.jobs().size(), 13u);
+  EXPECT_EQ(wf.initial_inputs().size(), 4u);
+  EXPECT_EQ(wf.final_outputs(), (std::vector<std::string>{"m.mosaic.out"}));
+}
+
+TEST(Montage, DependenciesFollowTheDag) {
+  const auto wf = make_montage_like("m", 4, 490000);
+  // diff_i depends on adjacent projections.
+  EXPECT_EQ(wf.parents_of("m.mdiff0"),
+            (std::vector<std::string>{"m.project0", "m.project1"}));
+  // fit joins every diff.
+  EXPECT_EQ(wf.parents_of("m.fit").size(), 3u);
+  // background needs its projection plus the fit.
+  const auto bg_parents = wf.parents_of("m.background2");
+  EXPECT_EQ(bg_parents.size(), 2u);
+  // mosaic joins every background tile.
+  EXPECT_EQ(wf.parents_of("m.mosaic").size(), 4u);
+}
+
+TEST(Montage, RejectsDegenerateWidth) {
+  EXPECT_THROW(make_montage_like("m", 1, 1), std::invalid_argument);
+}
+
+TEST(Montage, TransformationsDeriveFromBase) {
+  pegasus::TransformationCatalog catalog;
+  pegasus::Transformation base;
+  base.name = "matmul";
+  base.work_coreseconds = 1.0;
+  add_montage_transformations(catalog, base);
+  EXPECT_EQ(catalog.size(), 5u);
+  EXPECT_DOUBLE_EQ(catalog.get("project").work_coreseconds, 1.0);
+  EXPECT_DOUBLE_EQ(catalog.get("diff").work_coreseconds, 0.4);
+  EXPECT_DOUBLE_EQ(catalog.get("mosaic").work_coreseconds, 1.5);
+}
+
+class MontageRunTest : public ::testing::Test {
+ protected:
+  core::PaperTestbed tb{42};
+
+  void SetUp() override {
+    add_montage_transformations(tb.transformations(),
+                                tb.calibration().matmul_transformation());
+  }
+};
+
+TEST_F(MontageRunTest, RunsNativeEndToEnd) {
+  const auto wf = make_montage_like("m", 4,
+                                    tb.calibration().matrix_bytes);
+  const auto result = tb.run_workflows({wf}, {});
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_TRUE(tb.condor().submit_staging().contains("m.mosaic.out"));
+}
+
+TEST_F(MontageRunTest, RunsFullyServerlessViaAutoRegistration) {
+  const auto wf = make_montage_like("m", 4,
+                                    tb.calibration().matrix_bytes);
+  const auto modes = tb.integration().auto_register(
+      wf, tb.transformations(), core::ProvisioningPolicy::prestaged(2));
+  // Five distinct functions registered, one per transformation.
+  for (const char* t : {"project", "diff", "fit", "background", "mosaic"}) {
+    EXPECT_TRUE(tb.integration().is_registered(t));
+  }
+  const auto result = tb.run_workflows({wf}, modes);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(tb.integration().invocations(), 13u);
+}
+
+TEST_F(MontageRunTest, MixedModesAcrossLevels) {
+  const auto wf = make_montage_like("m", 4,
+                                    tb.calibration().matrix_bytes);
+  tb.integration().auto_register(wf, tb.transformations(),
+                                 core::ProvisioningPolicy::prestaged(2));
+  // Wide levels serverless, joins native.
+  std::map<std::string, pegasus::JobMode> modes;
+  for (const auto& job : wf.jobs()) {
+    const bool is_join = job.id == "m.fit" || job.id == "m.mosaic";
+    modes[job.id] = is_join ? pegasus::JobMode::kNative
+                            : pegasus::JobMode::kServerless;
+  }
+  const auto result = tb.run_workflows({wf}, modes);
+  EXPECT_TRUE(result.all_succeeded);
+  EXPECT_EQ(tb.integration().invocations(), 11u);
+}
+
+}  // namespace
+}  // namespace sf::workload
