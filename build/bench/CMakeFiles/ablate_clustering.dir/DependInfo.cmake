@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablate_clustering.cpp" "bench/CMakeFiles/ablate_clustering.dir/ablate_clustering.cpp.o" "gcc" "bench/CMakeFiles/ablate_clustering.dir/ablate_clustering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knative/CMakeFiles/sf_knative.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/sf_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pegasus/CMakeFiles/sf_pegasus.dir/DependInfo.cmake"
+  "/root/repo/build/src/condor/CMakeFiles/sf_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sf_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

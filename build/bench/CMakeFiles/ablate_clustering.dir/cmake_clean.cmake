@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_clustering.dir/ablate_clustering.cpp.o"
+  "CMakeFiles/ablate_clustering.dir/ablate_clustering.cpp.o.d"
+  "ablate_clustering"
+  "ablate_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

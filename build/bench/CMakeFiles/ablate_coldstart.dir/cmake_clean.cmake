@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_coldstart.dir/ablate_coldstart.cpp.o"
+  "CMakeFiles/ablate_coldstart.dir/ablate_coldstart.cpp.o.d"
+  "ablate_coldstart"
+  "ablate_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

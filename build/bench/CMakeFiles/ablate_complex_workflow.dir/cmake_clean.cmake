@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_complex_workflow.dir/ablate_complex_workflow.cpp.o"
+  "CMakeFiles/ablate_complex_workflow.dir/ablate_complex_workflow.cpp.o.d"
+  "ablate_complex_workflow"
+  "ablate_complex_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_complex_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

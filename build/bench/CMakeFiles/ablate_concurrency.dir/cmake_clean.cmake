@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_concurrency.dir/ablate_concurrency.cpp.o"
+  "CMakeFiles/ablate_concurrency.dir/ablate_concurrency.cpp.o.d"
+  "ablate_concurrency"
+  "ablate_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_event_driven.dir/ablate_event_driven.cpp.o"
+  "CMakeFiles/ablate_event_driven.dir/ablate_event_driven.cpp.o.d"
+  "ablate_event_driven"
+  "ablate_event_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_event_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

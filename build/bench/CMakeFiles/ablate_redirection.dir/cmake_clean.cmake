@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_redirection.dir/ablate_redirection.cpp.o"
+  "CMakeFiles/ablate_redirection.dir/ablate_redirection.cpp.o.d"
+  "ablate_redirection"
+  "ablate_redirection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_redirection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_resizing.dir/ablate_resizing.cpp.o"
+  "CMakeFiles/ablate_resizing.dir/ablate_resizing.cpp.o.d"
+  "ablate_resizing"
+  "ablate_resizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_resizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

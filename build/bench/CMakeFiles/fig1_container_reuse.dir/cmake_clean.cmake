@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_container_reuse.dir/fig1_container_reuse.cpp.o"
+  "CMakeFiles/fig1_container_reuse.dir/fig1_container_reuse.cpp.o.d"
+  "fig1_container_reuse"
+  "fig1_container_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_container_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tradeoff_ternary.dir/fig5_tradeoff_ternary.cpp.o"
+  "CMakeFiles/fig5_tradeoff_ternary.dir/fig5_tradeoff_ternary.cpp.o.d"
+  "fig5_tradeoff_ternary"
+  "fig5_tradeoff_ternary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tradeoff_ternary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

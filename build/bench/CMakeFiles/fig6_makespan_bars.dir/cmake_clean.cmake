@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_makespan_bars.dir/fig6_makespan_bars.cpp.o"
+  "CMakeFiles/fig6_makespan_bars.dir/fig6_makespan_bars.cpp.o.d"
+  "fig6_makespan_bars"
+  "fig6_makespan_bars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_makespan_bars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

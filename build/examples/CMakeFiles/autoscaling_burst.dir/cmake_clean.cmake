@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autoscaling_burst.dir/autoscaling_burst.cpp.o"
+  "CMakeFiles/autoscaling_burst.dir/autoscaling_burst.cpp.o.d"
+  "autoscaling_burst"
+  "autoscaling_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autoscaling_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for autoscaling_burst.
+# This may be replaced when dependencies are built.

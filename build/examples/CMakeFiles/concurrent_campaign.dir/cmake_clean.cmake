@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_campaign.dir/concurrent_campaign.cpp.o"
+  "CMakeFiles/concurrent_campaign.dir/concurrent_campaign.cpp.o.d"
+  "concurrent_campaign"
+  "concurrent_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workflow_gantt.dir/workflow_gantt.cpp.o"
+  "CMakeFiles/workflow_gantt.dir/workflow_gantt.cpp.o.d"
+  "workflow_gantt"
+  "workflow_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workflow_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/sf_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/sf_cluster.dir/node.cpp.o"
+  "CMakeFiles/sf_cluster.dir/node.cpp.o.d"
+  "libsf_cluster.a"
+  "libsf_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

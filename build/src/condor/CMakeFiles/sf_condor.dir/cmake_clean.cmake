@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_condor.dir/dagman.cpp.o"
+  "CMakeFiles/sf_condor.dir/dagman.cpp.o.d"
+  "CMakeFiles/sf_condor.dir/pool.cpp.o"
+  "CMakeFiles/sf_condor.dir/pool.cpp.o.d"
+  "CMakeFiles/sf_condor.dir/startd.cpp.o"
+  "CMakeFiles/sf_condor.dir/startd.cpp.o.d"
+  "libsf_condor.a"
+  "libsf_condor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

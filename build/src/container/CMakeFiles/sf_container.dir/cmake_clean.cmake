@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_container.dir/image.cpp.o"
+  "CMakeFiles/sf_container.dir/image.cpp.o.d"
+  "CMakeFiles/sf_container.dir/image_cache.cpp.o"
+  "CMakeFiles/sf_container.dir/image_cache.cpp.o.d"
+  "CMakeFiles/sf_container.dir/runtime.cpp.o"
+  "CMakeFiles/sf_container.dir/runtime.cpp.o.d"
+  "libsf_container.a"
+  "libsf_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_core.dir/event_driven.cpp.o"
+  "CMakeFiles/sf_core.dir/event_driven.cpp.o.d"
+  "CMakeFiles/sf_core.dir/integration.cpp.o"
+  "CMakeFiles/sf_core.dir/integration.cpp.o.d"
+  "CMakeFiles/sf_core.dir/redirect.cpp.o"
+  "CMakeFiles/sf_core.dir/redirect.cpp.o.d"
+  "CMakeFiles/sf_core.dir/testbed.cpp.o"
+  "CMakeFiles/sf_core.dir/testbed.cpp.o.d"
+  "libsf_core.a"
+  "libsf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/k8s/api_server.cpp" "src/k8s/CMakeFiles/sf_k8s.dir/api_server.cpp.o" "gcc" "src/k8s/CMakeFiles/sf_k8s.dir/api_server.cpp.o.d"
+  "/root/repo/src/k8s/controllers.cpp" "src/k8s/CMakeFiles/sf_k8s.dir/controllers.cpp.o" "gcc" "src/k8s/CMakeFiles/sf_k8s.dir/controllers.cpp.o.d"
+  "/root/repo/src/k8s/kube_cluster.cpp" "src/k8s/CMakeFiles/sf_k8s.dir/kube_cluster.cpp.o" "gcc" "src/k8s/CMakeFiles/sf_k8s.dir/kube_cluster.cpp.o.d"
+  "/root/repo/src/k8s/kubelet.cpp" "src/k8s/CMakeFiles/sf_k8s.dir/kubelet.cpp.o" "gcc" "src/k8s/CMakeFiles/sf_k8s.dir/kubelet.cpp.o.d"
+  "/root/repo/src/k8s/objects.cpp" "src/k8s/CMakeFiles/sf_k8s.dir/objects.cpp.o" "gcc" "src/k8s/CMakeFiles/sf_k8s.dir/objects.cpp.o.d"
+  "/root/repo/src/k8s/scheduler.cpp" "src/k8s/CMakeFiles/sf_k8s.dir/scheduler.cpp.o" "gcc" "src/k8s/CMakeFiles/sf_k8s.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

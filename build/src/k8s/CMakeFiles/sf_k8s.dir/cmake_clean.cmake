@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_k8s.dir/api_server.cpp.o"
+  "CMakeFiles/sf_k8s.dir/api_server.cpp.o.d"
+  "CMakeFiles/sf_k8s.dir/controllers.cpp.o"
+  "CMakeFiles/sf_k8s.dir/controllers.cpp.o.d"
+  "CMakeFiles/sf_k8s.dir/kube_cluster.cpp.o"
+  "CMakeFiles/sf_k8s.dir/kube_cluster.cpp.o.d"
+  "CMakeFiles/sf_k8s.dir/kubelet.cpp.o"
+  "CMakeFiles/sf_k8s.dir/kubelet.cpp.o.d"
+  "CMakeFiles/sf_k8s.dir/objects.cpp.o"
+  "CMakeFiles/sf_k8s.dir/objects.cpp.o.d"
+  "CMakeFiles/sf_k8s.dir/scheduler.cpp.o"
+  "CMakeFiles/sf_k8s.dir/scheduler.cpp.o.d"
+  "libsf_k8s.a"
+  "libsf_k8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_k8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

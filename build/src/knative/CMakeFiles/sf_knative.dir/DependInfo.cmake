@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knative/eventing.cpp" "src/knative/CMakeFiles/sf_knative.dir/eventing.cpp.o" "gcc" "src/knative/CMakeFiles/sf_knative.dir/eventing.cpp.o.d"
+  "/root/repo/src/knative/kpa.cpp" "src/knative/CMakeFiles/sf_knative.dir/kpa.cpp.o" "gcc" "src/knative/CMakeFiles/sf_knative.dir/kpa.cpp.o.d"
+  "/root/repo/src/knative/queue_proxy.cpp" "src/knative/CMakeFiles/sf_knative.dir/queue_proxy.cpp.o" "gcc" "src/knative/CMakeFiles/sf_knative.dir/queue_proxy.cpp.o.d"
+  "/root/repo/src/knative/serving.cpp" "src/knative/CMakeFiles/sf_knative.dir/serving.cpp.o" "gcc" "src/knative/CMakeFiles/sf_knative.dir/serving.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/k8s/CMakeFiles/sf_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_knative.dir/eventing.cpp.o"
+  "CMakeFiles/sf_knative.dir/eventing.cpp.o.d"
+  "CMakeFiles/sf_knative.dir/kpa.cpp.o"
+  "CMakeFiles/sf_knative.dir/kpa.cpp.o.d"
+  "CMakeFiles/sf_knative.dir/queue_proxy.cpp.o"
+  "CMakeFiles/sf_knative.dir/queue_proxy.cpp.o.d"
+  "CMakeFiles/sf_knative.dir/serving.cpp.o"
+  "CMakeFiles/sf_knative.dir/serving.cpp.o.d"
+  "libsf_knative.a"
+  "libsf_knative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_knative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_metrics.dir/regression.cpp.o"
+  "CMakeFiles/sf_metrics.dir/regression.cpp.o.d"
+  "CMakeFiles/sf_metrics.dir/stats.cpp.o"
+  "CMakeFiles/sf_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/sf_metrics.dir/table.cpp.o"
+  "CMakeFiles/sf_metrics.dir/table.cpp.o.d"
+  "libsf_metrics.a"
+  "libsf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_net.dir/flow_network.cpp.o"
+  "CMakeFiles/sf_net.dir/flow_network.cpp.o.d"
+  "CMakeFiles/sf_net.dir/http.cpp.o"
+  "CMakeFiles/sf_net.dir/http.cpp.o.d"
+  "libsf_net.a"
+  "libsf_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pegasus/abstract_workflow.cpp" "src/pegasus/CMakeFiles/sf_pegasus.dir/abstract_workflow.cpp.o" "gcc" "src/pegasus/CMakeFiles/sf_pegasus.dir/abstract_workflow.cpp.o.d"
+  "/root/repo/src/pegasus/planner.cpp" "src/pegasus/CMakeFiles/sf_pegasus.dir/planner.cpp.o" "gcc" "src/pegasus/CMakeFiles/sf_pegasus.dir/planner.cpp.o.d"
+  "/root/repo/src/pegasus/statistics.cpp" "src/pegasus/CMakeFiles/sf_pegasus.dir/statistics.cpp.o" "gcc" "src/pegasus/CMakeFiles/sf_pegasus.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/condor/CMakeFiles/sf_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_pegasus.dir/abstract_workflow.cpp.o"
+  "CMakeFiles/sf_pegasus.dir/abstract_workflow.cpp.o.d"
+  "CMakeFiles/sf_pegasus.dir/planner.cpp.o"
+  "CMakeFiles/sf_pegasus.dir/planner.cpp.o.d"
+  "CMakeFiles/sf_pegasus.dir/statistics.cpp.o"
+  "CMakeFiles/sf_pegasus.dir/statistics.cpp.o.d"
+  "libsf_pegasus.a"
+  "libsf_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

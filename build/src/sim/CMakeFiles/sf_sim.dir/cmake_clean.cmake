@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/sf_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/ps_resource.cpp.o"
+  "CMakeFiles/sf_sim.dir/ps_resource.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/simulation.cpp.o"
+  "CMakeFiles/sf_sim.dir/simulation.cpp.o.d"
+  "CMakeFiles/sf_sim.dir/trace.cpp.o"
+  "CMakeFiles/sf_sim.dir/trace.cpp.o.d"
+  "libsf_sim.a"
+  "libsf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_storage.dir/object_store.cpp.o"
+  "CMakeFiles/sf_storage.dir/object_store.cpp.o.d"
+  "CMakeFiles/sf_storage.dir/replica_catalog.cpp.o"
+  "CMakeFiles/sf_storage.dir/replica_catalog.cpp.o.d"
+  "CMakeFiles/sf_storage.dir/shared_fs.cpp.o"
+  "CMakeFiles/sf_storage.dir/shared_fs.cpp.o.d"
+  "CMakeFiles/sf_storage.dir/volume.cpp.o"
+  "CMakeFiles/sf_storage.dir/volume.cpp.o.d"
+  "libsf_storage.a"
+  "libsf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

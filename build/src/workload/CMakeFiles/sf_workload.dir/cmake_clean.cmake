@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sf_workload.dir/generators.cpp.o"
+  "CMakeFiles/sf_workload.dir/generators.cpp.o.d"
+  "CMakeFiles/sf_workload.dir/matrix.cpp.o"
+  "CMakeFiles/sf_workload.dir/matrix.cpp.o.d"
+  "libsf_workload.a"
+  "libsf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

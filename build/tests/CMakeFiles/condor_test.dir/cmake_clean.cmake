@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condor_test.dir/condor/dagman_test.cpp.o"
+  "CMakeFiles/condor_test.dir/condor/dagman_test.cpp.o.d"
+  "CMakeFiles/condor_test.dir/condor/matchmaking_test.cpp.o"
+  "CMakeFiles/condor_test.dir/condor/matchmaking_test.cpp.o.d"
+  "CMakeFiles/condor_test.dir/condor/pool_test.cpp.o"
+  "CMakeFiles/condor_test.dir/condor/pool_test.cpp.o.d"
+  "condor_test"
+  "condor_test.pdb"
+  "condor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

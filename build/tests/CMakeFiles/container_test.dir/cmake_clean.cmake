@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/container_test.dir/container/image_test.cpp.o"
+  "CMakeFiles/container_test.dir/container/image_test.cpp.o.d"
+  "CMakeFiles/container_test.dir/container/runtime_test.cpp.o"
+  "CMakeFiles/container_test.dir/container/runtime_test.cpp.o.d"
+  "container_test"
+  "container_test.pdb"
+  "container_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/container_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

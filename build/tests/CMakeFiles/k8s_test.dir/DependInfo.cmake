@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/k8s/api_server_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/api_server_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/api_server_test.cpp.o.d"
+  "/root/repo/tests/k8s/kube_cluster_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/kube_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/kube_cluster_test.cpp.o.d"
+  "/root/repo/tests/k8s/scheduler_test.cpp" "tests/CMakeFiles/k8s_test.dir/k8s/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/k8s_test.dir/k8s/scheduler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/k8s/CMakeFiles/sf_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

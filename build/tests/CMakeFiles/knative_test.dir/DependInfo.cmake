@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/knative/canary_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/canary_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/canary_test.cpp.o.d"
+  "/root/repo/tests/knative/eventing_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/eventing_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/eventing_test.cpp.o.d"
+  "/root/repo/tests/knative/kpa_fuzz_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/kpa_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/kpa_fuzz_test.cpp.o.d"
+  "/root/repo/tests/knative/kpa_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/kpa_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/kpa_test.cpp.o.d"
+  "/root/repo/tests/knative/load_balancing_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/load_balancing_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/load_balancing_test.cpp.o.d"
+  "/root/repo/tests/knative/queue_proxy_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/queue_proxy_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/queue_proxy_test.cpp.o.d"
+  "/root/repo/tests/knative/rollout_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/rollout_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/rollout_test.cpp.o.d"
+  "/root/repo/tests/knative/serving_test.cpp" "tests/CMakeFiles/knative_test.dir/knative/serving_test.cpp.o" "gcc" "tests/CMakeFiles/knative_test.dir/knative/serving_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knative/CMakeFiles/sf_knative.dir/DependInfo.cmake"
+  "/root/repo/build/src/k8s/CMakeFiles/sf_k8s.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

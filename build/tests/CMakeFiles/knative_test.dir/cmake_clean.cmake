@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knative_test.dir/knative/canary_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/canary_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/eventing_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/eventing_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/kpa_fuzz_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/kpa_fuzz_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/kpa_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/kpa_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/load_balancing_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/load_balancing_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/queue_proxy_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/queue_proxy_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/rollout_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/rollout_test.cpp.o.d"
+  "CMakeFiles/knative_test.dir/knative/serving_test.cpp.o"
+  "CMakeFiles/knative_test.dir/knative/serving_test.cpp.o.d"
+  "knative_test"
+  "knative_test.pdb"
+  "knative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/metrics/regression_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/regression_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/regression_test.cpp.o.d"
+  "/root/repo/tests/metrics/stats_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/stats_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/stats_test.cpp.o.d"
+  "/root/repo/tests/metrics/table_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/table_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/table_test.cpp.o.d"
+  "/root/repo/tests/metrics/ternary_test.cpp" "tests/CMakeFiles/metrics_test.dir/metrics/ternary_test.cpp.o" "gcc" "tests/CMakeFiles/metrics_test.dir/metrics/ternary_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/metrics/CMakeFiles/sf_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

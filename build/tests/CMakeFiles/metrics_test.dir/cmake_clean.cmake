@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_test.dir/metrics/regression_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/regression_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/stats_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/stats_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/table_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/table_test.cpp.o.d"
+  "CMakeFiles/metrics_test.dir/metrics/ternary_test.cpp.o"
+  "CMakeFiles/metrics_test.dir/metrics/ternary_test.cpp.o.d"
+  "metrics_test"
+  "metrics_test.pdb"
+  "metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pegasus/abstract_workflow_test.cpp" "tests/CMakeFiles/pegasus_test.dir/pegasus/abstract_workflow_test.cpp.o" "gcc" "tests/CMakeFiles/pegasus_test.dir/pegasus/abstract_workflow_test.cpp.o.d"
+  "/root/repo/tests/pegasus/planner_test.cpp" "tests/CMakeFiles/pegasus_test.dir/pegasus/planner_test.cpp.o" "gcc" "tests/CMakeFiles/pegasus_test.dir/pegasus/planner_test.cpp.o.d"
+  "/root/repo/tests/pegasus/statistics_test.cpp" "tests/CMakeFiles/pegasus_test.dir/pegasus/statistics_test.cpp.o" "gcc" "tests/CMakeFiles/pegasus_test.dir/pegasus/statistics_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pegasus/CMakeFiles/sf_pegasus.dir/DependInfo.cmake"
+  "/root/repo/build/src/condor/CMakeFiles/sf_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/container/CMakeFiles/sf_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sf_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/sf_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

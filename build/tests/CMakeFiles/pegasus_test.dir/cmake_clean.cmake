@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pegasus_test.dir/pegasus/abstract_workflow_test.cpp.o"
+  "CMakeFiles/pegasus_test.dir/pegasus/abstract_workflow_test.cpp.o.d"
+  "CMakeFiles/pegasus_test.dir/pegasus/planner_test.cpp.o"
+  "CMakeFiles/pegasus_test.dir/pegasus/planner_test.cpp.o.d"
+  "CMakeFiles/pegasus_test.dir/pegasus/statistics_test.cpp.o"
+  "CMakeFiles/pegasus_test.dir/pegasus/statistics_test.cpp.o.d"
+  "pegasus_test"
+  "pegasus_test.pdb"
+  "pegasus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pegasus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

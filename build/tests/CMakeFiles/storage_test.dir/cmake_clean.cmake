@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_test.dir/storage/object_store_test.cpp.o"
+  "CMakeFiles/storage_test.dir/storage/object_store_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/storage/replica_catalog_test.cpp.o"
+  "CMakeFiles/storage_test.dir/storage/replica_catalog_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/storage/shared_fs_test.cpp.o"
+  "CMakeFiles/storage_test.dir/storage/shared_fs_test.cpp.o.d"
+  "CMakeFiles/storage_test.dir/storage/volume_test.cpp.o"
+  "CMakeFiles/storage_test.dir/storage/volume_test.cpp.o.d"
+  "storage_test"
+  "storage_test.pdb"
+  "storage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
