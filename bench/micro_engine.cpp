@@ -4,6 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "cluster/cluster.hpp"
 #include "core/testbed.hpp"
 #include "net/flow_network.hpp"
@@ -28,6 +32,50 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(10000);
+
+// Cancellation-heavy trajectory: schedule a window of events, then cancel
+// every other one before popping the survivors. Exercises the eager-removal
+// path (list unlink + bucket retirement) that tombstone-based queues pay
+// for at pop time instead.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<sim::EventId> ids(n);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      ids[i] = q.schedule(static_cast<double>(i % 97), [] {});
+    }
+    for (std::size_t i = 0; i < n; i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1000)->Arg(10000);
+
+// Mixed steady-state trajectory: a sliding window of pending events where
+// each pop triggers a reschedule further out, interleaved with fresh
+// inserts — the shape of a simulation in flight rather than a drain.
+void BM_EventQueueMixedSchedule(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < 64; ++i) {
+      q.schedule(static_cast<double>(i), [] {});
+    }
+    double horizon = 64;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto fired = q.pop();
+      benchmark::DoNotOptimize(fired.id);
+      q.schedule(horizon, [] {});
+      // Every fourth event lands on an existing instant to mix bucket
+      // reuse with fresh timestamps.
+      horizon += (i % 4 == 0) ? 0.0 : 1.0;
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_EventQueueMixedSchedule)->Arg(10000);
 
 void BM_SimulationEventChurn(benchmark::State& state) {
   for (auto _ : state) {
@@ -57,7 +105,7 @@ void BM_PsResourceChurn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * jobs);
 }
-BENCHMARK(BM_PsResourceChurn)->Arg(16)->Arg(128);
+BENCHMARK(BM_PsResourceChurn)->Arg(16)->Arg(128)->Arg(1024);
 
 void BM_FlowNetworkFanout(benchmark::State& state) {
   const auto flows = static_cast<int>(state.range(0));

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Runs the engine micro-benchmarks and records per-benchmark ns/op in
+# BENCH_engine.json at the repository root.
+#
+# Usage:
+#   bench/run_bench.sh [build-dir] [repetitions]
+#
+# Defaults: build-dir = ./build, repetitions = 5. The JSON maps benchmark
+# name -> median CPU ns per iteration (medians are robust against load
+# spikes on shared machines). Re-run after engine changes and commit the
+# refreshed numbers together with the change that produced them.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+reps="${2:-5}"
+bench_bin="$build_dir/bench/micro_engine"
+out_json="$repo_root/BENCH_engine.json"
+
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build it first: cmake -B build -S . && cmake --build build -j" >&2
+  exit 1
+fi
+
+filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout'
+raw_json="$(mktemp)"
+trap 'rm -f "$raw_json"' EXIT
+
+"$bench_bin" \
+  --benchmark_filter="$filter" \
+  --benchmark_min_time=0.2 \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=true \
+  --benchmark_format=json > "$raw_json"
+
+python3 - "$raw_json" "$out_json" "$reps" <<'PY'
+import json
+import sys
+
+raw_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+with open(raw_path) as f:
+    report = json.load(f)
+
+# repetitions >= 2 produce _median aggregate rows; a single repetition
+# produces only plain rows — accept either so `run_bench.sh build 1` works.
+results = {}
+plain = {}
+for bench in report.get("benchmarks", []):
+    name = bench.get("name", "")
+    if name.endswith("_median"):
+        results[name.removesuffix("_median")] = round(bench["cpu_time"], 1)
+    elif bench.get("run_type") != "aggregate":
+        plain[name] = round(bench["cpu_time"], 1)
+if not results:
+    results = plain
+
+# Keep the recorded pre-overhaul baseline (if any) so before/after stays in
+# one file across refreshes.
+baseline = {}
+baseline_source = ""
+try:
+    with open(out_path) as f:
+        prev = json.load(f)
+    baseline = prev.get("baseline_ns", {})
+    baseline_source = prev.get("baseline_source", "")
+except (OSError, ValueError):
+    pass
+
+doc = {
+    "description": "Engine micro-benchmark medians, CPU ns per iteration",
+    "source": "bench/micro_engine.cpp via bench/run_bench.sh",
+    "repetitions": reps,
+    "results_ns": dict(sorted(results.items())),
+}
+if baseline:
+    doc["baseline_ns"] = dict(sorted(baseline.items()))
+    if baseline_source:
+        doc["baseline_source"] = baseline_source
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(results)} benchmarks)")
+PY

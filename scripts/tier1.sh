@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build everything (warnings are errors),
+# and run the full test suite. This is the gate every change must pass.
+#
+# Usage: scripts/tier1.sh [build-dir]     (default: ./build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root"
+cmake --build "$build_dir" -j
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -125,8 +125,7 @@ PaperTestbed::RunResult PaperTestbed::run_workflows(
 
 PaperTestbed::RunResult PaperTestbed::run_concurrent_mix(
     int n_workflows, int tasks_per_workflow, const metrics::MixPoint& mix) {
-  static int run_counter = 0;
-  const std::string prefix = "run" + std::to_string(run_counter++);
+  const std::string prefix = "run" + std::to_string(run_counter_++);
   std::vector<pegasus::AbstractWorkflow> workflows;
   workflows.reserve(n_workflows);
   for (int w = 0; w < n_workflows; ++w) {

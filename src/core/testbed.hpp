@@ -111,6 +111,10 @@ class PaperTestbed {
   std::unique_ptr<ServerlessIntegration> integration_;
   storage::ReplicaCatalog replicas_;
   pegasus::TransformationCatalog catalog_;
+  /// Distinguishes consecutive run_concurrent_mix() calls on this testbed
+  /// (job names must be unique per sim). Per-instance so that identically
+  /// seeded testbeds replay identical event streams.
+  int run_counter_ = 0;
 };
 
 }  // namespace sf::core

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace sf::net {
 
@@ -35,51 +36,98 @@ double FlowNetwork::latency(NodeId src, NodeId dst) const {
   return nodes_[src].latency + nodes_[dst].latency;
 }
 
+FlowNetwork::Flow* FlowNetwork::find(FlowId id) {
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  if (slot >= slots_.size() || slots_[slot].id != id) return nullptr;
+  return &slots_[slot];
+}
+
+std::uint32_t FlowNetwork::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(slots_.size());
+  assert(slot < kDetachedSlot && "FlowNetwork: too many concurrent flows");
+  slots_.emplace_back();
+  return slot;
+}
+
+void FlowNetwork::release_slot(std::uint32_t slot) {
+  Flow& f = slots_[slot];
+  f.id = kNoFlow;
+  f.active = false;
+  f.on_complete = nullptr;
+  free_slots_.push_back(slot);
+}
+
 FlowId FlowNetwork::transfer(NodeId src, NodeId dst, double bytes,
-                             std::function<void()> on_complete) {
+                             sim::Simulation::Callback on_complete) {
   if (src >= nodes_.size() || dst >= nodes_.size()) {
     throw std::invalid_argument("FlowNetwork::transfer: unknown node");
   }
   const double lat = latency(src, dst);
-  const FlowId id = next_id_++;
   if (bytes <= 0) {
-    // Control message: latency only, no bandwidth consumed.
+    // Control message: latency only, no bandwidth consumed. Detached ids
+    // never resolve to a slot, so cancel() correctly reports them unknown.
     sim_.call_in(lat, std::move(on_complete));
-    return id;
+    return (++next_seq_ << kSlotBits) | kDetachedSlot;
   }
-  // The flow enters the fair-sharing pool after propagation delay.
-  sim_.call_in(lat, [this, id, src, dst, bytes,
-                     cb = std::move(on_complete)]() mutable {
-    advance();
-    Flow f;
-    f.src = src;
-    f.dst = dst;
-    f.remaining = bytes;
-    f.loopback = (src == dst);
-    f.on_complete = std::move(cb);
-    flows_.emplace(id, std::move(f));
-    rebalance();
-  });
+  const std::uint32_t slot = alloc_slot();
+  const FlowId id = (++next_seq_ << kSlotBits) | slot;
+  Flow& f = slots_[slot];
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.remaining = bytes;
+  f.rate = 0;
+  f.loopback = (src == dst);
+  f.active = false;
+  f.on_complete = std::move(on_complete);
+  // The flow enters the fair-sharing pool after propagation delay; the
+  // capture is three words, so the callback stays allocation-free.
+  sim_.call_in(lat, [this, slot] { activate(slot); });
   return id;
 }
 
-bool FlowNetwork::cancel(FlowId id) {
+void FlowNetwork::activate(std::uint32_t slot) {
   advance();
-  const bool erased = flows_.erase(id) > 0;
-  if (erased) rebalance();
-  return erased;
+  Flow& f = slots_[slot];
+  assert(f.id != kNoFlow && !f.active);
+  f.active = true;
+  // Keep `order_` sorted by id: activations arrive in latency order, not
+  // submission order.
+  const auto pos = std::lower_bound(
+      order_.begin(), order_.end(), f.id,
+      [this](std::uint32_t s, FlowId id) { return slots_[s].id < id; });
+  order_.insert(pos, slot);
+  rebalance();
+}
+
+bool FlowNetwork::cancel(FlowId id) {
+  Flow* f = find(id);
+  // Flows still in their latency phase are not "active" yet and keep the
+  // pre-flat-table semantics: cancel fails and the flow proceeds.
+  if (f == nullptr || !f->active) return false;
+  advance();
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  order_.erase(std::find(order_.begin(), order_.end(), slot));
+  release_slot(slot);
+  rebalance();
+  return true;
 }
 
 double FlowNetwork::remaining_bytes(FlowId id) {
   advance();
-  auto it = flows_.find(id);
-  return it == flows_.end() ? -1.0 : it->second.remaining;
+  const Flow* f = find(id);
+  return (f == nullptr || !f->active) ? -1.0 : f->remaining;
 }
 
 double FlowNetwork::current_rate(FlowId id) {
   advance();
-  auto it = flows_.find(id);
-  return it == flows_.end() ? -1.0 : it->second.rate;
+  const Flow* f = find(id);
+  return (f == nullptr || !f->active) ? -1.0 : f->rate;
 }
 
 void FlowNetwork::advance() {
@@ -89,7 +137,8 @@ void FlowNetwork::advance() {
     last_advance_ = now;
     return;
   }
-  for (auto& [id, f] : flows_) {
+  for (const std::uint32_t slot : order_) {
+    Flow& f = slots_[slot];
     const double sent = std::min(f.remaining, f.rate * dt);
     f.remaining -= sent;
     bytes_delivered_ += sent;
@@ -102,70 +151,98 @@ void FlowNetwork::rebalance() {
     sim_.cancel(completion_event_);
     completion_event_ = sim::kNoEvent;
   }
-  if (flows_.empty()) return;
+  if (order_.empty()) return;
 
   // Progressive filling over {egress(node), ingress(node)} constraints.
   // Loopback flows only contend for the memory bus, modelled as a fixed
   // per-flow rate (no sharing — the bus is far faster than any NIC).
-  struct Constraint {
-    double residual = 0;
-    std::vector<FlowId> members;
-  };
-  std::map<std::pair<int, NodeId>, Constraint> cons;  // 0=egress, 1=ingress
-  std::map<FlowId, double> rate;
+  if (egress_residual_.size() < nodes_.size()) {
+    egress_residual_.resize(nodes_.size());
+    ingress_residual_.resize(nodes_.size());
+    egress_live_.resize(nodes_.size());
+    ingress_live_.resize(nodes_.size());
+    egress_epoch_.resize(nodes_.size(), 0);
+    ingress_epoch_.resize(nodes_.size(), 0);
+  }
+  ++epoch_;
+  egress_nodes_.clear();
+  ingress_nodes_.clear();
   std::size_t unfrozen = 0;
-  for (const auto& [id, f] : flows_) {
+  for (const std::uint32_t slot : order_) {
+    Flow& f = slots_[slot];
     if (f.loopback) {
-      rate[id] = loopback_Bps_;
+      f.rate = loopback_Bps_;
       continue;
     }
-    rate[id] = -1;  // unfrozen
+    f.rate = -1;  // unfrozen
     ++unfrozen;
-    auto& eg = cons[{0, f.src}];
-    eg.residual = nodes_[f.src].bandwidth;
-    eg.members.push_back(id);
-    auto& in = cons[{1, f.dst}];
-    in.residual = nodes_[f.dst].bandwidth;
-    in.members.push_back(id);
+    if (egress_epoch_[f.src] != epoch_) {
+      egress_epoch_[f.src] = epoch_;
+      egress_residual_[f.src] = nodes_[f.src].bandwidth;
+      egress_live_[f.src] = 0;
+      egress_nodes_.push_back(f.src);
+    }
+    ++egress_live_[f.src];
+    if (ingress_epoch_[f.dst] != epoch_) {
+      ingress_epoch_[f.dst] = epoch_;
+      ingress_residual_[f.dst] = nodes_[f.dst].bandwidth;
+      ingress_live_[f.dst] = 0;
+      ingress_nodes_.push_back(f.dst);
+    }
+    ++ingress_live_[f.dst];
   }
+  // Constraints are examined egress-before-ingress, ascending node id —
+  // the iteration order of the former ordered map, preserved for
+  // deterministic tie-breaking.
+  std::sort(egress_nodes_.begin(), egress_nodes_.end());
+  std::sort(ingress_nodes_.begin(), ingress_nodes_.end());
+
   while (unfrozen > 0) {
     // Find the tightest constraint (smallest fair share per unfrozen flow).
     double best_share = std::numeric_limits<double>::infinity();
-    const Constraint* best = nullptr;
-    for (const auto& [key, c] : cons) {
-      std::size_t live = 0;
-      for (FlowId id : c.members) {
-        if (rate[id] < 0) ++live;
-      }
-      if (live == 0) continue;
-      const double share = c.residual / static_cast<double>(live);
+    int best_type = -1;  // 0=egress, 1=ingress
+    NodeId best_node = 0;
+    for (const NodeId n : egress_nodes_) {
+      if (egress_live_[n] == 0) continue;
+      const double share =
+          egress_residual_[n] / static_cast<double>(egress_live_[n]);
       if (share < best_share) {
         best_share = share;
-        best = &c;
+        best_type = 0;
+        best_node = n;
       }
     }
-    if (best == nullptr) break;
-    // Freeze that constraint's flows at the fair share and charge every
-    // other constraint they traverse.
-    for (FlowId id : best->members) {
-      if (rate[id] >= 0) continue;
-      rate[id] = best_share;
-      --unfrozen;
-      const Flow& f = flows_.at(id);
-      for (auto key : {std::pair<int, NodeId>{0, f.src},
-                       std::pair<int, NodeId>{1, f.dst}}) {
-        auto it = cons.find(key);
-        if (it != cons.end()) {
-          it->second.residual =
-              std::max(0.0, it->second.residual - best_share);
-        }
+    for (const NodeId n : ingress_nodes_) {
+      if (ingress_live_[n] == 0) continue;
+      const double share =
+          ingress_residual_[n] / static_cast<double>(ingress_live_[n]);
+      if (share < best_share) {
+        best_share = share;
+        best_type = 1;
+        best_node = n;
       }
+    }
+    if (best_type < 0) break;
+    // Freeze that constraint's flows at the fair share and charge every
+    // constraint they traverse.
+    for (const std::uint32_t slot : order_) {
+      Flow& f = slots_[slot];
+      if (f.loopback || f.rate >= 0) continue;
+      if (best_type == 0 ? f.src != best_node : f.dst != best_node) continue;
+      f.rate = best_share;
+      --unfrozen;
+      --egress_live_[f.src];
+      --ingress_live_[f.dst];
+      egress_residual_[f.src] =
+          std::max(0.0, egress_residual_[f.src] - best_share);
+      ingress_residual_[f.dst] =
+          std::max(0.0, ingress_residual_[f.dst] - best_share);
     }
   }
-  for (auto& [id, f] : flows_) f.rate = rate.at(id);
 
   sim::SimTime soonest = sim::kTimeInfinity;
-  for (const auto& [id, f] : flows_) {
+  for (const std::uint32_t slot : order_) {
+    const Flow& f = slots_[slot];
     if (flow_done(f.remaining, f.rate)) {
       soonest = 0;
       break;
@@ -180,15 +257,18 @@ void FlowNetwork::rebalance() {
 void FlowNetwork::fire_completions() {
   completion_event_ = sim::kNoEvent;
   advance();
-  std::vector<std::function<void()>> done;
-  for (auto it = flows_.begin(); it != flows_.end();) {
-    if (flow_done(it->second.remaining, it->second.rate)) {
-      done.push_back(std::move(it->second.on_complete));
-      it = flows_.erase(it);
+  std::vector<sim::Simulation::Callback> done;
+  std::size_t kept = 0;
+  for (const std::uint32_t slot : order_) {
+    Flow& f = slots_[slot];
+    if (flow_done(f.remaining, f.rate)) {
+      done.push_back(std::move(f.on_complete));
+      release_slot(slot);
     } else {
-      ++it;
+      order_[kept++] = slot;
     }
   }
+  order_.resize(kept);
   rebalance();
   for (auto& cb : done) {
     if (cb) cb();

@@ -1,8 +1,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -27,6 +25,14 @@ using FlowId = std::uint64_t;
 ///
 /// Loopback transfers (src == dst) bypass the NIC and use a separate
 /// memory-bus bandwidth.
+///
+/// Flows live in a dense slot vector reused through a free-list; a FlowId
+/// is a generation-checked handle ((sequence << 24) | slot), giving O(1)
+/// lookup/cancel without a map. The active set is iterated in ascending-id
+/// order (as the former `std::map` did), so fair-share rounds and
+/// completion callbacks stay deterministic. The progressive-filling solver
+/// works on flat per-node residual/live arrays (epoch-stamped, reused
+/// between calls) instead of rebuilding ordered maps on every rebalance.
 class FlowNetwork {
  public:
   explicit FlowNetwork(sim::Simulation& sim) : sim_(sim) {}
@@ -45,12 +51,12 @@ class FlowNetwork {
   /// Starts a transfer of `bytes` from `src` to `dst`; `on_complete` fires
   /// when the last byte arrives. Zero-byte transfers pay latency only.
   FlowId transfer(NodeId src, NodeId dst, double bytes,
-                  std::function<void()> on_complete);
+                  sim::Simulation::Callback on_complete);
 
   /// Cancels an in-flight transfer. Returns true iff it was active.
   bool cancel(FlowId id);
 
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return order_.size(); }
 
   /// Bytes still to deliver for a flow; -1 when inactive/unknown.
   [[nodiscard]] double remaining_bytes(FlowId id);
@@ -69,31 +75,57 @@ class FlowNetwork {
   }
 
  private:
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr FlowId kSlotMask = (FlowId{1} << kSlotBits) - 1;
+  static constexpr FlowId kNoFlow = 0;
+  /// Slot value encoded into ids of latency-only (zero-byte) transfers,
+  /// which never join the sharing pool.
+  static constexpr std::uint32_t kDetachedSlot =
+      static_cast<std::uint32_t>(kSlotMask);
+
   struct NodeNic {
     double bandwidth = 0;
     double latency = 0;
   };
   struct Flow {
+    FlowId id = kNoFlow;  ///< Full handle occupying this slot; 0 = free.
     NodeId src = 0;
     NodeId dst = 0;
     double remaining = 0;
     double rate = 0;
     bool loopback = false;
-    std::function<void()> on_complete;
+    bool active = false;  ///< False while in the propagation-latency phase.
+    sim::Simulation::Callback on_complete;
   };
 
+  Flow* find(FlowId id);
+  std::uint32_t alloc_slot();
+  void release_slot(std::uint32_t slot);
+  void activate(std::uint32_t slot);
   void advance();
   void rebalance();
   void fire_completions();
 
   sim::Simulation& sim_;
   std::vector<NodeNic> nodes_;
-  std::map<FlowId, Flow> flows_;  // ordered for determinism
-  double loopback_Bps_ = 8e9;     // ~8 GB/s memory-bus copy
+  std::vector<Flow> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Active slots in ascending-id order: deterministic iteration.
+  std::vector<std::uint32_t> order_;
+  double loopback_Bps_ = 8e9;  // ~8 GB/s memory-bus copy
   sim::SimTime last_advance_ = 0;
   sim::EventId completion_event_ = sim::kNoEvent;
-  FlowId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
   double bytes_delivered_ = 0;
+
+  // Progressive-filling scratch state, epoch-stamped per node so a
+  // rebalance touches only the nodes its flows traverse (no O(all nodes)
+  // reset and no per-call map allocation).
+  std::vector<double> egress_residual_, ingress_residual_;
+  std::vector<std::uint32_t> egress_live_, ingress_live_;
+  std::vector<std::uint32_t> egress_epoch_, ingress_epoch_;
+  std::vector<NodeId> egress_nodes_, ingress_nodes_;
+  std::uint32_t epoch_ = 0;
 };
 
 }  // namespace sf::net

@@ -29,6 +29,12 @@ PsResource::PsResource(Simulation& sim, double capacity, std::string name)
   last_advance_ = sim_.now();
 }
 
+PsResource::Job* PsResource::find(JobId id) {
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  if (slot >= slots_.size() || slots_[slot].id != id) return nullptr;
+  return &slots_[slot];
+}
+
 PsResource::JobId PsResource::submit(double work, Callback on_complete,
                                      double rate_cap, double weight) {
   if (rate_cap < 0) {
@@ -38,32 +44,61 @@ PsResource::JobId PsResource::submit(double work, Callback on_complete,
     throw std::invalid_argument("PsResource::submit: non-positive weight");
   }
   advance();
-  const JobId id = next_id_++;
-  Job job;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    assert(slots_.size() <= kSlotMask && "PsResource: too many active jobs");
+    slots_.emplace_back();
+  }
+  const JobId id = (++next_seq_ << kSlotBits) | slot;
+  Job& job = slots_[slot];
+  job.id = id;
   job.remaining = std::max(work, 0.0);
   job.weight = weight;
   job.cap = rate_cap;
+  job.rate = 0;
   job.on_complete = std::move(on_complete);
-  jobs_.emplace(id, std::move(job));
+  order_.push_back(slot);  // ids are monotonic: append keeps id order
+  if (sum_w_valid_) sum_w_cache_ += weight;
+  rates_dirty_ = true;
   rebalance();
   return id;
 }
 
+void PsResource::release_slot(std::uint32_t slot) {
+  Job& job = slots_[slot];
+  job.id = kNoJob;
+  job.on_complete = nullptr;
+  free_slots_.push_back(slot);
+}
+
 bool PsResource::cancel(JobId id) {
+  Job* job = find(id);
+  if (job == nullptr) return false;
   advance();
-  const bool erased = jobs_.erase(id) > 0;
-  if (erased) rebalance();
-  return erased;
+  const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  order_.erase(std::find(order_.begin(), order_.end(), slot));
+  release_slot(slot);
+  sum_w_valid_ = false;  // removal breaks the left-to-right prefix sum
+  rates_dirty_ = true;
+  rebalance();
+  return true;
 }
 
 bool PsResource::set_rate_cap(JobId id, double rate_cap) {
   if (rate_cap < 0) {
     throw std::invalid_argument("PsResource::set_rate_cap: negative cap");
   }
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
+  Job* job = find(id);
+  if (job == nullptr) return false;
   advance();
-  it->second.cap = rate_cap;
+  if (job->cap != rate_cap) {
+    job->cap = rate_cap;
+    rates_dirty_ = true;  // same-value updates keep the rates clean
+  }
   rebalance();
   return true;
 }
@@ -73,25 +108,28 @@ void PsResource::set_capacity(double capacity) {
     throw std::invalid_argument("PsResource::set_capacity: negative");
   }
   advance();
-  capacity_ = capacity;
+  if (capacity != capacity_) {
+    capacity_ = capacity;
+    rates_dirty_ = true;
+  }
   rebalance();
 }
 
 double PsResource::remaining(JobId id) {
   advance();
-  auto it = jobs_.find(id);
-  return it == jobs_.end() ? -1.0 : it->second.remaining;
+  const Job* job = find(id);
+  return job == nullptr ? -1.0 : job->remaining;
 }
 
 double PsResource::current_rate(JobId id) {
   advance();
-  auto it = jobs_.find(id);
-  return it == jobs_.end() ? -1.0 : it->second.rate;
+  const Job* job = find(id);
+  return job == nullptr ? -1.0 : job->rate;
 }
 
 double PsResource::utilization() const {
   double total = 0;
-  for (const auto& [id, job] : jobs_) total += job.rate;
+  for (const std::uint32_t slot : order_) total += slots_[slot].rate;
   return total;
 }
 
@@ -102,7 +140,8 @@ void PsResource::advance() {
     last_advance_ = now;
     return;
   }
-  for (auto& [id, job] : jobs_) {
+  for (const std::uint32_t slot : order_) {
+    Job& job = slots_[slot];
     job.remaining = std::max(0.0, job.remaining - job.rate * dt);
   }
   last_advance_ = now;
@@ -113,40 +152,104 @@ void PsResource::rebalance() {
     sim_.cancel(completion_event_);
     completion_event_ = kNoEvent;
   }
-  if (jobs_.empty()) return;
+  // Rates are a pure function of (job set, caps, weights, capacity); the
+  // O(jobs * rounds) water-filling only reruns when one of those changed.
+  // The completion timer is always re-armed so event scheduling stays
+  // bit-identical with the pre-flat-table engine.
+  if (rates_dirty_) {
+    recompute_and_schedule();
+    rates_dirty_ = false;
+  } else {
+    schedule_next_completion();
+  }
+}
+
+void PsResource::recompute_and_schedule() {
+  if (order_.empty()) return;
+  if (!sum_w_valid_) {
+    double sum_w = 0;
+    for (const std::uint32_t slot : order_) sum_w += slots_[slot].weight;
+    sum_w_cache_ = sum_w;
+    sum_w_valid_ = true;
+  }
+  const double lambda = capacity_ / sum_w_cache_;
+
+  // Fast path: when no per-job cap binds in the first round, the final rate
+  // of every job is lambda * weight, so rate assignment and the
+  // next-completion scan fuse into one pass. Arithmetic and iteration order
+  // are identical to the general algorithm, so results match bit for bit;
+  // rates written before a cap is discovered are all overwritten by the
+  // fallback (every job is either frozen at its cap or assigned in the
+  // terminal uncapped round).
+  SimTime soonest = kTimeInfinity;
+  bool done_now = false;
+  for (const std::uint32_t slot : order_) {
+    Job& job = slots_[slot];
+    const double fair = lambda * job.weight;
+    if (job.cap < fair) {
+      recompute_rates();
+      schedule_next_completion();
+      return;
+    }
+    job.rate = fair;
+    if (!done_now) {
+      // Mirrors schedule_next_completion: the first finished job pins the
+      // completion to "now" and later jobs stop contributing.
+      if (job_done(job.remaining, job.rate)) {
+        done_now = true;
+      } else if (job.rate > 0) {
+        soonest = std::min(soonest, job.remaining / job.rate);
+      }
+    }
+  }
+  if (done_now) soonest = 0;
+  if (soonest < kTimeInfinity) {
+    completion_event_ = sim_.call_in(soonest, [this] { fire_completions(); });
+  }
+}
+
+void PsResource::recompute_rates() {
+  if (order_.empty()) return;
 
   // Weighted water-filling: repeatedly grant capped jobs their cap and
-  // fair-share the rest by weight.
-  std::vector<std::pair<const JobId, Job>*> open;
-  open.reserve(jobs_.size());
-  for (auto& entry : jobs_) open.push_back(&entry);
+  // fair-share the rest by weight. Iteration follows submission order,
+  // matching the former by-id map exactly.
+  open_scratch_.assign(order_.begin(), order_.end());
   double cap_left = capacity_;
-  while (!open.empty()) {
+  while (!open_scratch_.empty()) {
     double sum_w = 0;
-    for (auto* e : open) sum_w += e->second.weight;
+    for (const std::uint32_t slot : open_scratch_) {
+      sum_w += slots_[slot].weight;
+    }
     const double lambda = cap_left / sum_w;
     bool any_capped = false;
-    for (auto it = open.begin(); it != open.end();) {
-      Job& job = (*it)->second;
+    for (auto it = open_scratch_.begin(); it != open_scratch_.end();) {
+      Job& job = slots_[*it];
       if (job.cap < lambda * job.weight) {
         job.rate = job.cap;
         cap_left -= job.cap;
-        it = open.erase(it);
+        it = open_scratch_.erase(it);
         any_capped = true;
       } else {
         ++it;
       }
     }
     if (!any_capped) {
-      for (auto* e : open) e->second.rate = lambda * e->second.weight;
+      for (const std::uint32_t slot : open_scratch_) {
+        Job& job = slots_[slot];
+        job.rate = lambda * job.weight;
+      }
       break;
     }
   }
+}
 
+void PsResource::schedule_next_completion() {
   // Schedule the earliest completion (or an immediate one for zero-work
   // jobs) as a single cancellable event.
   SimTime soonest = kTimeInfinity;
-  for (const auto& [id, job] : jobs_) {
+  for (const std::uint32_t slot : order_) {
+    const Job& job = slots_[slot];
     if (job_done(job.remaining, job.rate)) {
       soonest = 0;
       break;
@@ -156,8 +259,7 @@ void PsResource::rebalance() {
     }
   }
   if (soonest < kTimeInfinity) {
-    completion_event_ =
-        sim_.call_in(soonest, [this] { fire_completions(); });
+    completion_event_ = sim_.call_in(soonest, [this] { fire_completions(); });
   }
 }
 
@@ -165,13 +267,20 @@ void PsResource::fire_completions() {
   completion_event_ = kNoEvent;
   advance();
   std::vector<Callback> done;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (job_done(it->second.remaining, it->second.rate)) {
-      done.push_back(std::move(it->second.on_complete));
-      it = jobs_.erase(it);
+  std::size_t kept = 0;
+  for (const std::uint32_t slot : order_) {
+    Job& job = slots_[slot];
+    if (job_done(job.remaining, job.rate)) {
+      done.push_back(std::move(job.on_complete));
+      release_slot(slot);
     } else {
-      ++it;
+      order_[kept++] = slot;
     }
+  }
+  order_.resize(kept);
+  if (!done.empty()) {
+    rates_dirty_ = true;
+    sum_w_valid_ = false;
   }
   rebalance();
   for (auto& cb : done) {

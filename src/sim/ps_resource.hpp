@@ -1,9 +1,8 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "sim/simulation.hpp"
 #include "sim/types.hpp"
@@ -22,10 +21,18 @@ namespace sf::sim {
 /// the rates sum to min(capacity, sum of caps). Whenever the job set or a
 /// cap changes, remaining work is advanced at the old rates and the next
 /// completion event is rescheduled — the classic PS discrete-event pattern.
+///
+/// Jobs live in a dense slot vector reused through a free-list; a JobId is a
+/// generation-checked handle ((sequence << 24) | slot), so lookups are O(1)
+/// and stale ids are rejected without a map. Iteration (fair-share rounds,
+/// completion callbacks) follows submission order — ids are monotonic, so
+/// this matches the former by-id `std::map` order exactly. Rates are only
+/// recomputed when the active set, a cap/weight, or the capacity actually
+/// changed (dirty flag); queries merely advance remaining work.
 class PsResource {
  public:
   using JobId = std::uint64_t;
-  using Callback = std::function<void()>;
+  using Callback = Simulation::Callback;
 
   PsResource(Simulation& sim, double capacity, std::string name = "ps");
 
@@ -49,7 +56,7 @@ class PsResource {
   void set_capacity(double capacity);
 
   [[nodiscard]] double capacity() const { return capacity_; }
-  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t active_jobs() const { return order_.size(); }
 
   /// Remaining work for an active job (advanced to now); -1 when inactive.
   [[nodiscard]] double remaining(JobId id);
@@ -65,7 +72,12 @@ class PsResource {
   static constexpr double kNoCap = 1e300;
 
  private:
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr JobId kSlotMask = (JobId{1} << kSlotBits) - 1;
+  static constexpr JobId kNoJob = 0;
+
   struct Job {
+    JobId id = kNoJob;  ///< Full handle occupying this slot; kNoJob = free.
     double remaining = 0;
     double weight = 1;
     double cap = kNoCap;
@@ -73,19 +85,38 @@ class PsResource {
     Callback on_complete;
   };
 
+  Job* find(JobId id);
   /// Advances remaining work to sim.now() at current rates.
   void advance();
-  /// Recomputes fair-share rates and reschedules the next completion.
+  /// Recomputes fair-share rates (when dirty) and reschedules the next
+  /// completion.
   void rebalance();
+  /// Single-pass rate assignment + completion scan for the common case
+  /// where no per-job cap binds; falls back to the general water-filling.
+  void recompute_and_schedule();
+  void recompute_rates();
+  void schedule_next_completion();
   void fire_completions();
+  void release_slot(std::uint32_t slot);
 
   Simulation& sim_;
   double capacity_;
   std::string name_;
-  std::map<JobId, Job> jobs_;  // ordered: deterministic iteration
+  std::vector<Job> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Active slots in submission (= ascending id) order: deterministic
+  /// iteration for fair sharing and completion callbacks.
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> open_scratch_;  ///< water-filling workspace
   SimTime last_advance_ = 0;
   EventId completion_event_ = kNoEvent;
-  JobId next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  bool rates_dirty_ = false;
+  /// Running sum of active weights. Appending a job extends the left-to-
+  /// right summation over order_, so the cached value stays bit-identical
+  /// to a fresh resum; any removal or weight change invalidates it.
+  double sum_w_cache_ = 0;
+  bool sum_w_valid_ = false;
 };
 
 }  // namespace sf::sim

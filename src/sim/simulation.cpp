@@ -6,14 +6,14 @@
 
 namespace sf::sim {
 
-EventId Simulation::call_at(SimTime t, std::function<void()> fn) {
+EventId Simulation::call_at(SimTime t, Callback fn) {
   if (t < now_ - kEpsilon) {
     throw std::invalid_argument("Simulation::call_at: time in the past");
   }
   return queue_.schedule(t < now_ ? now_ : t, std::move(fn));
 }
 
-EventId Simulation::call_in(SimTime delay, std::function<void()> fn) {
+EventId Simulation::call_in(SimTime delay, Callback fn) {
   if (delay < 0) {
     throw std::invalid_argument("Simulation::call_in: negative delay");
   }

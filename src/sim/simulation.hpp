@@ -1,7 +1,6 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -24,11 +23,16 @@ class Simulation {
 
   [[nodiscard]] SimTime now() const { return now_; }
 
+  /// Callback type: small captures stay allocation-free (InlineFunction);
+  /// any callable convertible to `void()` is accepted, including
+  /// `std::function`.
+  using Callback = EventQueue::Callback;
+
   /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
-  EventId call_at(SimTime t, std::function<void()> fn);
+  EventId call_at(SimTime t, Callback fn);
 
   /// Schedules `fn` after `delay` seconds (must be >= 0).
-  EventId call_in(SimTime delay, std::function<void()> fn);
+  EventId call_in(SimTime delay, Callback fn);
 
   /// Cancels a pending event; returns true iff it was still pending.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
 namespace sf::core {
 namespace {
 
@@ -46,6 +51,41 @@ TEST(Testbed, DeterministicAcrossIdenticalSeeds) {
     return tb.run_concurrent_mix(3, 4, {0.5, 0.0, 0.5}).slowest;
   };
   EXPECT_DOUBLE_EQ(run(123), run(123));
+}
+
+TEST(Testbed, IdenticalSeedsReplayIdenticalEventStreams) {
+  // Engine-level determinism regression: a mid-size mixed-mode scenario
+  // must replay the exact same event stream — not merely the same
+  // headline makespan — across two fresh testbeds with the same seed.
+  // Guards the FIFO-by-id ordering contract of the event queue.
+  struct Replay {
+    std::uint64_t events_processed;
+    std::size_t trace_events;
+    std::string trace_csv;
+    std::vector<double> makespans;
+  };
+  auto run = [](std::uint64_t seed) {
+    PaperTestbed tb(seed);
+    tb.sim().trace().set_enabled(true);
+    tb.register_matmul_function();
+    const auto r = tb.run_concurrent_mix(4, 5, {0.4, 0.2, 0.4});
+    EXPECT_TRUE(r.all_succeeded);
+    std::ostringstream csv;
+    tb.sim().trace().write_csv(csv);
+    return Replay{tb.sim().events_processed(),
+                  tb.sim().trace().events().size(), csv.str(), r.makespans};
+  };
+  const auto a = run(7);
+  const auto b = run(7);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.trace_events, b.trace_events);
+  EXPECT_EQ(a.trace_csv, b.trace_csv);
+  ASSERT_EQ(a.makespans.size(), b.makespans.size());
+  for (std::size_t i = 0; i < a.makespans.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.makespans[i], b.makespans[i]);
+  }
+  EXPECT_GT(a.events_processed, 0u);
+  EXPECT_GT(a.trace_events, 0u);
 }
 
 TEST(Testbed, ConsecutiveRunsAreIndependent) {

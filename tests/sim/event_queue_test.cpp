@@ -104,5 +104,114 @@ TEST(EventQueue, ManyInterleavedSchedulesAndCancels) {
   EXPECT_EQ(fired, 50);
 }
 
+TEST(EventQueue, TotalScheduledCountsEverySchedule) {
+  EventQueue q;
+  EXPECT_EQ(q.total_scheduled(), 0u);
+  const EventId a = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  q.cancel(a);  // cancellation must not lower the lifetime count
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  q.pop();
+  EXPECT_EQ(q.total_scheduled(), 2u);
+  q.schedule(3.0, [] {});  // slot reuse must still count up
+  EXPECT_EQ(q.total_scheduled(), 3u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelHalfPreservesFiringOrderAndCounts) {
+  // Schedule N events across a few clustered instants, cancel a
+  // deterministic half, and verify the survivors fire in exact
+  // (time, schedule-order) sequence while size()/empty() stay consistent.
+  constexpr int kN = 400;
+  EventQueue q;
+  std::vector<EventId> ids;
+  std::vector<int> expected;
+  std::vector<int> fired;
+  ids.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    const double t = static_cast<double>(i % 7);
+    ids.push_back(q.schedule(t, [&fired, i] { fired.push_back(i); }));
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kN));
+  int cancelled = 0;
+  for (int i = 0; i < kN; i += 2) {
+    EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    ++cancelled;
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kN - cancelled));
+  // Survivors ordered by (time, insertion order): odd i, keyed by i % 7
+  // then i — the same FIFO-by-id rule schedule() promises.
+  for (int t = 0; t < 7; ++t) {
+    for (int i = 1; i < kN; i += 2) {
+      if (i % 7 == t) expected.push_back(i);
+    }
+  }
+  double last_time = -1.0;
+  while (!q.empty()) {
+    auto ev = q.pop();
+    EXPECT_GE(ev.time, last_time);
+    last_time = ev.time;
+    ev.fn();
+  }
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(q.total_scheduled(), static_cast<std::uint64_t>(kN));
+}
+
+TEST(EventQueue, CancelLastEventOfInstantThenReuseInstant) {
+  // Cancelling the sole event of an instant retires its bucket; scheduling
+  // the same time again must create a fresh FIFO, not resurrect the old.
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule(5.0, [&] { fired += 1; });
+  EXPECT_TRUE(q.cancel(a));
+  EXPECT_TRUE(q.empty());
+  q.schedule(5.0, [&] { fired += 10; });
+  q.schedule(5.0, [&] { fired += 100; });
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 110);
+}
+
+TEST(EventQueue, NegativeZeroAndPositiveZeroShareAnInstant) {
+  // -0.0 == 0.0, so FIFO order must hold across the two spellings.
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(0.0, [&] { order.push_back(1); });
+  q.schedule(-0.0, [&] { order.push_back(2); });
+  q.schedule(0.0, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StressManyInstantsWithInterleavedCancellation) {
+  // Enough churn to cross chunk boundaries and recycle slots repeatedly.
+  EventQueue q;
+  std::vector<EventId> pending;
+  std::uint64_t scheduled = 0;
+  int fired = 0;
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 300; ++i) {
+      pending.push_back(q.schedule(static_cast<double>((round * 300 + i) % 13),
+                                   [&] { ++fired; }));
+      ++scheduled;
+    }
+    for (std::size_t i = round % 3; i < pending.size(); i += 3) {
+      q.cancel(pending[i]);  // some ids are already fired/cancelled: fine
+    }
+    while (q.size() > 100) q.pop().fn();
+    pending.erase(pending.begin(),
+                  pending.begin() +
+                      static_cast<std::ptrdiff_t>(pending.size() / 2));
+  }
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(q.total_scheduled(), scheduled);
+  EXPECT_GT(fired, 0);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
 }  // namespace
 }  // namespace sf::sim

@@ -220,6 +220,62 @@ TEST(PsResource, InvalidArgumentsThrow) {
   EXPECT_THROW(cpu.set_capacity(-2.0), std::invalid_argument);
 }
 
+TEST(PsResource, InterleavedCancelRecapAndResizeAccounting) {
+  // Walks one scenario through every mutation path — cancel, set_rate_cap,
+  // set_capacity — checking remaining-work accounting after each step.
+  Simulation sim;
+  PsResource cpu(sim, 6.0);
+  double a_done = -1;
+  double b_done = -1;
+  bool c_ran = false;
+  const auto a = cpu.submit(12.0, [&] { a_done = sim.now(); });
+  const auto b = cpu.submit(12.0, [&] { b_done = sim.now(); }, 1.0);
+  const auto c = cpu.submit(12.0, [&] { c_ran = true; });
+  // t in [0,1): B capped at 1, A and C split the remaining 5 → 2.5 each.
+  sim.call_at(1.0, [&] {
+    EXPECT_NEAR(cpu.remaining(a), 9.5, 1e-9);
+    EXPECT_NEAR(cpu.remaining(b), 11.0, 1e-9);
+    EXPECT_NEAR(cpu.remaining(c), 9.5, 1e-9);
+    EXPECT_NEAR(cpu.utilization(), 6.0, 1e-9);
+    EXPECT_TRUE(cpu.cancel(c));
+    EXPECT_FALSE(cpu.cancel(c));
+    EXPECT_EQ(cpu.active_jobs(), 2u);
+  });
+  // t in [1,2): A uncapped → 5, B → 1.
+  sim.call_at(2.0, [&] {
+    EXPECT_NEAR(cpu.remaining(a), 4.5, 1e-9);
+    EXPECT_NEAR(cpu.remaining(b), 10.0, 1e-9);
+    EXPECT_NEAR(cpu.current_rate(a), 5.0, 1e-9);
+    EXPECT_TRUE(cpu.set_rate_cap(a, 2.0));
+  });
+  // t in [2,3): A capped at 2, B at 1.
+  sim.call_at(3.0, [&] {
+    EXPECT_NEAR(cpu.remaining(a), 2.5, 1e-9);
+    EXPECT_NEAR(cpu.remaining(b), 9.0, 1e-9);
+    EXPECT_NEAR(cpu.utilization(), 3.0, 1e-9);
+    cpu.set_capacity(2.0);
+  });
+  // t >= 3: capacity 2 split evenly → A=1, B=1. A's 2.5 left → t=5.5;
+  // B then runs alone but stays capped at 1: 6.5 left → t=12.
+  sim.run();
+  EXPECT_FALSE(c_ran);
+  EXPECT_NEAR(a_done, 5.5, 1e-9);
+  EXPECT_NEAR(b_done, 12.0, 1e-9);
+  EXPECT_EQ(cpu.active_jobs(), 0u);
+  EXPECT_NEAR(cpu.utilization(), 0.0, 1e-12);
+  EXPECT_EQ(cpu.remaining(a), -1.0);
+  EXPECT_EQ(cpu.remaining(c), -1.0);
+}
+
+TEST(PsResource, CancelAfterCompletionReturnsFalse) {
+  Simulation sim;
+  PsResource cpu(sim, 1.0);
+  const auto id = cpu.submit(1.0, [] {}, 1.0);
+  sim.run();
+  EXPECT_FALSE(cpu.cancel(id));
+  EXPECT_FALSE(cpu.set_rate_cap(id, 2.0));
+}
+
 // Property: with N identical capped jobs on C cores, makespan is
 // work * ceil-free scaling max(1, N/C). Swept with TEST_P.
 struct PsSweep {
