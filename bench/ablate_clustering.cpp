@@ -6,10 +6,13 @@
 // bench sweeps the cluster factor over the paper's 10-task chain in
 // native and containerized modes.
 
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/testbed.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace {
 
@@ -36,13 +39,31 @@ int main() {
       "larger clusters remove DAGMan/condor hops; the win is largest for "
       "container mode (one image transfer per cluster, not per task)");
 
+  // (cluster size, mode) points are independent sims; sweep in parallel.
+  const std::vector<int> cluster_sizes{1, 2, 5, 10};
+  const std::vector<pegasus::JobMode> mode_order{
+      pegasus::JobMode::kNative, pegasus::JobMode::kContainer,
+      pegasus::JobMode::kServerless};
+  struct Point {
+    pegasus::JobMode mode = pegasus::JobMode::kNative;
+    int cluster_size = 1;
+  };
+  std::vector<Point> points;
+  for (int k : cluster_sizes) {
+    for (pegasus::JobMode mode : mode_order) points.push_back({mode, k});
+  }
+  sf::sim::SweepRunner runner;
+  const auto makespans =
+      runner.run(points.size(), [&points](std::size_t i) {
+        return run(points[i].mode, points[i].cluster_size);
+      });
+
   sf::metrics::Table table(
       {"cluster_size", "native_s", "container_s", "serverless_s"}, 2);
-  for (int k : {1, 2, 5, 10}) {
-    table.add_row({static_cast<std::int64_t>(k),
-                   run(pegasus::JobMode::kNative, k),
-                   run(pegasus::JobMode::kContainer, k),
-                   run(pegasus::JobMode::kServerless, k)});
+  for (std::size_t i = 0; i < cluster_sizes.size(); ++i) {
+    table.add_row({static_cast<std::int64_t>(cluster_sizes[i]),
+                   makespans[i * 3], makespans[i * 3 + 1],
+                   makespans[i * 3 + 2]});
   }
   table.print_text(std::cout);
   return 0;

@@ -6,11 +6,13 @@
 // different `containerConcurrency` settings and reports makespan and the
 // scale-out the autoscaler needed.
 
+#include <cstddef>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/testbed.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace {
 
@@ -61,10 +63,20 @@ int main() {
       "co-locating requests in one container (higher concurrency) beats "
       "one-request-per-container, at the cost of isolation");
 
+  // Each concurrency setting is an independent 48-task simulation:
+  // sweep them across threads, print in sweep order.
+  const std::vector<int> settings{1, 2, 4, 8, 0};
+  sf::sim::SweepRunner runner;
+  const auto results = runner.run(
+      settings.size(), [&settings](std::size_t i) {
+        return run(settings[i], 48);
+      });
+
   sf::metrics::Table table(
       {"container_concurrency", "makespan_s", "peak_pods_desired"}, 2);
-  for (int cc : {1, 2, 4, 8, 0}) {
-    const auto r = run(cc, 48);
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    const int cc = settings[i];
+    const auto& r = results[i];
     table.add_row({cc == 0 ? std::string("unlimited") : std::to_string(cc),
                    r.makespan, static_cast<std::int64_t>(r.peak_desired)});
   }

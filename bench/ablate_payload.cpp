@@ -7,11 +7,13 @@
 // makespan and the total bytes that crossed the network — quantifying the
 // "redundant data movement" the paper earmarks for future study.
 
+#include <cstddef>
 #include <iostream>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/testbed.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace {
 
@@ -57,17 +59,31 @@ int main() {
 
   // Matrix orders 350 (paper), 700, 1400, 2800 → 0.49, 1.96, 7.8, 31 MB.
   const std::vector<double> sizes{490e3, 1.96e6, 7.84e6, 31.4e6};
+  const std::vector<DataStrategy> strategies{DataStrategy::kPassByValue,
+                                             DataStrategy::kSharedFs,
+                                             DataStrategy::kObjectStore};
+  // 12 independent (size, strategy) simulations swept across threads.
+  struct Point {
+    double bytes = 0;
+    DataStrategy strategy = DataStrategy::kPassByValue;
+  };
+  std::vector<Point> points;
+  for (double bytes : sizes) {
+    for (DataStrategy strategy : strategies) points.push_back({bytes, strategy});
+  }
+  sf::sim::SweepRunner runner;
+  const auto results = runner.run(points.size(), [&points](std::size_t i) {
+    return run(points[i].strategy, points[i].bytes);
+  });
+
   sf::metrics::Table table({"matrix_MB", "strategy", "makespan_s",
                             "network_MB"},
                            2);
-  for (double bytes : sizes) {
-    for (DataStrategy strategy :
-         {DataStrategy::kPassByValue, DataStrategy::kSharedFs,
-          DataStrategy::kObjectStore}) {
-      const auto r = run(strategy, bytes);
-      table.add_row({bytes / 1e6, std::string(to_string(strategy)),
-                     r.makespan, r.network_bytes / 1e6});
-    }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    table.add_row({points[i].bytes / 1e6,
+                   std::string(to_string(points[i].strategy)), r.makespan,
+                   r.network_bytes / 1e6});
   }
   table.print_text(std::cout);
   std::cout << "\nexpectation: pass-by-value moves each input twice "

@@ -6,10 +6,13 @@
 // hypothesizes) but multiply the per-task scheduling overhead — the sweep
 // shows where the trade crosses over.
 
+#include <cstddef>
 #include <iostream>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "core/testbed.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace {
 
@@ -47,14 +50,31 @@ int main() {
       "overhead; serverless absorbs fine granularity better than condor "
       "scheduling does");
 
+  // (split, mode) points are independent sims; sweep them in parallel.
+  const std::vector<int> splits{1, 2, 4, 8};
+  struct Point {
+    int split = 1;
+    pegasus::JobMode mode = pegasus::JobMode::kNative;
+  };
+  std::vector<Point> points;
+  for (int split : splits) {
+    points.push_back({split, pegasus::JobMode::kNative});
+    points.push_back({split, pegasus::JobMode::kServerless});
+  }
+  sf::sim::SweepRunner runner;
+  const auto makespans =
+      runner.run(points.size(), [&points](std::size_t i) {
+        return run(points[i].split, points[i].mode);
+      });
+
   sf::metrics::Table table({"split_factor", "tasks_total", "native_s",
                             "serverless_s"},
                            2);
-  for (int split : {1, 2, 4, 8}) {
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    const int split = splits[i];
     table.add_row({static_cast<std::int64_t>(split),
                    static_cast<std::int64_t>(4 * (split + 1)),
-                   run(split, pegasus::JobMode::kNative),
-                   run(split, pegasus::JobMode::kServerless)});
+                   makespans[i * 2], makespans[i * 2 + 1]});
   }
   table.print_text(std::cout);
   return 0;

@@ -5,13 +5,19 @@
 //
 // Paper anchors: regression slopes native 0.28, Knative 0.30,
 // condor-container 0.96 s/task.
+//
+// The 18 sweep points (6 task counts x 3 modes) are independent
+// simulations; they run across a SweepRunner thread pool and print in
+// sweep order, so stdout is bit-identical at any SF_SWEEP_THREADS.
 
+#include <cstddef>
 #include <iostream>
 #include <map>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "core/testbed.hpp"
+#include "sim/sweep_runner.hpp"
 
 namespace {
 
@@ -35,6 +41,11 @@ double parallel_makespan(pegasus::JobMode mode, int n_tasks) {
   return result.slowest;
 }
 
+struct Point {
+  pegasus::JobMode mode = pegasus::JobMode::kNative;
+  int tasks = 0;
+};
+
 }  // namespace
 
 int main() {
@@ -43,20 +54,34 @@ int main() {
                     "container on HTCondor 0.96 s/task");
 
   const std::vector<int> counts{8, 16, 24, 48, 72, 96};
+  const std::vector<pegasus::JobMode> mode_order{
+      pegasus::JobMode::kNative, pegasus::JobMode::kServerless,
+      pegasus::JobMode::kContainer};
+  std::vector<Point> points;
+  for (int n : counts) {
+    for (pegasus::JobMode mode : mode_order) points.push_back({mode, n});
+  }
+
+  sf::sim::SweepRunner runner;
+  const std::vector<double> makespans =
+      runner.run(points.size(), [&points](std::size_t i) {
+        return parallel_makespan(points[i].mode, points[i].tasks);
+      });
+
   sf::metrics::Table table(
       {"tasks", "native_s", "knative_s", "container_s"}, 2);
   std::vector<double> xs;
   std::map<pegasus::JobMode, std::vector<double>> ys;
-  for (int n : counts) {
-    const double native = parallel_makespan(pegasus::JobMode::kNative, n);
-    const double knative =
-        parallel_makespan(pegasus::JobMode::kServerless, n);
-    const double cont = parallel_makespan(pegasus::JobMode::kContainer, n);
-    xs.push_back(n);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const double native = makespans[c * 3];
+    const double knative = makespans[c * 3 + 1];
+    const double cont = makespans[c * 3 + 2];
+    xs.push_back(counts[c]);
     ys[pegasus::JobMode::kNative].push_back(native);
     ys[pegasus::JobMode::kServerless].push_back(knative);
     ys[pegasus::JobMode::kContainer].push_back(cont);
-    table.add_row({static_cast<std::int64_t>(n), native, knative, cont});
+    table.add_row(
+        {static_cast<std::int64_t>(counts[c]), native, knative, cont});
   }
   table.print_text(std::cout);
 

@@ -9,7 +9,11 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "condor/pool.hpp"
 #include "core/testbed.hpp"
+#include "k8s/api_server.hpp"
+#include "k8s/scheduler.hpp"
+#include "knative/kpa.hpp"
 #include "net/flow_network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ps_resource.hpp"
@@ -123,6 +127,113 @@ void BM_FlowNetworkFanout(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * flows);
 }
 BENCHMARK(BM_FlowNetworkFanout)->Arg(8)->Arg(64);
+
+// ---- Control-plane hot paths ---------------------------------------------
+
+// Watch fan-out: one object mutation notifying W watchers. The batched
+// delivery schedules ONE engine event per mutation regardless of W.
+void BM_ApiServerWatchFanout(benchmark::State& state) {
+  const int watchers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    k8s::ApiServer api{sim};
+    std::uint64_t sink = 0;
+    for (int w = 0; w < watchers; ++w) {
+      api.watch_pods([&sink](k8s::EventType, const k8s::Pod&) { ++sink; });
+    }
+    k8s::Pod p;
+    p.name = "p0";
+    p.container.image = "img:latest";
+    api.create_pod(p);
+    for (int i = 0; i < 200; ++i) {
+      api.mutate_pod("p0", [i](k8s::Pod& pod) { pod.ready = (i & 1) != 0; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * watchers);
+}
+BENCHMARK(BM_ApiServerWatchFanout)->Arg(4)->Arg(32);
+
+// Scheduler burst: N pending pods placed over an 8-node cluster — the
+// single-pass usage accumulation over the pod store.
+void BM_SchedulerBurst(benchmark::State& state) {
+  const int pods = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    k8s::ApiServer api{sim};
+    k8s::Scheduler sched{api};
+    for (int n = 0; n < 8; ++n) {
+      k8s::NodeObject node;
+      node.name = "node-" + std::to_string(n);
+      node.allocatable_cpu = 64;
+      node.allocatable_memory = 256e9;
+      api.register_node(node);
+    }
+    for (int i = 0; i < pods; ++i) {
+      k8s::Pod p;
+      p.name = "pod-" + std::to_string(i);
+      p.container.image = "img:latest";
+      p.container.cpu_limit = 1.0;
+      p.container.memory_bytes = 1e9;
+      api.create_pod(p);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * pods);
+}
+BENCHMARK(BM_SchedulerBurst)->Arg(64)->Arg(256);
+
+// KPA decision tick: feeding a full stable window of samples — the fused
+// single-pass stable+panic averaging.
+void BM_KpaObserve(benchmark::State& state) {
+  knative::KpaScaler::Config cfg;
+  cfg.target_concurrency = 4.0;
+  for (auto _ : state) {
+    knative::KpaScaler kpa(cfg);
+    int desired = 0;
+    for (int i = 0; i < 600; ++i) {
+      const auto d = kpa.observe(static_cast<double>(i) * 0.1,
+                                 4.0 + (i % 7), desired);
+      desired = d.desired;
+    }
+    benchmark::DoNotOptimize(desired);
+  }
+  state.SetItemsProcessed(state.iterations() * 600);
+}
+BENCHMARK(BM_KpaObserve);
+
+// Condor negotiator throughput: a burst of jobs matched and dispatched
+// through claims — sorted-insert idle queue + stamp-based reservations.
+void BM_CondorNegotiate(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto cl = cluster::make_uniform_cluster(sim, 9, cluster::NodeSpec{});
+    std::vector<cluster::Node*> workers;
+    for (std::size_t n = 1; n < cl->size(); ++n) {
+      workers.push_back(&cl->node(n));
+    }
+    condor::CondorPool pool(*cl, cl->node(0), workers);
+    int done = 0;
+    for (int i = 0; i < jobs; ++i) {
+      condor::JobSpec spec;
+      spec.name = "j" + std::to_string(i);
+      spec.priority = i % 3;
+      spec.request_cpus = 1;
+      spec.request_memory = 1e9;
+      spec.executable = [](condor::ExecContext&,
+                           std::function<void(bool)> fin) { fin(true); };
+      spec.on_done = [&done](const condor::JobRecord&) { ++done; };
+      pool.submit(std::move(spec));
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_CondorNegotiate)->Arg(64)->Arg(256);
 
 void BM_MatmulKernelReal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

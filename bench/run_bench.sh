@@ -1,21 +1,36 @@
 #!/usr/bin/env bash
-# Runs the engine micro-benchmarks and records per-benchmark ns/op in
-# BENCH_engine.json at the repository root.
+# Runs the engine + control-plane micro-benchmarks and the end-to-end
+# figure binaries, records the numbers at the repository root:
+#
+#   BENCH_engine.json    — per-benchmark median CPU ns/iteration
+#   BENCH_fullstack.json — wall-clock seconds per figure binary, run
+#                          sequentially (SF_SWEEP_THREADS=1) and with the
+#                          sweep pool at 4 threads
 #
 # Usage:
-#   bench/run_bench.sh [build-dir] [repetitions]
+#   bench/run_bench.sh [build-dir] [repetitions] [--rebaseline]
 #
-# Defaults: build-dir = ./build, repetitions = 5. The JSON maps benchmark
-# name -> median CPU ns per iteration (medians are robust against load
-# spikes on shared machines). Re-run after engine changes and commit the
-# refreshed numbers together with the change that produced them.
+# Defaults: build-dir = ./build, repetitions = 5. Existing BENCH_*.json
+# files are treated as the committed baseline: the script prints the
+# per-benchmark speedup of the current build against them and REFUSES to
+# overwrite them unless --rebaseline is given. Re-baseline only together
+# with the change that produced the new numbers.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
-reps="${2:-5}"
+rebaseline=0
+pos=()
+for arg in "$@"; do
+  case "$arg" in
+    --rebaseline) rebaseline=1 ;;
+    *) pos+=("$arg") ;;
+  esac
+done
+build_dir="${pos[0]:-$repo_root/build}"
+reps="${pos[1]:-5}"
 bench_bin="$build_dir/bench/micro_engine"
-out_json="$repo_root/BENCH_engine.json"
+engine_json="$repo_root/BENCH_engine.json"
+fullstack_json="$repo_root/BENCH_fullstack.json"
 
 if [[ ! -x "$bench_bin" ]]; then
   echo "error: $bench_bin not found or not executable." >&2
@@ -23,7 +38,9 @@ if [[ ! -x "$bench_bin" ]]; then
   exit 1
 fi
 
-filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout'
+# ---- Engine + control-plane micro-benchmarks ------------------------------
+
+filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate'
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
 
@@ -34,11 +51,12 @@ trap 'rm -f "$raw_json"' EXIT
   --benchmark_report_aggregates_only=true \
   --benchmark_format=json > "$raw_json"
 
-python3 - "$raw_json" "$out_json" "$reps" <<'PY'
+python3 - "$raw_json" "$engine_json" "$reps" "$rebaseline" <<'PY'
 import json
 import sys
 
-raw_path, out_path, reps = sys.argv[1], sys.argv[2], int(sys.argv[3])
+raw_path, out_path, reps, rebaseline = (
+    sys.argv[1], sys.argv[2], int(sys.argv[3]), sys.argv[4] == "1")
 with open(raw_path) as f:
     report = json.load(f)
 
@@ -55,30 +73,123 @@ for bench in report.get("benchmarks", []):
 if not results:
     results = plain
 
-# Keep the recorded pre-overhaul baseline (if any) so before/after stays in
-# one file across refreshes.
-baseline = {}
-baseline_source = ""
+prev = {}
 try:
     with open(out_path) as f:
         prev = json.load(f)
-    baseline = prev.get("baseline_ns", {})
-    baseline_source = prev.get("baseline_source", "")
 except (OSError, ValueError):
     pass
+recorded = prev.get("results_ns", {})
 
+if recorded:
+    print(f"speedup vs recorded baseline ({out_path}):")
+    width = max(len(n) for n in results)
+    for name in sorted(results):
+        now = results[name]
+        if name in recorded and now > 0:
+            ratio = recorded[name] / now
+            print(f"  {name:<{width}}  {recorded[name]:>12.1f} ns -> "
+                  f"{now:>12.1f} ns   {ratio:5.2f}x")
+        else:
+            print(f"  {name:<{width}}  {'(new)':>12} -> {now:>12.1f} ns")
+
+if recorded and not rebaseline:
+    print(f"kept {out_path} (pass --rebaseline to overwrite)")
+    sys.exit(0)
+
+# Keep the recorded pre-overhaul baseline (if any) so before/after stays in
+# one file across refreshes.
 doc = {
     "description": "Engine micro-benchmark medians, CPU ns per iteration",
     "source": "bench/micro_engine.cpp via bench/run_bench.sh",
     "repetitions": reps,
     "results_ns": dict(sorted(results.items())),
 }
-if baseline:
-    doc["baseline_ns"] = dict(sorted(baseline.items()))
-    if baseline_source:
-        doc["baseline_source"] = baseline_source
+if prev.get("baseline_ns"):
+    doc["baseline_ns"] = dict(sorted(prev["baseline_ns"].items()))
+    if prev.get("baseline_source"):
+        doc["baseline_source"] = prev["baseline_source"]
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path} ({len(results)} benchmarks)")
+PY
+
+# ---- Full-stack figure binaries -------------------------------------------
+
+python3 - "$build_dir" "$fullstack_json" "$rebaseline" <<'PY'
+import json
+import os
+import subprocess
+import sys
+import time
+
+build_dir, out_path, rebaseline = (
+    sys.argv[1], sys.argv[2], sys.argv[3] == "1")
+
+BINARIES = [
+    "fig1_container_reuse",
+    "fig2_parallel_scaling",
+    "fig5_tradeoff_ternary",
+    "fig6_makespan_bars",
+    "ablate_coldstart",
+    "ablate_payload",
+    "ablate_concurrency",
+    "ablate_clustering",
+    "ablate_redirection",
+    "ablate_resizing",
+    "ablate_complex_workflow",
+    "ablate_event_driven",
+]
+
+
+def wall(path, threads):
+    env = dict(os.environ, SF_SWEEP_THREADS=str(threads))
+    t0 = time.perf_counter()
+    subprocess.run([path], env=env, check=True,
+                   stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    return time.perf_counter() - t0
+
+
+results = {}
+for name in BINARIES:
+    path = os.path.join(build_dir, "bench", name)
+    if not os.access(path, os.X_OK):
+        print(f"  skipping {name}: not built")
+        continue
+    seq = min(wall(path, 1) for _ in range(3))
+    par = min(wall(path, 4) for _ in range(3))
+    results[name] = {
+        "sequential_s": round(seq, 4),
+        "threads4_s": round(par, 4),
+        "speedup": round(seq / par, 2) if par > 0 else 0.0,
+    }
+    print(f"  {name:<28} seq {seq:7.3f} s   4-thread {par:7.3f} s   "
+          f"{results[name]['speedup']:.2f}x")
+
+prev = {}
+try:
+    with open(out_path) as f:
+        prev = json.load(f)
+except (OSError, ValueError):
+    pass
+
+if prev.get("results") and not rebaseline:
+    print(f"kept {out_path} (pass --rebaseline to overwrite)")
+    sys.exit(0)
+
+doc = {
+    "description": ("End-to-end wall-clock per figure/ablation binary, "
+                    "best of 3; sequential vs SF_SWEEP_THREADS=4"),
+    "source": "bench/run_bench.sh",
+    "note": ("sweep-based binaries (fig2, ablate_concurrency/payload/"
+             "resizing/clustering) parallelize across points; speedup "
+             "depends on available cores"),
+    "cores": os.cpu_count(),
+    "results": results,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(results)} binaries)")
 PY

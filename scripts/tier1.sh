@@ -2,12 +2,29 @@
 # Tier-1 verification: configure, build everything (warnings are errors),
 # and run the full test suite. This is the gate every change must pass.
 #
-# Usage: scripts/tier1.sh [build-dir]     (default: ./build)
+# Usage: scripts/tier1.sh [build-dir]            (default: ./build)
+#        scripts/tier1.sh --tsan [build-dir]     (default: ./build-tsan)
+#
+# --tsan builds the engine + tests under ThreadSanitizer and runs the
+# SweepRunner suite — the only code that spawns threads. Keep it green:
+# a data race there silently breaks the bit-identical-results contract.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${1:-$repo_root/build}"
 
+if [[ "${1:-}" == "--tsan" ]]; then
+  build_dir="${2:-$repo_root/build-tsan}"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer -g" \
+    -DSERVERFLOW_BUILD_BENCH=OFF \
+    -DSERVERFLOW_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" --target sim_test -j
+  ctest --test-dir "$build_dir" --output-on-failure -R 'SweepRunnerTest' \
+    -j "$(nproc)"
+  exit 0
+fi
+
+build_dir="${1:-$repo_root/build}"
 cmake -B "$build_dir" -S "$repo_root"
 cmake --build "$build_dir" -j
 ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"

@@ -1,7 +1,6 @@
 #include "condor/pool.hpp"
 
 #include <algorithm>
-#include <set>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -45,6 +44,16 @@ Startd& CondorPool::startd(const std::string& node_name) {
   return *it->second;
 }
 
+void CondorPool::enqueue_idle(JobId id) {
+  const int prio = jobs_.at(id).spec.priority;
+  // First position whose job has strictly lower priority: equal-priority
+  // jobs keep submission order, matching the old stable_sort exactly.
+  const auto pos = std::upper_bound(
+      idle_queue_.begin(), idle_queue_.end(), prio,
+      [this](int p, JobId j) { return p > jobs_.at(j).spec.priority; });
+  idle_queue_.insert(pos, id);
+}
+
 JobId CondorPool::submit(JobSpec spec) {
   const JobId id = next_job_++;
   JobRecord rec;
@@ -53,11 +62,11 @@ JobId CondorPool::submit(JobSpec spec) {
   rec.state = JobState::kIdle;
   rec.submit_time = sim().now();
   jobs_.emplace(id, std::move(rec));
-  idle_queue_.push_back(id);
+  enqueue_idle(id);
   sim().trace().record(sim().now(), "condor", "submit",
                        {{"job", jobs_.at(id).spec.name}});
   pump_dispatch();
-  if (unmatched_idle() > 0) kick_negotiator();
+  if (has_unmatched_idle()) kick_negotiator();
   return id;
 }
 
@@ -83,35 +92,27 @@ bool CondorPool::claim_fits(const Claim& claim,
       claim.memory < rec.spec.request_memory) {
     return false;
   }
-  return !rec.spec.requirements ||
-         rec.spec.requirements(*startds_.at(claim.node_name));
+  return !rec.spec.requirements || rec.spec.requirements(*claim.startd);
 }
 
-std::vector<JobId> CondorPool::idle_by_priority() const {
-  std::vector<JobId> ids = idle_queue_;
-  std::stable_sort(ids.begin(), ids.end(), [this](JobId a, JobId b) {
-    return jobs_.at(a).spec.priority > jobs_.at(b).spec.priority;
-  });
-  return ids;
-}
-
-std::size_t CondorPool::unmatched_idle() const {
-  // Greedy matching of idle jobs (priority order) against free claims.
-  std::set<ClaimId> taken;
-  std::size_t unmatched = 0;
-  for (const JobId jid : idle_by_priority()) {
+bool CondorPool::has_unmatched_idle() {
+  // Greedy matching of idle jobs (priority order) against free claims,
+  // stopping at the first job no free claim fits. Reservation uses the
+  // per-claim stamp — no set insertions on this per-submit path.
+  ++match_stamp_;
+  for (const JobId jid : idle_queue_) {
     const JobRecord& rec = jobs_.at(jid);
     bool found = false;
-    for (const auto& [cid, claim] : claims_) {
-      if (!taken.contains(cid) && claim_fits(claim, rec)) {
-        taken.insert(cid);
+    for (auto& [cid, claim] : claims_) {
+      if (claim.reserved_stamp != match_stamp_ && claim_fits(claim, rec)) {
+        claim.reserved_stamp = match_stamp_;
         found = true;
         break;
       }
     }
-    if (!found) ++unmatched;
+    if (!found) return true;
   }
-  return unmatched;
+  return false;
 }
 
 // ---- Negotiator ----------------------------------------------------------
@@ -132,14 +133,14 @@ void CondorPool::negotiate() {
   // first fill when slot weights are equal).
   // For each unmatched idle job (priority order), carve a claim on the
   // first machine that fits its shape and satisfies its requirements.
-  std::set<ClaimId> reserved;
+  ++match_stamp_;
   std::size_t cursor = 0;
-  for (const JobId jid : idle_by_priority()) {
+  for (const JobId jid : idle_queue_) {
     const JobRecord& rec = jobs_.at(jid);
     bool has_claim = false;
-    for (const auto& [cid, claim] : claims_) {
-      if (!reserved.contains(cid) && claim_fits(claim, rec)) {
-        reserved.insert(cid);
+    for (auto& [cid, claim] : claims_) {
+      if (claim.reserved_stamp != match_stamp_ && claim_fits(claim, rec)) {
+        claim.reserved_stamp = match_stamp_;
         has_claim = true;
         break;
       }
@@ -154,19 +155,20 @@ void CondorPool::negotiate() {
       if (slot.has_value()) {
         Claim claim;
         claim.node_name = sd.node().name();
+        claim.startd = &sd;
         claim.slot = *slot;
         claim.cpus = rec.spec.request_cpus;
         claim.memory = rec.spec.request_memory;
+        claim.reserved_stamp = match_stamp_;
         const ClaimId cid = next_claim_++;
         claims_.emplace(cid, std::move(claim));
-        reserved.insert(cid);
         cursor = (cursor + i + 1) % worker_order_.size();
         break;
       }
     }
   }
   pump_dispatch();
-  if (unmatched_idle() > 0) kick_negotiator();
+  if (has_unmatched_idle()) kick_negotiator();
 }
 
 // ---- Schedd dispatch ------------------------------------------------------
@@ -180,7 +182,7 @@ void CondorPool::pump_dispatch() {
   // Highest-priority idle job that has a free fitting claim (FIFO ties).
   JobId jid = kNoJob;
   ClaimId chosen = 0;
-  for (const JobId candidate : idle_by_priority()) {
+  for (const JobId candidate : idle_queue_) {
     const JobRecord& rec = jobs_.at(candidate);
     for (auto& [cid, claim] : claims_) {
       if (claim_fits(claim, rec)) {

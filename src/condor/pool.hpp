@@ -68,11 +68,16 @@ class CondorPool {
   using ClaimId = std::uint64_t;
   struct Claim {
     std::string node_name;
+    Startd* startd = nullptr;  ///< cached owner; avoids name lookups in
+                               ///< the match loops
     SlotId slot = 0;
     double cpus = 0;
     double memory = 0;
     bool busy = false;
     std::uint64_t idle_epoch = 0;
+    /// Greedy-match scratch: the claim is reserved in the match pass whose
+    /// stamp equals the pool's current one (no per-cycle set allocations).
+    std::uint64_t reserved_stamp = 0;
   };
 
   void kick_negotiator();
@@ -82,10 +87,13 @@ class CondorPool {
   void run_executable(JobId id, ClaimId claim_id);
   void finish_job(JobId id, ClaimId claim_id, bool ok);
   void arm_claim_timeout(ClaimId claim_id);
-  [[nodiscard]] std::size_t unmatched_idle() const;
+  /// True when at least one idle job cannot be greedily matched (priority
+  /// order) against the free claims; early-exits on the first miss.
+  [[nodiscard]] bool has_unmatched_idle();
   [[nodiscard]] bool claim_fits(const Claim& claim,
                                 const JobRecord& rec) const;
-  [[nodiscard]] std::vector<JobId> idle_by_priority() const;
+  /// Inserts into idle_queue_ keeping (priority desc, submission order).
+  void enqueue_idle(JobId id);
 
   cluster::Cluster& cluster_;
   cluster::Node& submit_;
@@ -95,8 +103,12 @@ class CondorPool {
   std::vector<std::string> worker_order_;  // negotiation fill order
 
   std::map<JobId, JobRecord> jobs_;
-  std::vector<JobId> idle_queue_;  // FIFO
+  /// Idle jobs, maintained in dispatch order (priority desc, FIFO within
+  /// a priority) — the order the former copy+stable_sort produced on
+  /// every negotiation/dispatch pass.
+  std::vector<JobId> idle_queue_;
   std::map<ClaimId, Claim> claims_;
+  std::uint64_t match_stamp_ = 0;
   JobId next_job_ = 1;
   ClaimId next_claim_ = 1;
   bool negotiator_armed_ = false;

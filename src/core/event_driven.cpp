@@ -57,7 +57,9 @@ void EventDrivenRunner::setup(const ProvisioningPolicy& policy) {
     const double codec =
         calibration_.payload_codec_s_per_mb *
         (task.input_bytes + task.output_bytes) / 1e6;
-    ctx.exec(task.work + codec, [this, task, &ctx,
+    // Capture the node id by value: the completion may fire during an
+    // abrupt pod teardown, after the proxy owning `ctx` started retiring.
+    ctx.exec(task.work + codec, [this, task, node = ctx.node,
                                  respond = std::move(respond)](bool ok) mutable {
       // Publish completion before acknowledging, so orchestration
       // latency is part of the event path, not the response path.
@@ -67,7 +69,7 @@ void EventDrivenRunner::setup(const ProvisioningPolicy& policy) {
       event.extensions["job"] = task.job_id;
       event.extensions["ok"] = ok ? "1" : "0";
       event.data_bytes = 256;
-      broker_.publish(ctx.node, std::move(event), {});
+      broker_.publish(node, std::move(event), {});
       net::HttpResponse resp;
       resp.status = ok ? 200 : 500;
       resp.body_bytes = task.output_bytes;
@@ -92,12 +94,12 @@ void EventDrivenRunner::setup(const ProvisioningPolicy& policy) {
     const std::string job_id = event.extensions.at("job");
     const bool ok = event.extensions.at("ok") == "1";
     // Bookkeeping is a negligible-compute control action.
-    ctx.exec(0.002, [this, job_id, ok, &ctx,
+    ctx.exec(0.002, [this, job_id, ok, node = ctx.node,
                      respond = std::move(respond)](bool ran) mutable {
       net::HttpResponse resp;
       resp.status = ran ? 200 : 500;
       respond(std::move(resp));
-      if (ran) on_task_done(job_id, ok, ctx.node);
+      if (ran) on_task_done(job_id, ok, node);
     });
   };
   serving_.create_service(std::move(orch_spec));

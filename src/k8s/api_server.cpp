@@ -12,53 +12,52 @@ void ApiServer::register_node(NodeObject node) {
 // ---- Pods -------------------------------------------------------------
 
 Uid ApiServer::create_pod(Pod pod) {
-  if (pods_.contains(pod.name)) {
-    throw std::invalid_argument("ApiServer: pod exists: " + pod.name);
-  }
-  pod.uid = next_uid_++;
+  pod.uid = next_uid_;
   pod.phase = PodPhase::kPending;
-  auto [it, ok] = pods_.emplace(pod.name, std::move(pod));
-  notify_pod(EventType::kAdded, it->second);
-  return it->second.uid;
+  const std::string name = pod.name;
+  auto [stored, inserted] = pods_.insert(name, std::move(pod));
+  if (!inserted) {
+    throw std::invalid_argument("ApiServer: pod exists: " + name);
+  }
+  ++next_uid_;
+  notify_pod(EventType::kAdded, *stored);
+  return stored->uid;
 }
 
 bool ApiServer::mutate_pod(const std::string& name,
                            std::function<void(Pod&)> mutate) {
-  auto it = pods_.find(name);
-  if (it == pods_.end()) return false;
-  mutate(it->second);
-  notify_pod(EventType::kModified, it->second);
+  Pod* pod = pods_.find(name);
+  if (pod == nullptr) return false;
+  mutate(*pod);
+  notify_pod(EventType::kModified, *pod);
   return true;
 }
 
 const Pod* ApiServer::get_pod(const std::string& name) const {
-  auto it = pods_.find(name);
-  return it == pods_.end() ? nullptr : &it->second;
+  return pods_.find(name);
 }
 
-std::vector<Pod> ApiServer::list_pods() const {
-  std::vector<Pod> out;
+std::vector<const Pod*> ApiServer::list_pods() const {
+  std::vector<const Pod*> out;
   out.reserve(pods_.size());
-  for (const auto& [name, pod] : pods_) out.push_back(pod);
+  pods_.for_each([&](const Pod& pod) { out.push_back(&pod); });
   return out;
 }
 
-std::vector<Pod> ApiServer::list_pods(const Labels& selector) const {
-  std::vector<Pod> out;
-  for (const auto& [name, pod] : pods_) {
-    if (selector_matches(selector, pod.labels)) out.push_back(pod);
-  }
+std::vector<const Pod*> ApiServer::list_pods(const Labels& selector) const {
+  std::vector<const Pod*> out;
+  for_each_pod(selector, [&](const Pod& pod) { out.push_back(&pod); });
   return out;
 }
 
 void ApiServer::delete_pod(const std::string& name) {
-  auto it = pods_.find(name);
-  if (it == pods_.end()) return;
-  if (it->second.phase == PodPhase::kTerminating) return;
-  const bool never_ran = it->second.node_name.empty();
-  it->second.phase = PodPhase::kTerminating;
-  it->second.ready = false;
-  notify_pod(EventType::kModified, it->second);
+  Pod* pod = pods_.find(name);
+  if (pod == nullptr) return;
+  if (pod->phase == PodPhase::kTerminating) return;
+  const bool never_ran = pod->node_name.empty();
+  pod->phase = PodPhase::kTerminating;
+  pod->ready = false;
+  notify_pod(EventType::kModified, *pod);
   if (never_ran) {
     // No kubelet owns it; finalize directly.
     finalize_pod_deletion(name);
@@ -66,117 +65,139 @@ void ApiServer::delete_pod(const std::string& name) {
 }
 
 void ApiServer::finalize_pod_deletion(const std::string& name) {
-  auto it = pods_.find(name);
-  if (it == pods_.end()) return;
-  Pod removed = std::move(it->second);
-  pods_.erase(it);
-  notify_pod(EventType::kDeleted, removed);
+  std::optional<Pod> removed = pods_.take(name);
+  if (!removed.has_value()) return;
+  notify_pod(EventType::kDeleted, *removed);
 }
 
 // ---- Deployments ------------------------------------------------------
 
 Uid ApiServer::apply_deployment(Deployment dep) {
-  auto it = deployments_.find(dep.name);
-  if (it == deployments_.end()) {
+  const std::string name = dep.name;
+  Deployment* existing = deployments_.find(name);
+  if (existing == nullptr) {
     dep.uid = next_uid_++;
-    auto [jt, ok] = deployments_.emplace(dep.name, std::move(dep));
-    notify_deployment(EventType::kAdded, jt->second);
-    return jt->second.uid;
+    auto [stored, inserted] = deployments_.insert(name, std::move(dep));
+    notify_deployment(EventType::kAdded, *stored);
+    return stored->uid;
   }
-  dep.uid = it->second.uid;
-  it->second = std::move(dep);
-  notify_deployment(EventType::kModified, it->second);
-  return it->second.uid;
+  dep.uid = existing->uid;
+  *existing = std::move(dep);
+  notify_deployment(EventType::kModified, *existing);
+  return existing->uid;
 }
 
 bool ApiServer::set_deployment_replicas(const std::string& name,
                                         int replicas) {
-  auto it = deployments_.find(name);
-  if (it == deployments_.end()) return false;
-  if (it->second.replicas == replicas) return true;
-  it->second.replicas = replicas;
-  notify_deployment(EventType::kModified, it->second);
+  Deployment* dep = deployments_.find(name);
+  if (dep == nullptr) return false;
+  if (dep->replicas == replicas) return true;
+  dep->replicas = replicas;
+  notify_deployment(EventType::kModified, *dep);
   return true;
 }
 
 const Deployment* ApiServer::get_deployment(const std::string& name) const {
-  auto it = deployments_.find(name);
-  return it == deployments_.end() ? nullptr : &it->second;
+  return deployments_.find(name);
 }
 
 void ApiServer::delete_deployment(const std::string& name) {
-  auto it = deployments_.find(name);
-  if (it == deployments_.end()) return;
-  Deployment removed = std::move(it->second);
-  deployments_.erase(it);
-  notify_deployment(EventType::kDeleted, removed);
+  std::optional<Deployment> removed = deployments_.take(name);
+  if (!removed.has_value()) return;
+  notify_deployment(EventType::kDeleted, *removed);
 }
 
 // ---- Services & endpoints ----------------------------------------------
 
 Uid ApiServer::create_service(Service svc) {
-  svc.uid = next_uid_++;
-  auto [it, ok] = services_.emplace(svc.name, std::move(svc));
-  if (!ok) throw std::invalid_argument("ApiServer: service exists");
+  svc.uid = next_uid_;
+  const std::string name = svc.name;
+  auto [stored, inserted] = services_.insert(name, std::move(svc));
+  if (!inserted) throw std::invalid_argument("ApiServer: service exists");
+  ++next_uid_;
   // A fresh service starts with empty endpoints.
-  endpoints_[it->second.name] = Endpoints{it->second.name, {}};
-  return it->second.uid;
+  Endpoints* eps = endpoints_.find(name);
+  if (eps != nullptr) {
+    *eps = Endpoints{name, {}};
+  } else {
+    endpoints_.insert(name, Endpoints{name, {}});
+  }
+  return stored->uid;
 }
 
 void ApiServer::delete_service(const std::string& name) {
-  services_.erase(name);
-  auto it = endpoints_.find(name);
-  if (it != endpoints_.end()) {
-    Endpoints removed = std::move(it->second);
-    endpoints_.erase(it);
-    notify_endpoints(EventType::kDeleted, removed);
+  services_.take(name);
+  std::optional<Endpoints> removed = endpoints_.take(name);
+  if (removed.has_value()) {
+    notify_endpoints(EventType::kDeleted, *removed);
   }
 }
 
 const Service* ApiServer::get_service(const std::string& name) const {
-  auto it = services_.find(name);
-  return it == services_.end() ? nullptr : &it->second;
+  return services_.find(name);
 }
 
-std::vector<Service> ApiServer::list_services() const {
-  std::vector<Service> out;
+std::vector<const Service*> ApiServer::list_services() const {
+  std::vector<const Service*> out;
   out.reserve(services_.size());
-  for (const auto& [name, svc] : services_) out.push_back(svc);
+  services_.for_each([&](const Service& svc) { out.push_back(&svc); });
   return out;
 }
 
 void ApiServer::set_endpoints(Endpoints eps) {
-  auto it = endpoints_.find(eps.service_name);
-  const bool existed = it != endpoints_.end();
-  if (existed && it->second.ready == eps.ready) return;  // no change
-  endpoints_[eps.service_name] = eps;
-  notify_endpoints(existed ? EventType::kModified : EventType::kAdded, eps);
+  Endpoints* existing = endpoints_.find(eps.service_name);
+  if (existing != nullptr && existing->ready == eps.ready) return;  // no change
+  const EventType type =
+      existing != nullptr ? EventType::kModified : EventType::kAdded;
+  if (existing != nullptr) {
+    *existing = std::move(eps);
+    notify_endpoints(type, *existing);
+  } else {
+    const std::string name = eps.service_name;
+    auto [stored, inserted] = endpoints_.insert(name, std::move(eps));
+    notify_endpoints(type, *stored);
+  }
 }
 
 const Endpoints* ApiServer::get_endpoints(
     const std::string& service_name) const {
-  auto it = endpoints_.find(service_name);
-  return it == endpoints_.end() ? nullptr : &it->second;
+  return endpoints_.find(service_name);
 }
 
 // ---- Watch delivery ----------------------------------------------------
 
+// Each notification copies the object once into a single scheduled event
+// that fans out to every watcher registered at notification time, in
+// registration order. Watchers registered after the notification (but
+// before delivery) do not see the event — the same contract the former
+// one-event-per-watcher scheme had, at 1/N the events and allocations.
+
 void ApiServer::notify_pod(EventType type, const Pod& pod) {
-  for (const auto& watch : pod_watches_) {
-    sim_.call_in(api_latency_, [watch, type, pod] { watch(type, pod); });
-  }
+  if (pod_watches_.empty()) return;
+  sim_.call_in(api_latency_,
+               [this, type, pod, n = pod_watches_.size()] {
+                 for (std::size_t i = 0; i < n; ++i) pod_watches_[i](type, pod);
+               });
 }
 
 void ApiServer::notify_deployment(EventType type, const Deployment& dep) {
-  for (const auto& watch : deployment_watches_) {
-    sim_.call_in(api_latency_, [watch, type, dep] { watch(type, dep); });
-  }
+  if (deployment_watches_.empty()) return;
+  sim_.call_in(api_latency_,
+               [this, type, dep, n = deployment_watches_.size()] {
+                 for (std::size_t i = 0; i < n; ++i) {
+                   deployment_watches_[i](type, dep);
+                 }
+               });
 }
 
 void ApiServer::notify_endpoints(EventType type, const Endpoints& eps) {
-  for (const auto& watch : endpoints_watches_) {
-    sim_.call_in(api_latency_, [watch, type, eps] { watch(type, eps); });
-  }
+  if (endpoints_watches_.empty()) return;
+  sim_.call_in(api_latency_,
+               [this, type, eps, n = endpoints_watches_.size()] {
+                 for (std::size_t i = 0; i < n; ++i) {
+                   endpoints_watches_[i](type, eps);
+                 }
+               });
 }
 
 }  // namespace sf::k8s

@@ -1,11 +1,13 @@
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "k8s/named_store.hpp"
 #include "k8s/objects.hpp"
 #include "sim/simulation.hpp"
 
@@ -18,6 +20,13 @@ enum class EventType { kAdded, kModified, kDeleted };
 /// watch streams. Every watch notification is delivered after the
 /// configured API latency, which is what strings control-plane actions
 /// (schedule → kubelet → endpoints) into a realistic cold-start path.
+///
+/// Hot-path shape: objects live in dense slot stores (NamedStore), readers
+/// visit them in place (for_each_* / list_* return pointers, never copies),
+/// and each object event schedules ONE engine event that delivers the
+/// snapshot to all watchers registered at notification time, in
+/// registration order — instead of one event + one heap-allocated closure
+/// + one object copy per watcher.
 class ApiServer {
  public:
   explicit ApiServer(sim::Simulation& sim, double api_latency_s = 0.005)
@@ -49,8 +58,27 @@ class ApiServer {
   bool mutate_pod(const std::string& name, std::function<void(Pod&)> mutate);
 
   [[nodiscard]] const Pod* get_pod(const std::string& name) const;
-  [[nodiscard]] std::vector<Pod> list_pods() const;
-  [[nodiscard]] std::vector<Pod> list_pods(const Labels& selector) const;
+
+  /// Visits every pod in name order without copying. The callback must not
+  /// create or delete pods; collect names first for that.
+  template <typename F>
+  void for_each_pod(F&& fn) const {
+    pods_.for_each(std::forward<F>(fn));
+  }
+
+  /// Visits pods matching `selector` in name order.
+  template <typename F>
+  void for_each_pod(const Labels& selector, F&& fn) const {
+    pods_.for_each([&](const Pod& pod) {
+      if (selector_matches(selector, pod.labels)) fn(pod);
+    });
+  }
+
+  /// Pointer views for callers that need a materialized list (tests,
+  /// diagnostics). Pointers stay valid until the pod is deleted.
+  [[nodiscard]] std::vector<const Pod*> list_pods() const;
+  [[nodiscard]] std::vector<const Pod*> list_pods(const Labels& selector) const;
+  [[nodiscard]] std::size_t pod_count() const { return pods_.size(); }
 
   /// Marks the pod Terminating and notifies watchers; the owning kubelet
   /// (or, for never-scheduled pods, the API server itself) finalizes.
@@ -84,7 +112,14 @@ class ApiServer {
   /// Removes a service and its endpoints object (no-op when absent).
   void delete_service(const std::string& name);
   [[nodiscard]] const Service* get_service(const std::string& name) const;
-  [[nodiscard]] std::vector<Service> list_services() const;
+
+  /// Visits every service in name order without copying.
+  template <typename F>
+  void for_each_service(F&& fn) const {
+    services_.for_each(std::forward<F>(fn));
+  }
+
+  [[nodiscard]] std::vector<const Service*> list_services() const;
   void set_endpoints(Endpoints eps);
   [[nodiscard]] const Endpoints* get_endpoints(
       const std::string& service_name) const;
@@ -102,14 +137,18 @@ class ApiServer {
   Uid next_uid_ = 1;
 
   std::map<std::string, NodeObject> nodes_;
-  std::map<std::string, Pod> pods_;
-  std::map<std::string, Deployment> deployments_;
-  std::map<std::string, Service> services_;
-  std::map<std::string, Endpoints> endpoints_;
+  NamedStore<Pod> pods_;
+  NamedStore<Deployment> deployments_;
+  NamedStore<Service> services_;
+  NamedStore<Endpoints> endpoints_;
 
-  std::vector<PodWatch> pod_watches_;
-  std::vector<DeploymentWatch> deployment_watches_;
-  std::vector<EndpointsWatch> endpoints_watches_;
+  // Deques: a watcher's callback may register further watchers while a
+  // batched delivery is iterating; deque growth never moves the element
+  // (the std::function) currently executing, where vector reallocation
+  // would destroy it mid-call.
+  std::deque<PodWatch> pod_watches_;
+  std::deque<DeploymentWatch> deployment_watches_;
+  std::deque<EndpointsWatch> endpoints_watches_;
 };
 
 }  // namespace sf::k8s

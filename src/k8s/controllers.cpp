@@ -12,10 +12,13 @@ DeploymentController::DeploymentController(ApiServer& api,
     : api_(api), restart_backoff_(restart_backoff_s) {
   api_.watch_deployments([this](EventType type, const Deployment& dep) {
     if (type == EventType::kDeleted) {
-      // Remove every pod the deployment owned.
-      for (const auto& pod : api_.list_pods()) {
-        if (pod.owner == dep.name) api_.delete_pod(pod.name);
-      }
+      // Remove every pod the deployment owned. Collect names first:
+      // delete_pod mutates the store mid-visit otherwise.
+      std::vector<std::string> owned;
+      api_.for_each_pod([&](const Pod& pod) {
+        if (pod.owner == dep.name) owned.push_back(pod.name);
+      });
+      for (const auto& name : owned) api_.delete_pod(name);
       next_index_.erase(dep.name);
       return;
     }
@@ -39,13 +42,19 @@ void DeploymentController::reconcile(const std::string& deployment_name) {
   const Deployment* dep = api_.get_deployment(deployment_name);
   if (dep == nullptr) return;
 
-  std::vector<Pod> owned;
-  for (const auto& pod : api_.list_pods()) {
+  // Live pods this deployment owns; only the name (for deletes) and uid
+  // (for the keep-newest ordering) matter — no Pod copies.
+  struct Owned {
+    std::string name;
+    Uid uid;
+  };
+  std::vector<Owned> owned;
+  api_.for_each_pod([&](const Pod& pod) {
     if (pod.owner == dep->name && pod.phase != PodPhase::kTerminating &&
         pod.phase != PodPhase::kFailed) {
-      owned.push_back(pod);
+      owned.push_back(Owned{pod.name, pod.uid});
     }
-  }
+  });
   const int live = static_cast<int>(owned.size());
 
   if (live < dep->replicas) {
@@ -64,7 +73,7 @@ void DeploymentController::reconcile(const std::string& deployment_name) {
     // Newest first (highest uid): keeps the longest-warm pods alive, which
     // is also what Knative wants for container reuse.
     std::sort(owned.begin(), owned.end(),
-              [](const Pod& a, const Pod& b) { return a.uid > b.uid; });
+              [](const Owned& a, const Owned& b) { return a.uid > b.uid; });
     for (int i = 0; i < live - dep->replicas; ++i) {
       api_.delete_pod(owned[i].name);
     }
@@ -78,16 +87,18 @@ EndpointsController::EndpointsController(ApiServer& api) : api_(api) {
 }
 
 void EndpointsController::refresh_all() {
-  for (const auto& svc : api_.list_services()) {
+  // set_endpoints touches only the endpoints store, so visiting services
+  // and pods in place is safe (no copies of either list).
+  api_.for_each_service([&](const Service& svc) {
     Endpoints eps;
     eps.service_name = svc.name;
-    for (const auto& pod : api_.list_pods(svc.selector)) {
+    api_.for_each_pod(svc.selector, [&](const Pod& pod) {
       if (pod.ready && pod.phase == PodPhase::kRunning) {
         eps.ready.push_back(Endpoint{pod.name, pod.host_net_id, pod.port});
       }
-    }
+    });
     api_.set_endpoints(std::move(eps));
-  }
+  });
 }
 
 }  // namespace sf::k8s

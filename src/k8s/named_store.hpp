@@ -1,0 +1,89 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sf::k8s {
+
+/// Dense slot-vector object store keyed by name — the control-plane
+/// counterpart of the PsResource/FlowNetwork flat job tables.
+///
+/// Objects live in a deque of reusable slots (stable addresses: a pointer
+/// returned by find() stays valid for the object's whole lifetime, exactly
+/// like the former `std::map<std::string, T>` nodes). A side index maps
+/// name -> slot and doubles as the iteration order: for_each() visits
+/// objects in ascending name order, bit-identical to iterating the old
+/// map, so every controller that reconciles "in list order" behaves the
+/// same. Erasing hands the slot to a free list; the vacated slot is reset
+/// to T{} so captured resources (pre-stop hooks, label maps) release
+/// immediately rather than lingering until reuse.
+template <typename T>
+class NamedStore {
+ public:
+  [[nodiscard]] const T* find(const std::string& name) const {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &slots_[it->second];
+  }
+
+  [[nodiscard]] T* find(const std::string& name) {
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &slots_[it->second];
+  }
+
+  [[nodiscard]] bool contains(const std::string& name) const {
+    return index_.contains(name);
+  }
+
+  [[nodiscard]] std::size_t size() const { return index_.size(); }
+  [[nodiscard]] bool empty() const { return index_.empty(); }
+
+  /// Inserts under `name` unless it exists. Returns the stored object and
+  /// whether the insert happened (find-or-insert, like map::emplace).
+  std::pair<T*, bool> insert(std::string name, T obj) {
+    auto [it, inserted] = index_.try_emplace(std::move(name), 0);
+    if (!inserted) return {&slots_[it->second], false};
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      slots_[slot] = std::move(obj);
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(obj));
+    }
+    it->second = slot;
+    return {&slots_[slot], true};
+  }
+
+  /// Removes the object and returns it (for Deleted notifications);
+  /// nullopt when absent.
+  std::optional<T> take(const std::string& name) {
+    auto it = index_.find(name);
+    if (it == index_.end()) return std::nullopt;
+    const std::uint32_t slot = it->second;
+    index_.erase(it);
+    std::optional<T> out(std::move(slots_[slot]));
+    slots_[slot] = T{};
+    free_.push_back(slot);
+    return out;
+  }
+
+  /// Visits every object in ascending name order (the old map order).
+  /// The callback must not insert into or erase from the store.
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const auto& [name, slot] : index_) fn(slots_[slot]);
+  }
+
+ private:
+  std::deque<T> slots_;
+  std::vector<std::uint32_t> free_;
+  std::map<std::string, std::uint32_t> index_;
+};
+
+}  // namespace sf::k8s

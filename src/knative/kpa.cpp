@@ -26,6 +26,33 @@ double KpaScaler::window_average(double window_s) const {
   return n == 0 ? 0 : sum / n;
 }
 
+KpaScaler::WindowAverages KpaScaler::window_averages() const {
+  // Both windows in one pass over the sample ring. Each accumulator adds
+  // the same samples in the same front-to-back order as a dedicated scan,
+  // so the averages are bit-identical to calling window_average() twice.
+  WindowAverages out;
+  if (samples_.empty()) return out;
+  const sim::SimTime stable_cutoff =
+      samples_.back().first - config_.stable_window_s;
+  const sim::SimTime panic_cutoff =
+      samples_.back().first - config_.panic_window_s;
+  double stable_sum = 0, panic_sum = 0;
+  int stable_n = 0, panic_n = 0;
+  for (const auto& [ts, c] : samples_) {
+    if (ts >= stable_cutoff) {
+      stable_sum += c;
+      ++stable_n;
+    }
+    if (ts >= panic_cutoff) {
+      panic_sum += c;
+      ++panic_n;
+    }
+  }
+  out.stable = stable_n == 0 ? 0 : stable_sum / stable_n;
+  out.panic = panic_n == 0 ? 0 : panic_sum / panic_n;
+  return out;
+}
+
 KpaScaler::Decision KpaScaler::observe(sim::SimTime t, double concurrency,
                                        int current_replicas) {
   samples_.emplace_back(t, concurrency);
@@ -38,8 +65,9 @@ KpaScaler::Decision KpaScaler::observe(sim::SimTime t, double concurrency,
   }
   if (concurrency > 0) last_positive_ = t;
 
-  const double stable_avg = window_average(config_.stable_window_s);
-  const double panic_avg = window_average(config_.panic_window_s);
+  const WindowAverages avgs = window_averages();
+  const double stable_avg = avgs.stable;
+  const double panic_avg = avgs.panic;
   const int desired_stable =
       static_cast<int>(std::ceil(stable_avg / config_.target_concurrency));
   const int desired_panic =

@@ -52,7 +52,16 @@ class KpaScaler {
   [[nodiscard]] bool in_panic() const { return panicking_; }
 
  private:
+  struct WindowAverages {
+    double stable = 0;
+    double panic = 0;
+  };
+
   [[nodiscard]] double window_average(double window_s) const;
+  /// Stable and panic averages computed in a single pass over the samples
+  /// (observe() needs both every tick; scanning the deque twice doubled
+  /// the KPA's per-tick cost).
+  [[nodiscard]] WindowAverages window_averages() const;
   void prune(sim::SimTime t);
 
   Config config_;

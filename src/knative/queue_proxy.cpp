@@ -1,6 +1,5 @@
 #include "knative/queue_proxy.hpp"
 
-#include <memory>
 #include <utility>
 
 namespace sf::knative {
@@ -42,19 +41,41 @@ void QueueProxy::on_request(const net::HttpRequest& req,
 void QueueProxy::maybe_dispatch() {
   while (!queue_.empty() && (container_concurrency_ <= 0 ||
                              executing_ < container_concurrency_)) {
-    // shared_ptr keeps the request alive for handlers that respond after
-    // further simulated events.
-    auto p = std::make_shared<Pending>(std::move(queue_.front()));
+    // Move the request into an inflight slot (flat table, slots reused via
+    // free list) — it outlives handlers that respond after further
+    // simulated events. The responder wrapper captures only {this, slot},
+    // which fits std::function's inline buffer: no allocation per request,
+    // where the former shared_ptr<Pending> paid one.
+    // inflight_ is a deque: reentrant dispatch (synchronous handlers) may
+    // grow it while an outer frame still holds a reference into a slot.
+    std::uint32_t slot;
+    if (!inflight_free_.empty()) {
+      slot = inflight_free_.back();
+      inflight_free_.pop_back();
+      inflight_[slot] = std::move(queue_.front());
+    } else {
+      slot = static_cast<std::uint32_t>(inflight_.size());
+      inflight_.push_back(std::move(queue_.front()));
+    }
     queue_.pop_front();
     ++executing_;
     // The handler responds through a wrapper that updates bookkeeping
     // before the response leaves the pod.
-    auto respond_wrapper = [this, p](net::HttpResponse resp) {
-      p->respond(std::move(resp));
-      finished_one();
-    };
-    handler_(p->req, context_, std::move(respond_wrapper));
+    handler_(inflight_[slot].req, context_,
+             [this, slot](net::HttpResponse resp) {
+               finish_slot(slot, std::move(resp));
+             });
   }
+}
+
+void QueueProxy::finish_slot(std::uint32_t slot, net::HttpResponse resp) {
+  // Move the request out before responding: the responder may re-enter
+  // maybe_dispatch (synchronous handlers), which can reuse the slot.
+  Pending done = std::move(inflight_[slot]);
+  inflight_[slot] = Pending{};
+  inflight_free_.push_back(slot);
+  done.respond(std::move(resp));
+  finished_one();
 }
 
 void QueueProxy::finished_one() {

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <vector>
 
 #include "net/http.hpp"
 #include "sim/simulation.hpp"
@@ -62,6 +63,7 @@ class QueueProxy {
  private:
   void on_request(const net::HttpRequest& req, net::Responder respond);
   void maybe_dispatch();
+  void finish_slot(std::uint32_t slot, net::HttpResponse resp);
   void finished_one();
 
   sim::Simulation& sim_;
@@ -79,6 +81,11 @@ class QueueProxy {
     net::Responder respond;
   };
   std::deque<Pending> queue_;
+  /// Executing requests, slot-indexed (free list below). The responder
+  /// wrapper captures {this, slot} — small enough for std::function's
+  /// inline buffer, so dispatch allocates nothing per request.
+  std::deque<Pending> inflight_;
+  std::vector<std::uint32_t> inflight_free_;
   int executing_ = 0;
   std::uint64_t served_ = 0;
 };

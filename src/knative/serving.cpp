@@ -207,7 +207,7 @@ void KnativeServing::delete_service(const std::string& name) {
     respond(std::move(resp));
   }
   rev.activator.clear();
-  rev.proxies.clear();  // destructors unbind the listeners
+  retire_proxies(rev);
   kube_.api().delete_deployment(rev.deployment_name);
   kube_.api().delete_service(rev.rev_name);
   if (!rev.pending_deployment.empty()) {
@@ -217,6 +217,24 @@ void KnativeServing::delete_service(const std::string& name) {
   }
   revision_to_service_.erase(rev.rev_name);
   revisions_.erase(it);
+}
+
+void KnativeServing::retire_proxies(Revision& rev) {
+  for (auto& [pod_name, proxy] : rev.proxies) {
+    QueueProxy* raw = proxy.get();
+    retiring_.push_back(std::move(proxy));
+    raw->drain([this, raw] {
+      // Defer: drain can complete from inside a proxy member frame, and
+      // a proxy must not be destroyed under its own feet.
+      kube_.cluster().sim().call_in(0, [this, raw] {
+        std::erase_if(retiring_,
+                      [raw](const std::unique_ptr<QueueProxy>& p) {
+                        return p.get() == raw;
+                      });
+      });
+    });
+  }
+  rev.proxies.clear();
 }
 
 void KnativeServing::invoke(net::NodeId client, const std::string& service,

@@ -172,12 +172,19 @@ class KnativeServing {
   [[nodiscard]] double scrape(const Revision& rev) const;
   void on_pod_event(k8s::EventType type, const k8s::Pod& pod);
   void attach_proxy(Revision& rev, const k8s::Pod& pod);
+  /// Moves a revision's proxies into retiring_ and destroys each only
+  /// once it has drained: abrupt teardown (delete_service) must not free
+  /// a proxy while handlers still hold its responders / FunctionContext.
+  void retire_proxies(Revision& rev);
 
   k8s::KubeCluster& kube_;
   cluster::Node& gateway_;
   LoadBalancingPolicy lb_policy_ = LoadBalancingPolicy::kRoundRobin;
   std::map<std::string, Revision> revisions_;  // keyed by service name
   std::map<std::string, std::string> revision_to_service_;
+  /// Proxies of deleted services, parked until their in-flight requests
+  /// complete (see retire_proxies).
+  std::vector<std::unique_ptr<QueueProxy>> retiring_;
 };
 
 }  // namespace sf::knative

@@ -1,0 +1,20 @@
+#include "sim/sweep_runner.hpp"
+
+#include <cstdlib>
+
+namespace sf::sim {
+
+int SweepRunner::resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SF_SWEEP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace sf::sim

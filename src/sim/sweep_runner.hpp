@@ -1,0 +1,90 @@
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace sf::sim {
+
+/// Runs independent sweep points across a pool of std::threads with
+/// deterministic result ordering.
+///
+/// Contract:
+///  * Each point builds its OWN Simulation / testbed / RNG inside `fn` —
+///    points share no mutable state, so any thread interleaving produces
+///    the same per-point result as a serial loop.
+///  * Results are keyed by sweep index and returned in index order, so
+///    consumers that print after run() returns emit bit-identical output
+///    at any thread count (including 1).
+///  * Work is claimed from a single atomic counter (dynamic load
+///    balancing): long points don't stall short ones behind a static
+///    partition.
+///  * The first exception thrown by any point is rethrown on the caller
+///    after every worker joined; remaining unclaimed points are skipped.
+///
+/// Thread count: an explicit constructor argument wins; otherwise the
+/// SF_SWEEP_THREADS environment variable (>= 1); otherwise
+/// std::thread::hardware_concurrency().
+class SweepRunner {
+ public:
+  explicit SweepRunner(int threads = 0) : threads_(resolve_threads(threads)) {}
+
+  [[nodiscard]] int threads() const { return threads_; }
+
+  /// Computes fn(i) for every i in [0, n); fn must be const-callable from
+  /// several threads at once and its result default-constructible. Runs
+  /// serially (no threads spawned) when threads()==1 or n<=1.
+  template <typename Fn>
+  auto run(std::size_t n, Fn&& fn)
+      -> std::vector<decltype(fn(std::size_t{0}))> {
+    using R = decltype(fn(std::size_t{0}));
+    static_assert(!std::is_same_v<R, bool>,
+                  "std::vector<bool> elements cannot be written "
+                  "concurrently; wrap the result in a struct");
+    std::vector<R> results(n);
+    const std::size_t workers =
+        std::min(static_cast<std::size_t>(threads_), n);
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(i);
+      return results;
+    }
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    auto work = [&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) break;
+        try {
+          // Distinct vector elements: no synchronization needed beyond
+          // the joins below.
+          results[i] = fn(i);
+        } catch (...) {
+          const std::scoped_lock lock(error_mu);
+          if (!error) error = std::current_exception();
+          // Park the counter past the end so peers drain quickly.
+          next.store(n, std::memory_order_relaxed);
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(work);
+    for (auto& t : pool) t.join();
+    if (error) std::rethrow_exception(error);
+    return results;
+  }
+
+  /// Resolution used by the default constructor; exposed for tests.
+  [[nodiscard]] static int resolve_threads(int requested);
+
+ private:
+  int threads_;
+};
+
+}  // namespace sf::sim

@@ -71,7 +71,7 @@ TEST(FailureInjection, PodLossMidWorkflowRecovers) {
   tb.sim().call_in(30.0, [&tb] {
     const auto pods = tb.kube().api().list_pods();
     ASSERT_FALSE(pods.empty());
-    tb.kube().api().delete_pod(pods.front().name);
+    tb.kube().api().delete_pod(pods.front()->name);
   });
   const auto result = tb.run_workflows({wf}, modes);
   EXPECT_TRUE(result.all_succeeded);

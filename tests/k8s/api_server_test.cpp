@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -174,6 +176,90 @@ TEST(SelectorMatch, Semantics) {
   EXPECT_TRUE(selector_matches({{"a", "1"}}, {{"a", "1"}, {"b", "2"}}));
   EXPECT_FALSE(selector_matches({{"a", "1"}}, {{"a", "2"}}));
   EXPECT_FALSE(selector_matches({{"a", "1"}}, {}));
+}
+
+// ---- Batched watch delivery ---------------------------------------------
+
+TEST(WatchDeterminism, PerWatcherStreamsIndependentOfRegistrationOrder) {
+  // The same CRUD script against two servers whose (tagged) watchers are
+  // registered in different orders: each tag must observe the identical
+  // event stream, and the engine must process the same number of events.
+  auto script = [](const std::vector<std::string>& reg_order,
+                   std::map<std::string, std::vector<std::string>>& logs) {
+    sim::Simulation sim;
+    ApiServer api{sim};
+    for (const auto& tag : reg_order) {
+      api.watch_pods([&logs, tag](EventType t, const Pod& p) {
+        logs[tag].push_back(std::to_string(static_cast<int>(t)) + ":" +
+                            p.name);
+      });
+    }
+    api.create_pod(make_pod("a"));
+    api.create_pod(make_pod("b"));
+    api.mutate_pod("a", [](Pod& p) { p.ready = true; });
+    sim.run();
+    api.delete_pod("b");
+    sim.run();
+    return sim.events_processed();
+  };
+  std::map<std::string, std::vector<std::string>> first, second;
+  const std::uint64_t e1 = script({"x", "y", "z"}, first);
+  const std::uint64_t e2 = script({"z", "x", "y"}, second);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(e1, e2);
+  EXPECT_FALSE(first.at("x").empty());
+}
+
+TEST(WatchDeterminism, OneEngineEventPerNotification) {
+  // Fan-out is batched: the engine event count must not grow with the
+  // number of registered watchers.
+  auto events_for = [](int n_watchers) {
+    sim::Simulation sim;
+    ApiServer api{sim};
+    int sink = 0;
+    for (int w = 0; w < n_watchers; ++w) {
+      api.watch_pods([&sink](EventType, const Pod&) { ++sink; });
+    }
+    api.create_pod(make_pod("p"));
+    api.mutate_pod("p", [](Pod& p) { p.ready = true; });
+    sim.run();
+    EXPECT_EQ(sink, 2 * n_watchers);
+    return sim.events_processed();
+  };
+  EXPECT_EQ(events_for(1), events_for(8));
+}
+
+TEST(WatchDeterminism, DeliveryFollowsRegistrationOrder) {
+  sim::Simulation sim;
+  ApiServer api{sim};
+  std::vector<int> order;
+  for (int w = 0; w < 4; ++w) {
+    api.watch_pods([&order, w](EventType, const Pod&) { order.push_back(w); });
+  }
+  api.create_pod(make_pod("p"));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(WatchDeterminism, WatcherRegisteredDuringDeliveryIsSafe) {
+  // A watcher that registers another watcher from inside a delivery must
+  // not invalidate the in-flight batch (the watch list is a deque).
+  sim::Simulation sim;
+  ApiServer api{sim};
+  int late_events = 0;
+  bool registered = false;
+  api.watch_pods([&](EventType, const Pod&) {
+    if (!registered) {
+      registered = true;
+      api.watch_pods([&late_events](EventType, const Pod&) { ++late_events; });
+    }
+  });
+  api.create_pod(make_pod("p"));
+  sim.run();
+  EXPECT_EQ(late_events, 0);  // batch snapshot predates the registration
+  api.mutate_pod("p", [](Pod& p) { p.ready = true; });
+  sim.run();
+  EXPECT_EQ(late_events, 1);
 }
 
 TEST(PodPhaseNames, AllDistinct) {

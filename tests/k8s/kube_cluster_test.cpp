@@ -45,7 +45,7 @@ class KubeClusterTest : public ::testing::Test {
 
   int ready_pods() {
     int n = 0;
-    for (const auto& p : kube.api().list_pods()) n += p.ready ? 1 : 0;
+    for (const auto* p : kube.api().list_pods()) n += p->ready ? 1 : 0;
     return n;
   }
 };
@@ -54,10 +54,10 @@ TEST_F(KubeClusterTest, DeploymentBringsUpReadyPods) {
   kube.api().apply_deployment(deployment(2));
   sim.run();
   EXPECT_EQ(ready_pods(), 2);
-  for (const auto& p : kube.api().list_pods()) {
-    EXPECT_EQ(p.phase, PodPhase::kRunning);
-    EXPECT_FALSE(p.node_name.empty());
-    EXPECT_NE(p.port, 0);
+  for (const auto* p : kube.api().list_pods()) {
+    EXPECT_EQ(p->phase, PodPhase::kRunning);
+    EXPECT_FALSE(p->node_name.empty());
+    EXPECT_NE(p->port, 0);
   }
 }
 
@@ -65,7 +65,7 @@ TEST_F(KubeClusterTest, PodsSpreadAcrossNodes) {
   kube.api().apply_deployment(deployment(3));
   sim.run();
   std::set<std::string> nodes;
-  for (const auto& p : kube.api().list_pods()) nodes.insert(p.node_name);
+  for (const auto* p : kube.api().list_pods()) nodes.insert(p->node_name);
   EXPECT_EQ(nodes.size(), 3u);  // least-requested spreads them
 }
 
@@ -165,7 +165,7 @@ TEST_F(KubeClusterTest, PreStopHookRunsBeforeTermination) {
   const auto pods = kube.api().list_pods();
   ASSERT_EQ(pods.size(), 1u);
   bool drained = false;
-  kube.api().mutate_pod(pods[0].name, [&](Pod& p) {
+  kube.api().mutate_pod(pods[0]->name, [&](Pod& p) {
     p.pre_stop = [&drained](std::function<void()> done) {
       drained = true;
       done();

@@ -51,7 +51,7 @@ TEST_F(SchedulerTest, LeastRequestedSpreadsSequentialPods) {
     sim.run_until(sim.now() + 5.0);
   }
   std::set<std::string> nodes;
-  for (const auto& p : kube.api().list_pods()) nodes.insert(p.node_name);
+  for (const auto* p : kube.api().list_pods()) nodes.insert(p->node_name);
   EXPECT_EQ(nodes.size(), 3u);
 }
 
@@ -63,8 +63,8 @@ TEST_F(SchedulerTest, CpuExhaustionLeavesPodPending) {
   }
   sim.run_until(30.0);
   int pending = 0;
-  for (const auto& p : kube.api().list_pods()) {
-    pending += p.phase == PodPhase::kPending ? 1 : 0;
+  for (const auto* p : kube.api().list_pods()) {
+    pending += p->phase == PodPhase::kPending ? 1 : 0;
   }
   EXPECT_EQ(pending, 1);
   EXPECT_EQ(kube.scheduler().pending_count(), 1u);

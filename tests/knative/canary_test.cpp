@@ -79,8 +79,8 @@ TEST_F(CanaryTest, PromoteSwitchesAllTraffic) {
   drive_requests(10);
   EXPECT_EQ(v2_hits, before + 10);
   // Old revision's pods are gone.
-  for (const auto& pod : kube.api().list_pods()) {
-    EXPECT_EQ(pod.labels.at("serving.knative.dev/revision"), "fn-00002");
+  for (const auto* pod : kube.api().list_pods()) {
+    EXPECT_EQ(pod->labels.at("serving.knative.dev/revision"), "fn-00002");
   }
 }
 

@@ -82,7 +82,7 @@ TEST_F(RolloutTest, OldRevisionPodsAreTornDown) {
   // Only the new revision's pod remains in the cluster.
   const auto pods = kube.api().list_pods();
   ASSERT_EQ(pods.size(), 1u);
-  EXPECT_EQ(pods[0].labels.at("serving.knative.dev/revision"), "fn-00002");
+  EXPECT_EQ(pods[0]->labels.at("serving.knative.dev/revision"), "fn-00002");
 }
 
 TEST_F(RolloutTest, NoRequestsDroppedAcrossRollout) {

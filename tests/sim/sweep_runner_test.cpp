@@ -1,0 +1,89 @@
+#include "sim/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::sim {
+namespace {
+
+// One sweep point: a self-contained simulation whose result depends on
+// the point's own seeded RNG and event schedule — the shape SweepRunner
+// is specified for.
+double simulate_point(std::size_t index) {
+  Simulation sim;
+  Rng rng(static_cast<std::uint64_t>(index) + 1);
+  double acc = 0;
+  for (int k = 0; k < 50; ++k) {
+    sim.call_in(rng.uniform(0.0, 10.0), [&acc, &sim] { acc += sim.now(); });
+  }
+  sim.run();
+  return acc;
+}
+
+TEST(SweepRunnerTest, ParallelBitIdenticalToSequential) {
+  const std::size_t n = 24;
+  SweepRunner serial(1);
+  SweepRunner threaded(4);
+  const std::vector<double> a = serial.run(n, simulate_point);
+  const std::vector<double> b = threaded.run(n, simulate_point);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // Bit-identical, not approximately equal: points share nothing, so
+    // the thread schedule must not influence any result.
+    EXPECT_EQ(a[i], b[i]) << "point " << i;
+  }
+}
+
+TEST(SweepRunnerTest, ResultsAreIndexOrdered) {
+  SweepRunner runner(4);
+  const auto r = runner.run(
+      100, [](std::size_t i) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(r.size(), 100u);
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_EQ(r[i], static_cast<int>(i) * 3);
+  }
+}
+
+TEST(SweepRunnerTest, EmptySweepReturnsEmpty) {
+  SweepRunner runner(4);
+  const auto r = runner.run(0, [](std::size_t) { return 1; });
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SweepRunnerTest, FirstExceptionPropagates) {
+  SweepRunner runner(4);
+  EXPECT_THROW(runner.run(16,
+                          [](std::size_t i) -> int {
+                            if (i == 5) {
+                              throw std::runtime_error("boom");
+                            }
+                            return 0;
+                          }),
+               std::runtime_error);
+}
+
+TEST(SweepRunnerTest, ExplicitThreadCountWins) {
+  ::setenv("SF_SWEEP_THREADS", "7", 1);
+  EXPECT_EQ(SweepRunner(3).threads(), 3);
+  ::unsetenv("SF_SWEEP_THREADS");
+}
+
+TEST(SweepRunnerTest, EnvOverrideAndFallback) {
+  ::setenv("SF_SWEEP_THREADS", "7", 1);
+  EXPECT_EQ(SweepRunner::resolve_threads(0), 7);
+  ::setenv("SF_SWEEP_THREADS", "bogus", 1);
+  EXPECT_GE(SweepRunner::resolve_threads(0), 1);  // falls back to hardware
+  ::setenv("SF_SWEEP_THREADS", "0", 1);
+  EXPECT_GE(SweepRunner::resolve_threads(0), 1);
+  ::unsetenv("SF_SWEEP_THREADS");
+  EXPECT_GE(SweepRunner::resolve_threads(0), 1);
+}
+
+}  // namespace
+}  // namespace sf::sim
