@@ -140,6 +140,7 @@ BINARIES = [
     "ablate_resizing",
     "ablate_complex_workflow",
     "ablate_event_driven",
+    "chaos_sweep",
 ]
 
 
@@ -175,7 +176,20 @@ except (OSError, ValueError):
     pass
 
 if prev.get("results") and not rebaseline:
-    print(f"kept {out_path} (pass --rebaseline to overwrite)")
+    # Baseline entries are frozen without --rebaseline, but binaries that
+    # are NEW since the baseline was recorded are appended so adding a
+    # benchmark doesn't force a full re-baseline.
+    fresh = {k: v for k, v in results.items() if k not in prev["results"]}
+    if fresh:
+        prev["results"].update(fresh)
+        with open(out_path, "w") as f:
+            json.dump(prev, f, indent=2)
+            f.write("\n")
+        print(f"appended {len(fresh)} new binaries to {out_path} "
+              f"({', '.join(sorted(fresh))}); existing entries kept "
+              f"(pass --rebaseline to refresh them)")
+    else:
+        print(f"kept {out_path} (pass --rebaseline to overwrite)")
     sys.exit(0)
 
 doc = {

@@ -4,13 +4,31 @@
 #
 # Usage: scripts/tier1.sh [build-dir]            (default: ./build)
 #        scripts/tier1.sh --tsan [build-dir]     (default: ./build-tsan)
+#        scripts/tier1.sh --asan [build-dir]     (default: ./build-asan)
 #
 # --tsan builds the engine + tests under ThreadSanitizer and runs the
 # SweepRunner suite — the only code that spawns threads. Keep it green:
 # a data race there silently breaks the bit-identical-results contract.
+#
+# --asan builds everything under AddressSanitizer + UBSan and runs the
+# full suite. The failure-recovery paths cancel events and tear down
+# pods/claims/containers out from under in-flight continuations; ASan is
+# what catches a stale `this` or use-after-free the happy path never
+# trips.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--asan" ]]; then
+  build_dir="${2:-$repo_root/build-asan}"
+  cmake -B "$build_dir" -S "$repo_root" \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer -g" \
+    -DSERVERFLOW_BUILD_BENCH=OFF \
+    -DSERVERFLOW_BUILD_EXAMPLES=OFF
+  cmake --build "$build_dir" -j
+  ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
   build_dir="${2:-$repo_root/build-tsan}"

@@ -13,6 +13,10 @@ Node::Node(sim::Simulation& sim, net::FlowNetwork& network, NodeSpec spec)
 
 Node::ProcessId Node::run_process(double work, std::function<void()> on_done,
                                   double max_cores, double weight) {
+  // Work landing on a dead node is silently lost: the continuation never
+  // fires, exactly like a process launched on a crashed machine. Callers
+  // that need progress guarantees own a recovery path (heartbeats, retries).
+  if (!up_) return sim::PsResource::JobId{0};
   return cpu_.submit(work, std::move(on_done), max_cores, weight);
 }
 
@@ -23,6 +27,7 @@ bool Node::set_process_cap(ProcessId id, double max_cores) {
 }
 
 bool Node::allocate_memory(double bytes) {
+  if (!up_) return false;
   if (memory_used_ + bytes > spec_.memory_bytes) {
     ++oom_events_;
     sim_.trace().record(sim_.now(), "node", "oom",
@@ -40,11 +45,29 @@ void Node::release_memory(double bytes) {
 }
 
 void Node::disk_io(double bytes, std::function<void()> on_done) {
+  if (!up_) return;  // I/O against a dead node is lost (see run_process)
   if (bytes <= 0) {
     sim_.call_in(0, std::move(on_done));
     return;
   }
   disk_.submit(bytes, std::move(on_done));
+}
+
+void Node::fail() {
+  if (!up_) return;
+  up_ = false;
+  ++crash_count_;
+  cpu_.cancel_all();
+  disk_.cancel_all();
+  sim_.trace().record(sim_.now(), "node", "crash", {{"node", spec_.name}});
+  for (const auto& fn : fail_listeners_) fn();
+}
+
+void Node::recover() {
+  if (up_) return;
+  up_ = true;
+  sim_.trace().record(sim_.now(), "node", "recover", {{"node", spec_.name}});
+  for (const auto& fn : recover_listeners_) fn();
 }
 
 }  // namespace sf::cluster

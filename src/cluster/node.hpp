@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "net/flow_network.hpp"
 #include "sim/ps_resource.hpp"
@@ -85,6 +86,38 @@ class Node {
   void disk_io(double bytes, std::function<void()> on_done);
   sim::PsResource& disk() { return disk_; }
 
+  // ---- Failure ------------------------------------------------------
+  //
+  // A crashed node loses all in-flight CPU and disk work (the completion
+  // continuations never fire — recovery is owned by the layers above, via
+  // the crash listeners), refuses new work, and keeps its memory ledger:
+  // the owners of each allocation (container runtime, startd, ...) release
+  // what they held from their own crash listeners, so the account balances
+  // without double-frees.
+
+  [[nodiscard]] bool up() const { return up_; }
+
+  /// Crashes the node: cancels all CPU/disk jobs silently, marks the node
+  /// down, then notifies crash listeners in registration order. No-op when
+  /// already down.
+  void fail();
+
+  /// Reboots the node and notifies recover listeners in registration
+  /// order. No-op when already up.
+  void recover();
+
+  /// Registers a callback fired (synchronously, registration order) when
+  /// the node crashes / comes back. Listeners cannot be removed: they are
+  /// wired once at assembly time and live as long as the node.
+  void on_fail(std::function<void()> fn) {
+    fail_listeners_.push_back(std::move(fn));
+  }
+  void on_recover(std::function<void()> fn) {
+    recover_listeners_.push_back(std::move(fn));
+  }
+
+  [[nodiscard]] std::uint64_t crash_count() const { return crash_count_; }
+
  private:
   sim::Simulation& sim_;
   NodeSpec spec_;
@@ -94,6 +127,10 @@ class Node {
   double memory_used_ = 0;
   std::uint64_t oom_events_ = 0;
   std::function<void(double)> oom_handler_;
+  bool up_ = true;
+  std::uint64_t crash_count_ = 0;
+  std::vector<std::function<void()>> fail_listeners_;
+  std::vector<std::function<void()>> recover_listeners_;
 };
 
 }  // namespace sf::cluster

@@ -33,6 +33,14 @@ CondorPool::CondorPool(cluster::Cluster& cluster, cluster::Node& submit_node,
   for (cluster::Node* w : workers) {
     startds_.emplace(w->name(), std::make_unique<Startd>(*w));
     worker_order_.push_back(w->name());
+    // Startd death / restart: on crash the schedd requeues the node's
+    // jobs via DAGMan's retry hook; on recovery the negotiator may carve
+    // fresh claims there again.
+    w->on_fail([this, name = w->name()] { handle_node_crash(name); });
+    w->on_recover([this] {
+      pump_dispatch();
+      if (has_unmatched_idle()) kick_negotiator();
+    });
   }
 }
 
@@ -149,6 +157,7 @@ void CondorPool::negotiate() {
     for (std::size_t i = 0; i < worker_order_.size(); ++i) {
       Startd& sd = *startds_.at(
           worker_order_[(cursor + i) % worker_order_.size()]);
+      if (!sd.node().up()) continue;  // dead startds advertise nothing
       if (rec.spec.requirements && !rec.spec.requirements(sd)) continue;
       const auto slot =
           sd.claim_slot(rec.spec.request_cpus, rec.spec.request_memory);
@@ -198,46 +207,66 @@ void CondorPool::pump_dispatch() {
     return;
   }
   std::erase(idle_queue_, jid);
-  claims_.at(chosen).busy = true;
+  Claim& cl = claims_.at(chosen);
+  cl.busy = true;
+  cl.job = jid;
   jobs_.at(jid).state = JobState::kRunning;
   ++running_;
   dispatch_busy_ = true;
+  const std::uint64_t epoch = jobs_.at(jid).attempt;
   // Serialized activation: the shadow-spawn pipeline.
-  sim().call_in(config_.dispatch_interval_s, [this, jid, chosen] {
+  sim().call_in(config_.dispatch_interval_s, [this, jid, chosen, epoch] {
     dispatch_busy_ = false;
-    start_job(jid, chosen);
+    if (attempt_live(jid, epoch)) start_job(jid, chosen, epoch);
     pump_dispatch();
   });
 }
 
-void CondorPool::start_job(JobId id, ClaimId claim_id) {
+bool CondorPool::attempt_live(JobId id, std::uint64_t epoch) const {
+  const auto it = jobs_.find(id);
+  return it != jobs_.end() && it->second.attempt == epoch &&
+         it->second.state == JobState::kRunning;
+}
+
+void CondorPool::start_job(JobId id, ClaimId claim_id, std::uint64_t epoch) {
   const Claim& claim = claims_.at(claim_id);
   JobRecord& rec = jobs_.at(id);
   rec.worker = claim.node_name;
   sim().trace().record(sim().now(), "condor", "job_start",
                        {{"job", rec.spec.name}, {"node", claim.node_name}});
-  // Worker-side setup (starter + wrapper), then stage-in.
-  sim().call_in(config_.job_setup_overhead_s, [this, id, claim_id] {
+  // Worker-side setup (starter + wrapper), then stage-in. Every
+  // continuation from here on re-checks attempt_live: a node crash aborts
+  // the attempt out from under these callbacks and erases the claim.
+  sim().call_in(config_.job_setup_overhead_s, [this, id, claim_id, epoch] {
+    if (!attempt_live(id, epoch)) return;
     Startd& sd = *startds_.at(claims_.at(claim_id).node_name);
-    // Stage inputs sequentially, as pegasus-lite does.
+    // Stage inputs sequentially, as pegasus-lite does. The chain body
+    // holds only a weak self-reference — each pending transfer carries
+    // the strong one — so the function doesn't keep itself alive forever
+    // (a direct self-capture is a shared_ptr cycle; LeakSanitizer flags
+    // it on every job).
     auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
-    *stage_next = [this, id, claim_id, &sd, stage_next](std::size_t i) {
+    *stage_next = [this, id, claim_id, epoch, &sd,
+                   weak = std::weak_ptr<std::function<void(std::size_t)>>(
+                       stage_next)](std::size_t i) {
+      const auto self = weak.lock();
       const JobRecord& rr = jobs_.at(id);
       if (i >= rr.spec.inputs.size()) {
-        run_executable(id, claim_id);
+        run_executable(id, claim_id, epoch);
         return;
       }
       if (rr.spec.submit_volume == nullptr) {
-        finish_job(id, claim_id, false);
+        finish_job(id, claim_id, epoch, false);
         return;
       }
       storage::stage_file(cluster_.network(), *rr.spec.submit_volume,
                           sd.scratch(), rr.spec.inputs[i].lfn,
-                          [this, id, claim_id, i, stage_next](bool ok) {
+                          [this, id, claim_id, epoch, i, self](bool ok) {
+                            if (!attempt_live(id, epoch)) return;
                             if (!ok) {
-                              finish_job(id, claim_id, false);
+                              finish_job(id, claim_id, epoch, false);
                             } else {
-                              (*stage_next)(i + 1);
+                              (*self)(i + 1);
                             }
                           });
     };
@@ -245,7 +274,8 @@ void CondorPool::start_job(JobId id, ClaimId claim_id) {
   });
 }
 
-void CondorPool::run_executable(JobId id, ClaimId claim_id) {
+void CondorPool::run_executable(JobId id, ClaimId claim_id,
+                                std::uint64_t epoch) {
   JobRecord& rec = jobs_.at(id);
   rec.start_time = sim().now();
   Startd& sd = *startds_.at(claims_.at(claim_id).node_name);
@@ -255,34 +285,40 @@ void CondorPool::run_executable(JobId id, ClaimId claim_id) {
   ctx->scratch = &sd.scratch();
   ctx->cpus = rec.spec.request_cpus;
   if (!rec.spec.executable) {
-    finish_job(id, claim_id, false);
+    finish_job(id, claim_id, epoch, false);
     return;
   }
-  rec.spec.executable(*ctx, [this, id, claim_id, ctx](bool ok) {
+  rec.spec.executable(*ctx, [this, id, claim_id, epoch, ctx](bool ok) {
+    if (!attempt_live(id, epoch)) return;
     if (!ok) {
-      finish_job(id, claim_id, false);
+      finish_job(id, claim_id, epoch, false);
       return;
     }
-    // Stage outputs back to the submit node sequentially.
+    // Stage outputs back to the submit node sequentially (weak
+    // self-reference: see the stage-in chain).
     Startd& sd2 = *startds_.at(claims_.at(claim_id).node_name);
     auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
-    *stage_next = [this, id, claim_id, &sd2, stage_next](std::size_t i) {
+    *stage_next = [this, id, claim_id, epoch, &sd2,
+                   weak = std::weak_ptr<std::function<void(std::size_t)>>(
+                       stage_next)](std::size_t i) {
+      const auto self = weak.lock();
       const JobRecord& rr = jobs_.at(id);
       if (i >= rr.spec.outputs.size()) {
-        finish_job(id, claim_id, true);
+        finish_job(id, claim_id, epoch, true);
         return;
       }
       if (rr.spec.submit_volume == nullptr) {
-        finish_job(id, claim_id, false);
+        finish_job(id, claim_id, epoch, false);
         return;
       }
       storage::stage_file(cluster_.network(), sd2.scratch(),
                           *rr.spec.submit_volume, rr.spec.outputs[i],
-                          [this, id, claim_id, i, stage_next](bool ok2) {
+                          [this, id, claim_id, epoch, i, self](bool ok2) {
+                            if (!attempt_live(id, epoch)) return;
                             if (!ok2) {
-                              finish_job(id, claim_id, false);
+                              finish_job(id, claim_id, epoch, false);
                             } else {
-                              (*stage_next)(i + 1);
+                              (*self)(i + 1);
                             }
                           });
     };
@@ -290,7 +326,9 @@ void CondorPool::run_executable(JobId id, ClaimId claim_id) {
   });
 }
 
-void CondorPool::finish_job(JobId id, ClaimId claim_id, bool ok) {
+void CondorPool::finish_job(JobId id, ClaimId claim_id, std::uint64_t epoch,
+                            bool ok) {
+  if (!attempt_live(id, epoch)) return;
   JobRecord& rec = jobs_.at(id);
   rec.state = ok ? JobState::kCompleted : JobState::kFailed;
   rec.end_time = sim().now();
@@ -302,6 +340,7 @@ void CondorPool::finish_job(JobId id, ClaimId claim_id, bool ok) {
   auto it = claims_.find(claim_id);
   if (it != claims_.end()) {
     it->second.busy = false;
+    it->second.job = kNoJob;
     ++it->second.idle_epoch;
     arm_claim_timeout(claim_id);
   }
@@ -312,6 +351,48 @@ void CondorPool::finish_job(JobId id, ClaimId claim_id, bool ok) {
     cb(rec);
   }
   pump_dispatch();
+}
+
+void CondorPool::abort_job(JobId id) {
+  JobRecord& rec = jobs_.at(id);
+  if (rec.state != JobState::kRunning) return;
+  rec.state = JobState::kFailed;
+  rec.end_time = sim().now();
+  // Invalidate every continuation the dead attempt still has in flight
+  // (dispatch timers, stage callbacks, exec completions).
+  ++rec.attempt;
+  --running_;
+  ++failed_;
+  ++aborted_;
+  sim().trace().record(sim().now(), "condor", "job_aborted",
+                       {{"job", rec.spec.name}, {"node", rec.worker}});
+  if (rec.spec.on_done) {
+    auto cb = rec.spec.on_done;
+    cb(rec);  // DAGMan's retry path resubmits as a fresh JobId
+  }
+}
+
+void CondorPool::handle_node_crash(const std::string& node_name) {
+  // Drop the node's claims and reset its startd BEFORE aborting victims:
+  // abort_job fires on_done, whose resubmits must not match dead claims.
+  std::vector<JobId> victims;
+  for (auto it = claims_.begin(); it != claims_.end();) {
+    if (it->second.node_name != node_name) {
+      ++it;
+      continue;
+    }
+    if (it->second.busy && it->second.job != kNoJob) {
+      victims.push_back(it->second.job);
+    }
+    it = claims_.erase(it);
+  }
+  startds_.at(node_name)->reset();
+  sim().trace().record(sim().now(), "condor", "startd_death",
+                       {{"node", node_name},
+                        {"victims", std::to_string(victims.size())}});
+  for (const JobId jid : victims) abort_job(jid);
+  pump_dispatch();
+  if (has_unmatched_idle()) kick_negotiator();
 }
 
 void CondorPool::arm_claim_timeout(ClaimId claim_id) {

@@ -48,6 +48,9 @@ class CondorPool {
   [[nodiscard]] std::size_t running_jobs() const;
   [[nodiscard]] std::uint64_t completed_jobs() const { return completed_; }
   [[nodiscard]] std::uint64_t failed_jobs() const { return failed_; }
+  /// Running jobs failed by the schedd because their worker crashed
+  /// (counted inside failed_jobs() as well).
+  [[nodiscard]] std::uint64_t jobs_aborted() const { return aborted_; }
   [[nodiscard]] std::uint64_t negotiation_cycles() const { return cycles_; }
   [[nodiscard]] std::size_t active_claims() const { return claims_.size(); }
 
@@ -74,6 +77,9 @@ class CondorPool {
     double cpus = 0;
     double memory = 0;
     bool busy = false;
+    /// Job currently activated on this claim (kNoJob when idle) — lets the
+    /// crash handler find the victims bound to a dead node.
+    JobId job = kNoJob;
     std::uint64_t idle_epoch = 0;
     /// Greedy-match scratch: the claim is reserved in the match pass whose
     /// stamp equals the pool's current one (no per-cycle set allocations).
@@ -83,10 +89,20 @@ class CondorPool {
   void kick_negotiator();
   void negotiate();
   void pump_dispatch();
-  void start_job(JobId id, ClaimId claim_id);
-  void run_executable(JobId id, ClaimId claim_id);
-  void finish_job(JobId id, ClaimId claim_id, bool ok);
+  void start_job(JobId id, ClaimId claim_id, std::uint64_t epoch);
+  void run_executable(JobId id, ClaimId claim_id, std::uint64_t epoch);
+  void finish_job(JobId id, ClaimId claim_id, std::uint64_t epoch, bool ok);
   void arm_claim_timeout(ClaimId claim_id);
+  /// True while `id` is still the running attempt `epoch` — the guard every
+  /// dispatched continuation passes before touching jobs_/claims_.
+  [[nodiscard]] bool attempt_live(JobId id, std::uint64_t epoch) const;
+  /// Fails a running job (worker died under it): bumps the attempt epoch so
+  /// in-flight continuations die, updates counters, fires on_done so DAGMan
+  /// can retry.
+  void abort_job(JobId id);
+  /// Startd death: drops the node's claims, resets its startd, aborts the
+  /// jobs that were running there, and kicks scheduling for the requeues.
+  void handle_node_crash(const std::string& node_name);
   /// True when at least one idle job cannot be greedily matched (priority
   /// order) against the free claims; early-exits on the first miss.
   [[nodiscard]] bool has_unmatched_idle();
@@ -115,6 +131,7 @@ class CondorPool {
   bool dispatch_busy_ = false;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t aborted_ = 0;
   std::uint64_t cycles_ = 0;
   std::size_t running_ = 0;
 };

@@ -35,6 +35,15 @@ class Startd {
   /// Returns a dynamic slot's resources to the partitionable slot.
   void release_slot(SlotId id);
 
+  /// Drops every dynamic slot and restores the full partitionable slot —
+  /// what a startd restart after a node crash looks like to the pool. The
+  /// object itself stays alive (continuations hold references to it).
+  void reset() {
+    slots_.clear();
+    free_cpus_ = node_.spec().cores;
+    free_memory_ = node_.spec().memory_bytes;
+  }
+
   [[nodiscard]] double free_cpus() const { return free_cpus_; }
   [[nodiscard]] double free_memory() const { return free_memory_; }
   [[nodiscard]] std::size_t dynamic_slots() const { return slots_.size(); }

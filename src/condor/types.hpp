@@ -74,6 +74,11 @@ struct JobRecord {
   double start_time = -1;  ///< executable began (after stage-in)
   double end_time = -1;
   std::string worker;  ///< node name it ran on
+  /// Execution epoch: bumped whenever the schedd aborts the attempt (node
+  /// crash). Every async continuation of the attempt carries the epoch it
+  /// was created under and dies on mismatch — a crashed worker's late
+  /// stage/exec callbacks cannot touch a job the schedd already failed.
+  std::uint64_t attempt = 0;
 };
 
 /// Pool-wide tunables. Defaults approximate an HTCondor 23.x pool tuned

@@ -1,5 +1,7 @@
 #include "container/image_cache.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace sf::container {
@@ -49,10 +51,38 @@ void ImageCache::ensure_image(const std::string& image_name,
     return;
   }
   ++pulls_started_;
+  start_download(image_name, *manifest, missing_bytes, registry, 0);
+}
+
+void ImageCache::start_download(const std::string& image_name,
+                                const Image& manifest, double missing_bytes,
+                                Registry& registry, int attempt) {
+  auto& sim = node_.sim();
+  if (!registry.available(sim.now())) {
+    // Registry outage: capped exponential backoff, then give up — the
+    // caller (kubelet / cold-start path) owns what happens next.
+    if (attempt + 1 >= max_attempts_) {
+      ++pulls_failed_;
+      sim.trace().record(sim.now(), "image_cache", "pull_exhausted",
+                         {{"node", node_.name()}, {"image", image_name}});
+      finish_pull(image_name, false);
+      return;
+    }
+    ++pull_retries_;
+    const double delay =
+        std::min(retry_cap_s_, retry_base_s_ * std::pow(2.0, attempt));
+    sim.call_in(delay, [this, image_name, manifest, missing_bytes, &registry,
+                        attempt] {
+      if (!in_flight_.contains(image_name)) return;  // crashed meanwhile
+      start_download(image_name, manifest, missing_bytes, registry,
+                     attempt + 1);
+    });
+    return;
+  }
   // Download the missing bytes from the registry, then extract to disk.
   network_.transfer(
       registry.net_id(), node_.net_id(), missing_bytes,
-      [this, image_name, manifest = *manifest, missing_bytes] {
+      [this, image_name, manifest, missing_bytes] {
         node_.disk_io(missing_bytes, [this, image_name, manifest] {
           for (const auto& layer : manifest.layers) {
             layers_[layer.digest] = layer.bytes;
@@ -60,6 +90,12 @@ void ImageCache::ensure_image(const std::string& image_name,
           finish_pull(image_name, true);
         });
       });
+}
+
+void ImageCache::handle_node_crash() {
+  while (!in_flight_.empty()) {
+    finish_pull(in_flight_.begin()->first, false);
+  }
 }
 
 void ImageCache::finish_pull(const std::string& image_name, bool ok) {

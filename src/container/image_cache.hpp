@@ -54,8 +54,25 @@ class ImageCache {
   [[nodiscard]] std::uint64_t pulls_coalesced() const {
     return pulls_coalesced_;
   }
+  [[nodiscard]] std::uint64_t pull_retries() const { return pull_retries_; }
+  [[nodiscard]] std::uint64_t pulls_failed() const { return pulls_failed_; }
+
+  /// Tunes the retry policy used when the registry is unavailable:
+  /// delays are `base * 2^attempt`, capped at `cap`, for at most
+  /// `max_attempts` tries overall (kubelet image-pull backoff).
+  void set_pull_retry_policy(double base_s, double cap_s, int max_attempts) {
+    retry_base_s_ = base_s;
+    retry_cap_s_ = cap_s;
+    max_attempts_ = max_attempts;
+  }
+
+  /// Node-crash hook: every in-flight pull fails (ok=false). Cached
+  /// layers survive — the VM's disk persists across a reboot.
+  void handle_node_crash();
 
  private:
+  void start_download(const std::string& image_name, const Image& manifest,
+                      double missing_bytes, Registry& registry, int attempt);
   void finish_pull(const std::string& image_name, bool ok);
 
   cluster::Node& node_;
@@ -64,6 +81,11 @@ class ImageCache {
   std::map<std::string, std::vector<PullCallback>> in_flight_;
   std::uint64_t pulls_started_ = 0;
   std::uint64_t pulls_coalesced_ = 0;
+  std::uint64_t pull_retries_ = 0;
+  std::uint64_t pulls_failed_ = 0;
+  double retry_base_s_ = 0.5;
+  double retry_cap_s_ = 8.0;
+  int max_attempts_ = 6;
 };
 
 }  // namespace sf::container

@@ -37,9 +37,25 @@ class Registry {
   }
   [[nodiscard]] std::size_t image_count() const { return images_.size(); }
 
+  // ---- Fault injection ----------------------------------------------
+
+  /// Makes the registry refuse new pulls until sim time `t` (outages
+  /// extend, never shrink). Pullers retry with exponential backoff.
+  void set_outage_until(double t) {
+    if (t > outage_until_) outage_until_ = t;
+  }
+
+  /// Whether a pull starting at `now` would be served.
+  [[nodiscard]] bool available(double now) const {
+    return now >= outage_until_;
+  }
+
+  [[nodiscard]] double outage_until() const { return outage_until_; }
+
  private:
   cluster::Node& node_;
   std::map<std::string, Image> images_;
+  double outage_until_ = 0;
 };
 
 }  // namespace sf::container

@@ -31,7 +31,15 @@ void ContainerRuntime::create(const ContainerSpec& spec,
     return;
   }
   node_.sim().call_in(
-      overheads_.create_s, [this, spec, cb = std::move(on_done)] {
+      overheads_.create_s,
+      [this, spec, epoch = engine_epoch_, cb = std::move(on_done)] {
+        if (epoch != engine_epoch_) {
+          // Node crashed mid-create: the reservation was made against the
+          // old engine incarnation — return it and report failure.
+          node_.release_memory(spec.memory_bytes);
+          cb(kNoContainer);
+          return;
+        }
         const ContainerId id = next_id_++;
         ++containers_created_;
         containers_.emplace(id, Instance{spec, State::kCreated, {}});
@@ -121,6 +129,22 @@ void ContainerRuntime::remove(ContainerId id,
   node_.release_memory(mem);
   node_.sim().call_in(overheads_.remove_s,
                       [cb = std::move(on_done)] { cb(true); });
+}
+
+void ContainerRuntime::handle_node_crash() {
+  // Collect callbacks first: an exec callback may re-enter the runtime
+  // (e.g. a queue-proxy dispatching its next queued request).
+  std::vector<std::function<void(bool)>> killed;
+  double mem = 0;
+  for (auto& [id, inst] : containers_) {
+    for (auto& [pid, cb] : inst.execs) killed.push_back(std::move(cb));
+    mem += inst.spec.memory_bytes;
+  }
+  containers_lost_ += containers_.size();
+  containers_.clear();
+  ++engine_epoch_;
+  node_.release_memory(mem);
+  for (auto& cb : killed) cb(false);
 }
 
 void ContainerRuntime::run_task_once(const ContainerSpec& spec, double work,

@@ -101,6 +101,16 @@ class ContainerRuntime {
     return containers_created_;
   }
 
+  /// Node-crash hook: every container is lost. In-flight execs observe
+  /// ok=false (the Node already cancelled the underlying PS jobs), all
+  /// container memory is released back to the node's ledger, and the
+  /// instance table empties — a rebooted VM starts with a clean engine.
+  void handle_node_crash();
+
+  [[nodiscard]] std::uint64_t containers_lost() const {
+    return containers_lost_;
+  }
+
  private:
   struct Instance {
     ContainerSpec spec;
@@ -114,6 +124,10 @@ class ContainerRuntime {
   std::map<ContainerId, Instance> containers_;
   ContainerId next_id_ = 1;
   std::uint64_t containers_created_ = 0;
+  std::uint64_t containers_lost_ = 0;
+  /// Bumped on node crash; in-flight create callbacks from the previous
+  /// incarnation release their reservation instead of materializing.
+  std::uint64_t engine_epoch_ = 0;
 };
 
 }  // namespace sf::container

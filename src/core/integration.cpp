@@ -35,17 +35,23 @@ void for_each_async(
   auto step_ptr =
       std::make_shared<std::function<void(std::size_t, std::function<void(bool)>)>>(
           std::move(step));
-  *next = [n, next, done_ptr, step_ptr](std::size_t i) {
+  // Weak self-reference — each in-flight step callback carries the
+  // strong ref, so the chain frees itself after the last step instead
+  // of leaking as a shared_ptr cycle.
+  *next = [n, done_ptr, step_ptr,
+           weak = std::weak_ptr<std::function<void(std::size_t)>>(next)](
+              std::size_t i) {
     if (i >= n) {
       (*done_ptr)(true);
       return;
     }
-    (*step_ptr)(i, [next, done_ptr, i](bool ok) {
+    const auto self = weak.lock();
+    (*step_ptr)(i, [self, done_ptr, i](bool ok) {
       if (!ok) {
         (*done_ptr)(false);
         return;
       }
-      (*next)(i + 1);
+      (*self)(i + 1);
     });
   };
   (*next)(0);
@@ -229,6 +235,7 @@ void ServerlessIntegration::register_transformation(
   spec.annotations.max_scale = policy.max_scale;
   spec.annotations.container_concurrency = policy.container_concurrency;
   spec.annotations.target_concurrency = policy.target_concurrency;
+  spec.annotations.request_timeout_s = policy.request_timeout_s;
   serving_.create_service(std::move(spec));
   services_.emplace(t.name, "fn-" + t.name);
 }

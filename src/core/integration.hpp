@@ -46,6 +46,11 @@ struct ProvisioningPolicy {
   /// point; 0 = unlimited co-location.
   int container_concurrency = 0;
   double target_concurrency = 1.0;
+  /// Per-request deadline enforced by each pod's queue-proxy (Knative's
+  /// revision `timeoutSeconds`); 0 = none. Expired requests 504 and the
+  /// router re-routes them — the recovery path for requests stuck behind
+  /// a crashed or partitioned pod.
+  double request_timeout_s = 0;
 
   /// Pre-staged (paper Fig. 1/6 warm configuration).
   static ProvisioningPolicy prestaged(int replicas) {

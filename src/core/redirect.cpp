@@ -14,32 +14,41 @@ void run_native(condor::ExecContext& ctx,
                 const std::vector<storage::FileRef>& inputs,
                 const std::vector<storage::FileRef>& outputs, double work,
                 std::function<void(bool)> done) {
+  // Both chains hold only weak self-references — pending disk/process
+  // continuations carry the strong refs — so the functions free
+  // themselves when the last step fires instead of leaking as
+  // shared_ptr cycles. read_next → write_next is one-directional and
+  // may stay strong.
   auto write_next = std::make_shared<std::function<void(std::size_t)>>();
   auto done_ptr =
       std::make_shared<std::function<void(bool)>>(std::move(done));
   auto read_next = std::make_shared<std::function<void(std::size_t)>>();
-  *write_next = [&ctx, outputs, write_next, done_ptr](std::size_t i) {
+  *write_next = [&ctx, outputs, done_ptr,
+                 weak = std::weak_ptr<std::function<void(std::size_t)>>(
+                     write_next)](std::size_t i) {
     if (i >= outputs.size()) {
       (*done_ptr)(true);
       return;
     }
-    ctx.scratch->write(outputs[i],
-                       [write_next, i] { (*write_next)(i + 1); });
+    const auto self = weak.lock();
+    ctx.scratch->write(outputs[i], [self, i] { (*self)(i + 1); });
   };
-  *read_next = [&ctx, inputs, work, read_next, write_next,
-                done_ptr](std::size_t i) {
+  *read_next = [&ctx, inputs, work, write_next, done_ptr,
+                weak = std::weak_ptr<std::function<void(std::size_t)>>(
+                    read_next)](std::size_t i) {
     if (i >= inputs.size()) {
       ctx.node->run_process(work, [write_next] { (*write_next)(0); },
                             /*max_cores=*/1.0);
       return;
     }
-    ctx.scratch->read(inputs[i].lfn, [read_next, done_ptr, i](
+    const auto self = weak.lock();
+    ctx.scratch->read(inputs[i].lfn, [self, done_ptr, i](
                                          bool found, storage::FileRef) {
       if (!found) {
         (*done_ptr)(false);
         return;
       }
-      (*read_next)(i + 1);
+      (*self)(i + 1);
     });
   };
   (*read_next)(0);

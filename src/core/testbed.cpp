@@ -77,6 +77,7 @@ PaperTestbed::RunResult PaperTestbed::run_workflows(
     pegasus::PlannerOptions popts;
     popts.default_mode = pegasus::JobMode::kNative;
     popts.cluster_size = cluster_size;
+    popts.dag_retries = options_.dag_retries;
     popts.registry = registry_.get();
     popts.docker = docker_.get();
     popts.serverless_factory = integration_->wrapper_factory();

@@ -39,6 +39,11 @@ struct TestbedOptions {
   /// to workers before workflow execution" scenario). When false, images
   /// must travel from the registry.
   bool prestage_images = true;
+  /// Automatic DAGMan resubmissions per workflow node (Pegasus `RETRY`).
+  /// The retry budget that turns injected worker crashes into delays
+  /// instead of failed workflows; 0 keeps the historical fail-fast
+  /// behaviour.
+  int dag_retries = 0;
 };
 
 /// The fully assembled evaluation environment of Section V: node0 hosts

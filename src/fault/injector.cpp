@@ -1,0 +1,255 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+
+namespace sf::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kRegistryOutage:
+      return "registry_outage";
+    case FaultKind::kPodKill:
+      return "pod_kill";
+    case FaultKind::kLinkDegrade:
+      return "link_degrade";
+    case FaultKind::kPartition:
+      return "partition";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Stream tags; the tag value is part of the determinism contract (a
+/// renumbering would change every plan), so they are fixed here rather
+/// than derived from enum order.
+constexpr std::uint64_t kTagNodeCrash = 0xA1;
+constexpr std::uint64_t kTagPullOutage = 0xA2;
+constexpr std::uint64_t kTagPodKill = 0xA3;
+constexpr std::uint64_t kTagDegrade = 0xA4;
+constexpr std::uint64_t kTagPartition = 0xA5;
+
+/// Poisson arrivals on [0, horizon): appends one event per arrival via
+/// `emit(t, rng)`. Each channel owns a forked stream, so channels never
+/// perturb each other's timelines.
+template <typename Emit>
+void arrivals(std::uint64_t seed, std::uint64_t tag, double mean_s,
+              double horizon_s, Emit&& emit) {
+  if (mean_s <= 0) return;
+  SplitMix64 rng = SplitMix64::fork(seed, tag);
+  double t = rng.exponential(mean_s);
+  while (t < horizon_s) {
+    emit(t, rng);
+    t += rng.exponential(mean_s);
+  }
+}
+
+}  // namespace
+
+std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
+                                        const FaultConfig& cfg,
+                                        std::uint32_t node_count) {
+  std::vector<FaultEvent> plan;
+  // Crashable node indices: [first, node_count). Connectivity faults
+  // (degrade / partition) target all nodes — see FaultConfig.
+  const std::uint32_t first = cfg.spare_head_node ? 1 : 0;
+  const std::uint32_t crashable =
+      node_count > first ? node_count - first : 0;
+
+  if (crashable > 0) {
+    arrivals(seed, kTagNodeCrash, cfg.node_crash_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kNodeCrash;
+               ev.node = first + static_cast<std::uint32_t>(
+                                     rng.next_below(crashable));
+               ev.duration_s = cfg.node_downtime_s;
+               plan.push_back(ev);
+             });
+  }
+  if (node_count > 0) {
+    arrivals(seed, kTagDegrade, cfg.degrade_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kLinkDegrade;
+               ev.node = static_cast<std::uint32_t>(
+                   rng.next_below(node_count));
+               ev.duration_s = cfg.degrade_duration_s;
+               ev.factor = std::clamp(cfg.degrade_factor, 1e-6, 1.0);
+               plan.push_back(ev);
+             });
+  }
+  if (node_count > 1) {
+    arrivals(seed, kTagPartition, cfg.partition_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kPartition;
+               ev.node = static_cast<std::uint32_t>(
+                   rng.next_below(node_count));
+               // Peer drawn from the remaining nodes, shifted past the
+               // victim so the pair is always distinct.
+               const std::uint32_t other = static_cast<std::uint32_t>(
+                   rng.next_below(node_count - 1));
+               ev.peer = other >= ev.node ? other + 1 : other;
+               ev.duration_s = cfg.partition_duration_s;
+               plan.push_back(ev);
+             });
+  }
+  arrivals(seed, kTagPullOutage, cfg.pull_outage_mean_s, cfg.horizon_s,
+           [&](double t, SplitMix64&) {
+             FaultEvent ev;
+             ev.at = t;
+             ev.kind = FaultKind::kRegistryOutage;
+             ev.duration_s = cfg.pull_outage_duration_s;
+             plan.push_back(ev);
+           });
+  arrivals(seed, kTagPodKill, cfg.pod_kill_mean_s, cfg.horizon_s,
+           [&](double t, SplitMix64& rng) {
+             FaultEvent ev;
+             ev.at = t;
+             ev.kind = FaultKind::kPodKill;
+             ev.pick = rng.next();
+             plan.push_back(ev);
+           });
+
+  // Deterministic total order: time, then every discriminating field.
+  // Cross-channel ties are practically impossible (53-bit exponentials)
+  // but must still order identically everywhere.
+  std::sort(plan.begin(), plan.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return std::tie(a.at, a.kind, a.node, a.peer, a.pick) <
+                     std::tie(b.at, b.kind, b.node, b.peer, b.pick);
+            });
+  return plan;
+}
+
+FaultInjector::FaultInjector(core::PaperTestbed& testbed, FaultConfig cfg,
+                             std::uint64_t seed)
+    : tb_(testbed),
+      cfg_(cfg),
+      plan_(make_fault_plan(
+          seed, cfg, static_cast<std::uint32_t>(testbed.cluster().size()))) {}
+
+void FaultInjector::arm() {
+  if (armed_) return;
+  armed_ = true;
+  sim::Simulation& sim = tb_.sim();
+  if (cfg_.node_crash_mean_s > 0) {
+    // Crashes are only recoverable end-to-end with the detection loop on
+    // (heartbeats → lease expiry → NotReady → evictions → reschedule).
+    tb_.kube().enable_node_lifecycle(cfg_.lifecycle,
+                                     cfg_.heartbeat_interval_s);
+  }
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    if (plan_[i].at < sim.now()) continue;  // armed late: past is past
+    sim.call_at(plan_[i].at, [this, i] { apply(plan_[i]); });
+  }
+}
+
+void FaultInjector::apply(const FaultEvent& ev) {
+  tb_.sim().trace().record(tb_.sim().now(), "fault", to_string(ev.kind),
+                           {{"node", std::to_string(ev.node)}});
+  switch (ev.kind) {
+    case FaultKind::kNodeCrash:
+      apply_node_crash(ev);
+      break;
+    case FaultKind::kRegistryOutage:
+      tb_.registry().set_outage_until(tb_.sim().now() + ev.duration_s);
+      ++registry_outages_;
+      break;
+    case FaultKind::kPodKill:
+      apply_pod_kill(ev);
+      break;
+    case FaultKind::kLinkDegrade:
+      apply_degrade(ev);
+      break;
+    case FaultKind::kPartition:
+      apply_partition(ev);
+      break;
+  }
+}
+
+void FaultInjector::apply_node_crash(const FaultEvent& ev) {
+  cluster::Node& node = tb_.cluster().node(ev.node);
+  if (!node.up()) {
+    ++skipped_;  // crashed while already down; its reboot is pending
+    return;
+  }
+  node.fail();
+  ++node_crashes_;
+  tb_.sim().call_in(ev.duration_s, [this, &node] {
+    if (!node.up()) {
+      node.recover();
+      ++node_reboots_;
+    }
+  });
+}
+
+void FaultInjector::apply_pod_kill(const FaultEvent& ev) {
+  // Candidates in NamedStore name order (deterministic); only pods a
+  // kubelet actually manages can be killed.
+  std::vector<std::string> candidates;
+  tb_.kube().api().for_each_pod([&](const k8s::Pod& pod) {
+    if (pod.node_name.empty()) return;
+    if (pod.phase == k8s::PodPhase::kScheduled ||
+        pod.phase == k8s::PodPhase::kRunning) {
+      candidates.push_back(pod.name);
+    }
+  });
+  if (candidates.empty()) {
+    ++skipped_;
+    return;
+  }
+  const std::string& victim = candidates[ev.pick % candidates.size()];
+  if (tb_.kube().kill_pod(victim)) {
+    ++pod_kills_;
+  } else {
+    ++skipped_;
+  }
+}
+
+void FaultInjector::apply_degrade(const FaultEvent& ev) {
+  cluster::Node& node = tb_.cluster().node(ev.node);
+  if (++degrade_depth_[ev.node] == 1) {
+    tb_.cluster().network().set_node_bandwidth_factor(node.net_id(),
+                                                      ev.factor);
+  }
+  // Nested windows keep the FIRST factor; capacity returns when the last
+  // window expires.
+  ++degrades_;
+  tb_.sim().call_in(ev.duration_s, [this, &node, idx = ev.node] {
+    auto it = degrade_depth_.find(idx);
+    if (it != degrade_depth_.end() && --it->second <= 0) {
+      degrade_depth_.erase(it);
+      tb_.cluster().network().set_node_bandwidth_factor(node.net_id(), 1.0);
+    }
+  });
+}
+
+void FaultInjector::apply_partition(const FaultEvent& ev) {
+  const std::uint64_t key =
+      (std::uint64_t{std::min(ev.node, ev.peer)} << 32) |
+      std::max(ev.node, ev.peer);
+  const net::NodeId a = tb_.cluster().node(ev.node).net_id();
+  const net::NodeId b = tb_.cluster().node(ev.peer).net_id();
+  if (++partition_depth_[key] == 1) {
+    tb_.cluster().network().set_partition(a, b, true);
+  }
+  ++partitions_;
+  tb_.sim().call_in(ev.duration_s, [this, key, a, b] {
+    auto it = partition_depth_.find(key);
+    if (it != partition_depth_.end() && --it->second <= 0) {
+      partition_depth_.erase(it);
+      tb_.cluster().network().set_partition(a, b, false);
+    }
+  });
+}
+
+}  // namespace sf::fault

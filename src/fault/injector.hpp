@@ -1,0 +1,151 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "fault/splitmix.hpp"
+#include "k8s/controllers.hpp"
+
+namespace sf::fault {
+
+/// What a planned fault does when it fires.
+enum class FaultKind : std::uint8_t {
+  kNodeCrash,       ///< Node::fail() now, Node::recover() after duration
+  kRegistryOutage,  ///< registry refuses pulls for duration (backoff path)
+  kPodKill,         ///< kubelet kills one running pod (pre-drawn pick)
+  kLinkDegrade,     ///< node NIC at bandwidth*factor for duration
+  kPartition,       ///< node pair blocked for duration
+};
+
+const char* to_string(FaultKind kind);
+
+/// One planned fault. The full plan is a pure function of
+/// (seed, FaultConfig, node_count): every field — including `pick`, the
+/// randomness consumed at fire time — is drawn during planning, so the
+/// simulation's own RNG and event ordering never influence what gets
+/// injected, only what the faults hit.
+struct FaultEvent {
+  double at = 0;             ///< absolute sim time
+  FaultKind kind = FaultKind::kNodeCrash;
+  std::uint32_t node = 0;    ///< victim cluster-node index
+  std::uint32_t peer = 0;    ///< partition peer (unused otherwise)
+  double duration_s = 0;     ///< outage / degradation / downtime window
+  double factor = 1.0;       ///< bandwidth multiplier (kLinkDegrade)
+  std::uint64_t pick = 0;    ///< fire-time victim selector (kPodKill)
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+/// Fault-channel intensities. A channel with mean_s == 0 is off;
+/// otherwise its events arrive as a Poisson process with the given mean
+/// inter-arrival time, independent per channel (forked RNG streams).
+struct FaultConfig {
+  double horizon_s = 1800;  ///< plan window [0, horizon)
+
+  double node_crash_mean_s = 0;  ///< worker VM crash inter-arrival
+  double node_downtime_s = 25;   ///< crash → reboot delay
+
+  double pull_outage_mean_s = 0;      ///< registry outage inter-arrival
+  double pull_outage_duration_s = 6;  ///< pulls refused this long
+
+  double pod_kill_mean_s = 0;  ///< single-pod kill inter-arrival
+
+  double degrade_mean_s = 0;       ///< NIC brown-out inter-arrival
+  double degrade_duration_s = 20;  ///< brown-out window
+  double degrade_factor = 0.25;    ///< bandwidth multiplier while browned
+
+  double partition_mean_s = 0;       ///< pairwise partition inter-arrival
+  double partition_duration_s = 15;  ///< healed after this long
+
+  /// Spare node 0 (control plane, registry, submit side) from crashes —
+  /// losing the schedd/API state is unrecoverable by design. Connectivity
+  /// faults (degradation, partitions) still target ALL nodes: they are
+  /// transient, flows resume where they stalled, and in this testbed the
+  /// bulk traffic runs head ↔ worker.
+  bool spare_head_node = true;
+
+  /// Crash-detection control loop applied by FaultInjector::arm() when
+  /// node crashes are enabled (kubelet heartbeats + node-lifecycle
+  /// controller).
+  k8s::NodeLifecycleConfig lifecycle{};
+  double heartbeat_interval_s = 1.0;
+};
+
+/// Generates the deterministic fault timeline for a cluster of
+/// `node_count` nodes (index 0 = head). Events are sorted by time with a
+/// deterministic tie-break; same (seed, cfg, node_count) ⇒ identical
+/// vector, on any platform, regardless of simulation state.
+std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
+                                        const FaultConfig& cfg,
+                                        std::uint32_t node_count);
+
+/// Schedules a fault plan against a running PaperTestbed and owns the
+/// recovery bookkeeping that keeps repeated faults composable (nested
+/// degradation windows, overlapping partitions, crash-while-down).
+///
+/// Usage: construct, arm() once before driving the simulation, read the
+/// applied_* counters after. The injector must outlive the simulation
+/// run it is armed on.
+class FaultInjector {
+ public:
+  FaultInjector(core::PaperTestbed& testbed, FaultConfig cfg,
+                std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every planned event (and enables the node-lifecycle loop
+  /// when the crash channel is on). Idempotent.
+  void arm();
+
+  [[nodiscard]] const FaultConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<FaultEvent>& plan() const { return plan_; }
+
+  // Applied-fault counters (a planned event is *skipped*, not applied,
+  // when its target cannot take it — e.g. crashing an already-down node
+  // or killing a pod when none are running).
+  [[nodiscard]] std::uint64_t node_crashes() const { return node_crashes_; }
+  [[nodiscard]] std::uint64_t node_reboots() const { return node_reboots_; }
+  [[nodiscard]] std::uint64_t registry_outages() const {
+    return registry_outages_;
+  }
+  [[nodiscard]] std::uint64_t pod_kills() const { return pod_kills_; }
+  [[nodiscard]] std::uint64_t degrades() const { return degrades_; }
+  [[nodiscard]] std::uint64_t partitions() const { return partitions_; }
+  [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+  [[nodiscard]] std::uint64_t applied_total() const {
+    return node_crashes_ + registry_outages_ + pod_kills_ + degrades_ +
+           partitions_;
+  }
+
+ private:
+  void apply(const FaultEvent& ev);
+  void apply_node_crash(const FaultEvent& ev);
+  void apply_pod_kill(const FaultEvent& ev);
+  void apply_degrade(const FaultEvent& ev);
+  void apply_partition(const FaultEvent& ev);
+
+  core::PaperTestbed& tb_;
+  FaultConfig cfg_;
+  std::vector<FaultEvent> plan_;
+  bool armed_ = false;
+
+  /// Overlap depth per degraded node / partitioned pair: capacity is
+  /// restored (blocked pair healed) only when the LAST overlapping window
+  /// expires, so back-to-back faults never un-fault each other early.
+  std::map<std::uint32_t, int> degrade_depth_;
+  std::map<std::uint64_t, int> partition_depth_;
+
+  std::uint64_t node_crashes_ = 0;
+  std::uint64_t node_reboots_ = 0;
+  std::uint64_t registry_outages_ = 0;
+  std::uint64_t pod_kills_ = 0;
+  std::uint64_t degrades_ = 0;
+  std::uint64_t partitions_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace sf::fault

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace sf::fault {
+
+/// SplitMix64 (Steele, Lea & Flood): 64 bits of state, a handful of
+/// shifts and multiplies per draw, and — crucially for fault planning —
+/// trivially forkable. The injector derives one independent stream per
+/// fault channel by hashing (seed, channel tag), so the node-crash
+/// timeline never shifts because the pod-kill channel drew one extra
+/// number, and no fault decision ever touches the Simulation's own Rng
+/// (whose draw order depends on workload event interleaving).
+///
+/// All derived distributions use inverse-CDF transforms over exact
+/// integer draws: bit-identical across platforms, unlike the unspecified
+/// algorithms behind std::exponential_distribution.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// One hash step without a generator: mixes (seed, tag) into the seed of
+  /// an independent stream. Forked streams stay decoupled because the tag
+  /// lands before the avalanche rounds, not XORed onto the output.
+  static constexpr std::uint64_t mix(std::uint64_t seed, std::uint64_t tag) {
+    SplitMix64 g(seed ^ (0x632be59bd9b4e019ull * (tag + 1)));
+    return g.next();
+  }
+
+  [[nodiscard]] static constexpr SplitMix64 fork(std::uint64_t seed,
+                                                 std::uint64_t tag) {
+    return SplitMix64(mix(seed, tag));
+  }
+
+  /// Uniform double in [0, 1) with 53 significant bits.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, n); n must be positive. Plain modulo: the
+  /// bias at our n (dozens of nodes) is ~1e-17 and, unlike rejection
+  /// sampling, the draw count per event is fixed.
+  std::uint64_t next_below(std::uint64_t n) { return next() % n; }
+
+  /// Exponential with the given mean (inter-arrival times).
+  double exponential(double mean) {
+    return -mean * std::log1p(-next_double());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sf::fault

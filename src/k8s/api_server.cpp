@@ -1,12 +1,34 @@
 #include "k8s/api_server.hpp"
 
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace sf::k8s {
 
 void ApiServer::register_node(NodeObject node) {
+  node_leases_[node.name] = sim_.now();
   nodes_[node.name] = std::move(node);
+}
+
+bool ApiServer::set_node_ready(const std::string& name, bool ready) {
+  auto it = nodes_.find(name);
+  if (it == nodes_.end() || it->second.ready == ready) return false;
+  it->second.ready = ready;
+  sim_.trace().record(sim_.now(), "api", ready ? "node_ready" : "node_not_ready",
+                      {{"node", name}});
+  notify_node(EventType::kModified, it->second);
+  return true;
+}
+
+void ApiServer::renew_node_lease(const std::string& name) {
+  auto it = node_leases_.find(name);
+  if (it != node_leases_.end()) it->second = sim_.now();
+}
+
+double ApiServer::node_lease(const std::string& name) const {
+  auto it = node_leases_.find(name);
+  return it == node_leases_.end() ? -1.0 : it->second;
 }
 
 // ---- Pods -------------------------------------------------------------
@@ -20,6 +42,8 @@ Uid ApiServer::create_pod(Pod pod) {
     throw std::invalid_argument("ApiServer: pod exists: " + name);
   }
   ++next_uid_;
+  ++pods_created_total_;
+  assert(pods_created_total_ - pods_finalized_total_ == pods_.size());
   notify_pod(EventType::kAdded, *stored);
   return stored->uid;
 }
@@ -67,6 +91,8 @@ void ApiServer::delete_pod(const std::string& name) {
 void ApiServer::finalize_pod_deletion(const std::string& name) {
   std::optional<Pod> removed = pods_.take(name);
   if (!removed.has_value()) return;
+  ++pods_finalized_total_;
+  assert(pods_created_total_ - pods_finalized_total_ == pods_.size());
   notify_pod(EventType::kDeleted, *removed);
 }
 
@@ -196,6 +222,16 @@ void ApiServer::notify_endpoints(EventType type, const Endpoints& eps) {
                [this, type, eps, n = endpoints_watches_.size()] {
                  for (std::size_t i = 0; i < n; ++i) {
                    endpoints_watches_[i](type, eps);
+                 }
+               });
+}
+
+void ApiServer::notify_node(EventType type, const NodeObject& node) {
+  if (node_watches_.empty()) return;
+  sim_.call_in(api_latency_,
+               [this, type, node, n = node_watches_.size()] {
+                 for (std::size_t i = 0; i < n; ++i) {
+                   node_watches_[i](type, node);
                  }
                });
 }

@@ -40,9 +40,26 @@ class ApiServer {
 
   // ---- Nodes ----------------------------------------------------------
 
+  using NodeWatch = std::function<void(EventType, const NodeObject&)>;
+
   void register_node(NodeObject node);
   [[nodiscard]] const std::map<std::string, NodeObject>& nodes() const {
     return nodes_;
+  }
+
+  /// Flips a node's Ready condition and notifies node watchers
+  /// (kModified). Returns false when the node is unknown or unchanged.
+  bool set_node_ready(const std::string& name, bool ready);
+
+  /// Kubelet heartbeat: refreshes the node's lease timestamp.
+  void renew_node_lease(const std::string& name);
+
+  /// Sim time of the node's last heartbeat (registration time when the
+  /// kubelet never heartbeated); -1 for unknown nodes.
+  [[nodiscard]] double node_lease(const std::string& name) const;
+
+  void watch_nodes(NodeWatch watch) {
+    node_watches_.push_back(std::move(watch));
   }
 
   // ---- Pods -----------------------------------------------------------
@@ -79,6 +96,15 @@ class ApiServer {
   [[nodiscard]] std::vector<const Pod*> list_pods() const;
   [[nodiscard]] std::vector<const Pod*> list_pods(const Labels& selector) const;
   [[nodiscard]] std::size_t pod_count() const { return pods_.size(); }
+
+  /// Lifetime counters: every pod ever stored / ever finalized. Invariant
+  /// (asserted in debug builds): created − finalized == pod_count().
+  [[nodiscard]] std::uint64_t pods_created_total() const {
+    return pods_created_total_;
+  }
+  [[nodiscard]] std::uint64_t pods_finalized_total() const {
+    return pods_finalized_total_;
+  }
 
   /// Marks the pod Terminating and notifies watchers; the owning kubelet
   /// (or, for never-scheduled pods, the API server itself) finalizes.
@@ -131,12 +157,16 @@ class ApiServer {
   void notify_pod(EventType type, const Pod& pod);
   void notify_deployment(EventType type, const Deployment& dep);
   void notify_endpoints(EventType type, const Endpoints& eps);
+  void notify_node(EventType type, const NodeObject& node);
 
   sim::Simulation& sim_;
   double api_latency_;
   Uid next_uid_ = 1;
+  std::uint64_t pods_created_total_ = 0;
+  std::uint64_t pods_finalized_total_ = 0;
 
   std::map<std::string, NodeObject> nodes_;
+  std::map<std::string, double> node_leases_;
   NamedStore<Pod> pods_;
   NamedStore<Deployment> deployments_;
   NamedStore<Service> services_;
@@ -149,6 +179,7 @@ class ApiServer {
   std::deque<PodWatch> pod_watches_;
   std::deque<DeploymentWatch> deployment_watches_;
   std::deque<EndpointsWatch> endpoints_watches_;
+  std::deque<NodeWatch> node_watches_;
 };
 
 }  // namespace sf::k8s

@@ -1,6 +1,7 @@
 #include "k8s/controllers.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <vector>
 
 namespace sf::k8s {
@@ -19,7 +20,12 @@ DeploymentController::DeploymentController(ApiServer& api,
         if (pod.owner == dep.name) owned.push_back(pod.name);
       });
       for (const auto& name : owned) api_.delete_pod(name);
-      next_index_.erase(dep.name);
+      auto idx = next_index_.find(dep.name);
+      if (idx != next_index_.end()) {
+        indices_retired_ += static_cast<std::uint64_t>(idx->second);
+        next_index_.erase(idx);
+      }
+      backoff_hold_.erase(dep.name);
       return;
     }
     reconcile(dep.name);
@@ -31,16 +37,42 @@ DeploymentController::DeploymentController(ApiServer& api,
     } else if (type == EventType::kModified &&
                pod.phase == PodPhase::kFailed) {
       // Replace crashed pods after a backoff (crash-loop protection).
+      // While the backoff is armed, reconciles for this deployment are
+      // held: the delete below produces a kDeleted watch event whose
+      // immediate reconcile would otherwise create the replacement with
+      // no pacing at all.
+      ++backoff_hold_[pod.owner];
+      ++pods_replaced_;
       api_.delete_pod(pod.name);
-      api_.sim().call_in(restart_backoff_,
-                         [this, owner = pod.owner] { reconcile(owner); });
+      api_.sim().call_in(restart_backoff_, [this, owner = pod.owner] {
+        auto it = backoff_hold_.find(owner);
+        if (it != backoff_hold_.end() && --it->second <= 0) {
+          backoff_hold_.erase(it);
+        }
+        reconcile(owner);
+      });
     }
   });
+}
+
+void DeploymentController::check_invariants() const {
+#ifndef NDEBUG
+  std::uint64_t issued = indices_retired_;
+  for (const auto& [name, idx] : next_index_) {
+    issued += static_cast<std::uint64_t>(idx);
+  }
+  // Every pod ever created consumed exactly one name index and vice versa;
+  // drift here means a creation or replacement path double-counted.
+  assert(issued == pods_created_);
+#endif
 }
 
 void DeploymentController::reconcile(const std::string& deployment_name) {
   const Deployment* dep = api_.get_deployment(deployment_name);
   if (dep == nullptr) return;
+  // Failure backoff armed: all reconciles wait for it (pacing). The
+  // backoff event itself reconciles once the hold clears.
+  if (backoff_hold_.contains(deployment_name)) return;
 
   // Live pods this deployment owns; only the name (for deletes) and uid
   // (for the keep-newest ordering) matter — no Pod copies.
@@ -67,6 +99,7 @@ void DeploymentController::reconcile(const std::string& deployment_name) {
       pod.memory_request = dep->memory_request;
       pod.owner = dep->name;
       ++pods_created_;
+      check_invariants();
       api_.create_pod(std::move(pod));
     }
   } else if (live > dep->replicas) {
@@ -76,6 +109,71 @@ void DeploymentController::reconcile(const std::string& deployment_name) {
               [](const Owned& a, const Owned& b) { return a.uid > b.uid; });
     for (int i = 0; i < live - dep->replicas; ++i) {
       api_.delete_pod(owned[i].name);
+    }
+  }
+}
+
+// ---- NodeLifecycleController ---------------------------------------------
+
+NodeLifecycleController::NodeLifecycleController(ApiServer& api,
+                                                 NodeLifecycleConfig cfg)
+    : api_(api), cfg_(cfg) {
+  sweep();
+}
+
+void NodeLifecycleController::sweep() {
+  const double now = api_.sim().now();
+  // Node names first: set_node_ready notifies watchers, and a watcher must
+  // not observe the map mid-iteration being mutated (it is not today, but
+  // eviction below mutates pods either way).
+  std::vector<std::string> expired;
+  std::vector<std::string> recovered;
+  for (const auto& [name, node] : api_.nodes()) {
+    const double age = now - api_.node_lease(name);
+    if (node.ready && age > cfg_.lease_duration_s) {
+      expired.push_back(name);
+    } else if (!node.ready && age <= cfg_.lease_duration_s) {
+      recovered.push_back(name);
+    }
+  }
+  for (const auto& name : expired) {
+    ++not_ready_transitions_;
+    api_.set_node_ready(name, false);
+    evict_pods(name);
+  }
+  for (const auto& name : recovered) {
+    api_.set_node_ready(name, true);
+  }
+  api_.sim().call_in(cfg_.sweep_interval_s, [this] { sweep(); });
+}
+
+void NodeLifecycleController::evict_pods(const std::string& node_name) {
+  struct Victim {
+    std::string name;
+    bool terminating;
+  };
+  std::vector<Victim> victims;
+  api_.for_each_pod([&](const Pod& pod) {
+    if (pod.node_name != node_name) return;
+    if (pod.phase == PodPhase::kScheduled || pod.phase == PodPhase::kRunning) {
+      victims.push_back({pod.name, false});
+    } else if (pod.phase == PodPhase::kTerminating) {
+      // Its kubelet died mid-deletion; nobody will confirm. Force-finalize
+      // like `kubectl delete --force` after node loss.
+      victims.push_back({pod.name, true});
+    }
+  });
+  for (const auto& v : victims) {
+    ++evictions_;
+    api_.sim().trace().record(api_.sim().now(), "k8s", "evict",
+                              {{"pod", v.name}, {"node", node_name}});
+    if (v.terminating) {
+      api_.finalize_pod_deletion(v.name);
+    } else {
+      api_.mutate_pod(v.name, [](Pod& p) {
+        p.phase = PodPhase::kFailed;
+        p.ready = false;
+      });
     }
   }
 }

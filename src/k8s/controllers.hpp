@@ -20,13 +20,66 @@ class DeploymentController {
 
   [[nodiscard]] std::uint64_t pods_created() const { return pods_created_; }
 
+  /// Pods recreated because a predecessor failed (restart-backoff path) —
+  /// distinct from scale-up creations. pods_created() counts both.
+  [[nodiscard]] std::uint64_t pods_replaced() const { return pods_replaced_; }
+
  private:
   void reconcile(const std::string& deployment_name);
+  void check_invariants() const;
 
   ApiServer& api_;
   double restart_backoff_;
   std::map<std::string, int> next_index_;  // per-deployment pod name counter
+  /// Deployments whose failure backoff is armed: reconciles are held until
+  /// the backoff event fires, so replacements are actually paced (a
+  /// kDeleted watch event used to sneak an immediate reconcile past the
+  /// backoff).
+  std::map<std::string, int> backoff_hold_;
   std::uint64_t pods_created_ = 0;
+  std::uint64_t pods_replaced_ = 0;
+  /// Sum of next_index_ values retired when their deployment was deleted;
+  /// debug invariant: pods_created_ == indices_retired_ + Σ next_index_.
+  std::uint64_t indices_retired_ = 0;
+};
+
+/// Node-lifecycle controller configuration. `lease_duration_s` is how long
+/// the controller tolerates a silent kubelet before declaring the node
+/// NotReady; `sweep_interval_s` paces the reconcile loop (and therefore
+/// bounds detection latency at lease_duration + sweep_interval).
+struct NodeLifecycleConfig {
+  double lease_duration_s = 4.0;
+  double sweep_interval_s = 1.0;
+};
+
+/// Watches node leases and drives the crash → recovery state machine:
+/// lease expired → node NotReady → pods on it evicted (kFailed, so the
+/// Deployment controller replaces them elsewhere; orphaned Terminating
+/// pods are force-finalized) → heartbeats resume → node Ready again →
+/// scheduler retries anything pending.
+///
+/// NOTE: the sweep keeps one event pending forever — enable only in
+/// scenarios driven to a workload-defined end (see Kubelet heartbeats).
+class NodeLifecycleController {
+ public:
+  NodeLifecycleController(ApiServer& api, NodeLifecycleConfig cfg = {});
+
+  NodeLifecycleController(const NodeLifecycleController&) = delete;
+  NodeLifecycleController& operator=(const NodeLifecycleController&) = delete;
+
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::uint64_t not_ready_transitions() const {
+    return not_ready_transitions_;
+  }
+
+ private:
+  void sweep();
+  void evict_pods(const std::string& node_name);
+
+  ApiServer& api_;
+  NodeLifecycleConfig cfg_;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t not_ready_transitions_ = 0;
 };
 
 /// Maintains each Service's Endpoints as the set of ready pods matching

@@ -32,7 +32,36 @@ KubeCluster::KubeCluster(cluster::Cluster& cluster,
     api_.register_node(NodeObject{node->name(), node->spec().cores,
                                   node->spec().memory_bytes,
                                   node->net_id()});
-    workers_.emplace(node->name(), std::move(w));
+    auto [it, inserted] = workers_.emplace(node->name(), std::move(w));
+    // Ordered teardown on node crash: the kubelet forgets its pods first
+    // (so late pull/exec callbacks die at their managed_ lookup), then the
+    // runtime fails in-flight execs and frees container memory, then the
+    // image cache fails in-flight pulls.
+    WorkerNode* wp = &it->second;
+    node->on_fail([wp] {
+      wp->kubelet->handle_node_crash();
+      wp->runtime->handle_node_crash();
+      wp->cache->handle_node_crash();
+    });
+  }
+}
+
+bool KubeCluster::kill_pod(const std::string& pod_name) {
+  const Pod* pod = api_.get_pod(pod_name);
+  if (pod == nullptr || pod->node_name.empty()) return false;
+  auto it = workers_.find(pod->node_name);
+  if (it == workers_.end()) return false;
+  return it->second.kubelet->kill_pod(pod_name);
+}
+
+void KubeCluster::enable_node_lifecycle(NodeLifecycleConfig cfg,
+                                        double heartbeat_interval_s) {
+  for (auto& [name, w] : workers_) {
+    w.kubelet->start_heartbeats(heartbeat_interval_s);
+  }
+  if (lifecycle_controller_ == nullptr) {
+    lifecycle_controller_ =
+        std::make_unique<NodeLifecycleController>(api_, cfg);
   }
 }
 

@@ -49,6 +49,9 @@ class KubeCluster {
   [[nodiscard]] std::uint64_t controller_pods_created() const {
     return deployment_controller_.pods_created();
   }
+  [[nodiscard]] std::uint64_t controller_pods_replaced() const {
+    return deployment_controller_.pods_replaced();
+  }
 
   [[nodiscard]] WorkerNode& worker(const std::string& node_name);
   [[nodiscard]] std::vector<std::string> worker_names() const;
@@ -65,6 +68,27 @@ class KubeCluster {
   void exec_in_pod(const std::string& pod_name, double work,
                    std::function<void(bool)> on_done);
 
+  // ---- Fault tolerance ----------------------------------------------
+
+  /// Kills one pod through its kubelet (fault injection). Returns false
+  /// when no kubelet currently runs the pod.
+  bool kill_pod(const std::string& pod_name);
+
+  /// Turns on the crash-detection control loop: kubelet heartbeats plus
+  /// the node-lifecycle controller (lease expiry → NotReady → evictions →
+  /// Ready again on reboot). Off by default because both keep events
+  /// pending forever — call this only from scenarios that stop on
+  /// workload completion (fault injection). Idempotent.
+  void enable_node_lifecycle(NodeLifecycleConfig cfg = {},
+                             double heartbeat_interval_s = 1.0);
+
+  [[nodiscard]] bool node_lifecycle_enabled() const {
+    return lifecycle_controller_ != nullptr;
+  }
+  [[nodiscard]] const NodeLifecycleController* lifecycle_controller() const {
+    return lifecycle_controller_.get();
+  }
+
  private:
   cluster::Cluster& cluster_;
   container::Registry& registry_;
@@ -73,6 +97,7 @@ class KubeCluster {
   Scheduler scheduler_;
   DeploymentController deployment_controller_;
   EndpointsController endpoints_controller_;
+  std::unique_ptr<NodeLifecycleController> lifecycle_controller_;
 };
 
 }  // namespace sf::k8s

@@ -26,6 +26,35 @@ container::ContainerId Kubelet::container_for(
   return it == managed_.end() ? container::kNoContainer : it->second.cid;
 }
 
+void Kubelet::start_heartbeats(double interval_s) {
+  if (heartbeats_started_) return;
+  heartbeats_started_ = true;
+  if (node_.up()) api_.renew_node_lease(node_.name());
+  schedule_heartbeat(interval_s);
+}
+
+// Self-rearming tick; renewal stops while the node is down and resumes on
+// reboot (the kubelet process comes back with the VM).
+void Kubelet::schedule_heartbeat(double interval_s) {
+  api_.sim().call_in(interval_s, [this, interval_s] {
+    if (node_.up()) api_.renew_node_lease(node_.name());
+    schedule_heartbeat(interval_s);
+  });
+}
+
+bool Kubelet::kill_pod(const std::string& pod_name) {
+  auto it = managed_.find(pod_name);
+  if (it == managed_.end() || it->second.terminate_requested) return false;
+  api_.sim().trace().record(api_.sim().now(), "kubelet", "pod_killed",
+                            {{"pod", pod_name}, {"node", node_.name()}});
+  fail_pod(pod_name);
+  return true;
+}
+
+void Kubelet::handle_node_crash() {
+  managed_.clear();
+}
+
 void Kubelet::on_pod_event(EventType type, const Pod& pod) {
   if (pod.node_name != node_.name()) return;
   switch (type) {
@@ -153,11 +182,21 @@ void Kubelet::teardown(const std::string& pod_name) {
 
 void Kubelet::fail_pod(const std::string& pod_name) {
   auto it = managed_.find(pod_name);
+  const bool terminating =
+      it != managed_.end() && it->second.terminate_requested;
   if (it != managed_.end() && it->second.cid != container::kNoContainer) {
     const container::ContainerId cid = it->second.cid;
     runtime_.stop(cid, [this, cid](bool) { runtime_.remove(cid, [](bool) {}); });
   }
   managed_.erase(pod_name);
+  if (terminating) {
+    // Deletion was already requested: finalize instead of regressing the
+    // pod to kFailed — a Failed object here would trigger a spurious
+    // Deployment replacement on top of the deletion-driven one (counter
+    // drift: pods ever created outruns restarts actually needed).
+    api_.finalize_pod_deletion(pod_name);
+    return;
+  }
   api_.sim().trace().record(api_.sim().now(), "kubelet", "pod_failed",
                             {{"pod", pod_name}, {"node", node_.name()}});
   api_.mutate_pod(pod_name, [](Pod& p) {

@@ -34,6 +34,26 @@ class Kubelet {
   [[nodiscard]] container::ContainerId container_for(
       const std::string& pod_name) const;
 
+  /// Starts the node-lease heartbeat loop: every `interval_s` the kubelet
+  /// renews its lease with the API server — but only while its node is up,
+  /// which is exactly what lets the node-lifecycle controller detect a
+  /// crash. Idempotent. NOTE: the loop keeps one event pending forever, so
+  /// only enable it in scenarios driven to a workload-defined end (fault
+  /// injection), never ones that drain the event queue.
+  void start_heartbeats(double interval_s);
+
+  /// Kills a managed pod (fault injection / eviction): the container is
+  /// torn down and the pod object transitions to kFailed, which is what
+  /// the Deployment controller reacts to. Returns false when this kubelet
+  /// does not run the pod or its deletion is already in progress.
+  bool kill_pod(const std::string& pod_name);
+
+  /// Node-crash hook: forget all managed pods. In-flight realize chains
+  /// die at their next managed_ lookup; the pod objects are left to the
+  /// node-lifecycle controller's eviction sweep, exactly like a real
+  /// kubelet that vanishes without deregistering.
+  void handle_node_crash();
+
  private:
   enum class Stage {
     kPulling,
@@ -50,6 +70,7 @@ class Kubelet {
   };
 
   void on_pod_event(EventType type, const Pod& pod);
+  void schedule_heartbeat(double interval_s);
   void realize(const Pod& pod);
   void terminate(const std::string& pod_name);
   void teardown(const std::string& pod_name);
@@ -62,6 +83,7 @@ class Kubelet {
   container::Registry& registry_;
   double readiness_delay_;
   std::map<std::string, Managed> managed_;
+  bool heartbeats_started_ = false;
 };
 
 }  // namespace sf::k8s

@@ -19,12 +19,16 @@ using Labels = std::map<std::string, std::string>;
 /// True when every selector entry appears in `labels`.
 bool selector_matches(const Labels& selector, const Labels& labels);
 
-/// A registered worker node's allocatable capacity.
+/// A registered worker node's allocatable capacity. `ready` is the node
+/// condition maintained by the node-lifecycle controller: it flips to
+/// false when the kubelet's lease expires (node crash) and back to true
+/// when heartbeats resume. The scheduler only binds to ready nodes.
 struct NodeObject {
   std::string name;
   double allocatable_cpu = 0;      ///< cores
   double allocatable_memory = 0;   ///< bytes
   net::NodeId net_id = 0;
+  bool ready = true;
 };
 
 enum class PodPhase {

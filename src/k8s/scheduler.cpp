@@ -22,6 +22,10 @@ Scheduler::Scheduler(ApiServer& api, ImageLocalityFn image_locality)
         break;
     }
   });
+  api_.watch_nodes([this](EventType type, const NodeObject& node) {
+    // A node turning Ready is fresh capacity for anything stuck.
+    if (type == EventType::kModified && node.ready) retry_pending();
+  });
 }
 
 double Scheduler::requested_cpu_on(const std::string& node) const {
@@ -71,6 +75,7 @@ void Scheduler::try_schedule(const std::string& pod_name) {
   std::string best_node;
   double best_score = -std::numeric_limits<double>::infinity();
   for (const auto& [name, node] : api_.nodes()) {
+    if (!node.ready) continue;  // filter: NotReady (crashed / lease expired)
     const auto it = used.find(name);
     const double used_cpu = it == used.end() ? 0 : it->second.cpu;
     const double used_mem = it == used.end() ? 0 : it->second.memory;

@@ -6,15 +6,25 @@ namespace sf::knative {
 
 QueueProxy::QueueProxy(sim::Simulation& sim, net::HttpFabric& http,
                        FunctionContext context, FunctionHandler handler,
-                       int container_concurrency)
+                       int container_concurrency, double request_timeout_s)
     : sim_(sim),
       http_(http),
       context_(std::move(context)),
       handler_(std::move(handler)),
-      container_concurrency_(container_concurrency) {}
+      container_concurrency_(container_concurrency),
+      request_timeout_s_(request_timeout_s) {}
 
 QueueProxy::~QueueProxy() {
   if (installed_) http_.close(context_.node, port_);
+  // Outstanding deadline events capture `this`; cancel them so an abrupt
+  // teardown (pod deleted with work still queued) cannot fire into a
+  // destroyed proxy.
+  for (auto& p : queue_) {
+    if (p.timeout_event != sim::kNoEvent) sim_.cancel(p.timeout_event);
+  }
+  for (auto& p : inflight_) {
+    if (p.timeout_event != sim::kNoEvent) sim_.cancel(p.timeout_event);
+  }
 }
 
 void QueueProxy::install(net::Port port) {
@@ -34,8 +44,40 @@ void QueueProxy::on_request(const net::HttpRequest& req,
     respond(std::move(resp));
     return;
   }
-  queue_.push_back(Pending{req, std::move(respond)});
+  Pending p{req, std::move(respond), ++next_token_, sim::kNoEvent};
+  if (request_timeout_s_ > 0) {
+    p.timeout_event = sim_.call_in(
+        request_timeout_s_,
+        [this, token = p.token] { on_timeout(token); });
+  }
+  queue_.push_back(std::move(p));
   maybe_dispatch();
+}
+
+void QueueProxy::on_timeout(std::uint64_t token) {
+  net::HttpResponse resp;
+  resp.status = net::kStatusGatewayTimeout;
+  // Still queued: drop it — it never reached the container.
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->token != token) continue;
+    ++timeouts_;
+    auto respond = std::move(it->respond);
+    queue_.erase(it);
+    respond(std::move(resp));
+    check_drain_done();
+    return;
+  }
+  // Executing: answer 504 now; the handler's eventual response is dropped
+  // (finish_slot sees the consumed responder) but still frees the slot.
+  for (auto& p : inflight_) {
+    if (p.token != token || !p.respond) continue;
+    ++timeouts_;
+    auto respond = std::move(p.respond);
+    p.respond = nullptr;
+    p.timeout_event = sim::kNoEvent;
+    respond(std::move(resp));
+    return;
+  }
 }
 
 void QueueProxy::maybe_dispatch() {
@@ -74,7 +116,10 @@ void QueueProxy::finish_slot(std::uint32_t slot, net::HttpResponse resp) {
   Pending done = std::move(inflight_[slot]);
   inflight_[slot] = Pending{};
   inflight_free_.push_back(slot);
-  done.respond(std::move(resp));
+  if (done.timeout_event != sim::kNoEvent) sim_.cancel(done.timeout_event);
+  // An empty responder means the deadline already answered 504 for this
+  // request; the handler's late response is discarded.
+  if (done.respond) done.respond(std::move(resp));
   finished_one();
 }
 
@@ -82,6 +127,10 @@ void QueueProxy::finished_one() {
   --executing_;
   ++served_;
   maybe_dispatch();
+  check_drain_done();
+}
+
+void QueueProxy::check_drain_done() {
   if (draining_ && executing_ == 0 && queue_.empty() && drain_done_) {
     auto done = std::move(drain_done_);
     drain_done_ = nullptr;

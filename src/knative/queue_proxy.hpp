@@ -33,12 +33,18 @@ using FunctionHandler = std::function<void(
 /// reports observed concurrency (executing + queued) to the autoscaler.
 /// On pod termination it drains: stops accepting, finishes in-flight
 /// work, then releases the pod.
+///
+/// With a request timeout configured, each accepted request carries a
+/// deadline: a queued request that expires is dropped and answered 504; an
+/// executing one is answered 504 immediately and its handler's eventual
+/// (late) response is discarded. The router retries on 504.
 class QueueProxy {
  public:
-  /// `container_concurrency` 0 = unlimited (Knative semantics).
+  /// `container_concurrency` 0 = unlimited (Knative semantics);
+  /// `request_timeout_s` 0 = no per-request deadline.
   QueueProxy(sim::Simulation& sim, net::HttpFabric& http,
              FunctionContext context, FunctionHandler handler,
-             int container_concurrency);
+             int container_concurrency, double request_timeout_s = 0);
 
   ~QueueProxy();
   QueueProxy(const QueueProxy&) = delete;
@@ -54,6 +60,7 @@ class QueueProxy {
   [[nodiscard]] int executing() const { return executing_; }
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
   [[nodiscard]] bool draining() const { return draining_; }
 
   /// Graceful shutdown (the pod's pre-stop hook): unbinds the listener,
@@ -65,6 +72,8 @@ class QueueProxy {
   void maybe_dispatch();
   void finish_slot(std::uint32_t slot, net::HttpResponse resp);
   void finished_one();
+  void on_timeout(std::uint64_t token);
+  void check_drain_done();
 
   sim::Simulation& sim_;
   net::HttpFabric& http_;
@@ -79,6 +88,8 @@ class QueueProxy {
   struct Pending {
     net::HttpRequest req;
     net::Responder respond;
+    std::uint64_t token = 0;  ///< request identity across queue → inflight
+    sim::EventId timeout_event = sim::kNoEvent;
   };
   std::deque<Pending> queue_;
   /// Executing requests, slot-indexed (free list below). The responder
@@ -88,6 +99,9 @@ class QueueProxy {
   std::vector<std::uint32_t> inflight_free_;
   int executing_ = 0;
   std::uint64_t served_ = 0;
+  double request_timeout_s_ = 0;
+  std::uint64_t next_token_ = 0;
+  std::uint64_t timeouts_ = 0;
 };
 
 }  // namespace sf::knative

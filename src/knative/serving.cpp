@@ -359,10 +359,13 @@ void KnativeServing::forward(const std::string& service,
       [this, service, req, respond = std::move(respond),
        attempt](net::HttpResponse resp) mutable {
         const bool retryable = resp.status == net::kStatusConnectionRefused ||
-                               resp.status == net::kStatusServiceUnavailable;
+                               resp.status == net::kStatusServiceUnavailable ||
+                               resp.status == net::kStatusGatewayTimeout;
         if (retryable && attempt < kMaxRouteAttempts &&
             revisions_.contains(service)) {
-          // Endpoint vanished mid-flight (drain/scale-down); retry.
+          // Endpoint vanished mid-flight (drain/scale-down) or the
+          // queue-proxy timed the request out; retry — at zero scale the
+          // route lands in the activator and waits for a cold start.
           kube_.cluster().sim().call_in(
               kRetryBackoff,
               [this, service, req, respond = std::move(respond), attempt]() mutable {
@@ -472,7 +475,8 @@ void KnativeServing::attach_proxy(Revision& rev, const k8s::Pod& pod) {
 
   auto proxy = std::make_unique<QueueProxy>(
       kube_.cluster().sim(), kube_.cluster().http(), std::move(ctx),
-      pod_spec.handler, pod_spec.annotations.container_concurrency);
+      pod_spec.handler, pod_spec.annotations.container_concurrency,
+      pod_spec.annotations.request_timeout_s);
   proxy->install(pod.port);
   rev.proxies.emplace(pod.name, std::move(proxy));
 

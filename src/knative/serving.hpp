@@ -38,6 +38,12 @@ struct Annotations {
   double panic_window_s = 6.0;
   double scale_to_zero_grace_s = 30.0;
   double tick_s = 2.0;  ///< autoscaler evaluation period
+  /// Per-request timeout enforced by the queue-proxy (Knative's
+  /// revision `timeoutSeconds`); 0 = no timeout. Expired requests get a
+  /// 504, which the router treats as retryable — so a request stuck
+  /// behind a dead or overloaded pod is re-routed (possibly through the
+  /// activator after a cold start).
+  double request_timeout_s = 0;
 };
 
 /// A Knative Service definition: container, resource requests, the

@@ -30,6 +30,41 @@ NodeId FlowNetwork::add_node(double bandwidth_Bps, double latency_s) {
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
+void FlowNetwork::set_node_bandwidth_factor(NodeId node, double factor) {
+  if (node >= nodes_.size() || factor <= 0 || factor > 1.0) {
+    throw std::invalid_argument(
+        "FlowNetwork::set_node_bandwidth_factor: bad node or factor");
+  }
+  if (nodes_[node].degrade == factor) return;
+  advance();
+  nodes_[node].degrade = factor;
+  rebalance();
+}
+
+void FlowNetwork::set_partition(NodeId a, NodeId b, bool blocked) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("FlowNetwork::set_partition: bad node pair");
+  }
+  const std::uint64_t key = pair_key(a, b);
+  const auto it =
+      std::lower_bound(blocked_pairs_.begin(), blocked_pairs_.end(), key);
+  const bool present = it != blocked_pairs_.end() && *it == key;
+  if (blocked == present) return;
+  advance();
+  if (blocked) {
+    blocked_pairs_.insert(it, key);
+  } else {
+    blocked_pairs_.erase(it);
+  }
+  rebalance();
+}
+
+bool FlowNetwork::partitioned(NodeId a, NodeId b) const {
+  if (blocked_pairs_.empty() || a == b) return false;
+  return std::binary_search(blocked_pairs_.begin(), blocked_pairs_.end(),
+                            pair_key(a, b));
+}
+
 double FlowNetwork::latency(NodeId src, NodeId dst) const {
   assert(src < nodes_.size() && dst < nodes_.size());
   if (src == dst) return 1e-6;  // loopback
@@ -174,18 +209,23 @@ void FlowNetwork::rebalance() {
       f.rate = loopback_Bps_;
       continue;
     }
+    if (partitioned(f.src, f.dst)) {
+      // Stalled across a partition: no progress, no capacity consumed.
+      f.rate = 0;
+      continue;
+    }
     f.rate = -1;  // unfrozen
     ++unfrozen;
     if (egress_epoch_[f.src] != epoch_) {
       egress_epoch_[f.src] = epoch_;
-      egress_residual_[f.src] = nodes_[f.src].bandwidth;
+      egress_residual_[f.src] = nodes_[f.src].bandwidth * nodes_[f.src].degrade;
       egress_live_[f.src] = 0;
       egress_nodes_.push_back(f.src);
     }
     ++egress_live_[f.src];
     if (ingress_epoch_[f.dst] != epoch_) {
       ingress_epoch_[f.dst] = epoch_;
-      ingress_residual_[f.dst] = nodes_[f.dst].bandwidth;
+      ingress_residual_[f.dst] = nodes_[f.dst].bandwidth * nodes_[f.dst].degrade;
       ingress_live_[f.dst] = 0;
       ingress_nodes_.push_back(f.dst);
     }

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/simulation.hpp"
@@ -74,6 +75,28 @@ class FlowNetwork {
     return bytes_delivered_;
   }
 
+  // ---- Fault injection ----------------------------------------------
+  //
+  // Both knobs take effect immediately: in-flight work is advanced at the
+  // old rates, then every flow is re-solved under the new constraints.
+  // Zero-byte control messages (latency-only) are not affected — they
+  // model small packets that squeeze through; bulk data does not.
+
+  /// Degrades (factor < 1) or restores (factor == 1) a node's NIC: its
+  /// egress and ingress capacity become `bandwidth * factor`.
+  void set_node_bandwidth_factor(NodeId node, double factor);
+
+  [[nodiscard]] double node_bandwidth_factor(NodeId node) const {
+    return nodes_[node].degrade;
+  }
+
+  /// Blocks (or heals) the unordered pair {a, b}: bulk flows between the
+  /// two nodes are pinned at rate 0 — they neither progress nor consume
+  /// NIC capacity — and resume where they left off once healed.
+  void set_partition(NodeId a, NodeId b, bool blocked);
+
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+
  private:
   static constexpr unsigned kSlotBits = 24;
   static constexpr FlowId kSlotMask = (FlowId{1} << kSlotBits) - 1;
@@ -86,6 +109,7 @@ class FlowNetwork {
   struct NodeNic {
     double bandwidth = 0;
     double latency = 0;
+    double degrade = 1.0;  ///< fault-injected bandwidth multiplier
   };
   struct Flow {
     FlowId id = kNoFlow;  ///< Full handle occupying this slot; 0 = free.
@@ -97,6 +121,11 @@ class FlowNetwork {
     bool active = false;  ///< False while in the propagation-latency phase.
     sim::Simulation::Callback on_complete;
   };
+
+  static std::uint64_t pair_key(NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (std::uint64_t{a} << 32) | b;
+  }
 
   Flow* find(FlowId id);
   std::uint32_t alloc_slot();
@@ -117,6 +146,8 @@ class FlowNetwork {
   sim::EventId completion_event_ = sim::kNoEvent;
   std::uint64_t next_seq_ = 0;
   double bytes_delivered_ = 0;
+  /// Sorted pair_key() values of currently partitioned node pairs.
+  std::vector<std::uint64_t> blocked_pairs_;
 
   // Progressive-filling scratch state, epoch-stamped per node so a
   // rebalance touches only the nodes its flows traverse (no O(all nodes)

@@ -37,6 +37,7 @@ struct HttpResponse {
 /// HTTP status codes the fabric itself produces.
 inline constexpr int kStatusConnectionRefused = 502;
 inline constexpr int kStatusServiceUnavailable = 503;
+inline constexpr int kStatusGatewayTimeout = 504;
 
 /// A handler receives the request and a one-shot responder. Responding may
 /// happen immediately or after arbitrarily many simulated events (the

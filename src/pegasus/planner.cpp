@@ -95,18 +95,25 @@ condor::JobExecutable chain_executables(
   if (execs.size() == 1) return std::move(execs.front());
   return [execs = std::move(execs)](condor::ExecContext& ctx,
                                     std::function<void(bool)> done) {
+    // Weak self-reference: each task's completion callback carries the
+    // strong ref, so the chain frees itself when the last task reports
+    // (a direct self-capture would leak the chain and the captured
+    // `done` on every clustered job).
     auto run = std::make_shared<std::function<void(std::size_t)>>();
-    *run = [&ctx, &execs, run, done = std::move(done)](std::size_t i) mutable {
+    *run = [&ctx, &execs, done = std::move(done),
+            weak = std::weak_ptr<std::function<void(std::size_t)>>(run)](
+               std::size_t i) mutable {
       if (i >= execs.size()) {
         done(true);
         return;
       }
-      execs[i](ctx, [run, i, &done](bool ok) {
+      const auto self = weak.lock();
+      execs[i](ctx, [self, i, &done](bool ok) {
         if (!ok) {
           done(false);
           return;
         }
-        (*run)(i + 1);
+        (*self)(i + 1);
       });
     };
     (*run)(0);
@@ -251,11 +258,15 @@ void Planner::add_stage_in(Plan& plan) const {
   node.job.executable = [initial, replicas, staging, network](
                             condor::ExecContext&,
                             std::function<void(bool)> done) {
+    // Weak self-reference; pending transfers hold the strong ref (a
+    // direct self-capture is a shared_ptr cycle — the chain would leak).
     auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
     auto done_ptr =
         std::make_shared<std::function<void(bool)>>(std::move(done));
-    *stage_next = [initial, replicas, staging, network, stage_next,
-                   done_ptr](std::size_t i) {
+    *stage_next = [initial, replicas, staging, network, done_ptr,
+                   weak = std::weak_ptr<std::function<void(std::size_t)>>(
+                       stage_next)](std::size_t i) {
+      const auto self = weak.lock();
       if (i >= initial.size()) {
         (*done_ptr)(true);
         return;
@@ -266,15 +277,15 @@ void Planner::add_stage_in(Plan& plan) const {
         return;
       }
       if (source == staging) {  // data already on the submit node
-        (*stage_next)(i + 1);
+        (*self)(i + 1);
         return;
       }
       storage::stage_file(*network, *source, *staging, initial[i],
-                          [stage_next, done_ptr, i](bool ok) {
+                          [self, done_ptr, i](bool ok) {
                             if (!ok) {
                               (*done_ptr)(false);
                             } else {
-                              (*stage_next)(i + 1);
+                              (*self)(i + 1);
                             }
                           });
     };

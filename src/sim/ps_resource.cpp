@@ -88,6 +88,18 @@ bool PsResource::cancel(JobId id) {
   return true;
 }
 
+std::size_t PsResource::cancel_all() {
+  const std::size_t n = order_.size();
+  if (n == 0) return 0;
+  advance();
+  for (const std::uint32_t slot : order_) release_slot(slot);
+  order_.clear();
+  sum_w_valid_ = false;
+  rates_dirty_ = true;
+  rebalance();
+  return n;
+}
+
 bool PsResource::set_rate_cap(JobId id, double rate_cap) {
   if (rate_cap < 0) {
     throw std::invalid_argument("PsResource::set_rate_cap: negative cap");

@@ -48,6 +48,11 @@ class PsResource {
   /// Removes a job without completing it. Returns true iff it was active.
   bool cancel(JobId id);
 
+  /// Removes every active job without completing any of them (node crash:
+  /// in-flight work is lost and the continuations never fire). Returns the
+  /// number of jobs cancelled.
+  std::size_t cancel_all();
+
   /// Changes a job's rate cap (dynamic cgroup quota change).
   /// Returns false when the job is no longer active.
   bool set_rate_cap(JobId id, double rate_cap);

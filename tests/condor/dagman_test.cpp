@@ -151,6 +151,68 @@ TEST_F(DagManTest, RetrySucceedsOnSecondAttempt) {
   EXPECT_EQ(dag.total_retries(), 1u);
 }
 
+TEST_F(DagManTest, WorkerCrashRetriesNodeToCompletion) {
+  // The schedd aborts jobs whose startd dies; DAGMan's retry budget then
+  // resubmits, landing the rerun on a surviving worker.
+  DagMan dag(pool);
+  DagNode n = node("long", {}, 30.0);
+  n.retries = 2;
+  dag.add_node(std::move(n));
+  bool finished = false;
+  bool ok = false;
+  dag.run([&](bool success) {
+    finished = true;
+    ok = success;
+  });
+  // First attempt starts ~12 s in (negotiation + dispatch + setup); crash
+  // every worker mid-run so the attempt dies wherever it landed, then
+  // reboot the pool and let the retry finish.
+  sim.call_at(20.0, [this] {
+    for (std::size_t i = 1; i <= 3; ++i) cl->node(i).fail();
+  });
+  sim.call_at(30.0, [this] {
+    for (std::size_t i = 1; i <= 3; ++i) cl->node(i).recover();
+  });
+  while (!finished && sim.has_pending_events()) sim.step();
+  EXPECT_TRUE(finished);
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(pool.jobs_aborted(), 1u);
+  EXPECT_EQ(dag.total_retries(), 1u);
+  EXPECT_EQ(order, (std::vector<std::string>{"long", "long"}));
+}
+
+TEST_F(DagManTest, RepeatedWorkerCrashesExhaustRetriesAndFailDag) {
+  DagMan dag(pool);
+  DagNode n = node("doomed", {}, 30.0);
+  n.retries = 1;
+  dag.add_node(std::move(n));
+  dag.add_node(node("never", {"doomed"}));
+  bool finished = false;
+  bool ok = true;
+  dag.run([&](bool success) {
+    finished = true;
+    ok = success;
+  });
+  // Crash the whole pool under attempt 1 (t=20), reboot (t=30), then
+  // crash it again under the retry (t=50, which starts ~31-41 and runs
+  // 30 s): the budget of one retry is exhausted and the DAG fails.
+  const auto crash_all = [this] {
+    for (std::size_t i = 1; i <= 3; ++i) cl->node(i).fail();
+  };
+  const auto recover_all = [this] {
+    for (std::size_t i = 1; i <= 3; ++i) cl->node(i).recover();
+  };
+  sim.call_at(20.0, crash_all);
+  sim.call_at(30.0, recover_all);
+  sim.call_at(50.0, crash_all);
+  while (!finished && sim.has_pending_events()) sim.step();
+  EXPECT_TRUE(finished);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(pool.jobs_aborted(), 2u);  // original + retried attempt
+  EXPECT_EQ(dag.total_retries(), 1u);
+  EXPECT_EQ(order, (std::vector<std::string>{"doomed", "doomed"}));
+}
+
 TEST_F(DagManTest, ExhaustedRetriesFailDag) {
   DagMan dag(pool);
   dag.add_node(node("bad", {}, 0.1, /*succeed=*/false));

@@ -42,6 +42,35 @@ class CondorPoolTest : public ::testing::Test {
   }
 };
 
+TEST_F(CondorPoolTest, WorkerCrashAbortsRunningJobWithNoZombies) {
+  JobState final_state = JobState::kIdle;
+  JobSpec spec = compute_job("t0", 100.0);
+  spec.on_done = [&](const JobRecord& rec) { final_state = rec.state; };
+  const JobId id = pool->submit(std::move(spec));
+  sim.run_until(20.0);  // running by ~12.07
+  ASSERT_EQ(pool->running_jobs(), 1u);
+  const JobRecord* rec = pool->job(id);
+  ASSERT_NE(rec, nullptr);
+  const std::string victim = rec->worker;
+  ASSERT_FALSE(victim.empty());
+
+  for (std::size_t i = 1; i < cl->size(); ++i) {
+    if (cl->node(i).name() == victim) cl->node(i).fail();
+  }
+  // Startd death is detected synchronously: the job is aborted (failed,
+  // on_done fired so a DAGMan above could retry) and its claim dropped.
+  EXPECT_EQ(final_state, JobState::kFailed);
+  EXPECT_EQ(pool->jobs_aborted(), 1u);
+  EXPECT_EQ(pool->running_jobs(), 0u);
+  EXPECT_EQ(pool->active_claims(), 0u);
+
+  // Drain: no zombie continuation from the dead attempt may "complete"
+  // the job after its worker evaporated.
+  sim.run();
+  EXPECT_EQ(pool->completed_jobs(), 0u);
+  EXPECT_EQ(pool->failed_jobs(), 1u);
+}
+
 TEST_F(CondorPoolTest, SingleJobLifecycle) {
   double done_at = -1;
   JobState final_state = JobState::kIdle;

@@ -159,6 +159,36 @@ TEST_F(KubeClusterTest, FailedPodIsReplaced) {
   EXPECT_EQ(ready_pods(), 0);
 }
 
+TEST_F(KubeClusterTest, FailedPodReplacementWaitsForRestartBackoff) {
+  kube.api().apply_deployment(deployment(1));
+  sim.run();
+  ASSERT_EQ(ready_pods(), 1);
+  const auto pods = kube.api().list_pods();
+  ASSERT_EQ(pods.size(), 1u);
+  const std::uint64_t before = kube.controller_pods_created();
+
+  const double t_kill = sim.now();
+  ASSERT_TRUE(kube.kill_pod(pods[0]->name));
+  // The failure is detected promptly (replacement armed) but the watch
+  // storm from the kill (kModified, kDeleted) must not sneak a reconcile
+  // past the 1 s restart backoff: no pod is created yet.
+  sim.run_until(t_kill + 0.9);
+  EXPECT_EQ(kube.controller_pods_created(), before);
+  EXPECT_EQ(kube.controller_pods_replaced(), 1u);
+  // …after which exactly one replacement comes up.
+  sim.run();
+  EXPECT_EQ(kube.controller_pods_created(), before + 1);
+  EXPECT_EQ(kube.controller_pods_replaced(), 1u);
+  EXPECT_EQ(ready_pods(), 1);
+}
+
+TEST_F(KubeClusterTest, KillPodOnUnknownPodReturnsFalse) {
+  kube.api().apply_deployment(deployment(1));
+  sim.run();
+  EXPECT_FALSE(kube.kill_pod("no-such-pod"));
+  EXPECT_EQ(ready_pods(), 1);
+}
+
 TEST_F(KubeClusterTest, PreStopHookRunsBeforeTermination) {
   kube.api().apply_deployment(deployment(1));
   sim.run();

@@ -128,6 +128,35 @@ TEST_F(EventingTest, UnknownSubscriberGoesToDeadLetters) {
   EXPECT_EQ(broker.dead_letters().front().extensions.at("job"), "j");
 }
 
+TEST_F(EventingTest, EachExhaustedDeliveryDeadLettersExactlyOnce) {
+  broker.set_retry_backoff(0.05);
+  broker.set_retry_limit(2);
+  broker.add_trigger("broken", "task.done", "no-such-service");
+  EXPECT_FALSE(publish_and_wait(task_done("a")));
+  EXPECT_FALSE(publish_and_wait(task_done("b")));
+  EXPECT_FALSE(publish_and_wait(task_done("c")));
+  // One failed delivery and one dead letter per event — retries within a
+  // delivery must not multiply either count.
+  EXPECT_EQ(broker.failed_deliveries(), 3u);
+  ASSERT_EQ(broker.dead_letters().size(), 3u);
+  EXPECT_EQ(broker.dead_letters()[0].extensions.at("job"), "a");
+  EXPECT_EQ(broker.dead_letters()[2].extensions.at("job"), "c");
+  EXPECT_EQ(broker.deliveries(), 0u);
+}
+
+TEST_F(EventingTest, DeadLetterLegDoesNotBlockHealthySubscribers) {
+  deploy_subscriber("listener");
+  sim.run_until(30.0);
+  broker.set_retry_backoff(0.05);
+  broker.add_trigger("ok", "task.done", "listener");
+  broker.add_trigger("broken", "task.done", "no-such-service");
+  publish_and_wait(task_done("j"));
+  EXPECT_EQ(received.size(), 1u);
+  EXPECT_EQ(broker.deliveries(), 1u);
+  EXPECT_EQ(broker.failed_deliveries(), 1u);
+  EXPECT_EQ(broker.dead_letters().size(), 1u);
+}
+
 TEST_F(EventingTest, DeliveryRetriesThroughColdStart) {
   // Subscriber scaled to zero: the first delivery attempt rides the
   // activator (not an error), so delivery succeeds including cold start.
