@@ -1,15 +1,34 @@
-// Chaos sweep — makespan vs fault intensity for a fig6-style concurrent
-// workflow set (half native / half Knative) under the sf::fault injector:
-// worker VM crashes + reboots, registry outages, pod kills, NIC
-// degradation and transient partitions, with DAGMan retries, node-
-// lifecycle eviction and queue-proxy deadlines doing the recovering.
+// Chaos sweep — recovery under structured failure injection, two sweeps:
+//
+//  1. Intensity sweep: makespan vs fault intensity for a fig6-style
+//     concurrent workflow set (half native / half Knative) under every
+//     sf::fault channel — independent crashes / outages / kills /
+//     degradation / partitions PLUS correlated incidents (rack PDU trips,
+//     rack cut-set partitions, deploy storms) and gray failures (CPU
+//     stragglers, flaky NICs) on a 2-rack layout of the 4-node testbed.
+//
+//  2. Autoscale chaos: KPA burst workload (scale-from-zero, concurrency-1
+//     pods) with the same structured injector running underneath, so
+//     scale-up races eviction: the node-lifecycle controller evicts pods
+//     off crashed/partitioned nodes while the autoscaler is still adding
+//     them, and queue-proxy deadlines + router retries + a driver-level
+//     retry loop absorb the requests caught in between.
+//
+// Recovery = DAGMan retries, node-lifecycle eviction, negotiator
+// reachability gating, queue-proxy deadlines, router + driver retries.
 //
 // Determinism contract: each sweep point builds its own testbed +
 // injector from fixed seeds, points run across a SweepRunner pool, and
 // rows print in sweep order — stdout is bit-identical at any
-// SF_SWEEP_THREADS (asserted by tests/fault/injector_test.cpp).
+// SF_SWEEP_THREADS (asserted by tests/fault/injector_test.cpp and the
+// scripts/tier1.sh --chaos golden diff).
+//
+// SF_CHAOS_SMOKE=1 shrinks both sweeps (fewer levels, smaller workloads)
+// for the tier-1 smoke leg; the output format is unchanged.
 
 #include <cstddef>
+#include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,6 +43,11 @@ namespace {
 using namespace sf;
 using namespace sf::core;
 
+bool smoke_mode() {
+  const char* env = std::getenv("SF_CHAOS_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 struct Level {
   const char* label;
   double intensity;  ///< fault arrival-rate multiplier (0 = no faults)
@@ -32,7 +56,9 @@ struct Level {
 fault::FaultConfig chaos_config(double intensity) {
   fault::FaultConfig cfg;
   cfg.horizon_s = 2400;
+  cfg.racks = 2;  // nodes {0,1} | {2,3}
   if (intensity <= 0) return cfg;  // all channels off
+  // Independent fail-stop channels.
   cfg.node_crash_mean_s = 240 / intensity;
   cfg.node_downtime_s = 25;
   cfg.pull_outage_mean_s = 180 / intensity;
@@ -43,8 +69,26 @@ fault::FaultConfig chaos_config(double intensity) {
   cfg.degrade_factor = 0.25;
   cfg.partition_mean_s = 200 / intensity;
   cfg.partition_duration_s = 12;
+  // Correlated incidents.
+  cfg.rack_fail_mean_s = 600 / intensity;
+  cfg.rack_fail_downtime_s = 30;
+  cfg.rack_partition_mean_s = 400 / intensity;
+  cfg.rack_partition_duration_s = 18;
+  cfg.deploy_storm_mean_s = 300 / intensity;
+  cfg.deploy_storm_outage_s = 8;
+  cfg.deploy_storm_kills = 3;
+  // Gray failures.
+  cfg.cpu_slow_mean_s = 150 / intensity;
+  cfg.cpu_slow_duration_s = 25;
+  cfg.cpu_slow_factor = 0.2;
+  cfg.flaky_nic_mean_s = 130 / intensity;
+  cfg.flaky_nic_duration_s = 25;
+  cfg.flaky_nic_every = 4;
+  cfg.flaky_nic_stall_s = 1.5;
   return cfg;
 }
+
+// ---- Sweep 1: fig6 mix vs intensity ----------------------------------
 
 struct PointResult {
   double makespan_s = 0;
@@ -54,11 +98,14 @@ struct PointResult {
   std::uint64_t outages = 0;
   std::uint64_t degrades = 0;
   std::uint64_t partitions = 0;
+  std::uint64_t rack_cuts = 0;
+  std::uint64_t cpu_slows = 0;
+  std::uint64_t flaky = 0;
   std::uint64_t condor_aborts = 0;
   std::uint64_t pods_replaced = 0;
 };
 
-PointResult run_point(double intensity) {
+PointResult run_point(double intensity, int n_workflows, int tasks_each) {
   TestbedOptions opts;
   // Cold pulls on every scale-up so the registry-outage channel has a
   // real pull path to break; retries absorb crashed attempts.
@@ -72,8 +119,8 @@ PointResult run_point(double intensity) {
                                 /*seed=*/0xC4405EEDull);
   injector.arm();
 
-  const auto result =
-      tb.run_concurrent_mix(10, 10, metrics::MixPoint{0.5, 0.0, 0.5});
+  const auto result = tb.run_concurrent_mix(n_workflows, tasks_each,
+                                            metrics::MixPoint{0.5, 0.0, 0.5});
 
   PointResult r;
   r.makespan_s = result.slowest;
@@ -83,7 +130,103 @@ PointResult run_point(double intensity) {
   r.outages = injector.registry_outages();
   r.degrades = injector.degrades();
   r.partitions = injector.partitions();
+  r.rack_cuts = injector.rack_partitions();
+  r.cpu_slows = injector.cpu_slows();
+  r.flaky = injector.flaky_nics();
   r.condor_aborts = tb.condor().jobs_aborted();
+  r.pods_replaced = tb.kube().controller_pods_replaced();
+  return r;
+}
+
+// ---- Sweep 2: chaos under autoscaling --------------------------------
+
+struct AutoscaleResult {
+  double makespan_s = 0;
+  bool ok = false;
+  std::uint64_t crashes = 0;
+  std::uint64_t pod_kills = 0;
+  std::uint64_t rack_cuts = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t route_retries = 0;
+  std::uint64_t driver_retries = 0;
+  std::uint64_t pods_replaced = 0;
+};
+
+/// Scale-from-zero bursts racing the injector: `bursts` waves of
+/// `burst_size` concurrent invocations, one wave every `spacing_s`.
+/// Failed responses (the router's retry budget exhausted mid-incident)
+/// are re-driven by the client after a 1 s backoff — the outermost retry
+/// loop a real workflow wrapper would run.
+AutoscaleResult run_autoscale_point(double intensity, int bursts,
+                                    int burst_size) {
+  constexpr int kMaxDriverAttempts = 12;
+  constexpr double kBurstSpacing = 90.0;
+
+  TestbedOptions opts;
+  opts.prestage_images = false;  // every scale-up pulls through the chaos
+  ProvisioningPolicy policy = ProvisioningPolicy::deferred();
+  policy.container_concurrency = 1;
+  policy.request_timeout_s = 30;
+  opts.provisioning = policy;
+  PaperTestbed tb(42, opts);
+  tb.register_matmul_function();
+
+  fault::FaultConfig cfg = chaos_config(intensity);
+  // Bias toward the channels that fight the autoscaler: kills and rack
+  // incidents evict pods the KPA just brought up.
+  if (intensity > 0) {
+    cfg.pod_kill_mean_s = 80 / intensity;
+    cfg.rack_fail_mean_s = 400 / intensity;
+  }
+  fault::FaultInjector injector(tb, cfg, /*seed=*/0xC4A0C4A0ull);
+  injector.arm();
+
+  const int total = bursts * burst_size;
+  int done = 0;
+  std::uint64_t driver_retries = 0;
+  std::function<void(int)> send = [&](int attempt) {
+    net::HttpRequest req;
+    TaskPayload payload;
+    payload.work_coreseconds = tb.calibration().matmul_work_s;
+    payload.output_bytes = 64;
+    req.body = payload;
+    req.body_bytes = 128;
+    tb.serving().invoke(tb.cluster().node(0).net_id(), "fn-matmul",
+                        std::move(req), [&, attempt](net::HttpResponse resp) {
+                          if (resp.ok()) {
+                            ++done;
+                            return;
+                          }
+                          if (attempt >= kMaxDriverAttempts) return;  // lost
+                          ++driver_retries;
+                          tb.sim().call_in(1.0,
+                                           [&, attempt] { send(attempt + 1); });
+                        });
+  };
+  const double t0 = tb.sim().now();
+  for (int b = 0; b < bursts; ++b) {
+    tb.sim().call_in(b * kBurstSpacing, [&, burst_size] {
+      for (int i = 0; i < burst_size; ++i) send(1);
+    });
+  }
+  // Heartbeats keep the event queue non-empty forever, so the drive loop
+  // needs a wall: if any request exhausts its driver retries (it never
+  // should), stop at the deadline and report the loss instead of spinning.
+  const double deadline = t0 + 3600;
+  while (done < total && tb.sim().has_pending_events() &&
+         tb.sim().now() < deadline) {
+    tb.sim().step();
+  }
+
+  AutoscaleResult r;
+  r.makespan_s = tb.sim().now() - t0;
+  r.ok = done == total;
+  r.crashes = injector.node_crashes();
+  r.pod_kills = injector.pod_kills();
+  r.rack_cuts = injector.rack_partitions();
+  r.cold_starts = tb.serving().cold_start_requests("fn-matmul");
+  r.route_retries = tb.serving().route_retries("fn-matmul");
+  r.driver_retries = driver_retries;
   r.pods_replaced = tb.kube().controller_pods_replaced();
   return r;
 }
@@ -91,28 +234,38 @@ PointResult run_point(double intensity) {
 }  // namespace
 
 int main() {
+  const bool smoke = smoke_mode();
+
   sf::bench::banner(
       "Chaos sweep: makespan vs fault intensity",
-      "fig6-style mix under injected crashes / outages / kills / "
-      "partitions; recovery = DAGMan retries + node lifecycle + "
-      "queue-proxy deadlines");
+      "fig6-style mix under crashes / outages / kills / partitions plus "
+      "correlated rack incidents, deploy storms and gray failures "
+      "(CPU stragglers, flaky NICs) on a 2-rack layout");
 
-  const std::vector<Level> levels{{"none", 0.0},
-                                  {"light", 1.0},
-                                  {"moderate", 2.0},
-                                  {"heavy", 4.0},
-                                  {"extreme", 8.0}};
+  std::vector<Level> levels{{"none", 0.0},
+                            {"light", 1.0},
+                            {"moderate", 2.0},
+                            {"heavy", 4.0},
+                            {"extreme", 8.0}};
+  int n_workflows = 10;
+  int tasks_each = 10;
+  if (smoke) {
+    levels = {{"none", 0.0}, {"moderate", 2.0}};
+    n_workflows = 4;
+    tasks_each = 6;
+  }
 
   sf::sim::SweepRunner runner;
-  const std::vector<PointResult> results =
-      runner.run(levels.size(), [&levels](std::size_t i) {
-        return run_point(levels[i].intensity);
+  const std::vector<PointResult> results = runner.run(
+      levels.size(), [&levels, n_workflows, tasks_each](std::size_t i) {
+        return run_point(levels[i].intensity, n_workflows, tasks_each);
       });
 
-  sf::metrics::Table table({"level", "crashes", "pod_kills", "outages",
-                            "degrades", "partitions", "condor_aborts",
-                            "pods_replaced", "makespan_s", "ok"},
-                           2);
+  sf::metrics::Table table(
+      {"level", "crashes", "pod_kills", "outages", "degrades", "partitions",
+       "rack_cuts", "cpu_slow", "flaky", "condor_aborts", "pods_replaced",
+       "makespan_s", "ok"},
+      2);
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const PointResult& r = results[i];
     table.add_row({std::string(levels[i].label),
@@ -121,6 +274,9 @@ int main() {
                    static_cast<std::int64_t>(r.outages),
                    static_cast<std::int64_t>(r.degrades),
                    static_cast<std::int64_t>(r.partitions),
+                   static_cast<std::int64_t>(r.rack_cuts),
+                   static_cast<std::int64_t>(r.cpu_slows),
+                   static_cast<std::int64_t>(r.flaky),
                    static_cast<std::int64_t>(r.condor_aborts),
                    static_cast<std::int64_t>(r.pods_replaced), r.makespan_s,
                    std::string(r.ok ? "yes" : "NO")});
@@ -128,5 +284,49 @@ int main() {
   table.print_text(std::cout);
   std::cout << "\nall points recover within the retry budget; makespan "
                "grows with fault intensity\n";
+
+  sf::bench::banner(
+      "Autoscale chaos: scale-from-zero bursts racing eviction",
+      "KPA bursts (concurrency-1 pods, deferred pull) while the injector "
+      "kills pods, trips racks and cuts the fabric; queue-proxy 504s + "
+      "router and driver retries recover every request");
+
+  std::vector<Level> auto_levels{
+      {"calm", 0.0}, {"stormy", 1.0}, {"violent", 2.0}};
+  int bursts = 4;
+  int burst_size = 24;
+  if (smoke) {
+    auto_levels = {{"calm", 0.0}, {"stormy", 1.0}};
+    bursts = 2;
+    burst_size = 8;
+  }
+
+  const std::vector<AutoscaleResult> auto_results = runner.run(
+      auto_levels.size(), [&auto_levels, bursts, burst_size](std::size_t i) {
+        return run_autoscale_point(auto_levels[i].intensity, bursts,
+                                   burst_size);
+      });
+
+  sf::metrics::Table auto_table(
+      {"level", "crashes", "pod_kills", "rack_cuts", "cold_starts",
+       "route_retries", "driver_retries", "pods_replaced", "makespan_s",
+       "ok"},
+      2);
+  for (std::size_t i = 0; i < auto_levels.size(); ++i) {
+    const AutoscaleResult& r = auto_results[i];
+    auto_table.add_row({std::string(auto_levels[i].label),
+                        static_cast<std::int64_t>(r.crashes),
+                        static_cast<std::int64_t>(r.pod_kills),
+                        static_cast<std::int64_t>(r.rack_cuts),
+                        static_cast<std::int64_t>(r.cold_starts),
+                        static_cast<std::int64_t>(r.route_retries),
+                        static_cast<std::int64_t>(r.driver_retries),
+                        static_cast<std::int64_t>(r.pods_replaced),
+                        r.makespan_s,
+                        std::string(r.ok ? "yes" : "NO")});
+  }
+  auto_table.print_text(std::cout);
+  std::cout << "\nevery burst request completes: the autoscaler re-adds "
+               "capacity faster than the injector evicts it\n";
   return 0;
 }

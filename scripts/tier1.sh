@@ -5,6 +5,7 @@
 # Usage: scripts/tier1.sh [build-dir]            (default: ./build)
 #        scripts/tier1.sh --tsan [build-dir]     (default: ./build-tsan)
 #        scripts/tier1.sh --asan [build-dir]     (default: ./build-asan)
+#        scripts/tier1.sh --chaos [build-dir]    (default: ./build)
 #
 # --tsan builds the engine + tests under ThreadSanitizer and runs the
 # SweepRunner suite — the only code that spawns threads. Keep it green:
@@ -15,9 +16,33 @@
 # pods/claims/containers out from under in-flight continuations; ASan is
 # what catches a stale `this` or use-after-free the happy path never
 # trips.
+#
+# --chaos builds bench/chaos_sweep and runs its smoke subset at 1 and 4
+# sweep threads, diffing both against the committed golden transcript.
+# Any drift — between thread counts or against the golden — means the
+# structured-chaos determinism contract broke.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--chaos" ]]; then
+  build_dir="${2:-$repo_root/build}"
+  golden="$repo_root/tests/golden/chaos_smoke.txt"
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" --target chaos_sweep -j
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  SF_CHAOS_SMOKE=1 SF_SWEEP_THREADS=1 \
+    "$build_dir/bench/chaos_sweep" > "$tmp/serial.txt"
+  SF_CHAOS_SMOKE=1 SF_SWEEP_THREADS=4 \
+    "$build_dir/bench/chaos_sweep" > "$tmp/parallel.txt"
+  diff -u "$tmp/serial.txt" "$tmp/parallel.txt" \
+    || { echo "chaos smoke: thread counts disagree" >&2; exit 1; }
+  diff -u "$golden" "$tmp/serial.txt" \
+    || { echo "chaos smoke: drifted from golden transcript" >&2; exit 1; }
+  echo "chaos smoke: bit-identical at 1 and 4 threads, matches golden"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--asan" ]]; then
   build_dir="${2:-$repo_root/build-asan}"

@@ -26,6 +26,14 @@ bool Node::set_process_cap(ProcessId id, double max_cores) {
   return cpu_.set_rate_cap(id, max_cores);
 }
 
+void Node::set_cpu_slowdown(double factor) {
+  if (factor <= 0 || factor > 1.0) return;  // reject nonsense factors
+  cpu_slowdown_ = factor;
+  cpu_.set_capacity(spec_.cores * factor);
+  sim_.trace().record(sim_.now(), "node", "cpu_slowdown",
+                      {{"node", spec_.name}});
+}
+
 bool Node::allocate_memory(double bytes) {
   if (!up_) return false;
   if (memory_used_ + bytes > spec_.memory_bytes) {

@@ -64,6 +64,13 @@ class Node {
   [[nodiscard]] double cpu_utilization() const { return cpu_.utilization(); }
   sim::PsResource& cpu() { return cpu_; }
 
+  /// Gray failure: pins the CPU at `factor` of its nominal capacity
+  /// (0 < factor ≤ 1; 1.0 restores full speed). Running processes keep
+  /// their work accounting and simply progress slower — the node looks
+  /// healthy to heartbeats while everything on it straggles.
+  void set_cpu_slowdown(double factor);
+  [[nodiscard]] double cpu_slowdown() const { return cpu_slowdown_; }
+
   // ---- Memory -------------------------------------------------------
 
   /// Reserves memory. Returns false (and calls the OOM handler) when the
@@ -124,6 +131,7 @@ class Node {
   net::NodeId net_id_;
   sim::PsResource cpu_;
   sim::PsResource disk_;
+  double cpu_slowdown_ = 1.0;
   double memory_used_ = 0;
   std::uint64_t oom_events_ = 0;
   std::function<void(double)> oom_handler_;

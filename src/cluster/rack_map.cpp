@@ -1,0 +1,43 @@
+#include "cluster/rack_map.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace sf::cluster {
+
+RackMap::RackMap(std::vector<std::uint32_t> rack_of_node)
+    : rack_of_(std::move(rack_of_node)) {
+  if (rack_of_.empty()) return;
+  const std::uint32_t max_rack =
+      *std::max_element(rack_of_.begin(), rack_of_.end());
+  members_.resize(max_rack + 1);
+  for (std::uint32_t node = 0; node < rack_of_.size(); ++node) {
+    members_[rack_of_[node]].push_back(node);
+  }
+  for (const auto& rack : members_) {
+    if (rack.empty()) {
+      throw std::invalid_argument("RackMap: rack ids must be dense");
+    }
+  }
+}
+
+RackMap RackMap::blocks(std::uint32_t node_count, std::uint32_t rack_count) {
+  if (node_count == 0) return RackMap{};
+  if (rack_count == 0 || rack_count > node_count) {
+    throw std::invalid_argument("RackMap::blocks: bad rack count");
+  }
+  std::vector<std::uint32_t> assignment(node_count);
+  // First `node_count % rack_count` racks get the extra node, so sizes
+  // differ by at most one and the layout is a pure function of the counts.
+  const std::uint32_t base = node_count / rack_count;
+  const std::uint32_t extra = node_count % rack_count;
+  std::uint32_t node = 0;
+  for (std::uint32_t rack = 0; rack < rack_count; ++rack) {
+    const std::uint32_t size = base + (rack < extra ? 1 : 0);
+    for (std::uint32_t i = 0; i < size; ++i) assignment[node++] = rack;
+  }
+  return RackMap(std::move(assignment));
+}
+
+}  // namespace sf::cluster

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace sf::cluster {
+
+/// Rack topology over a cluster's node indices: every node belongs to
+/// exactly one rack, and a rack is the failure/partition domain for
+/// correlated incidents (a PDU trip takes the whole rack down; a cut-set
+/// partition isolates a rack from the rest of the fabric).
+///
+/// A RackMap is pure data — no simulation state — so it can be part of
+/// the fault-plan determinism contract: same (seed, config, RackMap) ⇒
+/// identical plan, and two maps compare equal iff they assign every node
+/// identically.
+class RackMap {
+ public:
+  /// Empty map (no nodes, no racks).
+  RackMap() = default;
+
+  /// Explicit assignment: `rack_of_node[i]` is node i's rack id. Rack ids
+  /// must be dense, i.e. every id in [0, max+1) used by at least one node;
+  /// throws otherwise.
+  explicit RackMap(std::vector<std::uint32_t> rack_of_node);
+
+  /// Contiguous near-equal blocks: `node_count` nodes split into
+  /// `rack_count` racks of size ceil/floor(node_count / rack_count), rack 0
+  /// first. This is the deterministic default topology the fault injector
+  /// derives from `FaultConfig::racks` — node 0 (head) always lands in
+  /// rack 0.
+  static RackMap blocks(std::uint32_t node_count, std::uint32_t rack_count);
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return static_cast<std::uint32_t>(rack_of_.size());
+  }
+  [[nodiscard]] std::uint32_t rack_count() const {
+    return static_cast<std::uint32_t>(members_.size());
+  }
+  [[nodiscard]] std::uint32_t rack_of(std::uint32_t node) const {
+    return rack_of_.at(node);
+  }
+  /// Node indices in the rack, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& nodes_in(
+      std::uint32_t rack) const {
+    return members_.at(rack);
+  }
+
+  friend bool operator==(const RackMap&, const RackMap&) = default;
+
+ private:
+  std::vector<std::uint32_t> rack_of_;               // node -> rack
+  std::vector<std::vector<std::uint32_t>> members_;  // rack -> nodes
+};
+
+}  // namespace sf::cluster

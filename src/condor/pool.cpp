@@ -94,12 +94,19 @@ const JobRecord* CondorPool::job(JobId id) const {
 std::size_t CondorPool::idle_jobs() const { return idle_queue_.size(); }
 std::size_t CondorPool::running_jobs() const { return running_; }
 
+bool CondorPool::reachable(const cluster::Node& node) const {
+  return !cluster_.network().partitioned(submit_.net_id(), node.net_id());
+}
+
 bool CondorPool::claim_fits(const Claim& claim,
                             const JobRecord& rec) const {
   if (claim.busy || claim.cpus < rec.spec.request_cpus ||
       claim.memory < rec.spec.request_memory) {
     return false;
   }
+  // A claim on a partitioned worker is held but unusable: activating it
+  // would strand the shadow's stage-in against a dead link.
+  if (!reachable(claim.startd->node())) return false;
   return !rec.spec.requirements || rec.spec.requirements(*claim.startd);
 }
 
@@ -158,6 +165,8 @@ void CondorPool::negotiate() {
       Startd& sd = *startds_.at(
           worker_order_[(cursor + i) % worker_order_.size()]);
       if (!sd.node().up()) continue;  // dead startds advertise nothing
+      // Partitioned startds can't deliver their ClassAd to the collector.
+      if (!reachable(sd.node())) continue;
       if (rec.spec.requirements && !rec.spec.requirements(sd)) continue;
       const auto slot =
           sd.claim_slot(rec.spec.request_cpus, rec.spec.request_memory);

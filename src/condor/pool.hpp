@@ -108,6 +108,11 @@ class CondorPool {
   [[nodiscard]] bool has_unmatched_idle();
   [[nodiscard]] bool claim_fits(const Claim& claim,
                                 const JobRecord& rec) const;
+  /// True while the schedd (submit node) can reach `node` over the flow
+  /// network. A rack cut makes a healthy startd unmatchable and its idle
+  /// claims unusable; the negotiator re-polls via kick_negotiator, so the
+  /// pool picks the workers back up as soon as the cut heals.
+  [[nodiscard]] bool reachable(const cluster::Node& node) const;
   /// Inserts into idle_queue_ keeping (priority desc, submission order).
   void enqueue_idle(JobId id);
 

@@ -18,6 +18,12 @@ const char* to_string(FaultKind kind) {
       return "link_degrade";
     case FaultKind::kPartition:
       return "partition";
+    case FaultKind::kCpuSlow:
+      return "cpu_slow";
+    case FaultKind::kFlakyNic:
+      return "flaky_nic";
+    case FaultKind::kRackPartition:
+      return "rack_partition";
   }
   return "unknown";
 }
@@ -32,6 +38,18 @@ constexpr std::uint64_t kTagPullOutage = 0xA2;
 constexpr std::uint64_t kTagPodKill = 0xA3;
 constexpr std::uint64_t kTagDegrade = 0xA4;
 constexpr std::uint64_t kTagPartition = 0xA5;
+constexpr std::uint64_t kTagRackFail = 0xA6;
+constexpr std::uint64_t kTagRackPartition = 0xA7;
+constexpr std::uint64_t kTagDeployStorm = 0xA8;
+constexpr std::uint64_t kTagCpuSlow = 0xA9;
+constexpr std::uint64_t kTagFlakyNic = 0xAA;
+
+/// Incident-id bases, one block per correlated channel: ids only need to
+/// be unique within a plan, and a fixed base per channel keeps them
+/// stable under config changes to the other channels.
+constexpr std::uint32_t kIncidentRackFail = 0x10000;
+constexpr std::uint32_t kIncidentDeployStorm = 0x20000;
+constexpr std::uint32_t kIncidentRackPartition = 0x30000;
 
 /// Poisson arrivals on [0, horizon): appends one event per arrival via
 /// `emit(t, rng)`. Each channel owns a forked stream, so channels never
@@ -52,14 +70,17 @@ void arrivals(std::uint64_t seed, std::uint64_t tag, double mean_s,
 
 std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
                                         const FaultConfig& cfg,
-                                        std::uint32_t node_count) {
+                                        const cluster::RackMap& racks) {
   std::vector<FaultEvent> plan;
+  const std::uint32_t node_count = racks.node_count();
   // Crashable node indices: [first, node_count). Connectivity faults
-  // (degrade / partition) target all nodes — see FaultConfig.
+  // (degrade / flaky / partition / rack cut) target all nodes — see
+  // FaultConfig.
   const std::uint32_t first = cfg.spare_head_node ? 1 : 0;
   const std::uint32_t crashable =
       node_count > first ? node_count - first : 0;
 
+  // ---- Independent fail-stop channels -------------------------------
   if (crashable > 0) {
     arrivals(seed, kTagNodeCrash, cfg.node_crash_mean_s, cfg.horizon_s,
              [&](double t, SplitMix64& rng) {
@@ -119,31 +140,162 @@ std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
              plan.push_back(ev);
            });
 
+  // ---- Correlated incidents ------------------------------------------
+  //
+  // Each incident is expanded HERE, at plan time, into its member events:
+  // the burst structure (which nodes, what jitter) is as seed-pure as the
+  // arrival times, and members carry a shared incident id.
+
+  // Rack PDU trip: every crashable node in one rack crashes within a
+  // stagger window (power supplies don't drop in perfect sync).
+  std::vector<std::uint32_t> pdu_racks;  // racks with ≥1 crashable node
+  for (std::uint32_t r = 0; r < racks.rack_count(); ++r) {
+    const auto& members = racks.nodes_in(r);
+    if (std::any_of(members.begin(), members.end(),
+                    [first](std::uint32_t n) { return n >= first; })) {
+      pdu_racks.push_back(r);
+    }
+  }
+  if (!pdu_racks.empty()) {
+    std::uint32_t incident = kIncidentRackFail;
+    arrivals(seed, kTagRackFail, cfg.rack_fail_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               const std::uint32_t rack = pdu_racks[static_cast<std::size_t>(
+                   rng.next_below(pdu_racks.size()))];
+               ++incident;
+               for (const std::uint32_t n : racks.nodes_in(rack)) {
+                 if (n < first) continue;  // head survives its rack's PDU
+                 FaultEvent ev;
+                 ev.at = t + rng.next_double() * cfg.rack_fail_stagger_s;
+                 ev.kind = FaultKind::kNodeCrash;
+                 ev.node = n;
+                 ev.duration_s = cfg.rack_fail_downtime_s;
+                 ev.incident = incident;
+                 plan.push_back(ev);
+               }
+             });
+  }
+
+  // Rack cut: one event per incident; the injector expands it into the
+  // pairwise cut-set at apply time (a pure function of the RackMap).
+  if (racks.rack_count() > 1) {
+    std::uint32_t incident = kIncidentRackPartition;
+    arrivals(seed, kTagRackPartition, cfg.rack_partition_mean_s,
+             cfg.horizon_s, [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kRackPartition;
+               ev.node = static_cast<std::uint32_t>(
+                   rng.next_below(racks.rack_count()));
+               ev.duration_s = cfg.rack_partition_duration_s;
+               ev.incident = ++incident;
+               plan.push_back(ev);
+             });
+  }
+
+  // Deploy storm: a registry outage coinciding with a burst of pod
+  // kills — pulls for the replacements hit the dead registry, so the
+  // backoff path races the outage window.
+  {
+    std::uint32_t incident = kIncidentDeployStorm;
+    arrivals(seed, kTagDeployStorm, cfg.deploy_storm_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               ++incident;
+               FaultEvent outage;
+               outage.at = t;
+               outage.kind = FaultKind::kRegistryOutage;
+               outage.duration_s = cfg.deploy_storm_outage_s;
+               outage.incident = incident;
+               plan.push_back(outage);
+               for (std::uint32_t k = 0; k < cfg.deploy_storm_kills; ++k) {
+                 FaultEvent kill;
+                 kill.at = t + rng.next_double() * cfg.deploy_storm_spread_s;
+                 kill.kind = FaultKind::kPodKill;
+                 kill.pick = rng.next();
+                 kill.incident = incident;
+                 plan.push_back(kill);
+               }
+             });
+  }
+
+  // ---- Gray failures --------------------------------------------------
+  if (crashable > 0) {
+    arrivals(seed, kTagCpuSlow, cfg.cpu_slow_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kCpuSlow;
+               ev.node = first + static_cast<std::uint32_t>(
+                                     rng.next_below(crashable));
+               ev.duration_s = cfg.cpu_slow_duration_s;
+               ev.factor = std::clamp(cfg.cpu_slow_factor, 1e-6, 1.0);
+               plan.push_back(ev);
+             });
+  }
+  if (node_count > 0 && cfg.flaky_nic_every > 0) {
+    arrivals(seed, kTagFlakyNic, cfg.flaky_nic_mean_s, cfg.horizon_s,
+             [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kFlakyNic;
+               ev.node = static_cast<std::uint32_t>(
+                   rng.next_below(node_count));
+               ev.duration_s = cfg.flaky_nic_duration_s;
+               plan.push_back(ev);
+             });
+  }
+
   // Deterministic total order: time, then every discriminating field.
   // Cross-channel ties are practically impossible (53-bit exponentials)
   // but must still order identically everywhere.
   std::sort(plan.begin(), plan.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
-              return std::tie(a.at, a.kind, a.node, a.peer, a.pick) <
-                     std::tie(b.at, b.kind, b.node, b.peer, b.pick);
+              return std::tie(a.at, a.kind, a.node, a.peer, a.incident,
+                              a.pick) <
+                     std::tie(b.at, b.kind, b.node, b.peer, b.incident,
+                              b.pick);
             });
   return plan;
+}
+
+std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
+                                        const FaultConfig& cfg,
+                                        std::uint32_t node_count) {
+  if (node_count == 0) return {};
+  const std::uint32_t racks =
+      std::clamp<std::uint32_t>(cfg.racks, 1, node_count);
+  return make_fault_plan(seed, cfg,
+                         cluster::RackMap::blocks(node_count, racks));
 }
 
 FaultInjector::FaultInjector(core::PaperTestbed& testbed, FaultConfig cfg,
                              std::uint64_t seed)
     : tb_(testbed),
       cfg_(cfg),
-      plan_(make_fault_plan(
-          seed, cfg, static_cast<std::uint32_t>(testbed.cluster().size()))) {}
+      racks_(cluster::RackMap::blocks(
+          static_cast<std::uint32_t>(testbed.cluster().size()),
+          std::clamp<std::uint32_t>(
+              cfg.racks, 1,
+              static_cast<std::uint32_t>(testbed.cluster().size())))),
+      node_count_(static_cast<std::uint32_t>(testbed.cluster().size())),
+      plan_(make_fault_plan(seed, cfg, racks_)),
+      degrade_depth_(node_count_, 0),
+      cpu_slow_depth_(node_count_, 0),
+      flaky_depth_(node_count_, 0),
+      partition_depth_(static_cast<std::size_t>(node_count_) * node_count_,
+                       0) {}
 
 void FaultInjector::arm() {
   if (armed_) return;
   armed_ = true;
   sim::Simulation& sim = tb_.sim();
-  if (cfg_.node_crash_mean_s > 0) {
-    // Crashes are only recoverable end-to-end with the detection loop on
-    // (heartbeats → lease expiry → NotReady → evictions → reschedule).
+  if (cfg_.node_crash_mean_s > 0 || cfg_.rack_fail_mean_s > 0 ||
+      cfg_.rack_partition_mean_s > 0) {
+    // Crashes and rack cuts are only recoverable end-to-end with the
+    // detection loop on (heartbeats → lease expiry → NotReady →
+    // evictions → reschedule). Pairwise partitions deliberately don't
+    // enable it: they model a single flaky link, not a node that looks
+    // dead to the control plane.
     tb_.kube().enable_node_lifecycle(cfg_.lifecycle,
                                      cfg_.heartbeat_interval_s);
   }
@@ -172,6 +324,15 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     case FaultKind::kPartition:
       apply_partition(ev);
+      break;
+    case FaultKind::kCpuSlow:
+      apply_cpu_slow(ev);
+      break;
+    case FaultKind::kFlakyNic:
+      apply_flaky_nic(ev);
+      break;
+    case FaultKind::kRackPartition:
+      apply_rack_partition(ev);
       break;
   }
 }
@@ -225,29 +386,96 @@ void FaultInjector::apply_degrade(const FaultEvent& ev) {
   // window expires.
   ++degrades_;
   tb_.sim().call_in(ev.duration_s, [this, &node, idx = ev.node] {
-    auto it = degrade_depth_.find(idx);
-    if (it != degrade_depth_.end() && --it->second <= 0) {
-      degrade_depth_.erase(it);
+    if (--degrade_depth_[idx] <= 0) {
+      degrade_depth_[idx] = 0;
       tb_.cluster().network().set_node_bandwidth_factor(node.net_id(), 1.0);
     }
   });
 }
 
-void FaultInjector::apply_partition(const FaultEvent& ev) {
-  const std::uint64_t key =
-      (std::uint64_t{std::min(ev.node, ev.peer)} << 32) |
-      std::max(ev.node, ev.peer);
-  const net::NodeId a = tb_.cluster().node(ev.node).net_id();
-  const net::NodeId b = tb_.cluster().node(ev.peer).net_id();
-  if (++partition_depth_[key] == 1) {
-    tb_.cluster().network().set_partition(a, b, true);
+std::size_t FaultInjector::pair_index(std::uint32_t a,
+                                      std::uint32_t b) const {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  return static_cast<std::size_t>(lo) * node_count_ + hi;
+}
+
+void FaultInjector::cut_pair(std::uint32_t a, std::uint32_t b,
+                             bool blocked) {
+  const std::size_t idx = pair_index(a, b);
+  const net::NodeId na = tb_.cluster().node(a).net_id();
+  const net::NodeId nb = tb_.cluster().node(b).net_id();
+  if (blocked) {
+    if (++partition_depth_[idx] == 1) {
+      tb_.cluster().network().set_partition(na, nb, true);
+    }
+  } else {
+    if (--partition_depth_[idx] <= 0) {
+      partition_depth_[idx] = 0;
+      tb_.cluster().network().set_partition(na, nb, false);
+    }
   }
+}
+
+void FaultInjector::apply_partition(const FaultEvent& ev) {
+  cut_pair(ev.node, ev.peer, true);
   ++partitions_;
-  tb_.sim().call_in(ev.duration_s, [this, key, a, b] {
-    auto it = partition_depth_.find(key);
-    if (it != partition_depth_.end() && --it->second <= 0) {
-      partition_depth_.erase(it);
-      tb_.cluster().network().set_partition(a, b, false);
+  tb_.sim().call_in(ev.duration_s, [this, a = ev.node, b = ev.peer] {
+    cut_pair(a, b, false);
+  });
+}
+
+void FaultInjector::apply_rack_partition(const FaultEvent& ev) {
+  // Cut-set: every {inside, outside} pair of the chosen rack, depth-
+  // counted per pair so an overlapping pairwise partition (or a second
+  // cut of an adjacent rack sharing pairs) never heals a link early.
+  const std::uint32_t rack = ev.node;
+  const auto& inside = racks_.nodes_in(rack);
+  for (const std::uint32_t in : inside) {
+    for (std::uint32_t out = 0; out < node_count_; ++out) {
+      if (racks_.rack_of(out) == rack) continue;
+      cut_pair(in, out, true);
+    }
+  }
+  ++rack_partitions_;
+  tb_.sim().call_in(ev.duration_s, [this, rack] {
+    const auto& members = racks_.nodes_in(rack);
+    for (const std::uint32_t in : members) {
+      for (std::uint32_t out = 0; out < node_count_; ++out) {
+        if (racks_.rack_of(out) == rack) continue;
+        cut_pair(in, out, false);
+      }
+    }
+  });
+}
+
+void FaultInjector::apply_cpu_slow(const FaultEvent& ev) {
+  cluster::Node& node = tb_.cluster().node(ev.node);
+  if (++cpu_slow_depth_[ev.node] == 1) {
+    node.set_cpu_slowdown(ev.factor);
+  }
+  // Nested windows keep the FIRST factor; full speed returns when the
+  // last window expires.
+  ++cpu_slows_;
+  tb_.sim().call_in(ev.duration_s, [this, &node, idx = ev.node] {
+    if (--cpu_slow_depth_[idx] <= 0) {
+      cpu_slow_depth_[idx] = 0;
+      node.set_cpu_slowdown(1.0);
+    }
+  });
+}
+
+void FaultInjector::apply_flaky_nic(const FaultEvent& ev) {
+  cluster::Node& node = tb_.cluster().node(ev.node);
+  if (++flaky_depth_[ev.node] == 1) {
+    tb_.cluster().network().set_node_flaky(
+        node.net_id(), cfg_.flaky_nic_every, cfg_.flaky_nic_stall_s);
+  }
+  ++flaky_nics_;
+  tb_.sim().call_in(ev.duration_s, [this, &node, idx = ev.node] {
+    if (--flaky_depth_[idx] <= 0) {
+      flaky_depth_[idx] = 0;
+      tb_.cluster().network().set_node_flaky(node.net_id(), 0, 0);
     }
   });
 }

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "cluster/rack_map.hpp"
 #include "core/testbed.hpp"
 #include "fault/splitmix.hpp"
 #include "k8s/controllers.hpp"
@@ -18,23 +18,31 @@ enum class FaultKind : std::uint8_t {
   kPodKill,         ///< kubelet kills one running pod (pre-drawn pick)
   kLinkDegrade,     ///< node NIC at bandwidth*factor for duration
   kPartition,       ///< node pair blocked for duration
+  kCpuSlow,         ///< gray: node CPU pinned at factor for duration
+  kFlakyNic,        ///< gray: node NIC stalls every Nth flow for duration
+  kRackPartition,   ///< rack cut off from the rest of the fabric
 };
 
 const char* to_string(FaultKind kind);
 
 /// One planned fault. The full plan is a pure function of
-/// (seed, FaultConfig, node_count): every field — including `pick`, the
+/// (seed, FaultConfig, RackMap): every field — including `pick`, the
 /// randomness consumed at fire time — is drawn during planning, so the
 /// simulation's own RNG and event ordering never influence what gets
 /// injected, only what the faults hit.
+///
+/// Correlated incidents (a rack PDU trip, a deploy storm) are expanded at
+/// plan time into their per-node burst; the member events share a nonzero
+/// `incident` id so tests and post-mortems can group them back together.
 struct FaultEvent {
   double at = 0;             ///< absolute sim time
   FaultKind kind = FaultKind::kNodeCrash;
-  std::uint32_t node = 0;    ///< victim cluster-node index
+  std::uint32_t node = 0;    ///< victim node index (rack id: kRackPartition)
   std::uint32_t peer = 0;    ///< partition peer (unused otherwise)
   double duration_s = 0;     ///< outage / degradation / downtime window
-  double factor = 1.0;       ///< bandwidth multiplier (kLinkDegrade)
+  double factor = 1.0;       ///< bandwidth or CPU multiplier
   std::uint64_t pick = 0;    ///< fire-time victim selector (kPodKill)
+  std::uint32_t incident = 0;  ///< correlated-burst id; 0 = independent
 
   friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
@@ -42,6 +50,18 @@ struct FaultEvent {
 /// Fault-channel intensities. A channel with mean_s == 0 is off;
 /// otherwise its events arrive as a Poisson process with the given mean
 /// inter-arrival time, independent per channel (forked RNG streams).
+///
+/// Channels fall into three families:
+///  * independent fail-stop: node_crash, pull_outage, pod_kill, degrade,
+///    partition — one planned arrival, one applied event;
+///  * correlated incidents: rack_fail (PDU trip → every crashable node in
+///    one rack crashes within a stagger window), deploy_storm (registry
+///    outage coinciding with a burst of pod kills), rack_partition (a
+///    cut-set isolating one rack — split-brain, not a pairwise block);
+///  * gray failures: cpu_slow (a node straggles at a capacity factor but
+///    heartbeats keep passing), flaky_nic (every Nth flow through the
+///    node stalls) — the machinery above sees timeouts racing stragglers
+///    instead of clean errors.
 struct FaultConfig {
   double horizon_s = 1800;  ///< plan window [0, horizon)
 
@@ -60,31 +80,72 @@ struct FaultConfig {
   double partition_mean_s = 0;       ///< pairwise partition inter-arrival
   double partition_duration_s = 15;  ///< healed after this long
 
+  // ---- Correlated incidents -----------------------------------------
+
+  /// Rack count the default topology splits the cluster into (contiguous
+  /// near-equal blocks, node 0 in rack 0). Ignored by the RackMap
+  /// overload of make_fault_plan. 1 = whole cluster is one rack, which
+  /// disables the rack-partition channel (there is nothing to cut).
+  std::uint32_t racks = 1;
+
+  double rack_fail_mean_s = 0;      ///< PDU-trip inter-arrival
+  double rack_fail_downtime_s = 30; ///< whole-rack crash → reboot delay
+  double rack_fail_stagger_s = 0.5; ///< per-node crash jitter in the burst
+
+  double rack_partition_mean_s = 0;       ///< rack cut inter-arrival
+  double rack_partition_duration_s = 20;  ///< cut healed after this long
+
+  double deploy_storm_mean_s = 0;    ///< storm inter-arrival
+  double deploy_storm_outage_s = 8;  ///< registry outage in the storm
+  std::uint32_t deploy_storm_kills = 3;  ///< pod kills per storm
+  double deploy_storm_spread_s = 4;  ///< kills land within this window
+
+  // ---- Gray failures ------------------------------------------------
+
+  double cpu_slow_mean_s = 0;      ///< straggler-node inter-arrival
+  double cpu_slow_duration_s = 30; ///< pinned-slow window
+  double cpu_slow_factor = 0.1;    ///< CPU capacity multiplier while slow
+
+  double flaky_nic_mean_s = 0;       ///< flaky-NIC inter-arrival
+  double flaky_nic_duration_s = 30;  ///< flaky window
+  std::uint32_t flaky_nic_every = 5; ///< every Nth flow stalls
+  double flaky_nic_stall_s = 2.0;    ///< stall added to the Nth flow
+
   /// Spare node 0 (control plane, registry, submit side) from crashes —
-  /// losing the schedd/API state is unrecoverable by design. Connectivity
-  /// faults (degradation, partitions) still target ALL nodes: they are
+  /// losing the schedd/API state is unrecoverable by design. This also
+  /// covers rack-fail bursts (the head node survives its rack's PDU) and
+  /// the cpu_slow channel (a straggling schedd slows everything without
+  /// exercising any recovery path). Connectivity faults (degradation,
+  /// flaky NICs, partitions, rack cuts) still target ALL nodes: they are
   /// transient, flows resume where they stalled, and in this testbed the
   /// bulk traffic runs head ↔ worker.
   bool spare_head_node = true;
 
   /// Crash-detection control loop applied by FaultInjector::arm() when
-  /// node crashes are enabled (kubelet heartbeats + node-lifecycle
-  /// controller).
+  /// any crash- or split-brain-shaped channel is enabled (kubelet
+  /// heartbeats + node-lifecycle controller).
   k8s::NodeLifecycleConfig lifecycle{};
   double heartbeat_interval_s = 1.0;
 };
 
-/// Generates the deterministic fault timeline for a cluster of
-/// `node_count` nodes (index 0 = head). Events are sorted by time with a
-/// deterministic tie-break; same (seed, cfg, node_count) ⇒ identical
+/// Generates the deterministic fault timeline for a cluster laid out by
+/// `racks` (node 0 = head). Events are sorted by time with a
+/// deterministic tie-break; same (seed, cfg, RackMap) ⇒ identical
 /// vector, on any platform, regardless of simulation state.
+std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
+                                        const FaultConfig& cfg,
+                                        const cluster::RackMap& racks);
+
+/// Convenience overload: derives the topology from cfg.racks contiguous
+/// blocks over `node_count` nodes.
 std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
                                         const FaultConfig& cfg,
                                         std::uint32_t node_count);
 
 /// Schedules a fault plan against a running PaperTestbed and owns the
 /// recovery bookkeeping that keeps repeated faults composable (nested
-/// degradation windows, overlapping partitions, crash-while-down).
+/// degradation windows, overlapping partitions, crash-while-down,
+/// rack cuts stacked on pairwise blocks).
 ///
 /// Usage: construct, arm() once before driving the simulation, read the
 /// applied_* counters after. The injector must outlive the simulation
@@ -98,11 +159,12 @@ class FaultInjector {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   /// Schedules every planned event (and enables the node-lifecycle loop
-  /// when the crash channel is on). Idempotent.
+  /// when a crash-shaped channel is on). Idempotent.
   void arm();
 
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
   [[nodiscard]] const std::vector<FaultEvent>& plan() const { return plan_; }
+  [[nodiscard]] const cluster::RackMap& rack_map() const { return racks_; }
 
   // Applied-fault counters (a planned event is *skipped*, not applied,
   // when its target cannot take it — e.g. crashing an already-down node
@@ -115,10 +177,15 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t pod_kills() const { return pod_kills_; }
   [[nodiscard]] std::uint64_t degrades() const { return degrades_; }
   [[nodiscard]] std::uint64_t partitions() const { return partitions_; }
+  [[nodiscard]] std::uint64_t rack_partitions() const {
+    return rack_partitions_;
+  }
+  [[nodiscard]] std::uint64_t cpu_slows() const { return cpu_slows_; }
+  [[nodiscard]] std::uint64_t flaky_nics() const { return flaky_nics_; }
   [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
   [[nodiscard]] std::uint64_t applied_total() const {
     return node_crashes_ + registry_outages_ + pod_kills_ + degrades_ +
-           partitions_;
+           partitions_ + rack_partitions_ + cpu_slows_ + flaky_nics_;
   }
 
  private:
@@ -127,17 +194,33 @@ class FaultInjector {
   void apply_pod_kill(const FaultEvent& ev);
   void apply_degrade(const FaultEvent& ev);
   void apply_partition(const FaultEvent& ev);
+  void apply_cpu_slow(const FaultEvent& ev);
+  void apply_flaky_nic(const FaultEvent& ev);
+  void apply_rack_partition(const FaultEvent& ev);
+
+  /// Depth-counted pairwise cut between cluster nodes `a` and `b` —
+  /// shared by kPartition and the kRackPartition cut-set so overlapping
+  /// faults never heal each other early.
+  void cut_pair(std::uint32_t a, std::uint32_t b, bool blocked);
+  [[nodiscard]] std::size_t pair_index(std::uint32_t a,
+                                       std::uint32_t b) const;
 
   core::PaperTestbed& tb_;
   FaultConfig cfg_;
+  cluster::RackMap racks_;
+  std::uint32_t node_count_ = 0;
   std::vector<FaultEvent> plan_;
   bool armed_ = false;
 
-  /// Overlap depth per degraded node / partitioned pair: capacity is
-  /// restored (blocked pair healed) only when the LAST overlapping window
-  /// expires, so back-to-back faults never un-fault each other early.
-  std::map<std::uint32_t, int> degrade_depth_;
-  std::map<std::uint64_t, int> partition_depth_;
+  /// Overlap depth per faulted node / pair, flat-indexed by node id and
+  /// (min, max) pair id: the FIRST overlapping window's setting applies,
+  /// and the effect is undone only when the LAST window expires, so
+  /// back-to-back faults never un-fault each other early. Vectors, not
+  /// maps — sized once from the node count, O(1) on every expiry.
+  std::vector<int> degrade_depth_;
+  std::vector<int> cpu_slow_depth_;
+  std::vector<int> flaky_depth_;
+  std::vector<int> partition_depth_;  ///< n*n, indexed min*n+max
 
   std::uint64_t node_crashes_ = 0;
   std::uint64_t node_reboots_ = 0;
@@ -145,6 +228,9 @@ class FaultInjector {
   std::uint64_t pod_kills_ = 0;
   std::uint64_t degrades_ = 0;
   std::uint64_t partitions_ = 0;
+  std::uint64_t rack_partitions_ = 0;
+  std::uint64_t cpu_slows_ = 0;
+  std::uint64_t flaky_nics_ = 0;
   std::uint64_t skipped_ = 0;
 };
 

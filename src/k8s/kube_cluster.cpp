@@ -56,7 +56,19 @@ bool KubeCluster::kill_pod(const std::string& pod_name) {
 
 void KubeCluster::enable_node_lifecycle(NodeLifecycleConfig cfg,
                                         double heartbeat_interval_s) {
+  // The control plane lives on cluster node 0 by convention (the head
+  // node hosts the API server in the paper's testbed). Heartbeats are
+  // direct API calls in the model, so each worker gets a connectivity
+  // probe: a rack cut between worker and head makes its lease go stale
+  // even though the node itself is healthy — the split-brain case.
+  const net::NodeId control_plane = cluster_.node(0).net_id();
   for (auto& [name, w] : workers_) {
+    const net::NodeId worker_id = w.node->net_id();
+    if (worker_id != control_plane) {
+      w.kubelet->set_connectivity_probe([this, worker_id, control_plane] {
+        return !cluster_.network().partitioned(worker_id, control_plane);
+      });
+    }
     w.kubelet->start_heartbeats(heartbeat_interval_s);
   }
   if (lifecycle_controller_ == nullptr) {

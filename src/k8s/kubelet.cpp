@@ -29,15 +29,21 @@ container::ContainerId Kubelet::container_for(
 void Kubelet::start_heartbeats(double interval_s) {
   if (heartbeats_started_) return;
   heartbeats_started_ = true;
-  if (node_.up()) api_.renew_node_lease(node_.name());
+  if (node_.up() && (!connectivity_probe_ || connectivity_probe_())) {
+    api_.renew_node_lease(node_.name());
+  }
   schedule_heartbeat(interval_s);
 }
 
-// Self-rearming tick; renewal stops while the node is down and resumes on
-// reboot (the kubelet process comes back with the VM).
+// Self-rearming tick; renewal stops while the node is down (the kubelet
+// process dies with the VM and resumes on reboot) or while the connectivity
+// probe says the control plane is unreachable (a partitioned node keeps
+// running but its lease goes stale — split-brain by construction).
 void Kubelet::schedule_heartbeat(double interval_s) {
   api_.sim().call_in(interval_s, [this, interval_s] {
-    if (node_.up()) api_.renew_node_lease(node_.name());
+    if (node_.up() && (!connectivity_probe_ || connectivity_probe_())) {
+      api_.renew_node_lease(node_.name());
+    }
     schedule_heartbeat(interval_s);
   });
 }

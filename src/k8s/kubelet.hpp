@@ -1,7 +1,9 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "cluster/node.hpp"
 #include "container/image_cache.hpp"
@@ -41,6 +43,15 @@ class Kubelet {
   /// only enable it in scenarios driven to a workload-defined end (fault
   /// injection), never ones that drain the event queue.
   void start_heartbeats(double interval_s);
+
+  /// Makes lease renewal conditional on reaching the control plane: the
+  /// heartbeat loop renews only while `probe()` returns true (and the node
+  /// is up). Used to model rack partitions — a healthy node cut off from
+  /// the API server looks exactly like a dead one to the node-lifecycle
+  /// controller, which is the split-brain the stack must survive.
+  void set_connectivity_probe(std::function<bool()> probe) {
+    connectivity_probe_ = std::move(probe);
+  }
 
   /// Kills a managed pod (fault injection / eviction): the container is
   /// torn down and the pod object transitions to kFailed, which is what
@@ -83,6 +94,7 @@ class Kubelet {
   container::Registry& registry_;
   double readiness_delay_;
   std::map<std::string, Managed> managed_;
+  std::function<bool()> connectivity_probe_;
   bool heartbeats_started_ = false;
 };
 

@@ -366,6 +366,7 @@ void KnativeServing::forward(const std::string& service,
           // Endpoint vanished mid-flight (drain/scale-down) or the
           // queue-proxy timed the request out; retry — at zero scale the
           // route lands in the activator and waits for a cold start.
+          ++revisions_.at(service).retries;
           kube_.cluster().sim().call_in(
               kRetryBackoff,
               [this, service, req, respond = std::move(respond), attempt]() mutable {
@@ -526,6 +527,12 @@ std::uint64_t KnativeServing::requests_routed(
     const std::string& service) const {
   auto it = revisions_.find(service);
   return it == revisions_.end() ? 0 : it->second.requests;
+}
+
+std::uint64_t KnativeServing::route_retries(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? 0 : it->second.retries;
 }
 
 }  // namespace sf::knative

@@ -132,6 +132,9 @@ class KnativeServing {
       const std::string& service) const;
   [[nodiscard]] std::uint64_t requests_routed(
       const std::string& service) const;
+  /// Router re-route attempts (502/503/504 responses retried) — how often
+  /// requests raced dead pods, drains, or queue-proxy deadlines.
+  [[nodiscard]] std::uint64_t route_retries(const std::string& service) const;
 
  private:
   struct Revision {
@@ -147,6 +150,7 @@ class KnativeServing {
     std::size_t rr_cursor = 0;
     std::uint64_t cold_starts = 0;
     std::uint64_t requests = 0;
+    std::uint64_t retries = 0;  ///< router re-route attempts
     int generation = 1;
     /// Rollout in flight (update_service): the next revision's name,
     /// deployment and spec; traffic switches once it has ready pods.

@@ -59,6 +59,17 @@ void FlowNetwork::set_partition(NodeId a, NodeId b, bool blocked) {
   rebalance();
 }
 
+void FlowNetwork::set_node_flaky(NodeId node, std::uint32_t every_nth,
+                                 double stall_s) {
+  if (node >= nodes_.size() || stall_s < 0) {
+    throw std::invalid_argument("FlowNetwork::set_node_flaky: bad args");
+  }
+  NodeNic& nic = nodes_[node];
+  nic.flaky_every = every_nth;
+  nic.flaky_stall_s = every_nth == 0 ? 0 : stall_s;
+  nic.flow_counter = 0;
+}
+
 bool FlowNetwork::partitioned(NodeId a, NodeId b) const {
   if (blocked_pairs_.empty() || a == b) return false;
   return std::binary_search(blocked_pairs_.begin(), blocked_pairs_.end(),
@@ -120,9 +131,24 @@ FlowId FlowNetwork::transfer(NodeId src, NodeId dst, double bytes,
   f.loopback = (src == dst);
   f.active = false;
   f.on_complete = std::move(on_complete);
+  // A flaky NIC at either endpoint stalls every Nth bulk flow before it
+  // may enter the sharing pool: the stall is decided (and the per-node
+  // counter advanced) here at start time, so it is a pure function of
+  // flow-start order. Loopback flows never touch the NIC.
+  double stall = 0;
+  if (!f.loopback) {
+    for (const NodeId endpoint : {src, dst}) {
+      NodeNic& nic = nodes_[endpoint];
+      if (nic.flaky_every == 0) continue;
+      if (++nic.flow_counter % nic.flaky_every == 0) {
+        stall += nic.flaky_stall_s;
+        ++flaky_stalls_;
+      }
+    }
+  }
   // The flow enters the fair-sharing pool after propagation delay; the
   // capture is three words, so the callback stays allocation-free.
-  sim_.call_in(lat, [this, slot] { activate(slot); });
+  sim_.call_in(lat + stall, [this, slot] { activate(slot); });
   return id;
 }
 

@@ -97,6 +97,22 @@ class FlowNetwork {
 
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
 
+  /// Gray failure: makes a node's NIC flaky — every `every_nth` bulk flow
+  /// touching the node (as source or destination, counted per node in
+  /// start order) is stalled for an extra `stall_s` before entering the
+  /// sharing pool, modelling a link that intermittently drops frames and
+  /// forces retransmission timeouts. `every_nth == 0` heals the NIC and
+  /// resets its flow counter. Loopback and zero-byte control messages are
+  /// unaffected, consistent with the other fault knobs.
+  void set_node_flaky(NodeId node, std::uint32_t every_nth, double stall_s);
+
+  [[nodiscard]] std::uint32_t node_flaky_every(NodeId node) const {
+    return nodes_[node].flaky_every;
+  }
+
+  /// Total bulk flows ever stalled by a flaky NIC.
+  [[nodiscard]] std::uint64_t flaky_stalls() const { return flaky_stalls_; }
+
  private:
   static constexpr unsigned kSlotBits = 24;
   static constexpr FlowId kSlotMask = (FlowId{1} << kSlotBits) - 1;
@@ -110,6 +126,9 @@ class FlowNetwork {
     double bandwidth = 0;
     double latency = 0;
     double degrade = 1.0;  ///< fault-injected bandwidth multiplier
+    std::uint32_t flaky_every = 0;  ///< stall every Nth flow; 0 = healthy
+    double flaky_stall_s = 0;
+    std::uint32_t flow_counter = 0;  ///< bulk flows seen while flaky
   };
   struct Flow {
     FlowId id = kNoFlow;  ///< Full handle occupying this slot; 0 = free.
@@ -146,6 +165,7 @@ class FlowNetwork {
   sim::EventId completion_event_ = sim::kNoEvent;
   std::uint64_t next_seq_ = 0;
   double bytes_delivered_ = 0;
+  std::uint64_t flaky_stalls_ = 0;
   /// Sorted pair_key() values of currently partitioned node pairs.
   std::vector<std::uint64_t> blocked_pairs_;
 

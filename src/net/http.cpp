@@ -1,20 +1,45 @@
 #include "net/http.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 namespace sf::net {
 
 void HttpFabric::listen(NodeId node, Port port, HttpHandler handler) {
-  listeners_[{node, port}] = std::move(handler);
+  if (node >= listeners_.size()) listeners_.resize(node + 1);
+  auto& node_listeners = listeners_[node];
+  auto ptr = std::make_shared<HttpHandler>(std::move(handler));
+  for (Listener& l : node_listeners) {
+    if (l.port == port) {
+      l.handler = std::move(ptr);
+      return;
+    }
+  }
+  node_listeners.push_back(Listener{port, std::move(ptr)});
 }
 
 void HttpFabric::close(NodeId node, Port port) {
-  listeners_.erase({node, port});
+  if (node >= listeners_.size()) return;
+  auto& node_listeners = listeners_[node];
+  const auto it = std::find_if(node_listeners.begin(), node_listeners.end(),
+                               [port](const Listener& l) {
+                                 return l.port == port;
+                               });
+  if (it != node_listeners.end()) node_listeners.erase(it);
+}
+
+std::shared_ptr<HttpHandler> HttpFabric::find_handler(NodeId node,
+                                                      Port port) const {
+  if (node >= listeners_.size()) return nullptr;
+  for (const Listener& l : listeners_[node]) {
+    if (l.port == port) return l.handler;
+  }
+  return nullptr;
 }
 
 bool HttpFabric::is_listening(NodeId node, Port port) const {
-  return listeners_.contains({node, port});
+  return find_handler(node, port) != nullptr;
 }
 
 void HttpFabric::request(NodeId src, NodeId dst, Port port, HttpRequest req,
@@ -28,8 +53,10 @@ void HttpFabric::request(NodeId src, NodeId dst, Port port, HttpRequest req,
     net_.transfer(src, dst, req_ptr->body_bytes, [this, src, dst, port,
                                                   req_ptr,
                                                   cb = std::move(cb)]() mutable {
-      auto it = listeners_.find({dst, port});
-      if (it == listeners_.end()) {
+      // Pinning the handler here keeps the dispatch valid even if it
+      // reentrantly rebinds or closes the (node, port) it runs on.
+      auto handler = find_handler(dst, port);
+      if (handler == nullptr) {
         HttpResponse resp;
         resp.status = kStatusConnectionRefused;
         // Refusal still pays the return latency.
@@ -50,7 +77,7 @@ void HttpFabric::request(NodeId src, NodeId dst, Port port, HttpRequest req,
                         });
         });
       };
-      it->second(*req_ptr, std::move(respond));
+      (*handler)(*req_ptr, std::move(respond));
     });
   });
 }

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "net/flow_network.hpp"
 #include "sim/simulation.hpp"
@@ -79,9 +81,24 @@ class HttpFabric {
   [[nodiscard]] std::uint64_t requests_sent() const { return requests_sent_; }
 
  private:
+  struct Listener {
+    Port port = 0;
+    /// Heap-held so a dispatch can pin the handler alive across reentrant
+    /// listen()/close() calls that mutate the table mid-request.
+    std::shared_ptr<HttpHandler> handler;
+  };
+
+  [[nodiscard]] std::shared_ptr<HttpHandler> find_handler(NodeId node,
+                                                          Port port) const;
+
   sim::Simulation& sim_;
   FlowNetwork& net_;
-  std::map<std::pair<NodeId, Port>, HttpHandler> listeners_;
+  /// Flat per-node listener table, indexed by NodeId (the hottest lookup
+  /// on the request path — every routed invocation resolves a listener
+  /// here). Each node serves a handful of ports, so the inner list is a
+  /// short vector scanned linearly; allocation happens on listen(), never
+  /// per request.
+  std::vector<std::vector<Listener>> listeners_;
   double request_overhead_ = 0.5e-3;  // 0.5 ms per hop
   std::uint64_t requests_sent_ = 0;
 };

@@ -160,12 +160,23 @@ ChaosPoint run_chaos_point(double intensity) {
 
   FaultConfig cfg;
   cfg.horizon_s = 1200;
+  cfg.racks = 2;
   if (intensity > 0) {
     cfg.node_crash_mean_s = 200 / intensity;
     cfg.pull_outage_mean_s = 150 / intensity;
     cfg.pod_kill_mean_s = 120 / intensity;
     cfg.degrade_mean_s = 100 / intensity;
     cfg.partition_mean_s = 160 / intensity;
+    // Structured channels: correlated incidents + gray failures ride the
+    // same determinism contract.
+    cfg.rack_fail_mean_s = 400 / intensity;
+    cfg.rack_partition_mean_s = 300 / intensity;
+    cfg.deploy_storm_mean_s = 260 / intensity;
+    cfg.cpu_slow_mean_s = 140 / intensity;
+    cfg.cpu_slow_factor = 0.25;
+    cfg.flaky_nic_mean_s = 110 / intensity;
+    cfg.flaky_nic_every = 4;
+    cfg.flaky_nic_stall_s = 1.0;
   }
   FaultInjector injector(tb, cfg, 0xC4A05EEDull);
   injector.arm();

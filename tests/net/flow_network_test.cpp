@@ -101,6 +101,54 @@ TEST_F(FlowNetworkTest, LoopbackBypassesNic) {
   EXPECT_NEAR(net_done, 1.02, 1e-6);         // NIC unaffected by loopback
 }
 
+TEST_F(FlowNetworkTest, FlakyNicStallsEveryNthBulkFlow) {
+  net.set_node_flaky(a, 2, 0.5);
+  EXPECT_EQ(net.node_flaky_every(a), 2u);
+  double first = -1;
+  double second = -1;
+  net.transfer(a, b, 100.0, [&] { first = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(first, 1.02, 1e-9);  // flow #1 through a: clean
+  EXPECT_EQ(net.flaky_stalls(), 0u);
+  const double t0 = sim.now();
+  net.transfer(a, c, 100.0, [&] { second = sim.now(); });
+  sim.run();
+  // Flow #2 through a: stalled 0.5 s before entering the sharing pool.
+  EXPECT_NEAR(second - t0, 1.52, 1e-9);
+  EXPECT_EQ(net.flaky_stalls(), 1u);
+}
+
+TEST_F(FlowNetworkTest, FlakyNicIgnoresControlAndLoopbackTraffic) {
+  net.set_node_flaky(a, 1, 5.0);  // every bulk flow would stall
+  double ctrl = -1;
+  bool loop = false;
+  net.transfer(a, b, 0.0, [&] { ctrl = sim.now(); });
+  net.transfer(a, a, 10.0, [&] { loop = true; });
+  sim.run();
+  EXPECT_NEAR(ctrl, 0.02, 1e-12);  // zero-byte: latency only, no stall
+  EXPECT_TRUE(loop);
+  EXPECT_EQ(net.flaky_stalls(), 0u);
+}
+
+TEST_F(FlowNetworkTest, FlakyNicHealResetsTheCounter) {
+  net.set_node_flaky(b, 2, 1.0);
+  net.transfer(a, b, 100.0, [] {});  // b's counter advances to 1
+  sim.run();
+  net.set_node_flaky(b, 0, 0.0);  // heal: disarm and reset
+  EXPECT_EQ(net.node_flaky_every(b), 0u);
+  const double t0 = sim.now();
+  double done = -1;
+  net.transfer(a, b, 100.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done - t0, 1.02, 1e-9);
+  EXPECT_EQ(net.flaky_stalls(), 0u);
+}
+
+TEST_F(FlowNetworkTest, FlakyNicBadArgsThrow) {
+  EXPECT_THROW(net.set_node_flaky(999, 2, 1.0), std::invalid_argument);
+  EXPECT_THROW(net.set_node_flaky(a, 2, -1.0), std::invalid_argument);
+}
+
 TEST_F(FlowNetworkTest, CancelStopsFlow) {
   bool fired = false;
   const FlowId id = net.transfer(a, b, 1000.0, [&] { fired = true; });
