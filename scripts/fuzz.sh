@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Property fuzzer driver: seed-swept deterministic simulation testing.
+#
+# Each point draws a randomized (seed x topology x workload x fault-plan)
+# case, runs it to quiesce under the sf::check invariant registry, runs
+# it twice, and requires: every DAG accounted for, finite makespan, zero
+# invariant violations, bit-identical replay fingerprints. On failure
+# the case is automatically shrunk and printed as a ready-to-paste gtest
+# regression test (exit code 1).
+#
+# Usage: scripts/fuzz.sh                  pinned 32-point smoke (seconds)
+#        scripts/fuzz.sh --sweep [N]      N random points (default 256),
+#                                         base seed from SF_FUZZ_BASE or
+#                                         a caller-supplied --base
+#        scripts/fuzz.sh --sweep N --base SEED
+#
+# The smoke subset is the tier-1 leg: tier1.sh --fuzz additionally diffs
+# its output against tests/golden/fuzz_smoke.txt at 1 and 4 threads.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-$repo_root/build}"
+
+cmake -B "$build_dir" -S "$repo_root" > /dev/null
+cmake --build "$build_dir" --target fuzz_sim -j > /dev/null
+
+if [[ "${1:-}" == "--sweep" ]]; then
+  points="${2:-256}"
+  base="${SF_FUZZ_BASE:-0xF0CC5EED}"
+  if [[ "${3:-}" == "--base" ]]; then
+    base="$4"
+  fi
+  echo "fuzz sweep: $points points, base seed $base"
+  SF_FUZZ_POINTS="$points" SF_FUZZ_BASE="$base" "$build_dir/bench/fuzz_sim"
+  exit $?
+fi
+
+SF_FUZZ_SMOKE=1 "$build_dir/bench/fuzz_sim"

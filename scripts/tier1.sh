@@ -6,6 +6,7 @@
 #        scripts/tier1.sh --tsan [build-dir]     (default: ./build-tsan)
 #        scripts/tier1.sh --asan [build-dir]     (default: ./build-asan)
 #        scripts/tier1.sh --chaos [build-dir]    (default: ./build)
+#        scripts/tier1.sh --fuzz [build-dir]     (default: ./build)
 #
 # --tsan builds the engine + tests under ThreadSanitizer and runs the
 # SweepRunner suite — the only code that spawns threads. Keep it green:
@@ -21,9 +22,33 @@
 # sweep threads, diffing both against the committed golden transcript.
 # Any drift — between thread counts or against the golden — means the
 # structured-chaos determinism contract broke.
+#
+# --fuzz builds bench/fuzz_sim and runs the pinned 32-point property-
+# fuzzer smoke sweep (each point twice, replay fingerprints compared)
+# at 1 and 4 sweep threads, diffing both against the committed golden.
+# Runs in seconds; scripts/fuzz.sh drives wider sweeps.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--fuzz" ]]; then
+  build_dir="${2:-$repo_root/build}"
+  golden="$repo_root/tests/golden/fuzz_smoke.txt"
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" --target fuzz_sim -j
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  SF_FUZZ_SMOKE=1 SF_SWEEP_THREADS=1 \
+    "$build_dir/bench/fuzz_sim" > "$tmp/serial.txt"
+  SF_FUZZ_SMOKE=1 SF_SWEEP_THREADS=4 \
+    "$build_dir/bench/fuzz_sim" > "$tmp/parallel.txt"
+  diff -u "$tmp/serial.txt" "$tmp/parallel.txt" \
+    || { echo "fuzz smoke: thread counts disagree" >&2; exit 1; }
+  diff -u "$golden" "$tmp/serial.txt" \
+    || { echo "fuzz smoke: drifted from golden transcript" >&2; exit 1; }
+  echo "fuzz smoke: bit-identical at 1 and 4 threads, matches golden"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--chaos" ]]; then
   build_dir="${2:-$repo_root/build}"

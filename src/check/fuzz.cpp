@@ -1,0 +1,400 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "check/invariants.hpp"
+#include "core/testbed.hpp"
+#include "fault/injector.hpp"
+#include "fault/splitmix.hpp"
+#include "metrics/ternary.hpp"
+
+namespace sf::check {
+
+namespace {
+
+using fault::SplitMix64;
+
+// Field tags for random_case's forked streams. Adding a field means
+// adding a tag; existing fields keep their draws, so old (base, index)
+// cases stay stable under extension.
+enum : std::uint64_t {
+  kTagSeed = 0x01,
+  kTagFaultSeed = 0x02,
+  kTagNodes = 0x10,
+  kTagRacks = 0x11,
+  kTagWorkflows = 0x12,
+  kTagTasks = 0x13,
+  kTagServerless = 0x14,
+  kTagPrestage = 0x15,
+  kTagMinScale = 0x16,
+  kTagTimeout = 0x17,
+  kTagHorizon = 0x18,
+  kTagChannelBase = 0xA1,  // one stream per channel, 0xA1..0xAA
+};
+
+/// Longest time any active fault window needs to heal after the plan
+/// horizon — the settle pad before quiesce invariants may be asserted.
+double max_heal_window(const fault::FaultConfig& fc, int nodes) {
+  double m = 0;
+  if (fc.node_crash_mean_s > 0) m = std::max(m, fc.node_downtime_s);
+  if (fc.pull_outage_mean_s > 0) m = std::max(m, fc.pull_outage_duration_s);
+  if (fc.degrade_mean_s > 0) m = std::max(m, fc.degrade_duration_s);
+  if (fc.partition_mean_s > 0) m = std::max(m, fc.partition_duration_s);
+  if (fc.rack_fail_mean_s > 0) {
+    m = std::max(m, fc.rack_fail_downtime_s +
+                        fc.rack_fail_stagger_s * static_cast<double>(nodes));
+  }
+  if (fc.rack_partition_mean_s > 0) {
+    m = std::max(m, fc.rack_partition_duration_s);
+  }
+  if (fc.deploy_storm_mean_s > 0) {
+    m = std::max(m, fc.deploy_storm_outage_s + fc.deploy_storm_spread_s);
+  }
+  if (fc.cpu_slow_mean_s > 0) m = std::max(m, fc.cpu_slow_duration_s);
+  if (fc.flaky_nic_mean_s > 0) m = std::max(m, fc.flaky_nic_duration_s);
+  return m;
+}
+
+fault::FaultConfig fault_config_for(const FuzzCase& c) {
+  fault::FaultConfig fc;
+  fc.horizon_s = c.horizon_s;
+  fc.racks = static_cast<std::uint32_t>(c.racks);
+  fc.node_crash_mean_s = c.node_crash_mean_s;
+  fc.pull_outage_mean_s = c.pull_outage_mean_s;
+  fc.pod_kill_mean_s = c.pod_kill_mean_s;
+  fc.degrade_mean_s = c.degrade_mean_s;
+  fc.partition_mean_s = c.partition_mean_s;
+  fc.rack_fail_mean_s = c.rack_fail_mean_s;
+  fc.rack_partition_mean_s = c.rack_partition_mean_s;
+  fc.deploy_storm_mean_s = c.deploy_storm_mean_s;
+  fc.cpu_slow_mean_s = c.cpu_slow_mean_s;
+  fc.flaky_nic_mean_s = c.flaky_nic_mean_s;
+  return fc;
+}
+
+}  // namespace
+
+const std::vector<ChannelRef>& fuzz_channels() {
+  static const std::vector<ChannelRef> channels = {
+      {"node_crash_mean_s", &FuzzCase::node_crash_mean_s},
+      {"pull_outage_mean_s", &FuzzCase::pull_outage_mean_s},
+      {"pod_kill_mean_s", &FuzzCase::pod_kill_mean_s},
+      {"degrade_mean_s", &FuzzCase::degrade_mean_s},
+      {"partition_mean_s", &FuzzCase::partition_mean_s},
+      {"rack_fail_mean_s", &FuzzCase::rack_fail_mean_s},
+      {"rack_partition_mean_s", &FuzzCase::rack_partition_mean_s},
+      {"deploy_storm_mean_s", &FuzzCase::deploy_storm_mean_s},
+      {"cpu_slow_mean_s", &FuzzCase::cpu_slow_mean_s},
+      {"flaky_nic_mean_s", &FuzzCase::flaky_nic_mean_s},
+  };
+  return channels;
+}
+
+FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index) {
+  const std::uint64_t root = SplitMix64::mix(base_seed, index);
+  FuzzCase c;
+  c.id = index;
+  c.seed = SplitMix64::mix(root, kTagSeed);
+  c.fault_seed = SplitMix64::mix(root, kTagFaultSeed);
+
+  auto draw = [root](std::uint64_t tag) { return SplitMix64::fork(root, tag); };
+
+  c.nodes = 3 + static_cast<int>(draw(kTagNodes).next_below(3));     // 3..5
+  c.racks = 1 + static_cast<int>(draw(kTagRacks).next_below(2));     // 1..2
+  c.workflows =
+      1 + static_cast<int>(draw(kTagWorkflows).next_below(3));       // 1..3
+  c.tasks = 2 + static_cast<int>(draw(kTagTasks).next_below(4));     // 2..5
+  c.serverless_fraction =
+      0.25 * static_cast<double>(draw(kTagServerless).next_below(5));
+  c.prestage = draw(kTagPrestage).next_below(2) == 0;
+  c.min_scale = static_cast<int>(draw(kTagMinScale).next_below(3));  // 0..2
+  c.request_timeout_s =
+      draw(kTagTimeout).next_below(2) == 0 ? 0.0 : 30.0;
+  c.horizon_s =
+      240.0 + 60.0 * static_cast<double>(draw(kTagHorizon).next_below(4));
+
+  // Each channel flips on with probability 1/2; when on, its mean lands
+  // in [0.3, 1.0] × horizon — a handful of events per run, not a storm.
+  const auto& channels = fuzz_channels();
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    auto g = draw(kTagChannelBase + i);
+    if (g.next_below(2) == 0) continue;
+    c.*(channels[i].member) = c.horizon_s * (0.3 + 0.7 * g.next_double());
+  }
+  return c;
+}
+
+FuzzOutcome run_case(const FuzzCase& c) {
+  core::TestbedOptions opts;
+  opts.node_count = static_cast<std::size_t>(c.nodes);
+  opts.dag_retries = c.dag_retries;
+  opts.prestage_images = c.prestage;
+  // Generous hang wall: any live run finishes well inside it; a run that
+  // doesn't has genuinely wedged (lost callback, unreleased claim, ...).
+  opts.run_deadline_s = c.horizon_s + 1800.0;
+  core::PaperTestbed tb(c.seed, opts);
+
+  const fault::FaultConfig fc = fault_config_for(c);
+  fault::FaultInjector injector(tb, fc, c.fault_seed);
+
+  if (c.plant_claim_leak) tb.condor().test_only_keep_claims_on_crash(true);
+
+  const double settle_end = c.horizon_s + max_heal_window(fc, c.nodes) + 300.0;
+  CheckConfig cc;
+  cc.horizon_s = settle_end;
+  InvariantChecker checker(tb, cc);
+  checker.attach_injector(injector);
+  checker.arm();
+  injector.arm();
+
+  core::ProvisioningPolicy policy =
+      c.prestage ? core::ProvisioningPolicy::prestaged(c.min_scale)
+                 : core::ProvisioningPolicy::deferred();
+  policy.container_concurrency = 1;
+  policy.request_timeout_s = c.request_timeout_s;
+  tb.register_matmul_function(policy);
+
+  metrics::MixPoint mix;
+  mix.native = 1.0 - c.serverless_fraction;
+  mix.serverless = c.serverless_fraction;
+  const auto result = tb.run_concurrent_mix(c.workflows, c.tasks, mix);
+
+  // Settle: every fault window past its heal time, autoscalers through
+  // their scale-to-zero windows, watch queue drained — then quiesce.
+  tb.sim().run_until(std::max(settle_end, tb.sim().now() + 300.0));
+  checker.check_quiesce();
+
+  FuzzOutcome out;
+  out.finished = result.finished == c.workflows && !result.deadline_hit;
+  out.succeeded = result.all_succeeded;
+  out.violation_count = checker.violations().size();
+  out.slowest = result.slowest;
+  out.ok = out.finished && checker.ok() && std::isfinite(result.slowest);
+
+  if (!out.finished) {
+    out.detail = "workload hung: " + std::to_string(result.finished) + "/" +
+                 std::to_string(c.workflows) + " DAGs finished by t=" +
+                 std::to_string(tb.sim().now());
+  } else if (!checker.ok()) {
+    const auto& v = checker.violations().front();
+    std::ostringstream os;
+    os << "invariant " << v.invariant << " at t=" << v.time << ": "
+       << v.detail;
+    out.detail = os.str();
+  } else if (!std::isfinite(result.slowest)) {
+    out.detail = "non-finite makespan";
+  }
+
+  // Order-sensitive digest of everything observable: two runs of the
+  // same case must produce the same chain or determinism is broken.
+  std::uint64_t fp = 0x5F3759DF;
+  auto fold = [&fp](std::uint64_t v) { fp = SplitMix64::mix(fp, v); };
+  fold(std::bit_cast<std::uint64_t>(result.slowest));
+  fold(static_cast<std::uint64_t>(result.finished));
+  fold(result.all_succeeded ? 1 : 0);
+  fold(tb.sim().events_processed());
+  fold(std::bit_cast<std::uint64_t>(
+      tb.cluster().network().total_bytes_delivered()));
+  fold(injector.applied_total());
+  fold(tb.serving().cold_start_requests("fn-matmul"));
+  fold(tb.serving().route_retries("fn-matmul"));
+  fold(tb.kube().api().watch_batches_delivered());
+  fold(static_cast<std::uint64_t>(out.violation_count));
+  out.fingerprint = fp;
+  return out;
+}
+
+FuzzOutcome run_case_checked(const FuzzCase& c) {
+  FuzzOutcome first = run_case(c);
+  const FuzzOutcome second = run_case(c);
+  first.replayed = true;
+  first.replay_match = first.fingerprint == second.fingerprint;
+  if (!first.replay_match) {
+    first.ok = false;
+    if (first.detail.empty()) {
+      std::ostringstream os;
+      os << "determinism: fingerprint " << std::hex << first.fingerprint
+         << " != " << second.fingerprint << " on replay";
+      first.detail = os.str();
+    }
+  }
+  return first;
+}
+
+ShrinkResult shrink(const FuzzCase& failing, int budget) {
+  ShrinkResult res;
+  res.reduced = failing;
+  res.outcome = run_case(failing);
+  res.trials = 1;
+  if (res.outcome.ok) return res;  // not actually failing; nothing to do
+
+  // Accepts `cand` when it still fails within budget.
+  auto try_reduce = [&res, budget](const FuzzCase& cand) {
+    if (res.trials >= budget) return false;
+    ++res.trials;
+    FuzzOutcome out = run_case(cand);
+    if (out.ok) return false;
+    res.reduced = cand;
+    res.outcome = std::move(out);
+    return true;
+  };
+
+  const auto& channels = fuzz_channels();
+
+  // Phase 1 — fault-channel bisection: drop half the active channels at
+  // a time, then singles, until no channel can be removed.
+  bool progress = true;
+  while (progress && res.trials < budget) {
+    progress = false;
+    std::vector<double FuzzCase::*> active;
+    for (const auto& ch : channels) {
+      if (res.reduced.*(ch.member) > 0) active.push_back(ch.member);
+    }
+    if (active.size() >= 2) {
+      for (int half = 0; half < 2 && !progress; ++half) {
+        FuzzCase cand = res.reduced;
+        const std::size_t mid = active.size() / 2;
+        const std::size_t lo = half == 0 ? 0 : mid;
+        const std::size_t hi = half == 0 ? mid : active.size();
+        for (std::size_t i = lo; i < hi; ++i) cand.*(active[i]) = 0;
+        progress = try_reduce(cand);
+      }
+    }
+    if (!progress) {
+      for (const auto member : active) {
+        FuzzCase cand = res.reduced;
+        cand.*member = 0;
+        if (try_reduce(cand)) {
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Phase 2 — structural fields toward their simplest values, repeated
+  // until a full pass accepts nothing.
+  progress = true;
+  while (progress && res.trials < budget) {
+    progress = false;
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.workflows > 1) {
+        cand.workflows = 1;
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.tasks > 2) {
+        cand.tasks = 2;
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.nodes > 3) {
+        cand.nodes = cand.nodes - 1;
+        // Rack topology must stay valid as the cluster shrinks.
+        cand.racks = std::min(cand.racks, cand.nodes - 1);
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.racks > 1) {
+        cand.racks = 1;
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.serverless_fraction > 0) {
+        cand.serverless_fraction = 0;
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.min_scale > 0) {
+        cand.min_scale = 0;
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (!cand.prestage) {
+        cand.prestage = true;  // the simpler (no cold-pull) configuration
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.request_timeout_s != 0) {
+        cand.request_timeout_s = 0;
+        progress |= try_reduce(cand);
+      }
+    }
+  }
+
+  // Phase 3 — horizon bisection: a shorter plan window means fewer fault
+  // events and a faster repro.
+  while (res.reduced.horizon_s > 120 && res.trials < budget) {
+    FuzzCase cand = res.reduced;
+    cand.horizon_s = std::max(120.0, cand.horizon_s / 2);
+    if (!try_reduce(cand)) break;
+  }
+
+  // Phase 4 — thin the surviving channels: doubling a mean halves its
+  // expected event count while keeping the channel's stream intact.
+  for (const auto& ch : channels) {
+    for (int step = 0; step < 2 && res.trials < budget; ++step) {
+      if (res.reduced.*(ch.member) <= 0) break;
+      FuzzCase cand = res.reduced;
+      cand.*(ch.member) *= 2;
+      if (!try_reduce(cand)) break;
+    }
+  }
+
+  return res;
+}
+
+std::string to_cpp_repro(const FuzzCase& c) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "// Shrunk fuzz failure — paste into tests/check/ and add the\n"
+        "// file to the check_test target. Fields are set exhaustively\n"
+        "// so the case survives future default changes.\n";
+  os << "TEST(FuzzRegression, Case" << c.id << ") {\n";
+  os << "  sf::check::FuzzCase c;\n";
+  os << "  c.id = " << c.id << "ull;\n";
+  os << "  c.seed = 0x" << std::hex << c.seed << std::dec << "ull;\n";
+  os << "  c.fault_seed = 0x" << std::hex << c.fault_seed << std::dec
+     << "ull;\n";
+  os << "  c.nodes = " << c.nodes << ";\n";
+  os << "  c.racks = " << c.racks << ";\n";
+  os << "  c.workflows = " << c.workflows << ";\n";
+  os << "  c.tasks = " << c.tasks << ";\n";
+  os << "  c.dag_retries = " << c.dag_retries << ";\n";
+  os << "  c.serverless_fraction = " << c.serverless_fraction << ";\n";
+  os << "  c.prestage = " << (c.prestage ? "true" : "false") << ";\n";
+  os << "  c.min_scale = " << c.min_scale << ";\n";
+  os << "  c.request_timeout_s = " << c.request_timeout_s << ";\n";
+  os << "  c.horizon_s = " << c.horizon_s << ";\n";
+  for (const auto& ch : fuzz_channels()) {
+    os << "  c." << ch.name << " = " << c.*(ch.member) << ";\n";
+  }
+  if (c.plant_claim_leak) {
+    os << "  c.plant_claim_leak = true;\n";
+  }
+  os << "  const auto out = sf::check::run_case_checked(c);\n";
+  os << "  EXPECT_TRUE(out.ok) << out.detail;\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace sf::check

@@ -1,0 +1,110 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sf::check {
+
+/// One point in the property-fuzzer's search space: everything that
+/// shapes a run — testbed seed, topology, workload shape, provisioning,
+/// and the ten fault-channel intensities — in one flat, plain-old-data
+/// struct. Flat on purpose: the shrinker reduces it field by field, and
+/// to_cpp_repro() prints it as a pasteable regression test.
+struct FuzzCase {
+  std::uint64_t id = 0;  ///< sweep point index (provenance only)
+  std::uint64_t seed = 42;              ///< testbed / workload RNG seed
+  std::uint64_t fault_seed = 0xC4405EEDull;  ///< fault-plan RNG seed
+
+  // -- topology & workload shape --------------------------------------
+  int nodes = 4;      ///< cluster size (node 0 = head)
+  int racks = 1;      ///< fault-plan rack topology
+  int workflows = 1;  ///< concurrent matmul chains
+  int tasks = 3;      ///< tasks per chain
+  int dag_retries = 4;
+
+  // -- provisioning ---------------------------------------------------
+  /// Fraction of tasks running as serverless functions (rest native).
+  double serverless_fraction = 0.5;
+  bool prestage = true;  ///< pre-staged images + warm pods vs deferred
+  int min_scale = 1;     ///< warm pods when prestaged
+  double request_timeout_s = 30;  ///< queue-proxy deadline; 0 = none
+
+  // -- fault plan -----------------------------------------------------
+  double horizon_s = 300;  ///< fault-plan window [0, horizon)
+  /// Channel mean inter-arrival times; 0 = channel off. Forked RNG
+  /// streams per channel mean zeroing one never perturbs the others —
+  /// what makes the shrinker's channel bisection meaningful.
+  double node_crash_mean_s = 0;
+  double pull_outage_mean_s = 0;
+  double pod_kill_mean_s = 0;
+  double degrade_mean_s = 0;
+  double partition_mean_s = 0;
+  double rack_fail_mean_s = 0;
+  double rack_partition_mean_s = 0;
+  double deploy_storm_mean_s = 0;
+  double cpu_slow_mean_s = 0;
+  double flaky_nic_mean_s = 0;
+
+  /// TEST-ONLY mutation hook: plants the "keep claims on startd crash"
+  /// bug in the condor pool, proving the invariant registry detects it.
+  bool plant_claim_leak = false;
+};
+
+/// Name → member mapping for the fault channels (shrinker, repro
+/// printer, drivers that report which channels a case exercises).
+struct ChannelRef {
+  const char* name;
+  double FuzzCase::*member;
+};
+[[nodiscard]] const std::vector<ChannelRef>& fuzz_channels();
+
+/// Draws case `index` of the sweep rooted at `base_seed`: every field
+/// comes from a forked SplitMix64 stream, so the same (base_seed, index)
+/// is the same case forever, on any platform.
+[[nodiscard]] FuzzCase random_case(std::uint64_t base_seed,
+                                   std::uint64_t index);
+
+/// What one fuzz point produced.
+struct FuzzOutcome {
+  bool ok = false;        ///< all properties held
+  bool finished = false;  ///< every DAG reported in before the deadline
+  bool succeeded = false; ///< every workflow succeeded (informational —
+                          ///< heavy fault plans may legitimately exhaust
+                          ///< retries; that is not a property violation)
+  bool replayed = false;      ///< run_case_checked ran the point twice
+  bool replay_match = true;   ///< fingerprints of both runs agreed
+  std::uint64_t fingerprint = 0;  ///< order-sensitive run digest
+  std::size_t violation_count = 0;
+  double slowest = 0;  ///< slowest workflow makespan, seconds
+  std::string detail;  ///< first failure, empty when ok
+};
+
+/// Runs one case to quiesce under the invariant registry and the
+/// terminal properties (workload accounted for, makespan finite,
+/// registry clean).
+[[nodiscard]] FuzzOutcome run_case(const FuzzCase& c);
+
+/// run_case twice; additionally requires bit-identical fingerprints
+/// (the determinism property).
+[[nodiscard]] FuzzOutcome run_case_checked(const FuzzCase& c);
+
+/// Shrinker output: the reduced case, its (still failing) outcome, and
+/// how many trial runs the search spent.
+struct ShrinkResult {
+  FuzzCase reduced;
+  FuzzOutcome outcome;
+  int trials = 0;
+};
+
+/// Greedy reduction of a failing case toward defaults: fault-channel
+/// bisection first (halves, then single channels), then structural
+/// fields, then horizon bisection, then per-channel mean doubling
+/// (fewer fault events). Every accepted step re-verifies the failure,
+/// so the result is guaranteed to still fail.
+[[nodiscard]] ShrinkResult shrink(const FuzzCase& failing, int budget = 150);
+
+/// Renders the case as a ready-to-paste gtest regression test.
+[[nodiscard]] std::string to_cpp_repro(const FuzzCase& c);
+
+}  // namespace sf::check

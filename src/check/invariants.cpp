@@ -1,0 +1,297 @@
+#include "check/invariants.hpp"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "k8s/objects.hpp"
+
+namespace sf::check {
+
+namespace {
+
+// Resource-accounting slop: memory is tracked in exact bytes but summed
+// across many allocations (1 byte absorbs double rounding); CPU
+// utilization is a PS-resource rate sum.
+constexpr double kByteEps = 1.0;
+constexpr double kCpuEps = 1e-6;
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(core::PaperTestbed& testbed,
+                                   CheckConfig config)
+    : tb_(testbed), config_(config) {
+  register_builtins();
+}
+
+void InvariantChecker::add_invariant(std::string name, Probe probe,
+                                     bool quiesce_only) {
+  entries_.push_back(Entry{std::move(name), std::move(probe), quiesce_only});
+}
+
+void InvariantChecker::attach_injector(const fault::FaultInjector& injector) {
+  injector_ = &injector;
+  add_invariant(
+      "fault.healed",
+      [this](std::vector<std::string>& out) {
+        if (injector_->residual_depth() != 0) {
+          out.push_back("injector residual depth " +
+                        std::to_string(injector_->residual_depth()) +
+                        " after all windows should have healed");
+        }
+      },
+      /*quiesce_only=*/true);
+}
+
+void InvariantChecker::register_builtins() {
+  // -- condor: pool-internal conservation (claims, slots, job states). ---
+  add_invariant("condor.pool", [this](std::vector<std::string>& out) {
+    for (auto& msg : tb_.condor().self_check()) out.push_back(std::move(msg));
+  });
+
+  // -- condor: claims never exceed live startds' dynamic slots, and ------
+  // -- every DAG's node states tally. ------------------------------------
+  add_invariant("condor.claims", [this](std::vector<std::string>& out) {
+    std::size_t live_slots = 0;
+    for (const auto& name : tb_.condor().worker_names()) {
+      auto& sd = tb_.condor().startd(name);
+      if (sd.node().up()) live_slots += sd.dynamic_slots();
+    }
+    if (tb_.condor().active_claims() > live_slots) {
+      out.push_back("pool holds " +
+                    std::to_string(tb_.condor().active_claims()) +
+                    " claims but live startds expose only " +
+                    std::to_string(live_slots) + " dynamic slots");
+    }
+  });
+  add_invariant("condor.dag", [this](std::vector<std::string>& out) {
+    for (const auto& dag : tb_.active_dags()) {
+      for (auto& msg : dag->self_check()) out.push_back(std::move(msg));
+    }
+  });
+
+  // -- nodes: RAM/CPU ledgers stay within hardware capacity. -------------
+  add_invariant("node.accounting", [this](std::vector<std::string>& out) {
+    auto& cl = tb_.cluster();
+    for (std::size_t i = 0; i < cl.size(); ++i) {
+      const auto& node = cl.node(i);
+      const auto& spec = node.spec();
+      if (node.memory_used() < -kByteEps ||
+          node.memory_used() > spec.memory_bytes + kByteEps) {
+        std::ostringstream os;
+        os << node.name() << ": memory ledger " << node.memory_used()
+           << " outside [0, " << spec.memory_bytes << "]";
+        out.push_back(os.str());
+      }
+      // cpu_slowdown pins capacity below nominal; utilization is reported
+      // against nominal cores, so the nominal bound always applies.
+      if (node.cpu_utilization() > spec.cores + kCpuEps) {
+        std::ostringstream os;
+        os << node.name() << ": CPU utilization " << node.cpu_utilization()
+           << " exceeds " << spec.cores << " cores";
+        out.push_back(os.str());
+      }
+    }
+  });
+
+  // -- network: flow conservation (bytes in == bytes out + in flight). ---
+  add_invariant("net.flows", [this](std::vector<std::string>& out) {
+    for (auto& msg : tb_.cluster().network().self_check()) {
+      out.push_back(std::move(msg));
+    }
+  });
+
+  // -- knative: the KPA clamps desired into [min_scale, max_scale] at ----
+  // -- every evaluation, so it must hold at every instant. ---------------
+  add_invariant("knative.scale", [this](std::vector<std::string>& out) {
+    for (const auto& svc : tb_.serving().service_names()) {
+      const auto* ann = tb_.serving().service_annotations(svc);
+      if (ann == nullptr) continue;
+      const int desired = tb_.serving().desired_replicas(svc);
+      if (desired < ann->min_scale ||
+          (ann->max_scale > 0 && desired > ann->max_scale)) {
+        out.push_back(svc + ": desired " + std::to_string(desired) +
+                      " outside [" + std::to_string(ann->min_scale) + ", " +
+                      (ann->max_scale > 0 ? std::to_string(ann->max_scale)
+                                          : std::string("inf")) +
+                      "]");
+      }
+    }
+  });
+
+  // -- k8s: endpoints lists never contain the same pod twice, and a ------
+  // -- pod marked ready is a running pod. --------------------------------
+  add_invariant("k8s.endpoints", [this](std::vector<std::string>& out) {
+    tb_.kube().api().for_each_service([&](const k8s::Service& svc) {
+      const auto* eps = tb_.kube().api().get_endpoints(svc.name);
+      if (eps == nullptr) return;
+      std::set<std::string> seen;
+      for (const auto& ep : eps->ready) {
+        if (!seen.insert(ep.pod_name).second) {
+          out.push_back(svc.name + ": pod " + ep.pod_name +
+                        " listed twice in ready endpoints");
+        }
+      }
+    });
+  });
+  add_invariant("k8s.pods", [this](std::vector<std::string>& out) {
+    tb_.kube().api().for_each_pod([&](const k8s::Pod& pod) {
+      if (pod.ready && pod.phase != k8s::PodPhase::kRunning) {
+        out.push_back(pod.name + ": ready but phase " +
+                      std::string(k8s::to_string(pod.phase)));
+      }
+    });
+  });
+
+  // -- k8s: each object event schedules exactly one watch batch; a -------
+  // -- batch delivered twice (or a delivery without a schedule) drifts ----
+  // -- the counters. ------------------------------------------------------
+  add_invariant("k8s.watch", [this](std::vector<std::string>& out) {
+    const auto scheduled = tb_.kube().api().watch_batches_scheduled();
+    const auto delivered = tb_.kube().api().watch_batches_delivered();
+    if (delivered > scheduled) {
+      out.push_back("watch batches delivered " + std::to_string(delivered) +
+                    " > scheduled " + std::to_string(scheduled) +
+                    " (an event delivered twice)");
+    }
+  });
+
+  // ---- Quiesce-only: must hold once the workload is done, every fault
+  // ---- window has healed and the control loops have settled.
+
+  add_invariant(
+      "k8s.watch.drained",
+      [this](std::vector<std::string>& out) {
+        const auto scheduled = tb_.kube().api().watch_batches_scheduled();
+        const auto delivered = tb_.kube().api().watch_batches_delivered();
+        if (delivered != scheduled) {
+          out.push_back("watch batches delivered " +
+                        std::to_string(delivered) + " != scheduled " +
+                        std::to_string(scheduled) + " at quiesce");
+        }
+      },
+      /*quiesce_only=*/true);
+
+  add_invariant(
+      "knative.settled",
+      [this](std::vector<std::string>& out) {
+        for (const auto& svc : tb_.serving().service_names()) {
+          const auto* ann = tb_.serving().service_annotations(svc);
+          const int desired = tb_.serving().desired_replicas(svc);
+          const int ready = tb_.serving().ready_replicas(svc);
+          if (ready != desired) {
+            out.push_back(svc + ": " + std::to_string(ready) +
+                          " ready pods vs " + std::to_string(desired) +
+                          " desired at quiesce");
+          }
+          if (ann != nullptr && ready < ann->min_scale) {
+            out.push_back(svc + ": " + std::to_string(ready) +
+                          " ready pods below min-scale " +
+                          std::to_string(ann->min_scale) + " at quiesce");
+          }
+        }
+      },
+      /*quiesce_only=*/true);
+
+  add_invariant(
+      "cluster.healed",
+      [this](std::vector<std::string>& out) {
+        auto& cl = tb_.cluster();
+        for (std::size_t i = 0; i < cl.size(); ++i) {
+          if (!cl.node(i).up()) {
+            out.push_back(cl.node(i).name() + ": still down at quiesce");
+          }
+        }
+        auto& net = cl.network();
+        if (net.blocked_pair_count() != 0) {
+          out.push_back(std::to_string(net.blocked_pair_count()) +
+                        " node pairs still partitioned at quiesce");
+        }
+        for (std::size_t i = 0; i < net.node_count(); ++i) {
+          const auto id = static_cast<net::NodeId>(i);
+          if (net.node_bandwidth_factor(id) != 1.0) {
+            out.push_back("net node " + std::to_string(i) +
+                          ": NIC still degraded at factor " +
+                          std::to_string(net.node_bandwidth_factor(id)));
+          }
+          if (net.node_flaky_every(id) != 0) {
+            out.push_back("net node " + std::to_string(i) +
+                          ": NIC still flaky at quiesce");
+          }
+        }
+        if (!tb_.registry().available(tb_.sim().now())) {
+          out.push_back("image registry still in outage at quiesce");
+        }
+      },
+      /*quiesce_only=*/true);
+
+  add_invariant(
+      "condor.drained",
+      [this](std::vector<std::string>& out) {
+        if (tb_.condor().running_jobs() != 0) {
+          out.push_back(std::to_string(tb_.condor().running_jobs()) +
+                        " condor jobs still running at quiesce");
+        }
+        if (tb_.condor().idle_jobs() != 0) {
+          out.push_back(std::to_string(tb_.condor().idle_jobs()) +
+                        " condor jobs still idle at quiesce");
+        }
+      },
+      /*quiesce_only=*/true);
+}
+
+void InvariantChecker::arm() {
+  if (armed_) return;
+  armed_ = true;
+  // The testbed probe fires the instant the workload completes — before
+  // pods drain, watches flush, or fault windows heal — so it sweeps the
+  // always-on invariants only. check_quiesce() is for the caller, once
+  // the simulation has actually settled.
+  tb_.set_quiesce_probe([this] { check_now(); });
+  chain_cadence();
+}
+
+void InvariantChecker::chain_cadence() {
+  if (config_.interval_s <= 0) return;
+  tb_.sim().call_in(config_.interval_s, [this] {
+    check_now();
+    if (tb_.sim().now() < config_.horizon_s) chain_cadence();
+  });
+}
+
+void InvariantChecker::check_now() { sweep(/*quiesce=*/false); }
+
+void InvariantChecker::check_quiesce() { sweep(/*quiesce=*/true); }
+
+void InvariantChecker::sweep(bool quiesce) {
+  ++sweeps_;
+  std::vector<std::string> messages;
+  for (const auto& entry : entries_) {
+    if (entry.quiesce_only && !quiesce) continue;
+    ++evaluations_;
+    messages.clear();
+    entry.probe(messages);
+    for (auto& msg : messages) {
+      if (violations_.size() >= config_.max_violations) return;
+      violations_.push_back(
+          Violation{tb_.sim().now(), entry.name, std::move(msg)});
+      if (config_.throw_on_violation) {
+        const auto& v = violations_.back();
+        std::ostringstream os;
+        os << "invariant " << v.invariant << " violated at t=" << v.time
+           << ": " << v.detail;
+        throw CheckFailure(os.str());
+      }
+    }
+  }
+}
+
+std::string InvariantChecker::report() const {
+  std::ostringstream os;
+  for (const auto& v : violations_) {
+    os << "[t=" << v.time << "] " << v.invariant << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sf::check

@@ -1,0 +1,120 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "fault/injector.hpp"
+
+namespace sf::check {
+
+/// One recorded invariant failure.
+struct Violation {
+  double time = 0;         ///< sim time of the check that caught it
+  std::string invariant;   ///< registry name, e.g. "condor.claims"
+  std::string detail;      ///< what exactly drifted
+};
+
+/// Knobs for the invariant checker.
+struct CheckConfig {
+  /// Sim-time cadence between sweeps of the registry.
+  double interval_s = 5.0;
+  /// Cadence events chain themselves only up to this sim time: past it
+  /// the checker goes quiet and stops keeping the event queue non-empty.
+  /// (Quiesce checks still run whenever check_quiesce() is called.)
+  double horizon_s = 3600.0;
+  /// Throw CheckFailure on the first violation instead of collecting —
+  /// the fail-fast mode for tests that want a stack right at the bug.
+  bool throw_on_violation = false;
+  /// Stop recording after this many violations (a broken conservation law
+  /// fires on every sweep; the first few are what matter).
+  std::size_t max_violations = 64;
+};
+
+/// Thrown in throw_on_violation mode.
+class CheckFailure : public std::runtime_error {
+ public:
+  explicit CheckFailure(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Deterministic-simulation invariant registry: a catalogue of cheap
+/// cross-stack conservation laws evaluated against a PaperTestbed at a
+/// configurable sim-time cadence and at quiesce.
+///
+/// Cadence invariants must hold at EVERY instant the simulation can pause
+/// (mid-crash, mid-rollout, mid-partition); quiesce invariants only once
+/// the workload is done, every fault window has healed and the control
+/// loops have settled.
+///
+/// Wiring: construct against the testbed, optionally attach_injector(),
+/// then arm(). arm() installs the testbed's quiesce probe and schedules
+/// the first cadence event; nothing constructed ⇒ nothing scheduled ⇒
+/// exactly zero overhead when checking is off (the structural
+/// "zero-overhead-when-off flag"). The checker never mutates simulation
+/// state, draws randomness, or schedules anything except its own cadence
+/// chain — goldens cannot drift from enabling it.
+class InvariantChecker {
+ public:
+  /// A probe appends one message per violation it finds.
+  using Probe = std::function<void(std::vector<std::string>&)>;
+
+  explicit InvariantChecker(core::PaperTestbed& testbed,
+                            CheckConfig config = {});
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  /// Adds the fault-injector invariants (depth counters restore to zero,
+  /// every window healed at quiesce). Call before arm().
+  void attach_injector(const fault::FaultInjector& injector);
+
+  /// Registers an extra invariant. quiesce_only probes run only from
+  /// check_quiesce().
+  void add_invariant(std::string name, Probe probe, bool quiesce_only = false);
+
+  /// Installs the testbed quiesce probe and starts the cadence chain.
+  /// Idempotent.
+  void arm();
+
+  /// Sweeps the cadence invariants now.
+  void check_now();
+  /// Sweeps everything, including the quiesce-only invariants. The caller
+  /// must have settled the simulation first: workload complete and every
+  /// fault window past its heal time.
+  void check_quiesce();
+
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  /// Registry sweeps performed (cadence + quiesce).
+  [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
+  /// Individual invariant evaluations performed.
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  /// One line per violation, for test failure messages.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    Probe probe;
+    bool quiesce_only = false;
+  };
+
+  void register_builtins();
+  void sweep(bool quiesce);
+  void chain_cadence();
+
+  core::PaperTestbed& tb_;
+  CheckConfig config_;
+  const fault::FaultInjector* injector_ = nullptr;
+  std::vector<Entry> entries_;
+  std::vector<Violation> violations_;
+  std::uint64_t sweeps_ = 0;
+  std::uint64_t evaluations_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace sf::check

@@ -181,6 +181,85 @@ void DagMan::finish(bool success) {
   }
 }
 
+DagMan::StateCounts DagMan::state_counts() const {
+  StateCounts c;
+  for (const auto& [name, node] : nodes_) {
+    switch (node.state) {
+      case NodeState::kWaiting:
+        ++c.waiting;
+        break;
+      case NodeState::kReady:
+        ++c.ready;
+        break;
+      case NodeState::kSubmitted:
+        ++c.submitted;
+        break;
+      case NodeState::kDone:
+        ++c.done;
+        break;
+      case NodeState::kFailed:
+        ++c.failed;
+        break;
+    }
+  }
+  return c;
+}
+
+std::vector<std::string> DagMan::self_check() const {
+  std::vector<std::string> out;
+  const StateCounts c = state_counts();
+  if (c.waiting + c.ready + c.submitted + c.done + c.failed !=
+      nodes_.size()) {
+    out.push_back("state tallies do not cover every node");
+  }
+  if (c.done != completed_) {
+    out.push_back("done tally " + std::to_string(c.done) +
+                  " != completed counter " + std::to_string(completed_));
+  }
+  if (c.ready != ready_.size()) {
+    out.push_back("ready tally " + std::to_string(c.ready) +
+                  " != ready queue size " + std::to_string(ready_.size()));
+  }
+  // Post scripts and the log-scan lag keep finished nodes in kSubmitted for
+  // a while, so submitted_live_ only lower-bounds the submitted tally.
+  if (c.submitted < submitted_live_) {
+    out.push_back("submitted tally " + std::to_string(c.submitted) +
+                  " below live counter " + std::to_string(submitted_live_));
+  }
+  for (const auto& name : ready_) {
+    const auto it = nodes_.find(name);
+    if (it == nodes_.end() || it->second.state != NodeState::kReady) {
+      out.push_back("ready queue holds non-ready node " + name);
+    }
+  }
+  for (const auto& name : completed_events_) {
+    const auto it = nodes_.find(name);
+    if (it == nodes_.end() || it->second.state != NodeState::kSubmitted) {
+      out.push_back("completion backlog holds non-submitted node " + name);
+    }
+  }
+  for (const auto& [name, node] : nodes_) {
+    if (node.attempts > node.spec.retries + 1) {
+      out.push_back("node " + name + " ran " +
+                    std::to_string(node.attempts) +
+                    " attempts with a budget of " +
+                    std::to_string(node.spec.retries + 1));
+    }
+    if (node.state == NodeState::kFailed &&
+        node.attempts != node.spec.retries + 1) {
+      out.push_back("node " + name + " failed without exhausting retries");
+    }
+    if (running_ && node.state == NodeState::kWaiting &&
+        node.unfinished_parents == 0) {
+      out.push_back("node " + name + " is waiting with no unfinished parents");
+    }
+  }
+  if (failed_ && c.failed == 0 && !nodes_.empty()) {
+    out.push_back("DAG marked failed but no node is");
+  }
+  return out;
+}
+
 const JobRecord* DagMan::node_record(const std::string& name) const {
   auto it = nodes_.find(name);
   if (it == nodes_.end() || it->second.last_job == kNoJob) return nullptr;

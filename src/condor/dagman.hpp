@@ -64,6 +64,23 @@ class DagMan {
   /// last attempt's JobRecord.
   [[nodiscard]] const JobRecord* node_record(const std::string& name) const;
 
+  /// How many DAG nodes sit in each lifecycle state right now.
+  struct StateCounts {
+    std::size_t waiting = 0;
+    std::size_t ready = 0;
+    std::size_t submitted = 0;
+    std::size_t done = 0;
+    std::size_t failed = 0;
+  };
+  [[nodiscard]] StateCounts state_counts() const;
+
+  /// Conservation audit for the invariant registry (sf::check): every DAG
+  /// task is in exactly one state, the per-state tallies agree with the
+  /// counters and queues, and retry bookkeeping is sane (a kFailed node
+  /// exhausted its budget; attempts never exceed retries + 1). Returns one
+  /// message per violation. Pure read.
+  [[nodiscard]] std::vector<std::string> self_check() const;
+
  private:
   enum class NodeState { kWaiting, kReady, kSubmitted, kDone, kFailed };
   struct Node {

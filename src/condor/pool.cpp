@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -393,15 +394,133 @@ void CondorPool::handle_node_crash(const std::string& node_name) {
     if (it->second.busy && it->second.job != kNoJob) {
       victims.push_back(it->second.job);
     }
-    it = claims_.erase(it);
+    if (test_keep_claims_on_crash_) {
+      ++it;  // planted bug: leak the dead node's claims (see pool.hpp)
+    } else {
+      it = claims_.erase(it);
+    }
   }
-  startds_.at(node_name)->reset();
+  if (!test_keep_claims_on_crash_) startds_.at(node_name)->reset();
   sim().trace().record(sim().now(), "condor", "startd_death",
                        {{"node", node_name},
                         {"victims", std::to_string(victims.size())}});
   for (const JobId jid : victims) abort_job(jid);
   pump_dispatch();
   if (has_unmatched_idle()) kick_negotiator();
+}
+
+std::vector<std::string> CondorPool::self_check() const {
+  std::vector<std::string> out;
+  constexpr double kEps = 1e-9;
+
+  // State tallies vs counters.
+  std::size_t idle = 0;
+  std::size_t running = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  for (const auto& [id, rec] : jobs_) {
+    switch (rec.state) {
+      case JobState::kIdle:
+        ++idle;
+        break;
+      case JobState::kRunning:
+        ++running;
+        break;
+      case JobState::kCompleted:
+        ++completed;
+        break;
+      case JobState::kFailed:
+        ++failed;
+        break;
+      case JobState::kRemoved:
+        break;
+    }
+  }
+  if (running != running_) {
+    out.push_back("running tally " + std::to_string(running) +
+                  " != counter " + std::to_string(running_));
+  }
+  if (completed != completed_) {
+    out.push_back("completed tally " + std::to_string(completed) +
+                  " != counter " + std::to_string(completed_));
+  }
+  if (failed != failed_) {
+    out.push_back("failed tally " + std::to_string(failed) +
+                  " != counter " + std::to_string(failed_));
+  }
+  if (idle != idle_queue_.size()) {
+    out.push_back("idle tally " + std::to_string(idle) + " != queue size " +
+                  std::to_string(idle_queue_.size()));
+  }
+  for (const JobId jid : idle_queue_) {
+    const auto it = jobs_.find(jid);
+    if (it == jobs_.end() || it->second.state != JobState::kIdle) {
+      out.push_back("idle queue holds non-idle job " + std::to_string(jid));
+    }
+  }
+
+  // Claims: live startds only, busy ⇔ running job, per-node accounting.
+  std::map<std::string, double> node_cpus;
+  std::map<std::string, double> node_memory;
+  std::map<std::string, std::size_t> node_claims;
+  for (const auto& [cid, claim] : claims_) {
+    if (claim.startd == nullptr || !claim.startd->node().up()) {
+      out.push_back("claim " + std::to_string(cid) + " on down node " +
+                    claim.node_name);
+      continue;
+    }
+    node_cpus[claim.node_name] += claim.cpus;
+    node_memory[claim.node_name] += claim.memory;
+    ++node_claims[claim.node_name];
+    if (claim.busy) {
+      const auto it = claim.job == kNoJob ? jobs_.end() : jobs_.find(claim.job);
+      if (it == jobs_.end() || it->second.state != JobState::kRunning) {
+        out.push_back("busy claim " + std::to_string(cid) + " on " +
+                      claim.node_name + " has no running job");
+      } else if (it->second.worker != claim.node_name &&
+                 !it->second.worker.empty()) {
+        out.push_back("claim " + std::to_string(cid) + " node " +
+                      claim.node_name + " != job worker " + it->second.worker);
+      }
+    } else if (claim.job != kNoJob) {
+      out.push_back("idle claim " + std::to_string(cid) +
+                    " still references job " + std::to_string(claim.job));
+    }
+  }
+  for (const auto& [name, sd] : startds_) {
+    const cluster::NodeSpec& spec = sd->node().spec();
+    if (sd->free_cpus() < -kEps || sd->free_memory() < -kEps) {
+      out.push_back("startd " + name + " has negative free resources");
+    }
+    if (std::abs(sd->free_cpus() + sd->claimed_cpus() - spec.cores) > 1e-6) {
+      out.push_back("startd " + name + " cpu accounting drifted: free " +
+                    std::to_string(sd->free_cpus()) + " + claimed " +
+                    std::to_string(sd->claimed_cpus()) + " != " +
+                    std::to_string(spec.cores));
+    }
+    if (std::abs(sd->free_memory() + sd->claimed_memory() -
+                 spec.memory_bytes) > 1.0) {
+      out.push_back("startd " + name + " memory accounting drifted");
+    }
+    const auto it = node_claims.find(name);
+    const std::size_t pool_claims = it == node_claims.end() ? 0 : it->second;
+    if (pool_claims != sd->dynamic_slots()) {
+      out.push_back("startd " + name + " has " +
+                    std::to_string(sd->dynamic_slots()) +
+                    " dynamic slots but the pool holds " +
+                    std::to_string(pool_claims) + " claims there");
+    }
+    const auto cit = node_cpus.find(name);
+    if (cit != node_cpus.end() && cit->second > spec.cores + 1e-6) {
+      out.push_back("claims on " + name + " oversubscribe cpus: " +
+                    std::to_string(cit->second));
+    }
+    const auto mit = node_memory.find(name);
+    if (mit != node_memory.end() && mit->second > spec.memory_bytes + 1.0) {
+      out.push_back("claims on " + name + " oversubscribe memory");
+    }
+  }
+  return out;
 }
 
 void CondorPool::arm_claim_timeout(ClaimId claim_id) {

@@ -54,6 +54,22 @@ class CondorPool {
   [[nodiscard]] std::uint64_t negotiation_cycles() const { return cycles_; }
   [[nodiscard]] std::size_t active_claims() const { return claims_.size(); }
 
+  /// Internal-consistency audit for the invariant registry (sf::check):
+  /// state tallies match the counters, the idle queue holds exactly the
+  /// idle jobs, every claim sits on a live reachable-shaped startd, busy
+  /// claims point at running jobs, and per-node claimed resources agree
+  /// with the startd's dynamic slots. Returns one message per violation
+  /// (empty = clean). Pure read; never schedules or mutates.
+  [[nodiscard]] std::vector<std::string> self_check() const;
+
+  /// TEST-ONLY mutation hook: when set, handle_node_crash() keeps the dead
+  /// node's claims (and skips the startd reset) while still aborting the
+  /// victim jobs — a planted claim-release bug the invariant registry must
+  /// catch (tests/check/mutation_test.cpp). Never set outside tests.
+  void test_only_keep_claims_on_crash(bool keep) {
+    test_keep_claims_on_crash_ = keep;
+  }
+
   // ---- Topology --------------------------------------------------------
 
   [[nodiscard]] cluster::Node& submit_node() { return submit_; }
@@ -139,6 +155,7 @@ class CondorPool {
   std::uint64_t aborted_ = 0;
   std::uint64_t cycles_ = 0;
   std::size_t running_ = 0;
+  bool test_keep_claims_on_crash_ = false;
 };
 
 }  // namespace sf::condor

@@ -48,6 +48,19 @@ class Startd {
   [[nodiscard]] double free_memory() const { return free_memory_; }
   [[nodiscard]] std::size_t dynamic_slots() const { return slots_.size(); }
 
+  /// Resources currently carved into dynamic slots. Conservation law
+  /// (sf::check): free + claimed == the node's spec, always.
+  [[nodiscard]] double claimed_cpus() const {
+    double total = 0;
+    for (const auto& [id, slot] : slots_) total += slot.cpus;
+    return total;
+  }
+  [[nodiscard]] double claimed_memory() const {
+    double total = 0;
+    for (const auto& [id, slot] : slots_) total += slot.memory;
+    return total;
+  }
+
  private:
   struct DynamicSlot {
     double cpus = 0;

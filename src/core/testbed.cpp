@@ -1,5 +1,7 @@
 #include "core/testbed.hpp"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -67,9 +69,11 @@ PaperTestbed::RunResult PaperTestbed::run_workflows(
     const std::vector<pegasus::AbstractWorkflow>& workflows,
     const std::map<std::string, pegasus::JobMode>& modes, int cluster_size) {
   RunResult result;
-  std::vector<std::unique_ptr<condor::DagMan>> dags;
-  int finished = 0;
-  int succeeded = 0;
+  // Completion counters live on the heap: if the drive loop exits on the
+  // run deadline with DAGs still outstanding, their on_finish callbacks
+  // may fire during a later drive loop, long after this frame is gone.
+  auto tally = std::make_shared<std::pair<int, int>>(0, 0);  // finished, ok
+  const std::size_t first_dag = live_dags_.size();
 
   for (const auto& wf : workflows) {
     workload::seed_initial_inputs(wf, condor_->submit_staging(), replicas_);
@@ -97,29 +101,37 @@ PaperTestbed::RunResult PaperTestbed::run_workflows(
     dag_config.post_script_s = options_.calibration.dag_post_script_s;
     auto dag = std::make_unique<condor::DagMan>(*condor_, dag_config);
     planner.plan().load_into(*dag);
-    dags.push_back(std::move(dag));
+    live_dags_.push_back(std::move(dag));
   }
 
   // Start all workflows at the same instant (Figure 4's concurrent set).
-  for (auto& dag : dags) {
-    dag->run([&finished, &succeeded](bool ok) {
-      ++finished;
-      succeeded += ok ? 1 : 0;
+  const int n_dags = static_cast<int>(live_dags_.size() - first_dag);
+  for (std::size_t i = first_dag; i < live_dags_.size(); ++i) {
+    live_dags_[i]->run([tally](bool ok) {
+      ++tally->first;
+      tally->second += ok ? 1 : 0;
     });
   }
   // Drive until every DAG reports in (autoscaler/claim timers may keep
-  // the queue non-empty long after).
-  while (finished < static_cast<int>(dags.size()) &&
-         sim_.has_pending_events()) {
+  // the queue non-empty long after) — or, when a deadline is configured,
+  // until the workload has provably hung.
+  const double start = sim_.now();
+  const double wall = options_.run_deadline_s > 0
+                          ? start + options_.run_deadline_s
+                          : std::numeric_limits<double>::infinity();
+  while (tally->first < n_dags && sim_.has_pending_events() &&
+         sim_.now() < wall) {
     sim_.step();
   }
+  if (quiesce_probe_) quiesce_probe_();
 
+  result.finished = tally->first;
+  result.deadline_hit = tally->first < n_dags;
   result.all_succeeded =
-      finished == static_cast<int>(dags.size()) &&
-      succeeded == finished;
-  for (auto& dag : dags) {
-    result.makespans.push_back(dag->makespan());
-    result.slowest = std::max(result.slowest, dag->makespan());
+      tally->first == n_dags && tally->second == tally->first;
+  for (std::size_t i = first_dag; i < live_dags_.size(); ++i) {
+    result.makespans.push_back(live_dags_[i]->makespan());
+    result.slowest = std::max(result.slowest, live_dags_[i]->makespan());
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -44,6 +45,11 @@ struct TestbedOptions {
   /// instead of failed workflows; 0 keeps the historical fail-fast
   /// behaviour.
   int dag_retries = 0;
+  /// Wall on the run_workflows drive loop, in sim-seconds from the run's
+  /// start (0 = unlimited, the historical behaviour). A workload that
+  /// would spin forever — the hang class of bug the property fuzzer
+  /// exists to catch — instead returns with RunResult::deadline_hit set.
+  double run_deadline_s = 0;
 };
 
 /// The fully assembled evaluation environment of Section V: node0 hosts
@@ -87,6 +93,10 @@ class PaperTestbed {
     std::vector<double> makespans;  ///< per workflow, seconds
     double slowest = 0;             ///< the paper's headline metric
     bool all_succeeded = false;
+    int finished = 0;  ///< DAGs that reported in (success or failure)
+    /// True when the drive loop hit options().run_deadline_s with DAGs
+    /// still outstanding — the workload hung.
+    bool deadline_hit = false;
     std::map<pegasus::JobMode, int> mode_counts;
   };
 
@@ -101,6 +111,25 @@ class PaperTestbed {
   /// chains with modes drawn randomly to realize `mix`.
   RunResult run_concurrent_mix(int n_workflows, int tasks_per_workflow,
                                const metrics::MixPoint& mix);
+
+  // ---- Invariant checking (sf::check) -------------------------------
+
+  /// DAGs of every run_workflows call on this testbed, kept alive so the
+  /// invariant registry can audit live workflow state mid-run. (They used
+  /// to die at the end of run_workflows; keeping them is safe — a
+  /// finished DagMan holds no pending callbacks — and lets a deadline-hit
+  /// run be inspected post mortem.)
+  [[nodiscard]] const std::vector<std::unique_ptr<condor::DagMan>>&
+  active_dags() const {
+    return live_dags_;
+  }
+
+  /// Invariant-checker hook, fired once at the end of every run_workflows
+  /// drive loop. Null by default: the only cost when checking is off is
+  /// this one branch per run — the zero-overhead-when-off contract.
+  void set_quiesce_probe(std::function<void()> probe) {
+    quiesce_probe_ = std::move(probe);
+  }
 
  private:
   TestbedOptions options_;
@@ -120,6 +149,8 @@ class PaperTestbed {
   /// (job names must be unique per sim). Per-instance so that identically
   /// seeded testbeds replay identical event streams.
   int run_counter_ = 0;
+  std::vector<std::unique_ptr<condor::DagMan>> live_dags_;
+  std::function<void()> quiesce_probe_;
 };
 
 }  // namespace sf::core

@@ -183,6 +183,21 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t cpu_slows() const { return cpu_slows_; }
   [[nodiscard]] std::uint64_t flaky_nics() const { return flaky_nics_; }
   [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
+
+  /// Sum of all outstanding fault-window depth counters (degradations,
+  /// CPU slowdowns, flaky NICs, partitions). Zero once every window has
+  /// healed — the sf::check quiesce invariant: a heal path that forgets
+  /// to undo its effect leaves a residue here.
+  [[nodiscard]] std::uint64_t residual_depth() const {
+    std::uint64_t total = 0;
+    for (const int d : degrade_depth_) total += static_cast<std::uint64_t>(d);
+    for (const int d : cpu_slow_depth_) total += static_cast<std::uint64_t>(d);
+    for (const int d : flaky_depth_) total += static_cast<std::uint64_t>(d);
+    for (const int d : partition_depth_) {
+      total += static_cast<std::uint64_t>(d);
+    }
+    return total;
+  }
   [[nodiscard]] std::uint64_t applied_total() const {
     return node_crashes_ + registry_outages_ + pod_kills_ + degrades_ +
            partitions_ + rack_partitions_ + cpu_slows_ + flaky_nics_;

@@ -200,16 +200,20 @@ const Endpoints* ApiServer::get_endpoints(
 
 void ApiServer::notify_pod(EventType type, const Pod& pod) {
   if (pod_watches_.empty()) return;
+  ++watch_batches_scheduled_;
   sim_.call_in(api_latency_,
                [this, type, pod, n = pod_watches_.size()] {
+                 ++watch_batches_delivered_;
                  for (std::size_t i = 0; i < n; ++i) pod_watches_[i](type, pod);
                });
 }
 
 void ApiServer::notify_deployment(EventType type, const Deployment& dep) {
   if (deployment_watches_.empty()) return;
+  ++watch_batches_scheduled_;
   sim_.call_in(api_latency_,
                [this, type, dep, n = deployment_watches_.size()] {
+                 ++watch_batches_delivered_;
                  for (std::size_t i = 0; i < n; ++i) {
                    deployment_watches_[i](type, dep);
                  }
@@ -218,8 +222,10 @@ void ApiServer::notify_deployment(EventType type, const Deployment& dep) {
 
 void ApiServer::notify_endpoints(EventType type, const Endpoints& eps) {
   if (endpoints_watches_.empty()) return;
+  ++watch_batches_scheduled_;
   sim_.call_in(api_latency_,
                [this, type, eps, n = endpoints_watches_.size()] {
+                 ++watch_batches_delivered_;
                  for (std::size_t i = 0; i < n; ++i) {
                    endpoints_watches_[i](type, eps);
                  }
@@ -228,8 +234,10 @@ void ApiServer::notify_endpoints(EventType type, const Endpoints& eps) {
 
 void ApiServer::notify_node(EventType type, const NodeObject& node) {
   if (node_watches_.empty()) return;
+  ++watch_batches_scheduled_;
   sim_.call_in(api_latency_,
                [this, type, node, n = node_watches_.size()] {
+                 ++watch_batches_delivered_;
                  for (std::size_t i = 0; i < n; ++i) {
                    node_watches_[i](type, node);
                  }

@@ -153,6 +153,20 @@ class ApiServer {
     endpoints_watches_.push_back(std::move(watch));
   }
 
+  // ---- Watch-delivery accounting (sf::check) --------------------------
+  //
+  // Each object event schedules exactly ONE batched delivery; the batch
+  // increments the delivered counter exactly once when it runs. Invariant:
+  // delivered ≤ scheduled always, == once the queue has drained — a batch
+  // firing twice (or never) shows up as counter drift.
+
+  [[nodiscard]] std::uint64_t watch_batches_scheduled() const {
+    return watch_batches_scheduled_;
+  }
+  [[nodiscard]] std::uint64_t watch_batches_delivered() const {
+    return watch_batches_delivered_;
+  }
+
  private:
   void notify_pod(EventType type, const Pod& pod);
   void notify_deployment(EventType type, const Deployment& dep);
@@ -164,6 +178,8 @@ class ApiServer {
   Uid next_uid_ = 1;
   std::uint64_t pods_created_total_ = 0;
   std::uint64_t pods_finalized_total_ = 0;
+  std::uint64_t watch_batches_scheduled_ = 0;
+  std::uint64_t watch_batches_delivered_ = 0;
 
   std::map<std::string, NodeObject> nodes_;
   std::map<std::string, double> node_leases_;

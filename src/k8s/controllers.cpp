@@ -181,22 +181,32 @@ void NodeLifecycleController::evict_pods(const std::string& node_name) {
 // ---- EndpointsController -------------------------------------------------
 
 EndpointsController::EndpointsController(ApiServer& api) : api_(api) {
-  api_.watch_pods([this](EventType, const Pod&) { refresh_all(); });
+  api_.watch_pods(
+      [this](EventType, const Pod& pod) { refresh_matching(pod); });
 }
 
-void EndpointsController::refresh_all() {
+void EndpointsController::refresh_matching(const Pod& pod) {
+  // Only services selecting this pod's labels can have changed; the label
+  // match is a cheap map scan, the pod-list rebuild is the expensive part
+  // we now skip for everyone else.
+  api_.for_each_service([&](const Service& svc) {
+    if (!selector_matches(svc.selector, pod.labels)) return;
+    rebuild(svc);
+  });
+}
+
+void EndpointsController::rebuild(const Service& svc) {
   // set_endpoints touches only the endpoints store, so visiting services
   // and pods in place is safe (no copies of either list).
-  api_.for_each_service([&](const Service& svc) {
-    Endpoints eps;
-    eps.service_name = svc.name;
-    api_.for_each_pod(svc.selector, [&](const Pod& pod) {
-      if (pod.ready && pod.phase == PodPhase::kRunning) {
-        eps.ready.push_back(Endpoint{pod.name, pod.host_net_id, pod.port});
-      }
-    });
-    api_.set_endpoints(std::move(eps));
+  ++refreshes_;
+  Endpoints eps;
+  eps.service_name = svc.name;
+  api_.for_each_pod(svc.selector, [&](const Pod& pod) {
+    if (pod.ready && pod.phase == PodPhase::kRunning) {
+      eps.ready.push_back(Endpoint{pod.name, pod.host_net_id, pod.port});
+    }
   });
+  api_.set_endpoints(std::move(eps));
 }
 
 }  // namespace sf::k8s

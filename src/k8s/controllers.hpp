@@ -84,6 +84,14 @@ class NodeLifecycleController {
 
 /// Maintains each Service's Endpoints as the set of ready pods matching
 /// its selector.
+///
+/// Dirty-marking: a pod watch event rebuilds only the services whose
+/// selector matches the pod's labels — O(changed selectors) per event —
+/// instead of rebuilding every service's ready list on every pod event
+/// (the old refresh_all, which scanned all pods once per service per
+/// event). set_endpoints already no-ops on unchanged ready lists, so the
+/// emitted endpoints-event stream is identical; only the wasted rebuild
+/// work goes away.
 class EndpointsController {
  public:
   explicit EndpointsController(ApiServer& api);
@@ -91,10 +99,17 @@ class EndpointsController {
   EndpointsController(const EndpointsController&) = delete;
   EndpointsController& operator=(const EndpointsController&) = delete;
 
+  /// Probe counter: endpoints rebuilds performed (one per matching
+  /// service per pod event). The regression test pins this to the number
+  /// of *matching* events, proving non-matching services are skipped.
+  [[nodiscard]] std::uint64_t refreshes() const { return refreshes_; }
+
  private:
-  void refresh_all();
+  void refresh_matching(const Pod& pod);
+  void rebuild(const Service& svc);
 
   ApiServer& api_;
+  std::uint64_t refreshes_ = 0;
 };
 
 }  // namespace sf::k8s

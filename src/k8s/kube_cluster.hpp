@@ -53,6 +53,12 @@ class KubeCluster {
     return deployment_controller_.pods_replaced();
   }
 
+  /// Endpoints rebuilds performed by the endpoints controller (probe
+  /// counter for the dirty-marking regression test).
+  [[nodiscard]] std::uint64_t endpoints_refreshes() const {
+    return endpoints_controller_.refreshes();
+  }
+
   [[nodiscard]] WorkerNode& worker(const std::string& node_name);
   [[nodiscard]] std::vector<std::string> worker_names() const;
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }

@@ -529,6 +529,21 @@ std::uint64_t KnativeServing::requests_routed(
   return it == revisions_.end() ? 0 : it->second.requests;
 }
 
+std::vector<std::string> KnativeServing::service_names() const {
+  std::vector<std::string> out;
+  out.reserve(revisions_.size());
+  for (const auto& [name, rev] : revisions_) {
+    if (!rev.deleted) out.push_back(name);
+  }
+  return out;
+}
+
+const Annotations* KnativeServing::service_annotations(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? nullptr : &it->second.spec.annotations;
+}
+
 std::uint64_t KnativeServing::route_retries(
     const std::string& service) const {
   auto it = revisions_.find(service);

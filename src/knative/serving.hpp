@@ -5,6 +5,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cluster/node.hpp"
 #include "k8s/kube_cluster.hpp"
@@ -135,6 +136,14 @@ class KnativeServing {
   /// Router re-route attempts (502/503/504 responses retried) — how often
   /// requests raced dead pods, drains, or queue-proxy deadlines.
   [[nodiscard]] std::uint64_t route_retries(const std::string& service) const;
+
+  /// Names of live (non-deleted) services, in name order — lets the
+  /// invariant registry enumerate services without reaching into the
+  /// revision map.
+  [[nodiscard]] std::vector<std::string> service_names() const;
+  /// Scaling annotations of the active revision; nullptr when unknown.
+  [[nodiscard]] const Annotations* service_annotations(
+      const std::string& service) const;
 
  private:
   struct Revision {

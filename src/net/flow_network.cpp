@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <limits>
+#include <string>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -120,6 +122,7 @@ FlowId FlowNetwork::transfer(NodeId src, NodeId dst, double bytes,
     sim_.call_in(lat, std::move(on_complete));
     return (++next_seq_ << kSlotBits) | kDetachedSlot;
   }
+  bytes_requested_ += bytes;
   const std::uint32_t slot = alloc_slot();
   const FlowId id = (++next_seq_ << kSlotBits) | slot;
   Flow& f = slots_[slot];
@@ -173,6 +176,7 @@ bool FlowNetwork::cancel(FlowId id) {
   if (f == nullptr || !f->active) return false;
   advance();
   const auto slot = static_cast<std::uint32_t>(id & kSlotMask);
+  bytes_cancelled_ += slots_[slot].remaining;
   order_.erase(std::find(order_.begin(), order_.end(), slot));
   release_slot(slot);
   rebalance();
@@ -320,6 +324,62 @@ void FlowNetwork::rebalance() {
   }
 }
 
+std::vector<std::string> FlowNetwork::self_check() {
+  std::vector<std::string> out;
+  advance();  // bring bytes_delivered_ and per-flow remainders to `now`
+
+  double in_flight = 0;
+  std::vector<double> egress(nodes_.size(), 0.0);
+  std::vector<double> ingress(nodes_.size(), 0.0);
+  for (const Flow& f : slots_) {
+    if (f.id == kNoFlow) continue;
+    in_flight += f.remaining;
+    if (f.remaining < -1e-6) {
+      out.push_back("flow " + std::to_string(f.id) +
+                    " has negative remaining bytes");
+    }
+    if (f.rate < 0) {
+      out.push_back("flow " + std::to_string(f.id) + " has negative rate");
+    }
+    if (!f.active) continue;
+    if (f.loopback) continue;
+    if (partitioned(f.src, f.dst)) {
+      if (f.rate != 0) {
+        out.push_back("partitioned flow " + std::to_string(f.id) +
+                      " still progresses at " + std::to_string(f.rate));
+      }
+      continue;
+    }
+    egress[f.src] += f.rate;
+    ingress[f.dst] += f.rate;
+  }
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    const double cap = nodes_[n].bandwidth * nodes_[n].degrade;
+    const double slack = cap * 1e-6 + 1.0;
+    if (egress[n] > cap + slack) {
+      out.push_back("node " + std::to_string(n) + " egress " +
+                    std::to_string(egress[n]) + " exceeds capacity " +
+                    std::to_string(cap));
+    }
+    if (ingress[n] > cap + slack) {
+      out.push_back("node " + std::to_string(n) + " ingress " +
+                    std::to_string(ingress[n]) + " exceeds capacity " +
+                    std::to_string(cap));
+    }
+  }
+  // Byte conservation: everything ever requested is delivered, cancelled,
+  // written off at completion, or still in flight.
+  const double accounted =
+      bytes_delivered_ + bytes_cancelled_ + bytes_rounded_ + in_flight;
+  const double tol = 1e-6 * std::max(1.0, bytes_requested_);
+  if (std::abs(bytes_requested_ - accounted) > tol) {
+    out.push_back("byte conservation drifted: requested " +
+                  std::to_string(bytes_requested_) + " vs accounted " +
+                  std::to_string(accounted));
+  }
+  return out;
+}
+
 void FlowNetwork::fire_completions() {
   completion_event_ = sim::kNoEvent;
   advance();
@@ -328,6 +388,7 @@ void FlowNetwork::fire_completions() {
   for (const std::uint32_t slot : order_) {
     Flow& f = slots_[slot];
     if (flow_done(f.remaining, f.rate)) {
+      bytes_rounded_ += f.remaining;  // sub-slack residue, written off
       done.push_back(std::move(f.on_complete));
       release_slot(slot);
     } else {

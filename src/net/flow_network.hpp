@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -74,6 +75,33 @@ class FlowNetwork {
   [[nodiscard]] double total_bytes_delivered() const {
     return bytes_delivered_;
   }
+
+  // ---- Conservation accounting (sf::check) --------------------------
+
+  /// Total bulk bytes ever requested via transfer() (zero-byte control
+  /// messages excluded).
+  [[nodiscard]] double total_bytes_requested() const {
+    return bytes_requested_;
+  }
+  /// Bytes abandoned by cancel() (the flow's remainder at cancel time).
+  [[nodiscard]] double total_bytes_cancelled() const {
+    return bytes_cancelled_;
+  }
+  /// Sub-kDoneSlack residues written off when flows complete.
+  [[nodiscard]] double total_bytes_rounded() const { return bytes_rounded_; }
+
+  /// Currently partitioned node pairs.
+  [[nodiscard]] std::size_t blocked_pair_count() const {
+    return blocked_pairs_.size();
+  }
+
+  /// Conservation + capacity audit for the invariant registry: requested
+  /// == delivered + cancelled + rounded + Σ in-flight remaining (within
+  /// FP tolerance); no negative remainders or rates; per-node active
+  /// rates within NIC capacity × degrade; partitioned flows pinned at 0.
+  /// Advances flow progress to `now` first (like the other readers);
+  /// never schedules events or changes any rate.
+  [[nodiscard]] std::vector<std::string> self_check();
 
   // ---- Fault injection ----------------------------------------------
   //
@@ -165,6 +193,9 @@ class FlowNetwork {
   sim::EventId completion_event_ = sim::kNoEvent;
   std::uint64_t next_seq_ = 0;
   double bytes_delivered_ = 0;
+  double bytes_requested_ = 0;
+  double bytes_cancelled_ = 0;
+  double bytes_rounded_ = 0;
   std::uint64_t flaky_stalls_ = 0;
   /// Sorted pair_key() values of currently partitioned node pairs.
   std::vector<std::uint64_t> blocked_pairs_;

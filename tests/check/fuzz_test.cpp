@@ -1,0 +1,115 @@
+// Property-fuzzer harness tests: case derivation is stable, runs are
+// deterministic (bit-identical fingerprints on replay), pinned sweep
+// points hold all properties, and the repro printer emits every field.
+
+#include "check/fuzz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sf::check {
+namespace {
+
+// The tier-1 smoke sweep's pinned base seed (bench/fuzz_sim.cpp).
+constexpr std::uint64_t kSmokeBase = 0xF0CC5EEDull;
+
+TEST(FuzzCaseDerivation, SameSeedSameCase) {
+  const FuzzCase a = random_case(kSmokeBase, 7);
+  const FuzzCase b = random_case(kSmokeBase, 7);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.fault_seed, b.fault_seed);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.racks, b.racks);
+  EXPECT_EQ(a.workflows, b.workflows);
+  EXPECT_EQ(a.tasks, b.tasks);
+  EXPECT_EQ(a.serverless_fraction, b.serverless_fraction);
+  EXPECT_EQ(a.prestage, b.prestage);
+  EXPECT_EQ(a.min_scale, b.min_scale);
+  EXPECT_EQ(a.horizon_s, b.horizon_s);
+  for (const auto& ch : fuzz_channels()) {
+    EXPECT_EQ(a.*(ch.member), b.*(ch.member)) << ch.name;
+  }
+}
+
+TEST(FuzzCaseDerivation, DistinctIndicesDiffer) {
+  const FuzzCase a = random_case(kSmokeBase, 0);
+  const FuzzCase b = random_case(kSmokeBase, 1);
+  EXPECT_NE(a.seed, b.seed);  // forked roots, not sequential draws
+}
+
+TEST(FuzzCaseDerivation, FieldsStayInRange) {
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const FuzzCase c = random_case(kSmokeBase, i);
+    EXPECT_GE(c.nodes, 3);
+    EXPECT_LE(c.nodes, 5);
+    EXPECT_GE(c.racks, 1);
+    EXPECT_LE(c.racks, 2);
+    EXPECT_GE(c.workflows, 1);
+    EXPECT_LE(c.workflows, 3);
+    EXPECT_GE(c.tasks, 2);
+    EXPECT_LE(c.tasks, 5);
+    EXPECT_GE(c.serverless_fraction, 0.0);
+    EXPECT_LE(c.serverless_fraction, 1.0);
+    EXPECT_GE(c.horizon_s, 240.0);
+    EXPECT_LE(c.horizon_s, 420.0);
+    for (const auto& ch : fuzz_channels()) {
+      const double mean = c.*(ch.member);
+      EXPECT_TRUE(mean == 0.0 || mean >= 0.3 * c.horizon_s) << ch.name;
+    }
+  }
+}
+
+TEST(FuzzRun, PinnedSmokePointHoldsAllProperties) {
+  const FuzzOutcome out = run_case_checked(random_case(kSmokeBase, 0));
+  EXPECT_TRUE(out.ok) << out.detail;
+  EXPECT_TRUE(out.finished);
+  EXPECT_TRUE(out.replayed);
+  EXPECT_TRUE(out.replay_match);
+  EXPECT_EQ(out.violation_count, 0u);
+  EXPECT_GT(out.slowest, 0.0);
+}
+
+TEST(FuzzRun, FingerprintIsReproducible) {
+  const FuzzCase c = random_case(kSmokeBase, 3);
+  const FuzzOutcome a = run_case(c);
+  const FuzzOutcome b = run_case(c);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.slowest, b.slowest);
+  EXPECT_EQ(a.violation_count, b.violation_count);
+}
+
+TEST(FuzzRun, DifferentSeedsDifferentFingerprints) {
+  const FuzzOutcome a = run_case(random_case(kSmokeBase, 1));
+  const FuzzOutcome b = run_case(random_case(kSmokeBase, 2));
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+}
+
+TEST(FuzzShrink, PassingCaseIsReturnedUntouched) {
+  FuzzCase calm;  // defaults: no fault channels, tiny workload
+  const ShrinkResult res = shrink(calm, 50);
+  EXPECT_TRUE(res.outcome.ok);
+  EXPECT_EQ(res.trials, 1);  // one verification run, no search
+  EXPECT_EQ(res.reduced.workflows, calm.workflows);
+}
+
+TEST(FuzzRepro, PrintsEveryField) {
+  const FuzzCase c = random_case(kSmokeBase, 5);
+  const std::string repro = to_cpp_repro(c);
+  EXPECT_NE(repro.find("TEST(FuzzRegression, Case5)"), std::string::npos);
+  EXPECT_NE(repro.find("c.seed = 0x"), std::string::npos);
+  EXPECT_NE(repro.find("c.fault_seed = 0x"), std::string::npos);
+  EXPECT_NE(repro.find("c.nodes = "), std::string::npos);
+  EXPECT_NE(repro.find("c.horizon_s = "), std::string::npos);
+  for (const auto& ch : fuzz_channels()) {
+    EXPECT_NE(repro.find(std::string("c.") + ch.name + " = "),
+              std::string::npos)
+        << ch.name;
+  }
+  EXPECT_NE(repro.find("EXPECT_TRUE(out.ok)"), std::string::npos);
+}
+
+TEST(FuzzChannels, CoverAllTenFaultChannels) {
+  EXPECT_EQ(fuzz_channels().size(), 10u);
+}
+
+}  // namespace
+}  // namespace sf::check

@@ -1,0 +1,80 @@
+// Mutation smoke-check: prove the invariant registry actually detects a
+// planted bug. The test-only hook in CondorPool keeps a crashed node's
+// claims alive (skipping both the claim drop and the startd reset) —
+// the classic "forgot to release on the failure path" leak. With the
+// hook on, the registry must fire; with it off, the identical run must
+// be spotless. A registry that passes both ways tests nothing.
+
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hpp"
+
+namespace sf::check {
+namespace {
+
+/// Crash-heavy all-native case: claims are held for most of the run, so
+/// a crash window reliably overlaps held claims. Pinned — the mutation
+/// must be caught deterministically, not probabilistically.
+FuzzCase leaky_case() {
+  FuzzCase c;
+  c.nodes = 4;
+  c.workflows = 3;
+  c.tasks = 5;
+  c.serverless_fraction = 0;  // all tasks run on condor claims
+  c.node_crash_mean_s = 25;
+  c.horizon_s = 300;
+  c.plant_claim_leak = true;
+  return c;
+}
+
+TEST(MutationCheck, RegistryDetectsPlantedClaimLeak) {
+  const FuzzOutcome out = run_case(leaky_case());
+  EXPECT_FALSE(out.ok);
+  EXPECT_GT(out.violation_count, 0u);
+  // The leak shows up as claims parked on a crashed (down) node.
+  EXPECT_NE(out.detail.find("condor.pool"), std::string::npos) << out.detail;
+  EXPECT_NE(out.detail.find("down node"), std::string::npos) << out.detail;
+}
+
+TEST(MutationCheck, IdenticalRunWithoutMutationIsClean) {
+  FuzzCase c = leaky_case();
+  c.plant_claim_leak = false;
+  const FuzzOutcome out = run_case(c);
+  EXPECT_TRUE(out.ok) << out.detail;
+  EXPECT_EQ(out.violation_count, 0u);
+}
+
+TEST(MutationCheck, ShrinkerReducesTheLeakCase) {
+  // Start from a noisy superset of the failing case: extra channels and
+  // a bigger workload. The shrinker must strip the irrelevant channels
+  // and still end on a failing case.
+  FuzzCase c = leaky_case();
+  c.nodes = 5;
+  c.racks = 2;
+  c.pod_kill_mean_s = 120;
+  c.degrade_mean_s = 150;
+  c.flaky_nic_mean_s = 200;
+  c.horizon_s = 420;
+
+  const ShrinkResult res = shrink(c, 120);
+  EXPECT_FALSE(res.outcome.ok);
+  EXPECT_GT(res.trials, 1);
+  EXPECT_LE(res.trials, 120);
+
+  // The planted bug needs crashes; every other channel is noise.
+  EXPECT_GT(res.reduced.node_crash_mean_s, 0.0);
+  EXPECT_EQ(res.reduced.pod_kill_mean_s, 0.0);
+  EXPECT_EQ(res.reduced.degrade_mean_s, 0.0);
+  EXPECT_EQ(res.reduced.flaky_nic_mean_s, 0.0);
+  EXPECT_LE(res.reduced.workflows, c.workflows);
+  EXPECT_LE(res.reduced.horizon_s, c.horizon_s);
+
+  // And the reduction prints as a pasteable regression test.
+  const std::string repro = to_cpp_repro(res.reduced);
+  EXPECT_NE(repro.find("TEST(FuzzRegression"), std::string::npos);
+  EXPECT_NE(repro.find("c.plant_claim_leak = true;"), std::string::npos);
+  EXPECT_NE(repro.find("run_case_checked"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sf::check

@@ -1,0 +1,126 @@
+// EndpointsController dirty-marking regression: a pod event must rebuild
+// only the services whose selector matches the pod — O(changed
+// selectors), not O(all services). Probed via the refreshes() counter;
+// the old refresh-everything controller rebuilt every service on every
+// pod event, which this test distinguishes exactly.
+
+#include <gtest/gtest.h>
+
+#include "container/image.hpp"
+#include "k8s/kube_cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::k8s {
+namespace {
+
+class EndpointsDirtyMarkingTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  std::unique_ptr<cluster::Cluster> cl = cluster::make_paper_testbed(sim);
+  container::Registry hub{cl->node(0)};
+  KubeCluster kube{*cl, hub, {&cl->node(1), &cl->node(2), &cl->node(3)}};
+
+  void SetUp() override {
+    hub.push(container::make_task_image("matmul"));
+  }
+
+  Deployment deployment(const std::string& app, int replicas) {
+    Deployment d;
+    d.name = app + "-rev1";
+    d.selector = {{"app", app}};
+    d.pod_labels = {{"app", app}};
+    d.pod_template.name = app;
+    d.pod_template.image = "matmul:latest";
+    d.pod_template.memory_bytes = 512e6;
+    d.cpu_request = 0.5;
+    d.memory_request = 512e6;
+    d.replicas = replicas;
+    return d;
+  }
+
+  Service service(const std::string& app) {
+    Service s;
+    s.name = app;
+    s.selector = {{"app", app}};
+    return s;
+  }
+};
+
+TEST_F(EndpointsDirtyMarkingTest, UnmatchedPodEventsTriggerNoRebuild) {
+  kube.api().create_service(service("alpha"));
+  sim.run();
+  const auto baseline = kube.endpoints_refreshes();
+
+  // Pods labelled app=beta match no service: the controller must not
+  // touch alpha's endpoints for any of their lifecycle events.
+  kube.api().apply_deployment(deployment("beta", 3));
+  sim.run();
+  EXPECT_EQ(kube.endpoints_refreshes(), baseline);
+}
+
+TEST_F(EndpointsDirtyMarkingTest, MatchedPodEventsRebuildOnlyTheirService) {
+  kube.api().create_service(service("alpha"));
+  kube.api().create_service(service("beta"));
+  sim.run();
+  const auto baseline = kube.endpoints_refreshes();
+
+  kube.api().apply_deployment(deployment("alpha", 2));
+  sim.run();
+  const auto after_alpha = kube.endpoints_refreshes();
+  EXPECT_GT(after_alpha, baseline);
+
+  // beta saw zero matching pod events, so its endpoints stay absent —
+  // with refresh-everything they would have been (re)built repeatedly.
+  const Endpoints* beta_eps = kube.api().get_endpoints("beta");
+  if (beta_eps != nullptr) {
+    EXPECT_TRUE(beta_eps->ready.empty());
+  }
+
+  // Every alpha pod produces a bounded number of lifecycle events
+  // (created/scheduled/running/ready); each rebuild maps to exactly one
+  // of them, for exactly one service. The old controller rebuilt BOTH
+  // services per event, i.e. an even count per event — growing one
+  // deployment while the other's count stays frozen is the fix's
+  // observable signature.
+  kube.api().apply_deployment(deployment("beta", 2));
+  sim.run();
+  const auto after_beta = kube.endpoints_refreshes();
+  EXPECT_GT(after_beta, after_alpha);
+
+  const Endpoints* alpha_eps = kube.api().get_endpoints("alpha");
+  ASSERT_NE(alpha_eps, nullptr);
+  EXPECT_EQ(alpha_eps->ready.size(), 2u);
+  beta_eps = kube.api().get_endpoints("beta");
+  ASSERT_NE(beta_eps, nullptr);
+  EXPECT_EQ(beta_eps->ready.size(), 2u);
+}
+
+TEST_F(EndpointsDirtyMarkingTest, RebuildCountScalesWithMatchingEventsOnly) {
+  kube.api().create_service(service("alpha"));
+  sim.run();
+
+  // Bring up alpha alone and count its rebuilds.
+  kube.api().apply_deployment(deployment("alpha", 2));
+  sim.run();
+  const auto alpha_only = kube.endpoints_refreshes();
+
+  // A crowd of unrelated services must not inflate the per-event cost:
+  // scaling alpha up by the same amount costs the same number of
+  // rebuilds as before, despite 8 more services existing.
+  for (int i = 0; i < 8; ++i) {
+    kube.api().create_service(service("noise" + std::to_string(i)));
+  }
+  sim.run();
+  const auto with_noise = kube.endpoints_refreshes();
+
+  kube.api().set_deployment_replicas("alpha-rev1", 4);
+  sim.run();
+  const auto after_scale = kube.endpoints_refreshes();
+
+  // +2 pods cost no more rebuilds than the first +2 pods did; the noise
+  // services contribute zero.
+  EXPECT_LE(after_scale - with_noise, alpha_only);
+}
+
+}  // namespace
+}  // namespace sf::k8s

@@ -1,0 +1,100 @@
+// Direct TraceRecorder unit tests: enable/disable gating, record
+// ordering, and flush formatting. (Filter/CSV-escaping/clear coverage
+// lives in random_trace_test.cpp.)
+
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace sf::sim {
+namespace {
+
+TEST(TraceGating, DisabledByDefault) {
+  TraceRecorder tr;
+  EXPECT_FALSE(tr.enabled());
+  tr.record(1, "cat", "dropped");
+  EXPECT_TRUE(tr.events().empty());
+}
+
+TEST(TraceGating, EnableStartsRecording) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  EXPECT_TRUE(tr.enabled());
+  tr.record(1, "cat", "kept");
+  ASSERT_EQ(tr.events().size(), 1u);
+  EXPECT_EQ(tr.events()[0].name, "kept");
+}
+
+TEST(TraceGating, DisableStopsRecordingButKeepsHistory) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(1, "cat", "before");
+  tr.set_enabled(false);
+  tr.record(2, "cat", "after");
+  ASSERT_EQ(tr.events().size(), 1u);
+  EXPECT_EQ(tr.events()[0].name, "before");
+  // Re-enabling appends after the preserved history.
+  tr.set_enabled(true);
+  tr.record(3, "cat", "resumed");
+  ASSERT_EQ(tr.events().size(), 2u);
+  EXPECT_EQ(tr.events()[1].name, "resumed");
+}
+
+TEST(TraceOrdering, EventsKeepRecordOrder) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(5, "a", "first");
+  tr.record(2, "b", "second");  // earlier timestamp, later record
+  tr.record(5, "a", "third");   // duplicate timestamp
+  ASSERT_EQ(tr.events().size(), 3u);
+  EXPECT_EQ(tr.events()[0].name, "first");
+  EXPECT_EQ(tr.events()[1].name, "second");
+  EXPECT_EQ(tr.events()[2].name, "third");
+}
+
+TEST(TraceOrdering, AttrsKeepInsertionOrder) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(0, "c", "n", {{"z", "1"}, {"a", "2"}});
+  const auto& attrs = tr.events()[0].attrs;
+  ASSERT_EQ(attrs.size(), 2u);
+  EXPECT_EQ(attrs[0].first, "z");
+  EXPECT_EQ(attrs[1].first, "a");
+}
+
+TEST(TraceFlush, EmptyRecorderWritesHeaderOnly) {
+  TraceRecorder tr;
+  std::ostringstream os;
+  tr.write_csv(os);
+  EXPECT_EQ(os.str(), "time,category,name,attrs\n");
+}
+
+TEST(TraceFlush, RowsFlushInRecordOrder) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(2, "b", "late", {{"k", "v"}});
+  tr.record(1, "a", "early");  // no attrs: row ends after the comma
+  std::ostringstream os;
+  tr.write_csv(os);
+  EXPECT_EQ(os.str(),
+            "time,category,name,attrs\n"
+            "2,b,late,k=v\n"
+            "1,a,early,\n");
+}
+
+TEST(TraceFlush, FlushDoesNotConsumeEvents) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(1, "c", "n");
+  std::ostringstream once;
+  std::ostringstream twice;
+  tr.write_csv(once);
+  tr.write_csv(twice);
+  EXPECT_EQ(once.str(), twice.str());
+  EXPECT_EQ(tr.events().size(), 1u);
+}
+
+}  // namespace
+}  // namespace sf::sim
