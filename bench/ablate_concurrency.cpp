@@ -47,9 +47,9 @@ ConcurrencyResult run(int container_concurrency, int n_tasks) {
   const auto result = tb.run_workflows({wf}, modes);
   out.makespan = result.slowest;
   out.peak_desired = tb.serving().desired_replicas("fn-matmul");
-  for (const auto* e : tb.sim().trace().find("knative", "scale")) {
+  for (const auto e : tb.sim().trace().find("knative", "scale")) {
     out.peak_desired =
-        std::max(out.peak_desired, std::stoi(std::string(e->attr("to"))));
+        std::max(out.peak_desired, std::stoi(std::string(e.attr("to"))));
   }
   if (!result.all_succeeded) std::cerr << "run failed\n";
   return out;

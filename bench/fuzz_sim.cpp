@@ -27,7 +27,9 @@
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -99,7 +101,8 @@ int main() {
       });
 
   metrics::Table table({"case", "nodes", "racks", "wf", "tasks", "sfrac",
-                        "channels", "makespan_s", "viol", "replay", "ok"},
+                        "ol", "channels", "makespan_s", "viol", "replay",
+                        "ok"},
                        2);
   std::size_t failures = 0;
   std::uint64_t digest = 0xD16E57ull;
@@ -111,7 +114,9 @@ int main() {
                    static_cast<std::int64_t>(p.c.racks),
                    static_cast<std::int64_t>(p.c.workflows),
                    static_cast<std::int64_t>(p.c.tasks),
-                   p.c.serverless_fraction, channel_tags(p.c), p.out.slowest,
+                   p.c.serverless_fraction,
+                   static_cast<std::int64_t>(p.out.openloop_issued),
+                   channel_tags(p.c), p.out.slowest,
                    static_cast<std::int64_t>(p.out.violation_count),
                    std::string(p.out.replay_match ? "yes" : "NO"),
                    std::string(p.out.ok ? "yes" : "NO")});
@@ -119,6 +124,33 @@ int main() {
   table.print_text(std::cout);
   std::cout << "\nsweep digest 0x" << std::hex << digest << std::dec << ": "
             << (n_points - failures) << "/" << n_points << " points ok\n";
+
+  // Vacuity audit: aggregate per-invariant armed/exercised counters over
+  // the whole sweep. An invariant that was never exercised held over
+  // empty state everywhere — the sweep proved nothing about it.
+  std::vector<std::string> inv_names;
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> activity;
+  for (const auto& p : points) {
+    for (const auto& inv : p.out.invariants) {
+      auto [it, inserted] = activity.try_emplace(inv.name, 0, 0);
+      if (inserted) inv_names.push_back(inv.name);
+      it->second.first += inv.evaluations;
+      it->second.second += inv.exercised;
+    }
+  }
+  metrics::Table inv_table({"invariant", "armed", "exercised", "vacuous"}, 2);
+  std::size_t vacuous = 0;
+  for (const auto& name : inv_names) {
+    const auto& [armed, exercised] = activity.at(name);
+    if (exercised == 0) ++vacuous;
+    inv_table.add_row({name, static_cast<std::int64_t>(armed),
+                       static_cast<std::int64_t>(exercised),
+                       std::string(exercised == 0 ? "YES" : "no")});
+  }
+  std::cout << "\ninvariant registry activity (sweep totals):\n";
+  inv_table.print_text(std::cout);
+  std::cout << "\n" << (inv_names.size() - vacuous) << "/" << inv_names.size()
+            << " invariants exercised against non-empty state\n";
 
   if (failures == 0) return 0;
 

@@ -235,6 +235,119 @@ void BM_CondorNegotiate(benchmark::State& state) {
 }
 BENCHMARK(BM_CondorNegotiate)->Arg(64)->Arg(256);
 
+// Trace hot path at volume: the 10^5..10^6-events-per-run regime the
+// scale sweep lives in. Each record carries two attributes, one with a
+// dynamic value — the shape of "request_done {pod, code}". Recorded
+// before and after the interned-id / chunked-arena swap (BENCH_engine.json
+// keeps the pre-swap numbers under baseline_ns).
+void BM_TraceRecordHotPath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::TraceRecorder tr;
+  tr.set_enabled(true);
+  std::vector<std::string> pods;
+  pods.reserve(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    pods.push_back("fn-matmul-00001-deployment-" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    tr.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      tr.record(static_cast<double>(i) * 1e-3, "knative", "request_done",
+                {{"pod", pods[i & 63]}, {"code", "200"}});
+    }
+    benchmark::DoNotOptimize(tr.enabled());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_TraceRecordHotPath)->Arg(4096)->Arg(65536);
+
+// Disabled recorder: hot paths trace unconditionally, so the gated cost
+// is paid on EVERY traced statement of EVERY run — it must stay at
+// argument-evaluation cost, ideally zero allocations.
+void BM_TraceRecordGated(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::TraceRecorder tr;
+  tr.set_enabled(false);
+  const std::string pod = "fn-matmul-00001-deployment-7";
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      tr.record(static_cast<double>(i) * 1e-3, "knative", "request_done",
+                {{"pod", pod}, {"code", "200"}});
+    }
+    benchmark::DoNotOptimize(tr.enabled());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_TraceRecordGated)->Arg(65536);
+
+// Node-scoped watch fan-out at cluster scale: one kubelet-shaped watcher
+// per node, pods spread across the nodes, every pod mutated a few times.
+// Measures what pod-event delivery costs as the node count grows — the
+// curve the sharded watch index must flatten.
+void BM_WatchFanoutNodeScoped(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  constexpr int kPods = 256;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    k8s::ApiServer api{sim};
+    std::uint64_t sink = 0;
+    for (int w = 0; w < nodes; ++w) {
+      api.watch_pods_on_node(
+          "node-" + std::to_string(w),
+          [&sink](k8s::EventType, const k8s::Pod&) { ++sink; });
+    }
+    for (int i = 0; i < kPods; ++i) {
+      k8s::Pod p;
+      p.name = "pod-" + std::to_string(i);
+      p.container.image = "img:latest";
+      p.node_name = "node-" + std::to_string(i % nodes);
+      api.create_pod(p);
+    }
+    for (int i = 0; i < kPods; ++i) {
+      const std::string name = "pod-" + std::to_string(i);
+      for (int r = 0; r < 4; ++r) {
+        api.mutate_pod(name, [r](k8s::Pod& pod) { pod.ready = (r & 1) != 0; });
+      }
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * kPods * 5);
+}
+BENCHMARK(BM_WatchFanoutNodeScoped)->Arg(64)->Arg(1024);
+
+// Scheduler at scale: a large pod burst over a wide node table. The
+// rescan-based scheduler pays O(pods) per bind (O(pods^2) for the burst);
+// the incremental per-node usage bookkeeping pays O(nodes) per bind.
+void BM_SchedulerScaled(benchmark::State& state) {
+  const int pods = static_cast<int>(state.range(0));
+  constexpr int kNodes = 128;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    k8s::ApiServer api{sim};
+    k8s::Scheduler sched{api};
+    for (int n = 0; n < kNodes; ++n) {
+      k8s::NodeObject node;
+      node.name = "node-" + std::to_string(n);
+      node.allocatable_cpu = 64;
+      node.allocatable_memory = 256e9;
+      api.register_node(node);
+    }
+    for (int i = 0; i < pods; ++i) {
+      k8s::Pod p;
+      p.name = "pod-" + std::to_string(i);
+      p.container.image = "img:latest";
+      p.container.cpu_limit = 1.0;
+      p.container.memory_bytes = 1e9;
+      api.create_pod(p);
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sched.binds());
+  }
+  state.SetItemsProcessed(state.iterations() * pods);
+}
+BENCHMARK(BM_SchedulerScaled)->Arg(2048);
+
 void BM_MatmulKernelReal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   sim::Rng rng(42);

@@ -6,6 +6,9 @@
 #   BENCH_fullstack.json — wall-clock seconds per figure binary, run
 #                          sequentially (SF_SWEEP_THREADS=1) and with the
 #                          sweep pool at 4 threads
+#   BENCH_scale.json     — scale_sweep curve: per-point wall-clock and
+#                          sim-time metrics for the open-loop serving and
+#                          layered-DAG points (nodes x users x DAG size)
 #
 # Usage:
 #   bench/run_bench.sh [build-dir] [repetitions] [--rebaseline]
@@ -40,7 +43,7 @@ fi
 
 # ---- Engine + control-plane micro-benchmarks ------------------------------
 
-filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate'
+filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled'
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
 
@@ -206,4 +209,81 @@ with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path} ({len(results)} binaries)")
+PY
+
+# ---- Scale sweep curve ----------------------------------------------------
+
+scale_json="$repo_root/BENCH_scale.json"
+scale_bin="$build_dir/bench/scale_sweep"
+
+python3 - "$scale_bin" "$scale_json" "$rebaseline" <<'PY'
+import json
+import os
+import subprocess
+import sys
+import time
+
+scale_bin, out_path, rebaseline = (
+    sys.argv[1], sys.argv[2], sys.argv[3] == "1")
+
+if not os.access(scale_bin, os.X_OK):
+    print(f"  skipping scale sweep: {scale_bin} not built")
+    sys.exit(0)
+
+side = out_path + ".tmp"
+env = dict(os.environ, SF_SWEEP_THREADS="4", SF_SCALE_JSON=side)
+t0 = time.perf_counter()
+subprocess.run([scale_bin], env=env, check=True,
+               stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+total = time.perf_counter() - t0
+with open(side) as f:
+    curve = json.load(f)
+os.unlink(side)
+
+rows = {r["point"]: r for r in curve["serving"] + curve["dag"]}
+for name, row in rows.items():
+    print(f"  scale {name:<8} wall {row['wall_s']:8.3f} s")
+
+prev = {}
+try:
+    with open(out_path) as f:
+        prev = json.load(f)
+except (OSError, ValueError):
+    pass
+
+if prev.get("serving") and not rebaseline:
+    # Frozen baseline: append points NEW since it was recorded, so growing
+    # the sweep doesn't force a refresh of the committed curve.
+    known = {r["point"] for r in prev.get("serving", [])}
+    known |= {r["point"] for r in prev.get("dag", [])}
+    fresh = 0
+    for key in ("serving", "dag"):
+        extra = [r for r in curve[key] if r["point"] not in known]
+        prev.setdefault(key, []).extend(extra)
+        fresh += len(extra)
+    if fresh:
+        with open(out_path, "w") as f:
+            json.dump(prev, f, indent=2)
+            f.write("\n")
+        print(f"appended {fresh} new points to {out_path}; existing "
+              f"entries kept (pass --rebaseline to refresh them)")
+    else:
+        print(f"kept {out_path} (pass --rebaseline to overwrite)")
+    sys.exit(0)
+
+doc = {
+    "description": ("scale_sweep curve: open-loop serving points "
+                    "(nodes x users x requests) and layered-DAG points; "
+                    "sim-time metrics plus wall-clock per point at "
+                    "SF_SWEEP_THREADS=4"),
+    "source": "bench/scale_sweep.cpp via bench/run_bench.sh",
+    "cores": os.cpu_count(),
+    "total_wall_s": round(total, 3),
+    "serving": curve["serving"],
+    "dag": curve["dag"],
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(rows)} points, {total:.1f} s total)")
 PY

@@ -64,9 +64,12 @@ int main() {
             << testbed.serving().ready_replicas("fn-matmul") << "\n\n";
 
   std::cout << "control-plane event timeline:\n";
-  for (const auto* e : testbed.sim().trace().find("knative")) {
-    std::cout << "  t=" << e->time << "s  " << e->name;
-    for (const auto& [k, v] : e->attrs) std::cout << ' ' << k << '=' << v;
+  for (const auto e : testbed.sim().trace().find("knative")) {
+    std::cout << "  t=" << e.time() << "s  " << e.name();
+    for (std::size_t i = 0; i < e.attr_count(); ++i) {
+      const auto [k, v] = e.attr_at(i);
+      std::cout << ' ' << k << '=' << v;
+    }
     std::cout << '\n';
   }
   const auto cold = testbed.serving().cold_start_requests("fn-matmul");

@@ -9,10 +9,21 @@
 # regression test (exit code 1).
 #
 # Usage: scripts/fuzz.sh                  pinned 32-point smoke (seconds)
-#        scripts/fuzz.sh --sweep [N]      N random points (default 256),
-#                                         base seed from SF_FUZZ_BASE or
-#                                         a caller-supplied --base
+#        scripts/fuzz.sh --sweep [N]      N random points (default 256)
 #        scripts/fuzz.sh --sweep N --base SEED
+#
+# Sweep base seed, in priority order: --base, then SF_FUZZ_BASE, then a
+# hash of today's UTC date. The date default rotates the searched region
+# nightly — an unattended cron invocation explores fresh cases every
+# night instead of re-running the same 256 points forever — while
+# staying reproducible: re-running on the same date (or passing that
+# day's printed seed via --base) replays the exact sweep.
+#
+# Repro banking: a failing sweep shrinks the case and prints a pasteable
+# `TEST(FuzzRegression, CaseN)` block. Bank it by pasting into
+# tests/check/fuzz_regression_test.cpp (see the header there: rename
+# after the bug, keep every field). The printed fields pin the case
+# forever, so nothing else from the failing night needs to be saved.
 #
 # The smoke subset is the tier-1 leg: tier1.sh --fuzz additionally diffs
 # its output against tests/golden/fuzz_smoke.txt at 1 and 4 threads.
@@ -26,7 +37,9 @@ cmake --build "$build_dir" --target fuzz_sim -j > /dev/null
 
 if [[ "${1:-}" == "--sweep" ]]; then
   points="${2:-256}"
-  base="${SF_FUZZ_BASE:-0xF0CC5EED}"
+  # Knuth multiplicative hash of YYYYMMDD, masked to 32 bits.
+  date_base="$(printf '0x%08X' $(( ($(date -u +%Y%m%d) * 2654435761) & 0xFFFFFFFF )))"
+  base="${SF_FUZZ_BASE:-$date_base}"
   if [[ "${3:-}" == "--base" ]]; then
     base="$4"
   fi

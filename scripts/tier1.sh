@@ -27,9 +27,33 @@
 # fuzzer smoke sweep (each point twice, replay fingerprints compared)
 # at 1 and 4 sweep threads, diffing both against the committed golden.
 # Runs in seconds; scripts/fuzz.sh drives wider sweeps.
+#
+# --scale builds bench/scale_sweep and runs its smoke subset (small
+# open-loop serving + layered-DAG points) at 1 and 4 sweep threads,
+# diffing both against the committed golden transcript. Drift means the
+# open-loop engine or the scaled control-plane stores lost determinism.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--scale" ]]; then
+  build_dir="${2:-$repo_root/build}"
+  golden="$repo_root/tests/golden/scale_smoke.txt"
+  cmake -B "$build_dir" -S "$repo_root"
+  cmake --build "$build_dir" --target scale_sweep -j
+  tmp="$(mktemp -d)"
+  trap 'rm -rf "$tmp"' EXIT
+  SF_SCALE_SMOKE=1 SF_SWEEP_THREADS=1 \
+    "$build_dir/bench/scale_sweep" > "$tmp/serial.txt"
+  SF_SCALE_SMOKE=1 SF_SWEEP_THREADS=4 \
+    "$build_dir/bench/scale_sweep" > "$tmp/parallel.txt"
+  diff -u "$tmp/serial.txt" "$tmp/parallel.txt" \
+    || { echo "scale smoke: thread counts disagree" >&2; exit 1; }
+  diff -u "$golden" "$tmp/serial.txt" \
+    || { echo "scale smoke: drifted from golden transcript" >&2; exit 1; }
+  echo "scale smoke: bit-identical at 1 and 4 threads, matches golden"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--fuzz" ]]; then
   build_dir="${2:-$repo_root/build}"

@@ -7,10 +7,12 @@
 #include <sstream>
 
 #include "check/invariants.hpp"
+#include "container/image.hpp"
 #include "core/testbed.hpp"
 #include "fault/injector.hpp"
 #include "fault/splitmix.hpp"
 #include "metrics/ternary.hpp"
+#include "workload/open_loop.hpp"
 
 namespace sf::check {
 
@@ -33,6 +35,8 @@ enum : std::uint64_t {
   kTagMinScale = 0x16,
   kTagTimeout = 0x17,
   kTagHorizon = 0x18,
+  kTagOpenLoopUsers = 0x20,
+  kTagOpenLoopRate = 0x21,
   kTagChannelBase = 0xA1,  // one stream per channel, 0xA1..0xAA
 };
 
@@ -117,6 +121,16 @@ FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index) {
   c.horizon_s =
       240.0 + 60.0 * static_cast<double>(draw(kTagHorizon).next_below(4));
 
+  // Open-loop ambient traffic on roughly a third of cases: 2..4 users at
+  // 0.5/1.0/1.5 Hz each — enough to keep a service busy through the fault
+  // plan without dominating the run time.
+  auto ol = draw(kTagOpenLoopUsers);
+  if (ol.next_below(3) == 0) {
+    c.openloop_users = 2 + static_cast<int>(ol.next_below(3));
+    c.openloop_rate_hz =
+        0.5 + 0.5 * static_cast<double>(draw(kTagOpenLoopRate).next_below(3));
+  }
+
   // Each channel flips on with probability 1/2; when on, its mean lands
   // in [0.3, 1.0] × horizon — a handful of events per run, not a storm.
   const auto& channels = fuzz_channels();
@@ -158,10 +172,66 @@ FuzzOutcome run_case(const FuzzCase& c) {
   policy.request_timeout_s = c.request_timeout_s;
   tb.register_matmul_function(policy);
 
+  // Open-loop ambient traffic: a dedicated warm KService absorbing
+  // Poisson request streams while the DAG mix runs through the same
+  // fault plan. The queue-proxy deadline is always on for it so every
+  // request resolves (success or error) and the engine provably drains.
+  std::unique_ptr<workload::OpenLoopEngine> engine;
+  if (c.openloop_users > 0) {
+    const container::Image image = container::make_task_image("fn-open");
+    tb.registry().push(image);
+    if (c.prestage) tb.kube().seed_image_everywhere(image);
+    knative::KnServiceSpec spec;
+    spec.name = "fn-open";
+    spec.container.name = "fn-open";
+    spec.container.image = "fn-open:latest";
+    spec.container.memory_bytes = 512e6;
+    spec.container.boot_s = 0.6;
+    spec.container.cpu_limit = 1.0;
+    spec.handler = [](const net::HttpRequest& req,
+                      knative::FunctionContext& ctx, net::Responder respond) {
+      const double work =
+          req.body.has_value() ? std::any_cast<double>(req.body) : 0.01;
+      ctx.exec(work, [respond = std::move(respond),
+                      bytes = req.body_bytes](bool ok) mutable {
+        net::HttpResponse resp;
+        resp.status = ok ? 200 : 500;
+        resp.body_bytes = bytes;
+        respond(std::move(resp));
+      });
+    };
+    spec.annotations.min_scale = 1;
+    spec.annotations.container_concurrency = 1;
+    spec.annotations.request_timeout_s = 30;
+    tb.serving().create_service(std::move(spec));
+
+    workload::OpenLoopConfig ol;
+    ol.users = c.openloop_users;
+    ol.rate_hz = c.openloop_rate_hz;
+    ol.horizon_s = std::min(120.0, c.horizon_s / 2);
+    ol.services = {"fn-open"};
+    ol.work_s = 0.05;
+    ol.payload_bytes = 10000;
+    ol.seed = SplitMix64::mix(c.seed, 0x09E2);
+    engine = std::make_unique<workload::OpenLoopEngine>(
+        tb.serving(), tb.cluster().node(0).net_id(), ol);
+    engine->start();
+  }
+
   metrics::MixPoint mix;
   mix.native = 1.0 - c.serverless_fraction;
   mix.serverless = c.serverless_fraction;
   const auto result = tb.run_concurrent_mix(c.workflows, c.tasks, mix);
+
+  // Drain the ambient traffic before asserting quiesce: arrivals may
+  // outlive the DAG mix, and every issued request must be answered.
+  if (engine) {
+    const double drain_wall = settle_end + 1800.0;
+    while (!engine->quiesced() && tb.sim().has_pending_events() &&
+           tb.sim().now() < drain_wall) {
+      tb.sim().step();
+    }
+  }
 
   // Settle: every fault window past its heal time, autoscalers through
   // their scale-to-zero windows, watch queue drained — then quiesce.
@@ -173,12 +243,24 @@ FuzzOutcome run_case(const FuzzCase& c) {
   out.succeeded = result.all_succeeded;
   out.violation_count = checker.violations().size();
   out.slowest = result.slowest;
-  out.ok = out.finished && checker.ok() && std::isfinite(result.slowest);
+  const bool drained = engine == nullptr || engine->quiesced();
+  if (engine) out.openloop_issued = engine->stats().issued;
+  out.ok = out.finished && drained && checker.ok() &&
+           std::isfinite(result.slowest);
+  for (const auto& inv : checker.per_invariant()) {
+    out.invariants.push_back(
+        InvariantActivity{inv.name, inv.evaluations, inv.exercised});
+  }
 
   if (!out.finished) {
     out.detail = "workload hung: " + std::to_string(result.finished) + "/" +
                  std::to_string(c.workflows) + " DAGs finished by t=" +
                  std::to_string(tb.sim().now());
+  } else if (!drained) {
+    out.detail = "open-loop traffic never drained: " +
+                 std::to_string(engine->stats().completed) + "/" +
+                 std::to_string(engine->stats().issued) +
+                 " requests answered by t=" + std::to_string(tb.sim().now());
   } else if (!checker.ok()) {
     const auto& v = checker.violations().front();
     std::ostringstream os;
@@ -204,6 +286,7 @@ FuzzOutcome run_case(const FuzzCase& c) {
   fold(tb.serving().route_retries("fn-matmul"));
   fold(tb.kube().api().watch_batches_delivered());
   fold(static_cast<std::uint64_t>(out.violation_count));
+  if (engine) fold(engine->fingerprint());
   out.fingerprint = fp;
   return out;
 }
@@ -339,6 +422,14 @@ ShrinkResult shrink(const FuzzCase& failing, int budget) {
         progress |= try_reduce(cand);
       }
     }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.openloop_users > 0) {
+        cand.openloop_users = 0;
+        cand.openloop_rate_hz = 0;
+        progress |= try_reduce(cand);
+      }
+    }
   }
 
   // Phase 3 — horizon bisection: a shorter plan window means fewer fault
@@ -384,6 +475,8 @@ std::string to_cpp_repro(const FuzzCase& c) {
   os << "  c.prestage = " << (c.prestage ? "true" : "false") << ";\n";
   os << "  c.min_scale = " << c.min_scale << ";\n";
   os << "  c.request_timeout_s = " << c.request_timeout_s << ";\n";
+  os << "  c.openloop_users = " << c.openloop_users << ";\n";
+  os << "  c.openloop_rate_hz = " << c.openloop_rate_hz << ";\n";
   os << "  c.horizon_s = " << c.horizon_s << ";\n";
   for (const auto& ch : fuzz_channels()) {
     os << "  c." << ch.name << " = " << c.*(ch.member) << ";\n";

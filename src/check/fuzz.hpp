@@ -30,6 +30,14 @@ struct FuzzCase {
   int min_scale = 1;     ///< warm pods when prestaged
   double request_timeout_s = 30;  ///< queue-proxy deadline; 0 = none
 
+  // -- open-loop traffic axis (0 users = off) ---------------------------
+  /// When positive, a dedicated warm KService ("fn-open") takes Poisson
+  /// request streams from this many independent open-loop users while
+  /// the DAG mix runs — ambient serving load riding the same faults. The
+  /// engine must drain (every issued request answered) before quiesce.
+  int openloop_users = 0;
+  double openloop_rate_hz = 0;  ///< per-user arrival rate when on
+
   // -- fault plan -----------------------------------------------------
   double horizon_s = 300;  ///< fault-plan window [0, horizon)
   /// Channel mean inter-arrival times; 0 = channel off. Forked RNG
@@ -65,6 +73,15 @@ struct ChannelRef {
 [[nodiscard]] FuzzCase random_case(std::uint64_t base_seed,
                                    std::uint64_t index);
 
+/// Per-invariant activity from one run: how often the registry evaluated
+/// the invariant and how many subjects it examined in total. `exercised
+/// == 0` means the invariant passed vacuously in this run.
+struct InvariantActivity {
+  std::string name;
+  std::uint64_t evaluations = 0;
+  std::uint64_t exercised = 0;
+};
+
 /// What one fuzz point produced.
 struct FuzzOutcome {
   bool ok = false;        ///< all properties held
@@ -77,7 +94,11 @@ struct FuzzOutcome {
   std::uint64_t fingerprint = 0;  ///< order-sensitive run digest
   std::size_t violation_count = 0;
   double slowest = 0;  ///< slowest workflow makespan, seconds
+  std::uint64_t openloop_issued = 0;  ///< open-loop requests fired (axis on)
   std::string detail;  ///< first failure, empty when ok
+  /// Registry activity, in registration order (the vacuity audit the
+  /// fuzzer aggregates across its sweep).
+  std::vector<InvariantActivity> invariants;
 };
 
 /// Runs one case to quiesce under the invariant registry and the

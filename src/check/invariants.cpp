@@ -26,35 +26,61 @@ InvariantChecker::InvariantChecker(core::PaperTestbed& testbed,
 
 void InvariantChecker::add_invariant(std::string name, Probe probe,
                                      bool quiesce_only) {
-  entries_.push_back(Entry{std::move(name), std::move(probe), quiesce_only});
+  add_counted_invariant(
+      std::move(name),
+      [probe = std::move(probe)](std::vector<std::string>& out) {
+        probe(out);
+        return std::uint64_t{1};  // plain probes count as one subject
+      },
+      quiesce_only);
+}
+
+void InvariantChecker::add_counted_invariant(std::string name,
+                                             CountingProbe probe,
+                                             bool quiesce_only) {
+  Entry entry;
+  entry.name = std::move(name);
+  entry.probe = std::move(probe);
+  entry.quiesce_only = quiesce_only;
+  entries_.push_back(std::move(entry));
 }
 
 void InvariantChecker::attach_injector(const fault::FaultInjector& injector) {
   injector_ = &injector;
-  add_invariant(
+  add_counted_invariant(
       "fault.healed",
-      [this](std::vector<std::string>& out) {
+      [this](std::vector<std::string>& out) -> std::uint64_t {
         if (injector_->residual_depth() != 0) {
           out.push_back("injector residual depth " +
                         std::to_string(injector_->residual_depth()) +
                         " after all windows should have healed");
         }
+        return injector_->applied_total();
       },
       /*quiesce_only=*/true);
 }
 
 void InvariantChecker::register_builtins() {
+  // Every builtin is a counting probe: alongside violations it reports
+  // how many subjects it examined, so per_invariant() can prove each law
+  // was exercised against real state rather than passing over nothing.
+
   // -- condor: pool-internal conservation (claims, slots, job states). ---
-  add_invariant("condor.pool", [this](std::vector<std::string>& out) {
+  add_counted_invariant("condor.pool",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
     for (auto& msg : tb_.condor().self_check()) out.push_back(std::move(msg));
+    return tb_.condor().worker_names().size();
   });
 
   // -- condor: claims never exceed live startds' dynamic slots, and ------
   // -- every DAG's node states tally. ------------------------------------
-  add_invariant("condor.claims", [this](std::vector<std::string>& out) {
+  add_counted_invariant("condor.claims",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
     std::size_t live_slots = 0;
+    std::uint64_t examined = 0;
     for (const auto& name : tb_.condor().worker_names()) {
       auto& sd = tb_.condor().startd(name);
+      ++examined;
       if (sd.node().up()) live_slots += sd.dynamic_slots();
     }
     if (tb_.condor().active_claims() > live_slots) {
@@ -63,15 +89,19 @@ void InvariantChecker::register_builtins() {
                     " claims but live startds expose only " +
                     std::to_string(live_slots) + " dynamic slots");
     }
+    return examined;
   });
-  add_invariant("condor.dag", [this](std::vector<std::string>& out) {
+  add_counted_invariant("condor.dag",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
     for (const auto& dag : tb_.active_dags()) {
       for (auto& msg : dag->self_check()) out.push_back(std::move(msg));
     }
+    return tb_.active_dags().size();
   });
 
   // -- nodes: RAM/CPU ledgers stay within hardware capacity. -------------
-  add_invariant("node.accounting", [this](std::vector<std::string>& out) {
+  add_counted_invariant("node.accounting",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
     auto& cl = tb_.cluster();
     for (std::size_t i = 0; i < cl.size(); ++i) {
       const auto& node = cl.node(i);
@@ -92,21 +122,27 @@ void InvariantChecker::register_builtins() {
         out.push_back(os.str());
       }
     }
+    return cl.size();
   });
 
   // -- network: flow conservation (bytes in == bytes out + in flight). ---
-  add_invariant("net.flows", [this](std::vector<std::string>& out) {
+  add_counted_invariant("net.flows",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
     for (auto& msg : tb_.cluster().network().self_check()) {
       out.push_back(std::move(msg));
     }
+    return tb_.cluster().network().node_count();
   });
 
   // -- knative: the KPA clamps desired into [min_scale, max_scale] at ----
   // -- every evaluation, so it must hold at every instant. ---------------
-  add_invariant("knative.scale", [this](std::vector<std::string>& out) {
+  add_counted_invariant("knative.scale",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    std::uint64_t examined = 0;
     for (const auto& svc : tb_.serving().service_names()) {
       const auto* ann = tb_.serving().service_annotations(svc);
       if (ann == nullptr) continue;
+      ++examined;
       const int desired = tb_.serving().desired_replicas(svc);
       if (desired < ann->min_scale ||
           (ann->max_scale > 0 && desired > ann->max_scale)) {
@@ -117,36 +153,46 @@ void InvariantChecker::register_builtins() {
                       "]");
       }
     }
+    return examined;
   });
 
   // -- k8s: endpoints lists never contain the same pod twice, and a ------
   // -- pod marked ready is a running pod. --------------------------------
-  add_invariant("k8s.endpoints", [this](std::vector<std::string>& out) {
+  add_counted_invariant("k8s.endpoints",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    std::uint64_t examined = 0;
     tb_.kube().api().for_each_service([&](const k8s::Service& svc) {
       const auto* eps = tb_.kube().api().get_endpoints(svc.name);
       if (eps == nullptr) return;
       std::set<std::string> seen;
       for (const auto& ep : eps->ready) {
+        ++examined;
         if (!seen.insert(ep.pod_name).second) {
           out.push_back(svc.name + ": pod " + ep.pod_name +
                         " listed twice in ready endpoints");
         }
       }
     });
+    return examined;
   });
-  add_invariant("k8s.pods", [this](std::vector<std::string>& out) {
+  add_counted_invariant("k8s.pods",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    std::uint64_t examined = 0;
     tb_.kube().api().for_each_pod([&](const k8s::Pod& pod) {
+      ++examined;
       if (pod.ready && pod.phase != k8s::PodPhase::kRunning) {
         out.push_back(pod.name + ": ready but phase " +
                       std::string(k8s::to_string(pod.phase)));
       }
     });
+    return examined;
   });
 
   // -- k8s: each object event schedules exactly one watch batch; a -------
   // -- batch delivered twice (or a delivery without a schedule) drifts ----
   // -- the counters. ------------------------------------------------------
-  add_invariant("k8s.watch", [this](std::vector<std::string>& out) {
+  add_counted_invariant("k8s.watch",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
     const auto scheduled = tb_.kube().api().watch_batches_scheduled();
     const auto delivered = tb_.kube().api().watch_batches_delivered();
     if (delivered > scheduled) {
@@ -154,14 +200,15 @@ void InvariantChecker::register_builtins() {
                     " > scheduled " + std::to_string(scheduled) +
                     " (an event delivered twice)");
     }
+    return scheduled != 0 ? 1 : 0;
   });
 
   // ---- Quiesce-only: must hold once the workload is done, every fault
   // ---- window has healed and the control loops have settled.
 
-  add_invariant(
+  add_counted_invariant(
       "k8s.watch.drained",
-      [this](std::vector<std::string>& out) {
+      [this](std::vector<std::string>& out) -> std::uint64_t {
         const auto scheduled = tb_.kube().api().watch_batches_scheduled();
         const auto delivered = tb_.kube().api().watch_batches_delivered();
         if (delivered != scheduled) {
@@ -169,13 +216,16 @@ void InvariantChecker::register_builtins() {
                         std::to_string(delivered) + " != scheduled " +
                         std::to_string(scheduled) + " at quiesce");
         }
+        return scheduled != 0 ? 1 : 0;
       },
       /*quiesce_only=*/true);
 
-  add_invariant(
+  add_counted_invariant(
       "knative.settled",
-      [this](std::vector<std::string>& out) {
+      [this](std::vector<std::string>& out) -> std::uint64_t {
+        std::uint64_t examined = 0;
         for (const auto& svc : tb_.serving().service_names()) {
+          ++examined;
           const auto* ann = tb_.serving().service_annotations(svc);
           const int desired = tb_.serving().desired_replicas(svc);
           const int ready = tb_.serving().ready_replicas(svc);
@@ -190,12 +240,13 @@ void InvariantChecker::register_builtins() {
                           std::to_string(ann->min_scale) + " at quiesce");
           }
         }
+        return examined;
       },
       /*quiesce_only=*/true);
 
-  add_invariant(
+  add_counted_invariant(
       "cluster.healed",
-      [this](std::vector<std::string>& out) {
+      [this](std::vector<std::string>& out) -> std::uint64_t {
         auto& cl = tb_.cluster();
         for (std::size_t i = 0; i < cl.size(); ++i) {
           if (!cl.node(i).up()) {
@@ -222,12 +273,13 @@ void InvariantChecker::register_builtins() {
         if (!tb_.registry().available(tb_.sim().now())) {
           out.push_back("image registry still in outage at quiesce");
         }
+        return cl.size();
       },
       /*quiesce_only=*/true);
 
-  add_invariant(
+  add_counted_invariant(
       "condor.drained",
-      [this](std::vector<std::string>& out) {
+      [this](std::vector<std::string>& out) -> std::uint64_t {
         if (tb_.condor().running_jobs() != 0) {
           out.push_back(std::to_string(tb_.condor().running_jobs()) +
                         " condor jobs still running at quiesce");
@@ -236,6 +288,7 @@ void InvariantChecker::register_builtins() {
           out.push_back(std::to_string(tb_.condor().idle_jobs()) +
                         " condor jobs still idle at quiesce");
         }
+        return tb_.condor().worker_names().size();
       },
       /*quiesce_only=*/true);
 }
@@ -266,11 +319,13 @@ void InvariantChecker::check_quiesce() { sweep(/*quiesce=*/true); }
 void InvariantChecker::sweep(bool quiesce) {
   ++sweeps_;
   std::vector<std::string> messages;
-  for (const auto& entry : entries_) {
+  for (auto& entry : entries_) {
     if (entry.quiesce_only && !quiesce) continue;
     ++evaluations_;
+    ++entry.evaluations;
     messages.clear();
-    entry.probe(messages);
+    entry.exercised += entry.probe(messages);
+    entry.violations += messages.size();
     for (auto& msg : messages) {
       if (violations_.size() >= config_.max_violations) return;
       violations_.push_back(
@@ -284,6 +339,18 @@ void InvariantChecker::sweep(bool quiesce) {
       }
     }
   }
+}
+
+std::vector<InvariantChecker::InvariantStats> InvariantChecker::per_invariant()
+    const {
+  std::vector<InvariantStats> out;
+  out.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    out.push_back(InvariantStats{entry.name, entry.quiesce_only,
+                                 entry.evaluations, entry.exercised,
+                                 entry.violations});
+  }
+  return out;
 }
 
 std::string InvariantChecker::report() const {

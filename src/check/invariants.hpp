@@ -59,6 +59,19 @@ class InvariantChecker {
  public:
   /// A probe appends one message per violation it finds.
   using Probe = std::function<void(std::vector<std::string>&)>;
+  /// A counting probe additionally returns how many subjects (nodes,
+  /// pods, claims, ...) it actually examined — the registry's proof that
+  /// an invariant is not passing vacuously over empty state.
+  using CountingProbe = std::function<std::uint64_t(std::vector<std::string>&)>;
+
+  /// Per-invariant activity counters, in registration order.
+  struct InvariantStats {
+    std::string name;
+    bool quiesce_only = false;
+    std::uint64_t evaluations = 0;  ///< sweeps that ran this probe (armed)
+    std::uint64_t exercised = 0;    ///< cumulative subjects examined
+    std::uint64_t violations = 0;   ///< violations this probe reported
+  };
 
   explicit InvariantChecker(core::PaperTestbed& testbed,
                             CheckConfig config = {});
@@ -71,8 +84,12 @@ class InvariantChecker {
   void attach_injector(const fault::FaultInjector& injector);
 
   /// Registers an extra invariant. quiesce_only probes run only from
-  /// check_quiesce().
+  /// check_quiesce(). Plain probes count one exercised subject per
+  /// evaluation; use the CountingProbe overload to report real subject
+  /// counts (what the vacuity audit keys on).
   void add_invariant(std::string name, Probe probe, bool quiesce_only = false);
+  void add_counted_invariant(std::string name, CountingProbe probe,
+                             bool quiesce_only = false);
 
   /// Installs the testbed quiesce probe and starts the cadence chain.
   /// Idempotent.
@@ -93,14 +110,21 @@ class InvariantChecker {
   [[nodiscard]] std::uint64_t sweeps() const { return sweeps_; }
   /// Individual invariant evaluations performed.
   [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  /// Per-invariant armed/exercised/violation counters, in registration
+  /// order. An entry with `exercised == 0` passed vacuously: its probe
+  /// never saw a subject, so the run proved nothing about it.
+  [[nodiscard]] std::vector<InvariantStats> per_invariant() const;
   /// One line per violation, for test failure messages.
   [[nodiscard]] std::string report() const;
 
  private:
   struct Entry {
     std::string name;
-    Probe probe;
+    CountingProbe probe;
     bool quiesce_only = false;
+    std::uint64_t evaluations = 0;
+    std::uint64_t exercised = 0;
+    std::uint64_t violations = 0;
   };
 
   void register_builtins();

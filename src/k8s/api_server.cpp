@@ -7,6 +7,7 @@
 namespace sf::k8s {
 
 void ApiServer::register_node(NodeObject node) {
+  sim_.intern(node.name);  // shard key for watch routing / usage
   node_leases_[node.name] = sim_.now();
   nodes_[node.name] = std::move(node);
 }
@@ -44,6 +45,9 @@ Uid ApiServer::create_pod(Pod pod) {
   ++next_uid_;
   ++pods_created_total_;
   assert(pods_created_total_ - pods_finalized_total_ == pods_.size());
+  if (usage_counted(*stored)) {
+    add_usage(sim_.intern(stored->node_name), *stored);
+  }
   notify_pod(EventType::kAdded, *stored);
   return stored->uid;
 }
@@ -52,9 +56,54 @@ bool ApiServer::mutate_pod(const std::string& name,
                            std::function<void(Pod&)> mutate) {
   Pod* pod = pods_.find(name);
   if (pod == nullptr) return false;
+  const bool was = usage_counted(*pod);
+  // A counted pod's node was interned when it was added; an id is all the
+  // "before" state we need (no string copy on this per-event path).
+  const sim::ObjectId old_node = was ? sim_.ids().lookup(pod->node_name)
+                                     : sim::kEmptyId;
+  const double old_cpu = pod->cpu_request;
+  const double old_mem = pod->memory_request;
   mutate(*pod);
+  const bool now = usage_counted(*pod);
+  // Touch the aggregate only when the accounted quantities actually moved
+  // (a bind, a failure, a request resize) — phase-only transitions like
+  // Scheduled -> Running leave it bit-for-bit alone.
+  if (was || now) {
+    const sim::ObjectId new_node = now ? sim_.intern(pod->node_name)
+                                       : sim::kEmptyId;
+    if (was != now || old_node != new_node || old_cpu != pod->cpu_request ||
+        old_mem != pod->memory_request) {
+      if (was) sub_usage(old_node, old_cpu, old_mem);
+      if (now) add_usage(new_node, *pod);
+    }
+  }
   notify_pod(EventType::kModified, *pod);
   return true;
+}
+
+void ApiServer::watch_pods_on_node(const std::string& node, PodWatch watch) {
+  node_pod_watches_[sim_.intern(node)].push_back(
+      SeqPodWatch{watch_seq_++, std::move(watch)});
+}
+
+ApiServer::NodeUsage ApiServer::node_usage(const std::string& node) const {
+  const auto it = node_usage_.find(sim_.ids().lookup(node));
+  return it == node_usage_.end() ? NodeUsage{} : it->second;
+}
+
+void ApiServer::add_usage(sim::ObjectId node_id, const Pod& pod) {
+  NodeUsage& u = node_usage_[node_id];
+  u.cpu += pod.cpu_request;
+  u.memory += pod.memory_request;
+  ++u.pods;
+}
+
+void ApiServer::sub_usage(sim::ObjectId node_id, double cpu, double memory) {
+  const auto it = node_usage_.find(node_id);
+  if (it == node_usage_.end()) return;
+  it->second.cpu -= cpu;
+  it->second.memory -= memory;
+  --it->second.pods;
 }
 
 const Pod* ApiServer::get_pod(const std::string& name) const {
@@ -79,8 +128,15 @@ void ApiServer::delete_pod(const std::string& name) {
   if (pod == nullptr) return;
   if (pod->phase == PodPhase::kTerminating) return;
   const bool never_ran = pod->node_name.empty();
+  const bool was = usage_counted(*pod);
   pod->phase = PodPhase::kTerminating;
   pod->ready = false;
+  // A Failed pod flips back to counted here: Terminating pods hold their
+  // requests until the kubelet finalizes (matching the rescan predicate,
+  // which only ever excluded Failed).
+  if (!was && usage_counted(*pod)) {
+    add_usage(sim_.intern(pod->node_name), *pod);
+  }
   notify_pod(EventType::kModified, *pod);
   if (never_ran) {
     // No kubelet owns it; finalize directly.
@@ -93,6 +149,10 @@ void ApiServer::finalize_pod_deletion(const std::string& name) {
   if (!removed.has_value()) return;
   ++pods_finalized_total_;
   assert(pods_created_total_ - pods_finalized_total_ == pods_.size());
+  if (usage_counted(*removed)) {
+    sub_usage(sim_.ids().lookup(removed->node_name), removed->cpu_request,
+              removed->memory_request);
+  }
   notify_pod(EventType::kDeleted, *removed);
 }
 
@@ -199,13 +259,57 @@ const Endpoints* ApiServer::get_endpoints(
 // one-event-per-watcher scheme had, at 1/N the events and allocations.
 
 void ApiServer::notify_pod(EventType type, const Pod& pod) {
-  if (pod_watches_.empty()) return;
+  // Route to the global watchers plus (for bound pods) the one node shard
+  // the pod lives on. Unbound pods (empty node_name) only concern global
+  // watchers; lookup() never inserts, so a node nobody watches costs one
+  // hash probe.
+  sim::ObjectId node_id = sim::kEmptyId;
+  std::size_t n_node = 0;
+  if (!pod.node_name.empty()) {
+    node_id = sim_.ids().lookup(pod.node_name);
+    const auto it = node_pod_watches_.find(node_id);
+    if (it != node_pod_watches_.end()) n_node = it->second.size();
+  }
+  const std::size_t n_global = pod_watches_.size();
+  if (n_global + n_node == 0) return;
   ++watch_batches_scheduled_;
-  sim_.call_in(api_latency_,
-               [this, type, pod, n = pod_watches_.size()] {
-                 ++watch_batches_delivered_;
-                 for (std::size_t i = 0; i < n; ++i) pod_watches_[i](type, pod);
-               });
+  sim_.call_in(api_latency_, [this, type, pod, n_global, node_id, n_node] {
+    ++watch_batches_delivered_;
+    deliver_pod_event(type, pod, n_global, node_id, n_node);
+  });
+}
+
+void ApiServer::deliver_pod_event(EventType type, const Pod& pod,
+                                  std::size_t n_global, sim::ObjectId node_id,
+                                  std::size_t n_node) {
+  // Counts were snapped at schedule time: watchers registered after the
+  // notification do not see the event (the same contract the flat list
+  // had). Single-list deliveries take the flat loop; only events that
+  // genuinely touch both a node shard and the global list pay the merge,
+  // which fires watchers in exactly the order a single flat list would
+  // have fired them.
+  if (n_node == 0) {
+    for (std::size_t i = 0; i < n_global; ++i) pod_watches_[i].fn(type, pod);
+    return;
+  }
+  const std::deque<SeqPodWatch>& shard =
+      node_pod_watches_.find(node_id)->second;
+  if (n_global == 0) {
+    for (std::size_t i = 0; i < n_node; ++i) shard[i].fn(type, pod);
+    return;
+  }
+  std::size_t gi = 0;
+  std::size_t ni = 0;
+  while (gi < n_global || ni < n_node) {
+    const bool global_next =
+        ni >= n_node ||
+        (gi < n_global && pod_watches_[gi].seq < shard[ni].seq);
+    if (global_next) {
+      pod_watches_[gi++].fn(type, pod);
+    } else {
+      shard[ni++].fn(type, pod);
+    }
+  }
 }
 
 void ApiServer::notify_deployment(EventType type, const Deployment& dep) {

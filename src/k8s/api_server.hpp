@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "k8s/named_store.hpp"
@@ -114,7 +116,28 @@ class ApiServer {
   /// Deleted.
   void finalize_pod_deletion(const std::string& name);
 
-  void watch_pods(PodWatch watch) { pod_watches_.push_back(std::move(watch)); }
+  void watch_pods(PodWatch watch) {
+    pod_watches_.push_back(SeqPodWatch{watch_seq_++, std::move(watch)});
+  }
+
+  /// Node-scoped pod watch (kubelet shape): the watcher only cares about
+  /// pods bound to `node`, so delivery routes each pod event to the one
+  /// matching node shard instead of fanning it out to all kubelets —
+  /// per-event watch cost is O(global watchers + this node's watchers),
+  /// not O(nodes). Relative delivery order with global watchers follows
+  /// registration order, exactly as if the watcher filtered by itself.
+  void watch_pods_on_node(const std::string& node, PodWatch watch);
+
+  /// Per-node resource bookkeeping, maintained synchronously with every
+  /// pod store mutation (created/bound/failed/finalized): the sum of
+  /// cpu/memory requests of non-Failed pods bound to the node — the same
+  /// aggregate a full pod-store rescan would produce, kept O(changed).
+  struct NodeUsage {
+    double cpu = 0;
+    double memory = 0;
+    std::uint32_t pods = 0;
+  };
+  [[nodiscard]] NodeUsage node_usage(const std::string& node) const;
 
   // ---- Deployments ----------------------------------------------------
 
@@ -168,10 +191,28 @@ class ApiServer {
   }
 
  private:
+  /// A pod watcher plus its registration sequence number. Global and
+  /// node-scoped watchers draw from one sequence so a merged delivery
+  /// reproduces plain registration order.
+  struct SeqPodWatch {
+    std::uint64_t seq = 0;
+    PodWatch fn;
+  };
+
   void notify_pod(EventType type, const Pod& pod);
+  void deliver_pod_event(EventType type, const Pod& pod, std::size_t n_global,
+                         sim::ObjectId node_id, std::size_t n_node);
   void notify_deployment(EventType type, const Deployment& dep);
   void notify_endpoints(EventType type, const Endpoints& eps);
   void notify_node(EventType type, const NodeObject& node);
+
+  /// Does this pod count toward its node's usage aggregate? (The same
+  /// predicate the scheduler's old full rescans applied.)
+  [[nodiscard]] static bool usage_counted(const Pod& pod) {
+    return !pod.node_name.empty() && pod.phase != PodPhase::kFailed;
+  }
+  void add_usage(sim::ObjectId node_id, const Pod& pod);
+  void sub_usage(sim::ObjectId node_id, double cpu, double memory);
 
   sim::Simulation& sim_;
   double api_latency_;
@@ -192,10 +233,19 @@ class ApiServer {
   // batched delivery is iterating; deque growth never moves the element
   // (the std::function) currently executing, where vector reallocation
   // would destroy it mid-call.
-  std::deque<PodWatch> pod_watches_;
+  std::deque<SeqPodWatch> pod_watches_;
   std::deque<DeploymentWatch> deployment_watches_;
   std::deque<EndpointsWatch> endpoints_watches_;
   std::deque<NodeWatch> node_watches_;
+
+  // Sharded by interned node id: watch routing and usage bookkeeping hit
+  // only the shard a pod event actually touches. Node names are interned
+  // into the owning simulation's table at registration/bind time, so the
+  // ids — like everything else per-simulation — are pure functions of the
+  // run.
+  std::uint64_t watch_seq_ = 0;
+  std::unordered_map<sim::ObjectId, std::deque<SeqPodWatch>> node_pod_watches_;
+  std::unordered_map<sim::ObjectId, NodeUsage> node_usage_;
 };
 
 }  // namespace sf::k8s

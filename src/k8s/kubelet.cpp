@@ -15,7 +15,10 @@ Kubelet::Kubelet(ApiServer& api, cluster::Node& node,
       runtime_(runtime),
       registry_(registry),
       readiness_delay_(readiness_probe_delay_s) {
-  api_.watch_pods([this](EventType type, const Pod& pod) {
+  // Node-scoped: pod events for other nodes never reach this kubelet, so
+  // cluster-wide churn costs each kubelet nothing instead of a filtered
+  // callback per event per node.
+  api_.watch_pods_on_node(node.name(), [this](EventType type, const Pod& pod) {
     on_pod_event(type, pod);
   });
 }
@@ -62,7 +65,6 @@ void Kubelet::handle_node_crash() {
 }
 
 void Kubelet::on_pod_event(EventType type, const Pod& pod) {
-  if (pod.node_name != node_.name()) return;
   switch (type) {
     case EventType::kAdded:
     case EventType::kModified: {

@@ -5,6 +5,8 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -22,21 +24,26 @@ namespace sf::k8s {
 /// same. Erasing hands the slot to a free list; the vacated slot is reset
 /// to T{} so captured resources (pre-stop hooks, label maps) release
 /// immediately rather than lingering until reuse.
+///
+/// Lookups go through a hash index sharded by key hash (string_views into
+/// the ordered index's own keys, so each name is stored once): at 10k pods
+/// a find() is O(1) instead of an O(log n) walk of string compares, while
+/// iteration keeps the deterministic name order from the ordered index.
 template <typename T>
 class NamedStore {
  public:
   [[nodiscard]] const T* find(const std::string& name) const {
-    auto it = index_.find(name);
-    return it == index_.end() ? nullptr : &slots_[it->second];
+    auto it = hash_.find(std::string_view{name});
+    return it == hash_.end() ? nullptr : &slots_[it->second];
   }
 
   [[nodiscard]] T* find(const std::string& name) {
-    auto it = index_.find(name);
-    return it == index_.end() ? nullptr : &slots_[it->second];
+    auto it = hash_.find(std::string_view{name});
+    return it == hash_.end() ? nullptr : &slots_[it->second];
   }
 
   [[nodiscard]] bool contains(const std::string& name) const {
-    return index_.contains(name);
+    return hash_.contains(std::string_view{name});
   }
 
   [[nodiscard]] std::size_t size() const { return index_.size(); }
@@ -57,6 +64,7 @@ class NamedStore {
       slots_.push_back(std::move(obj));
     }
     it->second = slot;
+    hash_.emplace(std::string_view{it->first}, slot);
     return {&slots_[slot], true};
   }
 
@@ -66,6 +74,7 @@ class NamedStore {
     auto it = index_.find(name);
     if (it == index_.end()) return std::nullopt;
     const std::uint32_t slot = it->second;
+    hash_.erase(std::string_view{it->first});  // before the key dies
     index_.erase(it);
     std::optional<T> out(std::move(slots_[slot]));
     slots_[slot] = T{};
@@ -83,7 +92,8 @@ class NamedStore {
  private:
   std::deque<T> slots_;
   std::vector<std::uint32_t> free_;
-  std::map<std::string, std::uint32_t> index_;
+  std::map<std::string, std::uint32_t> index_;  ///< iteration order
+  std::unordered_map<std::string_view, std::uint32_t> hash_;  ///< lookups
 };
 
 }  // namespace sf::k8s

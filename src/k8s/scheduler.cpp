@@ -1,7 +1,6 @@
 #include "k8s/scheduler.hpp"
 
 #include <limits>
-#include <map>
 #include <utility>
 
 namespace sf::k8s {
@@ -29,23 +28,11 @@ Scheduler::Scheduler(ApiServer& api, ImageLocalityFn image_locality)
 }
 
 double Scheduler::requested_cpu_on(const std::string& node) const {
-  double total = 0;
-  api_.for_each_pod([&](const Pod& pod) {
-    if (pod.node_name == node && pod.phase != PodPhase::kFailed) {
-      total += pod.cpu_request;
-    }
-  });
-  return total;
+  return api_.node_usage(node).cpu;
 }
 
 double Scheduler::requested_memory_on(const std::string& node) const {
-  double total = 0;
-  api_.for_each_pod([&](const Pod& pod) {
-    if (pod.node_name == node && pod.phase != PodPhase::kFailed) {
-      total += pod.memory_request;
-    }
-  });
-  return total;
+  return api_.node_usage(node).memory;
 }
 
 void Scheduler::try_schedule(const std::string& pod_name) {
@@ -55,30 +42,18 @@ void Scheduler::try_schedule(const std::string& pod_name) {
     return;
   }
 
-  // One pass over the pod store accumulates every node's requested CPU and
-  // memory (the old code rescanned all pods twice per candidate node).
-  // Per-node sums accumulate in pod-name order, exactly as the per-node
-  // rescans did, so scores are bit-identical.
-  struct Usage {
-    double cpu = 0;
-    double memory = 0;
-  };
-  std::map<std::string, Usage> used;
-  api_.for_each_pod([&](const Pod& p) {
-    if (!p.node_name.empty() && p.phase != PodPhase::kFailed) {
-      Usage& u = used[p.node_name];
-      u.cpu += p.cpu_request;
-      u.memory += p.memory_request;
-    }
-  });
-
+  // Each node's requested CPU/memory comes from the ApiServer's per-node
+  // aggregates, maintained O(changed) with the pod store (the old code
+  // rebuilt them from a full pod-store scan on every bind). The request
+  // values in play are exactly representable, so the incrementally kept
+  // sums equal the rescan's sums bit for bit and scores are unchanged.
   std::string best_node;
   double best_score = -std::numeric_limits<double>::infinity();
   for (const auto& [name, node] : api_.nodes()) {
     if (!node.ready) continue;  // filter: NotReady (crashed / lease expired)
-    const auto it = used.find(name);
-    const double used_cpu = it == used.end() ? 0 : it->second.cpu;
-    const double used_mem = it == used.end() ? 0 : it->second.memory;
+    const ApiServer::NodeUsage used = api_.node_usage(name);
+    const double used_cpu = used.cpu;
+    const double used_mem = used.memory;
     if (used_cpu + pod->cpu_request > node.allocatable_cpu ||
         used_mem + pod->memory_request > node.allocatable_memory) {
       continue;  // filter: does not fit

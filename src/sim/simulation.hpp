@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "sim/event_queue.hpp"
+#include "sim/interner.hpp"
 #include "sim/random.hpp"
 #include "sim/trace.hpp"
 #include "sim/types.hpp"
@@ -58,6 +59,16 @@ class Simulation {
   TraceRecorder& trace() { return trace_; }
   const TraceRecorder& trace() const { return trace_; }
 
+  /// The simulation's object-name intern table. Per-simulation (not
+  /// process-global) on purpose: sweep points each own their Simulation,
+  /// so intern order — and therefore every id — is a pure function of the
+  /// run, independent of SweepRunner thread interleaving.
+  Interner& ids() { return ids_; }
+  const Interner& ids() const { return ids_; }
+
+  /// Shorthand for ids().intern().
+  ObjectId intern(std::string_view s) { return ids_.intern(s); }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0;
@@ -65,6 +76,7 @@ class Simulation {
   std::uint64_t processed_ = 0;
   Rng rng_;
   TraceRecorder trace_;
+  Interner ids_;
 };
 
 }  // namespace sf::sim

@@ -1,30 +1,19 @@
 #include "sim/trace.hpp"
 
-#include <algorithm>
-
 namespace sf::sim {
 
-std::string_view TraceEvent::attr(std::string_view key) const {
-  for (const auto& [k, v] : attrs) {
-    if (k == key) return v;
-  }
-  return {};
-}
-
-void TraceRecorder::record(
-    SimTime t, std::string category, std::string name,
-    std::vector<std::pair<std::string, std::string>> attrs) {
-  if (!enabled_) return;
-  events_.push_back(
-      TraceEvent{t, std::move(category), std::move(name), std::move(attrs)});
-}
-
-std::vector<const TraceEvent*> TraceRecorder::find(
+std::vector<TraceRecorder::EventView> TraceRecorder::find(
     std::string_view category, std::string_view name) const {
-  std::vector<const TraceEvent*> out;
-  for (const auto& e : events_) {
-    if (e.category == category && (name.empty() || e.name == name)) {
-      out.push_back(&e);
+  std::vector<EventView> out;
+  const ObjectId cat_id = ids_.lookup(category);
+  if (cat_id == kEmptyId && !category.empty()) return out;  // never recorded
+  const bool any_name = name.empty();
+  const ObjectId name_id = ids_.lookup(name);
+  if (!any_name && name_id == kEmptyId) return out;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& rec = records_[i];
+    if (rec.category == cat_id && (any_name || rec.name == name_id)) {
+      out.push_back(EventView(this, i));
     }
   }
   return out;
@@ -32,21 +21,30 @@ std::vector<const TraceEvent*> TraceRecorder::find(
 
 std::size_t TraceRecorder::count(std::string_view category,
                                  std::string_view name) const {
-  return static_cast<std::size_t>(
-      std::count_if(events_.begin(), events_.end(), [&](const TraceEvent& e) {
-        return e.category == category && (name.empty() || e.name == name);
-      }));
+  const ObjectId cat_id = ids_.lookup(category);
+  if (cat_id == kEmptyId && !category.empty()) return 0;
+  const bool any_name = name.empty();
+  const ObjectId name_id = ids_.lookup(name);
+  if (!any_name && name_id == kEmptyId) return 0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& rec = records_[i];
+    if (rec.category == cat_id && (any_name || rec.name == name_id)) ++n;
+  }
+  return n;
 }
 
 void TraceRecorder::write_csv(std::ostream& os) const {
   os << "time,category,name,attrs\n";
-  for (const auto& e : events_) {
-    os << e.time << ',' << e.category << ',' << e.name << ',';
-    bool first = true;
-    for (const auto& [k, v] : e.attrs) {
-      if (!first) os << ';';
-      first = false;
-      os << k << '=' << v;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& rec = records_[i];
+    os << rec.time << ',' << ids_.name(rec.category) << ','
+       << ids_.name(rec.name) << ',';
+    for (std::uint32_t a = 0; a < rec.attr_count; ++a) {
+      const AttrRecord& attr = attrs_[rec.attr_begin + a];
+      if (a != 0) os << ';';
+      os << ids_.name(attr.key) << '='
+         << std::string_view(attr.value, attr.len);
     }
     os << '\n';
   }

@@ -1,0 +1,68 @@
+#include "workload/scale.hpp"
+
+#include <stdexcept>
+
+namespace sf::workload {
+
+ScaledTopology make_scaled_topology(sim::Simulation& sim,
+                                    std::uint32_t node_count,
+                                    std::uint32_t rack_count,
+                                    const cluster::NodeSpec& base) {
+  if (node_count < 2) {
+    throw std::invalid_argument(
+        "make_scaled_topology: need a head node plus at least one worker");
+  }
+  ScaledTopology topo;
+  topo.cluster = cluster::make_uniform_cluster(sim, node_count, base);
+  topo.racks = cluster::RackMap::blocks(node_count, rack_count);
+  topo.workers.reserve(node_count - 1);
+  for (std::uint32_t i = 1; i < node_count; ++i) {
+    topo.workers.push_back(&topo.cluster->node(i));
+  }
+  return topo;
+}
+
+pegasus::AbstractWorkflow make_layered_matmuls(const std::string& name,
+                                               int n_layers, int width,
+                                               double matrix_bytes) {
+  if (n_layers < 1) {
+    throw std::invalid_argument("make_layered_matmuls: n_layers >= 1");
+  }
+  if (width < 2) {
+    throw std::invalid_argument("make_layered_matmuls: width >= 2");
+  }
+  pegasus::AbstractWorkflow wf(name);
+  auto out_file = [&name](int layer, int i) {
+    return name + ".o" + std::to_string(layer) + "_" + std::to_string(i);
+  };
+  // Layer 0 operands: fresh input matrices, like the paper's chains.
+  for (int i = 0; i < width; ++i) {
+    wf.declare_file(name + ".a" + std::to_string(i), matrix_bytes);
+    wf.declare_file(name + ".b" + std::to_string(i), matrix_bytes);
+  }
+  for (int layer = 0; layer < n_layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      const std::string out = out_file(layer, i);
+      wf.declare_file(out, matrix_bytes);
+      pegasus::AbstractJob job;
+      job.id = name + ".t" + std::to_string(layer) + "_" + std::to_string(i);
+      job.transformation = "matmul";
+      if (layer == 0) {
+        job.uses = {{name + ".a" + std::to_string(i),
+                     pegasus::LinkType::kInput},
+                    {name + ".b" + std::to_string(i),
+                     pegasus::LinkType::kInput},
+                    {out, pegasus::LinkType::kOutput}};
+      } else {
+        job.uses = {{out_file(layer - 1, i), pegasus::LinkType::kInput},
+                    {out_file(layer - 1, (i + 1) % width),
+                     pegasus::LinkType::kInput},
+                    {out, pegasus::LinkType::kOutput}};
+      }
+      wf.add_job(std::move(job));
+    }
+  }
+  return wf;
+}
+
+}  // namespace sf::workload

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/rack_map.hpp"
+#include "pegasus/abstract_workflow.hpp"
+
+namespace sf::workload {
+
+/// A cluster scaled past the paper's 4-VM testbed, with an explicit rack
+/// topology. Node 0 is the head (submit node / control plane / gateway —
+/// always rack 0 per RackMap::blocks); everything else is a worker.
+struct ScaledTopology {
+  std::unique_ptr<cluster::Cluster> cluster;
+  cluster::RackMap racks;
+  std::vector<cluster::Node*> workers;  ///< nodes 1..N-1
+};
+
+/// Builds a homogeneous `node_count`-node cluster split into `rack_count`
+/// contiguous racks via RackMap::blocks — the deterministic topology the
+/// scale regime (1k–10k nodes) runs on. `node_count` must be at least 2
+/// (a head plus one worker) and `rack_count` in [1, node_count].
+ScaledTopology make_scaled_topology(sim::Simulation& sim,
+                                    std::uint32_t node_count,
+                                    std::uint32_t rack_count,
+                                    const cluster::NodeSpec& base = {});
+
+/// A matmul DAG scaled past the paper's 10-task chains: `n_layers` layers
+/// of `width` parallel matmuls, where task (l, i) consumes the outputs of
+/// layer l−1's tasks i and (i+1) mod width (layer 0 consumes fresh input
+/// matrices). The wrap-around stencil gives every layer genuine cross-task
+/// dependencies — unlike `width` independent chains — while keeping the
+/// per-task fan-in at the matmul transformation's two operands. Total
+/// tasks = n_layers × width (10k = 100 × 100). Requires width ≥ 2.
+pegasus::AbstractWorkflow make_layered_matmuls(const std::string& name,
+                                               int n_layers, int width,
+                                               double matrix_bytes);
+
+}  // namespace sf::workload

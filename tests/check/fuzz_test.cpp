@@ -58,6 +58,24 @@ TEST(FuzzCaseDerivation, FieldsStayInRange) {
   }
 }
 
+TEST(FuzzCaseDerivation, OpenLoopFieldsStayInRange) {
+  int axis_on = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    const FuzzCase c = random_case(kSmokeBase, i);
+    if (c.openloop_users == 0) {
+      EXPECT_EQ(c.openloop_rate_hz, 0.0);  // both off together
+      continue;
+    }
+    ++axis_on;
+    EXPECT_GE(c.openloop_users, 2);
+    EXPECT_LE(c.openloop_users, 4);
+    EXPECT_GE(c.openloop_rate_hz, 0.5);
+    EXPECT_LE(c.openloop_rate_hz, 1.5);
+  }
+  EXPECT_GT(axis_on, 0);  // ~1/3 of cases carry ambient traffic
+  EXPECT_LT(axis_on, 64);
+}
+
 TEST(FuzzRun, PinnedSmokePointHoldsAllProperties) {
   const FuzzOutcome out = run_case_checked(random_case(kSmokeBase, 0));
   EXPECT_TRUE(out.ok) << out.detail;
@@ -83,6 +101,46 @@ TEST(FuzzRun, DifferentSeedsDifferentFingerprints) {
   EXPECT_NE(a.fingerprint, b.fingerprint);
 }
 
+TEST(FuzzRun, OpenLoopAxisIssuesAndDrainsTraffic) {
+  FuzzCase c;  // calm defaults; turn only the traffic axis on
+  c.openloop_users = 3;
+  c.openloop_rate_hz = 1.0;
+  const FuzzOutcome out = run_case(c);
+  EXPECT_TRUE(out.ok) << out.detail;  // ok requires the engine drained
+  EXPECT_GT(out.openloop_issued, 0u);
+  // ~3 users x 1 Hz over the min(120, horizon/2) = 120 s arrival window.
+  EXPECT_NEAR(static_cast<double>(out.openloop_issued), 360.0, 120.0);
+}
+
+// The registry's counters prove each invariant ran against real state:
+// a fault-heavy case with serverless tasks, warm pods and ambient
+// open-loop traffic must leave no invariant vacuous — every probe armed
+// and at least one subject examined. Guards against an invariant
+// silently iterating an empty collection forever (e.g. after a rename
+// or a store refactor disconnects its accessor).
+TEST(FuzzRun, EveryInvariantExercisedNonVacuously) {
+  FuzzCase c;
+  c.seed = 11;
+  c.nodes = 4;
+  c.racks = 2;
+  c.workflows = 2;
+  c.tasks = 3;
+  c.serverless_fraction = 0.5;
+  c.min_scale = 1;
+  c.openloop_users = 2;
+  c.openloop_rate_hz = 1.0;
+  c.horizon_s = 240;
+  c.node_crash_mean_s = 60;  // dense enough that faults certainly fire
+  c.pod_kill_mean_s = 60;
+  const FuzzOutcome out = run_case(c);
+  EXPECT_TRUE(out.ok) << out.detail;
+  ASSERT_FALSE(out.invariants.empty());
+  for (const auto& inv : out.invariants) {
+    EXPECT_GT(inv.evaluations, 0u) << inv.name << " was never armed";
+    EXPECT_GT(inv.exercised, 0u) << inv.name << " passed vacuously";
+  }
+}
+
 TEST(FuzzShrink, PassingCaseIsReturnedUntouched) {
   FuzzCase calm;  // defaults: no fault channels, tiny workload
   const ShrinkResult res = shrink(calm, 50);
@@ -99,6 +157,8 @@ TEST(FuzzRepro, PrintsEveryField) {
   EXPECT_NE(repro.find("c.fault_seed = 0x"), std::string::npos);
   EXPECT_NE(repro.find("c.nodes = "), std::string::npos);
   EXPECT_NE(repro.find("c.horizon_s = "), std::string::npos);
+  EXPECT_NE(repro.find("c.openloop_users = "), std::string::npos);
+  EXPECT_NE(repro.find("c.openloop_rate_hz = "), std::string::npos);
   for (const auto& ch : fuzz_channels()) {
     EXPECT_NE(repro.find(std::string("c.") + ch.name + " = "),
               std::string::npos)

@@ -73,7 +73,7 @@ TEST(Testbed, IdenticalSeedsReplayIdenticalEventStreams) {
     std::ostringstream csv;
     tb.sim().trace().write_csv(csv);
     return Replay{tb.sim().events_processed(),
-                  tb.sim().trace().events().size(), csv.str(), r.makespans};
+                  tb.sim().trace().size(), csv.str(), r.makespans};
   };
   const auto a = run(7);
   const auto b = run(7);

@@ -1,0 +1,135 @@
+#include "sim/interner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulation.hpp"
+#include "sim/sweep_runner.hpp"
+
+namespace sf::sim {
+namespace {
+
+TEST(InternerTest, EmptyStringIsBuiltIn) {
+  Interner in;
+  EXPECT_EQ(in.size(), 1u);
+  EXPECT_EQ(in.intern(""), kEmptyId);
+  EXPECT_EQ(in.name(kEmptyId), "");
+  EXPECT_EQ(in.size(), 1u);
+}
+
+TEST(InternerTest, RoundTripNameRecovery) {
+  Interner in;
+  const std::vector<std::string> names{
+      "pod-fn-matmul-00001-0", "node-17", "knative", "fn-matmul",
+      "a-rather-long-object-name-that-defeats-small-string-optimization"};
+  std::vector<ObjectId> ids;
+  ids.reserve(names.size());
+  for (const auto& n : names) ids.push_back(in.intern(n));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(in.name(ids[i]), names[i]);
+  }
+}
+
+TEST(InternerTest, DenseIdsInFirstInternOrder) {
+  Interner in;
+  EXPECT_EQ(in.intern("a"), 1u);
+  EXPECT_EQ(in.intern("b"), 2u);
+  EXPECT_EQ(in.intern("c"), 3u);
+  // Re-interning never mints a new id.
+  EXPECT_EQ(in.intern("b"), 2u);
+  EXPECT_EQ(in.intern("a"), 1u);
+  EXPECT_EQ(in.size(), 4u);  // includes ""
+}
+
+TEST(InternerTest, LookupDoesNotInsert) {
+  Interner in;
+  EXPECT_FALSE(in.contains("ghost"));
+  EXPECT_EQ(in.lookup("ghost"), kEmptyId);
+  EXPECT_EQ(in.size(), 1u);
+  const ObjectId id = in.intern("ghost");
+  EXPECT_EQ(in.lookup("ghost"), id);
+  EXPECT_TRUE(in.contains("ghost"));
+}
+
+// The same sequence of intern() calls yields the same ids forever — and
+// interleaving OTHER names in between changes the ids but never the
+// round-tripped spellings. Output only ever goes through name(), which is
+// why id-assignment order cannot leak into any transcript.
+TEST(InternerTest, IdStabilityUnderInterleavedInterningOrder) {
+  Interner plain;
+  Interner interleaved;
+  const std::vector<std::string> mine{"pod-0", "pod-1", "pod-2"};
+  std::vector<ObjectId> plain_ids;
+  std::vector<ObjectId> mixed_ids;
+  for (const auto& n : mine) plain_ids.push_back(plain.intern(n));
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    interleaved.intern("noise-" + std::to_string(i));
+    mixed_ids.push_back(interleaved.intern(mine[i]));
+  }
+  // Different ids (the interleaved table saw noise first)...
+  EXPECT_NE(plain_ids, mixed_ids);
+  // ...same spellings, and re-interning reproduces the same ids exactly.
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(plain.name(plain_ids[i]), mine[i]);
+    EXPECT_EQ(interleaved.name(mixed_ids[i]), mine[i]);
+    EXPECT_EQ(plain.intern(mine[i]), plain_ids[i]);
+    EXPECT_EQ(interleaved.intern(mine[i]), mixed_ids[i]);
+  }
+}
+
+TEST(InternerTest, ViewsStayValidAcrossGrowth) {
+  Interner in;
+  const ObjectId early = in.intern("early-bird");
+  const std::string_view view = in.name(early);
+  for (int i = 0; i < 10000; ++i) in.intern("filler-" + std::to_string(i));
+  EXPECT_EQ(view, "early-bird");          // deque storage never moved it
+  EXPECT_EQ(in.name(early), "early-bird");
+  EXPECT_EQ(in.intern("early-bird"), early);
+}
+
+TEST(InternerTest, SimulationOwnsAnInterner) {
+  Simulation sim;
+  const ObjectId a = sim.intern("svc-a");
+  EXPECT_EQ(sim.ids().name(a), "svc-a");
+  EXPECT_EQ(sim.intern("svc-a"), a);
+}
+
+// Purity across SweepRunner threads: every sweep point interns a
+// deterministic per-point sequence into its own Simulation; the resulting
+// (id, spelling) fingerprints must be identical no matter how many threads
+// executed the sweep — the same contract every scale_sweep point relies on.
+TEST(InternerTest, PurityAcrossSweepRunnerThreads) {
+  constexpr std::size_t kPoints = 16;
+  const auto point_fingerprint = [](std::size_t point) {
+    Simulation sim;
+    std::uint64_t h = 1469598103934665603ull;
+    const auto fold = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (int i = 0; i < 200; ++i) {
+      // Per-point object population with heavy cross-point overlap —
+      // the realistic shape (same service names, different pods).
+      const ObjectId id = sim.intern(
+          "pod-" + std::to_string((point * 7 + i * 13) % 64));
+      fold(id);
+      for (const char c : sim.ids().name(id)) {
+        fold(static_cast<std::uint64_t>(c));
+      }
+    }
+    fold(sim.ids().size());
+    return h;
+  };
+  SweepRunner serial(1);
+  SweepRunner parallel(4);
+  const auto a = serial.run(kPoints, point_fingerprint);
+  const auto b = parallel.run(kPoints, point_fingerprint);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sf::sim

@@ -91,11 +91,14 @@ TEST(Trace, ClearEmpties) {
   tr.set_enabled(true);
   tr.record(0, "x", "y");
   tr.clear();
-  EXPECT_TRUE(tr.events().empty());
+  EXPECT_TRUE(tr.empty());
 }
 
 TEST(Trace, MissingAttrIsEmpty) {
-  TraceEvent e{0, "c", "n", {{"k", "v"}}};
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  tr.record(0, "c", "n", {{"k", "v"}});
+  const auto e = tr.event(0);
   EXPECT_EQ(e.attr("k"), "v");
   EXPECT_EQ(e.attr("missing"), "");
 }

@@ -113,15 +113,15 @@ TEST(Simulation, TraceRecordsWhenEnabled) {
     sim.trace().record(sim.now(), "test", "tick", {{"k", "v"}});
   });
   sim.run();
-  ASSERT_EQ(sim.trace().events().size(), 1u);
-  EXPECT_DOUBLE_EQ(sim.trace().events()[0].time, 1.5);
-  EXPECT_EQ(sim.trace().events()[0].attr("k"), "v");
+  ASSERT_EQ(sim.trace().size(), 1u);
+  EXPECT_DOUBLE_EQ(sim.trace().event(0).time(), 1.5);
+  EXPECT_EQ(sim.trace().event(0).attr("k"), "v");
 }
 
 TEST(Simulation, TraceDisabledByDefault) {
   Simulation sim;
   sim.trace().record(0, "test", "tick");
-  EXPECT_TRUE(sim.trace().events().empty());
+  EXPECT_TRUE(sim.trace().empty());
 }
 
 }  // namespace

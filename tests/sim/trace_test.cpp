@@ -1,12 +1,13 @@
 // Direct TraceRecorder unit tests: enable/disable gating, record
-// ordering, and flush formatting. (Filter/CSV-escaping/clear coverage
-// lives in random_trace_test.cpp.)
+// ordering, arena pooling, and flush formatting. (Filter/CSV-escaping/
+// clear coverage lives in random_trace_test.cpp.)
 
 #include "sim/trace.hpp"
 
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
 
 namespace sf::sim {
 namespace {
@@ -15,7 +16,7 @@ TEST(TraceGating, DisabledByDefault) {
   TraceRecorder tr;
   EXPECT_FALSE(tr.enabled());
   tr.record(1, "cat", "dropped");
-  EXPECT_TRUE(tr.events().empty());
+  EXPECT_TRUE(tr.empty());
 }
 
 TEST(TraceGating, EnableStartsRecording) {
@@ -23,8 +24,8 @@ TEST(TraceGating, EnableStartsRecording) {
   tr.set_enabled(true);
   EXPECT_TRUE(tr.enabled());
   tr.record(1, "cat", "kept");
-  ASSERT_EQ(tr.events().size(), 1u);
-  EXPECT_EQ(tr.events()[0].name, "kept");
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr.event(0).name(), "kept");
 }
 
 TEST(TraceGating, DisableStopsRecordingButKeepsHistory) {
@@ -33,13 +34,13 @@ TEST(TraceGating, DisableStopsRecordingButKeepsHistory) {
   tr.record(1, "cat", "before");
   tr.set_enabled(false);
   tr.record(2, "cat", "after");
-  ASSERT_EQ(tr.events().size(), 1u);
-  EXPECT_EQ(tr.events()[0].name, "before");
+  ASSERT_EQ(tr.size(), 1u);
+  EXPECT_EQ(tr.event(0).name(), "before");
   // Re-enabling appends after the preserved history.
   tr.set_enabled(true);
   tr.record(3, "cat", "resumed");
-  ASSERT_EQ(tr.events().size(), 2u);
-  EXPECT_EQ(tr.events()[1].name, "resumed");
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_EQ(tr.event(1).name(), "resumed");
 }
 
 TEST(TraceOrdering, EventsKeepRecordOrder) {
@@ -48,20 +49,20 @@ TEST(TraceOrdering, EventsKeepRecordOrder) {
   tr.record(5, "a", "first");
   tr.record(2, "b", "second");  // earlier timestamp, later record
   tr.record(5, "a", "third");   // duplicate timestamp
-  ASSERT_EQ(tr.events().size(), 3u);
-  EXPECT_EQ(tr.events()[0].name, "first");
-  EXPECT_EQ(tr.events()[1].name, "second");
-  EXPECT_EQ(tr.events()[2].name, "third");
+  ASSERT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.event(0).name(), "first");
+  EXPECT_EQ(tr.event(1).name(), "second");
+  EXPECT_EQ(tr.event(2).name(), "third");
 }
 
 TEST(TraceOrdering, AttrsKeepInsertionOrder) {
   TraceRecorder tr;
   tr.set_enabled(true);
   tr.record(0, "c", "n", {{"z", "1"}, {"a", "2"}});
-  const auto& attrs = tr.events()[0].attrs;
-  ASSERT_EQ(attrs.size(), 2u);
-  EXPECT_EQ(attrs[0].first, "z");
-  EXPECT_EQ(attrs[1].first, "a");
+  const auto ev = tr.event(0);
+  ASSERT_EQ(ev.attr_count(), 2u);
+  EXPECT_EQ(ev.attr_at(0).first, "z");
+  EXPECT_EQ(ev.attr_at(1).first, "a");
 }
 
 TEST(TraceFlush, EmptyRecorderWritesHeaderOnly) {
@@ -93,7 +94,59 @@ TEST(TraceFlush, FlushDoesNotConsumeEvents) {
   tr.write_csv(once);
   tr.write_csv(twice);
   EXPECT_EQ(once.str(), twice.str());
-  EXPECT_EQ(tr.events().size(), 1u);
+  EXPECT_EQ(tr.size(), 1u);
+}
+
+// Arena storage: views and the values behind them survive crossing chunk
+// boundaries (4096 records, 64 KiB of value bytes) — nothing is ever
+// reallocated out from under an EventView.
+TEST(TraceArena, ViewsStableAcrossChunkBoundaries) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const std::string big(1000, 'x');  // ~65 records per value chunk
+  constexpr int kN = 10000;          // > 2 record chunks, > 100 value chunks
+  for (int i = 0; i < kN; ++i) {
+    tr.record(i, "arena", "fill", {{"i", std::to_string(i)}, {"pad", big}});
+  }
+  const auto first = tr.event(0);
+  const auto last = tr.event(kN - 1);
+  EXPECT_EQ(tr.size(), static_cast<std::size_t>(kN));
+  EXPECT_EQ(first.attr("i"), "0");
+  EXPECT_EQ(first.attr("pad"), big);
+  EXPECT_EQ(last.attr("i"), std::to_string(kN - 1));
+  EXPECT_EQ(last.attr("pad"), big);
+}
+
+// clear() pools the chunks: refilling after a clear reproduces identical
+// output (the bench pattern — clear per iteration, zero steady-state
+// allocation — depends on this being a pure reset).
+TEST(TraceArena, ClearPoolsAndRefillsIdentically) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const auto fill = [&tr] {
+    for (int i = 0; i < 9000; ++i) {
+      tr.record(i, "pool", "ev", {{"n", std::to_string(i)}});
+    }
+  };
+  fill();
+  std::ostringstream first;
+  tr.write_csv(first);
+  tr.clear();
+  EXPECT_TRUE(tr.empty());
+  fill();
+  std::ostringstream second;
+  tr.write_csv(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+// A value larger than a whole 64 KiB chunk takes the overflow path and
+// still round-trips exactly.
+TEST(TraceArena, OversizedValueRoundTrips) {
+  TraceRecorder tr;
+  tr.set_enabled(true);
+  const std::string huge(200 * 1024, 'y');
+  tr.record(0, "c", "n", {{"blob", huge}});
+  EXPECT_EQ(tr.event(0).attr("blob"), huge);
 }
 
 }  // namespace

@@ -1,0 +1,151 @@
+#include "workload/scale.hpp"
+
+#include <gtest/gtest.h>
+
+#include <any>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "container/image.hpp"
+#include "container/registry.hpp"
+#include "k8s/kube_cluster.hpp"
+#include "knative/serving.hpp"
+#include "sim/simulation.hpp"
+#include "workload/open_loop.hpp"
+
+namespace sf::workload {
+namespace {
+
+TEST(ScaledTopology, BuildsThousandNodeClusterWithRacks) {
+  sim::Simulation sim;
+  const auto topo = make_scaled_topology(sim, 1000, 32);
+  EXPECT_EQ(topo.cluster->size(), 1000u);
+  EXPECT_EQ(topo.workers.size(), 999u);
+  EXPECT_EQ(topo.racks.node_count(), 1000u);
+  EXPECT_EQ(topo.racks.rack_count(), 32u);
+  EXPECT_EQ(topo.racks.rack_of(0), 0u);  // head node in rack 0
+  // Workers are nodes 1..N-1 in order, sharing one flow network.
+  EXPECT_EQ(topo.workers.front(), &topo.cluster->node(1));
+  EXPECT_EQ(topo.workers.back(), &topo.cluster->node(999));
+  // Every node landed in exactly one rack (dense block split).
+  std::size_t members = 0;
+  for (std::uint32_t r = 0; r < topo.racks.rack_count(); ++r) {
+    members += topo.racks.nodes_in(r).size();
+  }
+  EXPECT_EQ(members, 1000u);
+}
+
+TEST(ScaledTopology, RejectsHeadlessCluster) {
+  sim::Simulation sim;
+  EXPECT_THROW(make_scaled_topology(sim, 1, 1), std::invalid_argument);
+}
+
+TEST(LayeredMatmuls, TenThousandTaskShape) {
+  const auto wf = make_layered_matmuls("w", 100, 100, 490000);
+  EXPECT_EQ(wf.jobs().size(), 10000u);
+  // 2 fresh operands per layer-0 task.
+  EXPECT_EQ(wf.initial_inputs().size(), 200u);
+  // Final outputs: the last layer's products.
+  EXPECT_EQ(wf.final_outputs().size(), 100u);
+}
+
+TEST(LayeredMatmuls, StencilDependenciesCrossChains) {
+  const auto wf = make_layered_matmuls("w", 3, 4, 490000);
+  // Layer 0 has no parents.
+  EXPECT_TRUE(wf.parents_of("w.t0_0").empty());
+  // Task (l, i) depends on (l-1, i) and (l-1, (i+1) % width).
+  EXPECT_EQ(wf.parents_of("w.t1_1"),
+            (std::vector<std::string>{"w.t0_1", "w.t0_2"}));
+  // Wrap-around at the stencil edge.
+  const auto edge = wf.parents_of("w.t2_3");
+  ASSERT_EQ(edge.size(), 2u);
+  EXPECT_TRUE((edge == std::vector<std::string>{"w.t1_3", "w.t1_0"}) ||
+              (edge == std::vector<std::string>{"w.t1_0", "w.t1_3"}));
+}
+
+TEST(LayeredMatmuls, RejectsDegenerateShapes) {
+  EXPECT_THROW(make_layered_matmuls("w", 0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(make_layered_matmuls("w", 4, 1, 1), std::invalid_argument);
+}
+
+/// Runs a small scaled serving scenario with the trace recorder on and
+/// returns the full trace CSV plus the API server's watch counters.
+std::tuple<std::string, std::uint64_t, std::uint64_t> traced_serving_run() {
+  sim::Simulation sim;
+  sim.trace().set_enabled(true);
+  auto topo = make_scaled_topology(sim, 48, 4);
+  cluster::Node& head = topo.cluster->node(0);
+  container::Registry hub{head};
+  const container::Image image = container::make_task_image("fn");
+  hub.push(image);
+  k8s::KubeCluster kube{*topo.cluster, hub, topo.workers};
+  kube.seed_image_everywhere(image);
+  knative::KnativeServing serving{kube, head};
+
+  knative::KnServiceSpec spec;
+  spec.name = "fn";
+  spec.container.name = "fn";
+  spec.container.image = "fn:latest";
+  spec.container.memory_bytes = 512e6;
+  spec.container.boot_s = 0.6;
+  spec.container.cpu_limit = 1.0;
+  spec.handler = [](const net::HttpRequest& req, knative::FunctionContext& ctx,
+                    net::Responder respond) {
+    const double work =
+        req.body.has_value() ? std::any_cast<double>(req.body) : 0.01;
+    ctx.exec(work, [respond = std::move(respond)](bool ok) mutable {
+      net::HttpResponse resp;
+      resp.status = ok ? 200 : 500;
+      respond(std::move(resp));
+    });
+  };
+  spec.annotations.min_scale = 2;
+  spec.annotations.container_concurrency = 1;
+  serving.create_service(std::move(spec));
+  sim.run_until(30.0);
+
+  OpenLoopConfig cfg;
+  cfg.users = 8;
+  cfg.rate_hz = 2.0;
+  cfg.horizon_s = 30.0;
+  cfg.max_requests = 200;
+  cfg.services = {"fn"};
+  cfg.work_s = 0.05;
+  cfg.seed = 99;
+  OpenLoopEngine engine(serving, head.net_id(), cfg);
+  engine.start();
+  while (!engine.quiesced() && sim.has_pending_events() && sim.now() < 600.0) {
+    sim.step();
+  }
+  EXPECT_TRUE(engine.quiesced());
+
+  std::ostringstream csv;
+  sim.trace().write_csv(csv);
+  return {csv.str(), kube.api().watch_batches_scheduled(),
+          kube.api().watch_batches_delivered()};
+}
+
+// The observable event streams at scale — every trace record emitted by
+// condor/k8s/knative/cluster plus the watch-batch counters — must be a
+// pure function of the configuration. This is the tentpole refactors'
+// conservation law: arena-pooled trace storage and node-sharded watch
+// dispatch may change memory layout and lookup cost, never content.
+TEST(ScaledStreams, TraceAndWatchStreamsReplayIdentically) {
+  const auto [csv_a, sched_a, deliv_a] = traced_serving_run();
+  const auto [csv_b, sched_b, deliv_b] = traced_serving_run();
+  EXPECT_FALSE(csv_a.empty());
+  // The hot request path deliberately records nothing; the trail is the
+  // control plane standing up the service: binds, realizes, readiness.
+  EXPECT_NE(csv_a.find("realize"), std::string::npos);
+  EXPECT_NE(csv_a.find("bind"), std::string::npos);
+  EXPECT_EQ(csv_a, csv_b);  // byte-identical trace records
+  EXPECT_GT(sched_a, 0u);
+  EXPECT_EQ(sched_a, sched_b);
+  EXPECT_EQ(deliv_a, deliv_b);
+  EXPECT_EQ(sched_a, deliv_a);  // every scheduled batch delivered
+}
+
+}  // namespace
+}  // namespace sf::workload
