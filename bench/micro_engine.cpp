@@ -10,8 +10,11 @@
 
 #include "cluster/cluster.hpp"
 #include "condor/pool.hpp"
+#include "container/registry.hpp"
 #include "core/testbed.hpp"
 #include "k8s/api_server.hpp"
+#include "k8s/controllers.hpp"
+#include "k8s/kube_cluster.hpp"
 #include "k8s/scheduler.hpp"
 #include "knative/kpa.hpp"
 #include "net/flow_network.hpp"
@@ -19,6 +22,7 @@
 #include "sim/ps_resource.hpp"
 #include "sim/simulation.hpp"
 #include "workload/matrix.hpp"
+#include "workload/scale.hpp"
 
 namespace {
 
@@ -347,6 +351,97 @@ void BM_SchedulerScaled(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * pods);
 }
 BENCHMARK(BM_SchedulerScaled)->Arg(2048);
+
+// ---- 10k-node serving-regime hot paths -----------------------------------
+//
+// The three per-tick control-plane costs that gate the scale curve past
+// 1024 nodes: kubelet heartbeat renewal, the node-lifecycle sweep, and the
+// deployment reconcile scan. Recorded before and after the heartbeat-wheel
+// / pod-index / deadline-queue rewrite (BENCH_engine.json keeps the
+// pre-rewrite numbers under baseline_ns).
+
+// Heartbeat renewal for a full cluster over 5 sim-seconds. Per-kubelet
+// self-rearming timers pay one engine event + one lease-map lookup per
+// node per interval; the shared wheel renews the whole cohort from one
+// event with O(1) dense-slot renewals. Sweeps are pushed out of the
+// window so only the heartbeat path is measured.
+void BM_HeartbeatTick(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  sim::Simulation sim;
+  auto topo = workload::make_scaled_topology(sim, nodes, 8);
+  container::Registry hub{topo.cluster->node(0)};
+  k8s::KubeCluster kube{*topo.cluster, hub, topo.workers};
+  k8s::NodeLifecycleConfig cfg;
+  cfg.sweep_interval_s = 1e9;  // isolate heartbeats from sweep cost
+  kube.enable_node_lifecycle(cfg, 1.0);
+  for (auto _ : state) {
+    sim.run_until(sim.now() + 5.0);
+    benchmark::DoNotOptimize(kube.api().node_lease("node1"));
+  }
+  state.SetItemsProcessed(state.iterations() * nodes * 5);
+}
+BENCHMARK(BM_HeartbeatTick)->Arg(1024)->Arg(4096)->Arg(10240);
+
+// Lifecycle sweep with zero expired leases — the steady-state tick. The
+// rescan pays O(nodes) per sweep regardless of activity; the deadline-
+// ordered queue pops nothing and pays O(1). 10 sweeps per iteration.
+void BM_LifecycleSweep(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  sim::Simulation sim;
+  k8s::ApiServer api{sim};
+  for (int n = 0; n < nodes; ++n) {
+    k8s::NodeObject node;
+    node.name = "node" + std::to_string(n);
+    node.allocatable_cpu = 64;
+    node.allocatable_memory = 256e9;
+    api.register_node(node);
+  }
+  k8s::NodeLifecycleConfig cfg;
+  cfg.lease_duration_s = 1e18;  // nothing ever expires
+  cfg.sweep_interval_s = 1.0;
+  k8s::NodeLifecycleController ctl{api, cfg};
+  for (auto _ : state) {
+    sim.run_until(sim.now() + 10.0);
+    benchmark::DoNotOptimize(ctl.evictions());
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_LifecycleSweep)->Arg(1024)->Arg(4096)->Arg(10240);
+
+// Deployment reconcile against a large pod store: 64 deployments own
+// `pods` pods total; each iteration touches one deployment's replica
+// count twice, triggering two no-op reconciles. The full-store scan pays
+// O(all pods) per reconcile; the per-owner index pays O(that
+// deployment's pods).
+void BM_DeploymentReconcile(benchmark::State& state) {
+  const int pods = static_cast<int>(state.range(0));
+  constexpr int kDeps = 64;
+  const int replicas = pods / kDeps;
+  sim::Simulation sim;
+  k8s::ApiServer api{sim};
+  k8s::DeploymentController ctl{api};
+  for (int d = 0; d < kDeps; ++d) {
+    k8s::Deployment dep;
+    dep.name = "dep-" + std::to_string(d);
+    dep.selector = {{"app", dep.name}};
+    dep.pod_labels = dep.selector;
+    dep.pod_template.image = "img:latest";
+    dep.replicas = replicas;
+    api.apply_deployment(std::move(dep));
+  }
+  sim.run();  // controller creates the pods; no scheduler, queue drains
+  int d = 0;
+  for (auto _ : state) {
+    const std::string name = "dep-" + std::to_string(d);
+    api.set_deployment_replicas(name, replicas + 1);
+    api.set_deployment_replicas(name, replicas);
+    sim.run();
+    d = (d + 1) % kDeps;
+    benchmark::DoNotOptimize(ctl.pods_created());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DeploymentReconcile)->Arg(1024)->Arg(4096)->Arg(10240);
 
 void BM_MatmulKernelReal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -43,7 +43,7 @@ fi
 
 # ---- Engine + control-plane micro-benchmarks ------------------------------
 
-filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled'
+filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled|BM_HeartbeatTick|BM_LifecycleSweep|BM_DeploymentReconcile'
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
 
@@ -240,7 +240,8 @@ with open(side) as f:
     curve = json.load(f)
 os.unlink(side)
 
-rows = {r["point"]: r for r in curve["serving"] + curve["dag"]}
+rows = {r["point"]: r
+        for r in curve["serving"] + curve["dag"] + curve.get("mixed", [])}
 for name, row in rows.items():
     print(f"  scale {name:<8} wall {row['wall_s']:8.3f} s")
 
@@ -256,9 +257,10 @@ if prev.get("serving") and not rebaseline:
     # the sweep doesn't force a refresh of the committed curve.
     known = {r["point"] for r in prev.get("serving", [])}
     known |= {r["point"] for r in prev.get("dag", [])}
+    known |= {r["point"] for r in prev.get("mixed", [])}
     fresh = 0
-    for key in ("serving", "dag"):
-        extra = [r for r in curve[key] if r["point"] not in known]
+    for key in ("serving", "dag", "mixed"):
+        extra = [r for r in curve.get(key, []) if r["point"] not in known]
         prev.setdefault(key, []).extend(extra)
         fresh += len(extra)
     if fresh:
@@ -281,6 +283,7 @@ doc = {
     "total_wall_s": round(total, 3),
     "serving": curve["serving"],
     "dag": curve["dag"],
+    "mixed": curve.get("mixed", []),
 }
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)

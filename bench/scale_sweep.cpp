@@ -1,18 +1,29 @@
 // Scale sweep — the planet-scale regime curve: control-plane and serving
-// behaviour as the cluster grows past the paper's 4-VM testbed, two sweeps:
+// behaviour as the cluster grows past the paper's 4-VM testbed, three
+// sweeps:
 //
 //  1. Open-loop serving: N independent users fire Poisson request streams
-//     at a warm KService on clusters from 64 to 1024 nodes (RackMap::blocks
-//     topology). Arrivals never wait for completions, so queues genuinely
-//     build while the KPA scales out — the sweep reports what the sharded
-//     watch index, per-node usage aggregates and O(1) store lookups buy at
-//     10^5 requests over 10^3 nodes. Each point runs to quiesce: every
+//     at a warm KService on clusters from 64 to 10240 nodes
+//     (RackMap::blocks topology). Arrivals never wait for completions, so
+//     queues genuinely build while the KPA scales out — the sweep reports
+//     what the sharded watch index, per-node usage aggregates and O(1)
+//     store lookups buy at 10^5 requests over 10^4 nodes. The 4096- and
+//     10240-node points run with node lifecycle enabled: the shared
+//     heartbeat wheel renews every lease each second and the deadline-
+//     ordered sweep pops nothing, so the control plane's per-tick cost
+//     stays O(changed) while serving. Each point runs to quiesce: every
 //     issued request answered.
 //
 //  2. Layered DAGs: matmul stencil workflows (workload::make_layered_
 //     matmuls) from 10^2 to 10^4 tasks through the full Pegasus → HTCondor
 //     path on a 16-node testbed — the 10k-task regime the paper's 10-task
 //     chains only gesture at.
+//
+//  3. Mixed traffic: open-loop Poisson users against a warm KService
+//     WHILE a layered-DAG campaign runs through Pegasus/HTCondor on the
+//     same testbed — the KPA and the condor negotiator contend for the
+//     same nodes, with the node-lifecycle loop (heartbeat wheel + lease
+//     sweep) live underneath.
 //
 // Determinism contract: each sweep point builds its own Simulation from
 // fixed seeds, points run across a SweepRunner pool, rows print in sweep
@@ -41,6 +52,7 @@
 #include "k8s/kube_cluster.hpp"
 #include "knative/serving.hpp"
 #include "sim/sweep_runner.hpp"
+#include "workload/generators.hpp"
 #include "workload/open_loop.hpp"
 #include "workload/scale.hpp"
 
@@ -70,6 +82,10 @@ struct ServingPoint {
   double horizon_s;  ///< arrival window (cap binds before it closes)
   std::uint64_t requests;  ///< exact issued count (open-loop cap)
   int min_scale;
+  /// Run with node lifecycle on: the heartbeat wheel renews every lease
+  /// each second and the deadline-ordered sweep runs with nothing expired
+  /// — the steady-state control-plane load the 10k-node regime is about.
+  bool lifecycle = false;
 };
 
 struct ServingResult {
@@ -103,6 +119,7 @@ ServingResult run_serving_point(const ServingPoint& p) {
   hub.push(image);
   k8s::KubeCluster kube{*topo.cluster, hub, topo.workers};
   kube.seed_image_everywhere(image);  // control-plane scale, not pull cost
+  if (p.lifecycle) kube.enable_node_lifecycle();
   knative::KnativeServing serving{kube, head};
 
   knative::KnServiceSpec spec;
@@ -182,6 +199,132 @@ struct DagResult {
   double wall_s = 0;  ///< JSON only
 };
 
+// ---- Sweep 3: mixed traffic — serving and DAGs contending ------------
+
+struct MixedPoint {
+  const char* label;
+  std::size_t node_count;
+  int workflows;  ///< layered DAGs started at the same instant
+  int layers;
+  int width;
+  double serverless_fraction;  ///< of DAG tasks, through fn-matmul
+  int users;
+  double rate_hz;
+  double horizon_s;
+  std::uint64_t requests;  ///< open-loop cap
+};
+
+struct MixedResult {
+  std::uint64_t issued = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t errors = 0;
+  double p99_ms = 0;
+  int dags_finished = 0;
+  bool dags_ok = false;
+  double makespan_s = 0;
+  bool quiesced = false;
+  std::uint64_t fingerprint = 0;
+  double wall_s = 0;  ///< JSON only
+};
+
+MixedResult run_mixed_point(const MixedPoint& p) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  core::TestbedOptions opts;
+  opts.node_count = p.node_count;
+  core::PaperTestbed tb(42, opts);
+  core::ProvisioningPolicy policy = core::ProvisioningPolicy::prestaged(2);
+  policy.container_concurrency = 1;
+  tb.register_matmul_function(policy);
+  // The lifecycle loop runs underneath the contention: every kubelet on
+  // the shared heartbeat wheel, the deadline-ordered sweep popping nothing.
+  tb.kube().enable_node_lifecycle();
+
+  // Dedicated warm KService absorbing the open-loop streams while the
+  // DAG campaign runs (the fuzz harness's ambient-traffic pattern).
+  const container::Image image = container::make_task_image("fn-open");
+  tb.registry().push(image);
+  tb.kube().seed_image_everywhere(image);
+  knative::KnServiceSpec spec;
+  spec.name = "fn-open";
+  spec.container.name = "fn-open";
+  spec.container.image = "fn-open:latest";
+  spec.container.memory_bytes = 512e6;
+  spec.container.boot_s = 0.6;
+  spec.container.cpu_limit = 1.0;
+  spec.handler = [](const net::HttpRequest& req, knative::FunctionContext& ctx,
+                    net::Responder respond) {
+    const double work =
+        req.body.has_value() ? std::any_cast<double>(req.body) : 0.01;
+    ctx.exec(work, [respond = std::move(respond),
+                    bytes = req.body_bytes](bool ok) mutable {
+      net::HttpResponse resp;
+      resp.status = ok ? 200 : 500;
+      resp.body_bytes = bytes;
+      respond(std::move(resp));
+    });
+  };
+  spec.annotations.min_scale = 2;
+  spec.annotations.container_concurrency = 1;
+  spec.annotations.request_timeout_s = 60;
+  tb.serving().create_service(std::move(spec));
+
+  workload::OpenLoopConfig cfg;
+  cfg.users = p.users;
+  cfg.rate_hz = p.rate_hz;
+  cfg.horizon_s = p.horizon_s;
+  cfg.max_requests = p.requests;
+  cfg.services = {"fn-open"};
+  cfg.work_s = 0.05;
+  cfg.payload_bytes = 10000;
+  cfg.seed = fault::SplitMix64::mix(0x313ED, p.node_count);
+  cfg.record_requests = true;
+  workload::OpenLoopEngine engine(tb.serving(), tb.cluster().node(0).net_id(),
+                                  cfg);
+  engine.start();
+
+  // The layered campaign, planned with a random native/serverless split —
+  // serverless tasks route through fn-matmul, so the KPA scales that
+  // service while the negotiator places the native tasks.
+  std::vector<pegasus::AbstractWorkflow> workflows;
+  workflows.reserve(p.workflows);
+  for (int w = 0; w < p.workflows; ++w) {
+    workflows.push_back(workload::make_layered_matmuls(
+        "mix.wf" + std::to_string(w), p.layers, p.width,
+        tb.calibration().matrix_bytes));
+  }
+  std::vector<const pegasus::AbstractWorkflow*> ptrs;
+  for (const auto& wf : workflows) ptrs.push_back(&wf);
+  metrics::MixPoint mix;
+  mix.native = 1.0 - p.serverless_fraction;
+  mix.serverless = p.serverless_fraction;
+  const auto modes = workload::assign_modes(ptrs, mix, tb.sim().rng());
+  const auto result = tb.run_workflows(workflows, modes);
+
+  // Drain the ambient traffic: arrivals may outlive the campaign, and
+  // every issued request must be answered.
+  const double drain_wall = tb.sim().now() + 7200.0;
+  while (!engine.quiesced() && tb.sim().has_pending_events() &&
+         tb.sim().now() < drain_wall) {
+    tb.sim().step();
+  }
+
+  const auto& s = engine.stats();
+  const auto latencies = engine.sorted_latencies();
+  MixedResult r;
+  r.issued = s.issued;
+  r.ok = s.ok;
+  r.errors = s.errors;
+  r.p99_ms = percentile(latencies, 0.99) * 1e3;
+  r.dags_finished = result.finished;
+  r.dags_ok = result.all_succeeded;
+  r.makespan_s = result.slowest;
+  r.quiesced = engine.quiesced();
+  r.fingerprint = fault::SplitMix64::mix(
+      engine.fingerprint(), std::bit_cast<std::uint64_t>(result.slowest));
+  r.wall_s = wall_since(wall0);
+  return r;
+}
+
 DagResult run_dag_point(const DagPoint& p) {
   const auto wall0 = std::chrono::steady_clock::now();
   core::TestbedOptions opts;
@@ -210,14 +353,17 @@ int main() {
       "control plane O(changed) as nodes and requests grow");
 
   std::vector<ServingPoint> serving_points{
-      {"64n", 64, 4, 32, 4.0, 0.10, 120.0, 10000, 8},
-      {"256n", 256, 8, 96, 4.0, 0.25, 120.0, 30000, 16},
-      {"1024n", 1024, 32, 256, 5.0, 0.40, 120.0, 100000, 32},
+      {"64n", 64, 4, 32, 4.0, 0.10, 120.0, 10000, 8, false},
+      {"256n", 256, 8, 96, 4.0, 0.25, 120.0, 30000, 16, false},
+      {"1024n", 1024, 32, 256, 5.0, 0.40, 120.0, 100000, 32, false},
+      {"4096n", 4096, 64, 512, 5.0, 0.40, 120.0, 100000, 48, true},
+      {"10240n", 10240, 160, 1024, 5.0, 0.40, 120.0, 100000, 64, true},
   };
   if (smoke) {
     serving_points = {
-        {"16n", 16, 2, 4, 2.0, 0.05, 60.0, 300, 2},
-        {"48n", 48, 4, 8, 2.0, 0.10, 60.0, 800, 4},
+        {"16n", 16, 2, 4, 2.0, 0.05, 60.0, 300, 2, false},
+        {"48n", 48, 4, 8, 2.0, 0.10, 60.0, 800, 4, false},
+        {"96n", 96, 8, 8, 2.0, 0.10, 60.0, 1200, 4, true},
     };
   }
 
@@ -293,6 +439,48 @@ int main() {
   std::cout << "\nmakespan grows sub-linearly in tasks while per-layer "
                "parallelism fits the pool\n";
 
+  sf::bench::banner(
+      "Scale sweep: mixed traffic — KPA vs condor negotiator",
+      "open-loop users against a warm KService while a layered-DAG "
+      "campaign runs concurrently; the autoscaler and the negotiator "
+      "contend for the same nodes with the lifecycle loop (heartbeat "
+      "wheel + deadline-ordered lease sweep) live underneath");
+
+  std::vector<MixedPoint> mixed_points{
+      {"mix-64n", 64, 6, 8, 12, 0.5, 48, 4.0, 120.0, 12000},
+  };
+  if (smoke) {
+    mixed_points = {
+        {"mix-8n", 8, 2, 3, 4, 0.5, 4, 2.0, 30.0, 200},
+    };
+  }
+
+  const std::vector<MixedResult> mixed_results =
+      runner.run(mixed_points.size(), [&mixed_points](std::size_t i) {
+        return run_mixed_point(mixed_points[i]);
+      });
+
+  sf::metrics::Table mixed_table(
+      {"point", "nodes", "wfs", "tasks", "requests", "ok", "errors", "p99_ms",
+       "dag_makespan_s", "dags_ok", "quiesced"},
+      2);
+  for (std::size_t i = 0; i < mixed_points.size(); ++i) {
+    const MixedPoint& p = mixed_points[i];
+    const MixedResult& r = mixed_results[i];
+    mixed_table.add_row(
+        {std::string(p.label), static_cast<std::int64_t>(p.node_count),
+         static_cast<std::int64_t>(p.workflows),
+         static_cast<std::int64_t>(p.workflows * p.layers * p.width),
+         static_cast<std::int64_t>(r.issued), static_cast<std::int64_t>(r.ok),
+         static_cast<std::int64_t>(r.errors), r.p99_ms, r.makespan_s,
+         std::string(r.dags_ok ? "yes" : "NO"),
+         std::string(r.quiesced ? "yes" : "NO")});
+    digest = sf::fault::SplitMix64::mix(digest, r.fingerprint);
+  }
+  mixed_table.print_text(std::cout);
+  std::cout << "\nboth planes finish: every DAG completes and every "
+               "open-loop request is answered under contention\n";
+
   std::cout << "\nscale digest 0x" << std::hex << digest << std::dec << "\n";
 
   // Wall-clock (nondeterministic) goes ONLY to the JSON side channel.
@@ -319,6 +507,18 @@ int main() {
           << ", \"makespan_s\": " << r.makespan_s
           << ", \"wall_s\": " << r.wall_s << "}"
           << (i + 1 < dag_points.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"mixed\": [\n";
+    for (std::size_t i = 0; i < mixed_points.size(); ++i) {
+      const MixedPoint& p = mixed_points[i];
+      const MixedResult& r = mixed_results[i];
+      out << "    {\"point\": \"" << p.label << "\", \"nodes\": "
+          << p.node_count << ", \"workflows\": " << p.workflows
+          << ", \"tasks\": " << p.workflows * p.layers * p.width
+          << ", \"requests\": " << r.issued << ", \"p99_ms\": " << r.p99_ms
+          << ", \"dag_makespan_s\": " << r.makespan_s
+          << ", \"wall_s\": " << r.wall_s << "}"
+          << (i + 1 < mixed_points.size() ? "," : "") << "\n";
     }
     out << "  ]\n}\n";
   }

@@ -1,35 +1,167 @@
 #include "k8s/api_server.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace sf::k8s {
 
+// ---- Node slots ---------------------------------------------------------
+
+std::uint32_t ApiServer::node_slot(const std::string& name) {
+  auto [it, inserted] = node_slot_ids_.try_emplace(name, 0);
+  if (!inserted) return it->second;
+  const std::uint32_t slot = static_cast<std::uint32_t>(node_slots_.size());
+  it->second = slot;
+  node_slots_.emplace_back();
+  node_slots_.back().name = name;
+  node_lease_.push_back(0.0);
+  node_flags_.push_back(0);
+  return slot;
+}
+
+std::uint32_t ApiServer::find_node_slot(const std::string& name) const {
+  const auto it = node_slot_ids_.find(name);
+  return it == node_slot_ids_.end() ? kNoSlot : it->second;
+}
+
+void ApiServer::drop_recovery_pending(std::uint32_t slot) {
+  const auto it =
+      std::find(recovery_pending_.begin(), recovery_pending_.end(), slot);
+  if (it == recovery_pending_.end()) return;
+  *it = recovery_pending_.back();
+  recovery_pending_.pop_back();
+}
+
+void ApiServer::sync_node_tracking(std::uint32_t slot) {
+  NodeSlot& ns = node_slots_[slot];
+  node_flags_[slot] =
+      static_cast<std::uint8_t>((ns.obj != nullptr ? kNodeRegistered : 0) |
+                                (ns.obj != nullptr && ns.obj->ready
+                                     ? kNodeReady
+                                     : 0));
+  if (ns.obj != nullptr && ns.obj->ready) {
+    lease_index_.renew(slot, node_lease_[slot]);  // tracks when untracked
+    drop_recovery_pending(slot);
+  } else {
+    lease_index_.untrack(slot);
+    if (ns.obj != nullptr &&
+        std::find(recovery_pending_.begin(), recovery_pending_.end(), slot) ==
+            recovery_pending_.end()) {
+      recovery_pending_.push_back(slot);
+    }
+  }
+}
+
 void ApiServer::register_node(NodeObject node) {
-  sim_.intern(node.name);  // shard key for watch routing / usage
-  node_leases_[node.name] = sim_.now();
-  nodes_[node.name] = std::move(node);
+  const std::uint32_t slot = node_slot(node.name);
+  NodeObject& stored = nodes_[node.name];
+  stored = std::move(node);
+  NodeSlot& ns = node_slots_[slot];
+  ns.obj = &stored;
+  node_lease_[slot] = sim_.now();
+  sync_node_tracking(slot);
 }
 
 bool ApiServer::set_node_ready(const std::string& name, bool ready) {
-  auto it = nodes_.find(name);
-  if (it == nodes_.end() || it->second.ready == ready) return false;
-  it->second.ready = ready;
+  const std::uint32_t slot = find_node_slot(name);
+  if (slot == kNoSlot) return false;
+  NodeSlot& ns = node_slots_[slot];
+  if (ns.obj == nullptr || ns.obj->ready == ready) return false;
+  ns.obj->ready = ready;
+  sync_node_tracking(slot);
   sim_.trace().record(sim_.now(), "api", ready ? "node_ready" : "node_not_ready",
                       {{"node", name}});
-  notify_node(EventType::kModified, it->second);
+  notify_node(EventType::kModified, *ns.obj);
   return true;
 }
 
 void ApiServer::renew_node_lease(const std::string& name) {
-  auto it = node_leases_.find(name);
-  if (it != node_leases_.end()) it->second = sim_.now();
+  const std::uint32_t slot = find_node_slot(name);
+  if (slot != kNoSlot) renew_node_lease_slot(slot);
 }
 
 double ApiServer::node_lease(const std::string& name) const {
-  auto it = node_leases_.find(name);
-  return it == node_leases_.end() ? -1.0 : it->second;
+  const std::uint32_t slot = find_node_slot(name);
+  if (slot == kNoSlot || node_slots_[slot].obj == nullptr) return -1.0;
+  return node_lease_[slot];
+}
+
+std::size_t ApiServer::collect_expired_leases(double now, double duration,
+                                              std::vector<std::string>& out) {
+  const std::size_t before = out.size();
+  lease_index_.pop_expired(now, duration, [&](std::uint32_t slot) {
+    out.push_back(node_slots_[slot].name);
+  });
+  return out.size() - before;
+}
+
+std::size_t ApiServer::collect_lease_recovery_candidates(
+    double now, double duration, std::vector<std::string>& out) {
+  for (const std::uint32_t slot : recovery_pending_) {
+    if (now - node_lease_[slot] <= duration) {
+      out.push_back(node_slots_[slot].name);
+    }
+  }
+  return recovery_pending_.size();
+}
+
+// ---- Pod side arrays ----------------------------------------------------
+
+void ApiServer::ensure_pod_side(std::uint32_t pod_slot) {
+  if (pod_slot >= pod_node_slot_.size()) {
+    pod_node_slot_.resize(pod_slot + 1, kNoSlot);
+    pod_node_pos_.resize(pod_slot + 1, 0);
+    pod_owner_slot_.resize(pod_slot + 1, kNoSlot);
+    pod_owner_pos_.resize(pod_slot + 1, 0);
+  }
+}
+
+void ApiServer::link_pod_node(std::uint32_t pod_slot,
+                              std::uint32_t node_slot) {
+  pod_node_slot_[pod_slot] = node_slot;
+  if (node_slot == kNoSlot) return;
+  std::vector<std::uint32_t>& list = node_slots_[node_slot].pods;
+  pod_node_pos_[pod_slot] = static_cast<std::uint32_t>(list.size());
+  list.push_back(pod_slot);
+}
+
+void ApiServer::unlink_pod_node(std::uint32_t pod_slot) {
+  const std::uint32_t ns = pod_node_slot_[pod_slot];
+  if (ns == kNoSlot) return;
+  std::vector<std::uint32_t>& list = node_slots_[ns].pods;
+  const std::uint32_t pos = pod_node_pos_[pod_slot];
+  const std::uint32_t moved = list.back();
+  list[pos] = moved;
+  pod_node_pos_[moved] = pos;
+  list.pop_back();
+  pod_node_slot_[pod_slot] = kNoSlot;
+}
+
+void ApiServer::link_pod_owner(std::uint32_t pod_slot,
+                               const std::string& owner) {
+  auto [it, inserted] = owner_slot_ids_.try_emplace(owner, 0);
+  if (inserted) {
+    it->second = static_cast<std::uint32_t>(pods_by_owner_.size());
+    pods_by_owner_.emplace_back();
+  }
+  pod_owner_slot_[pod_slot] = it->second;
+  std::vector<std::uint32_t>& list = pods_by_owner_[it->second];
+  pod_owner_pos_[pod_slot] = static_cast<std::uint32_t>(list.size());
+  list.push_back(pod_slot);
+}
+
+void ApiServer::unlink_pod_owner(std::uint32_t pod_slot) {
+  const std::uint32_t os = pod_owner_slot_[pod_slot];
+  if (os == kNoSlot) return;
+  std::vector<std::uint32_t>& list = pods_by_owner_[os];
+  const std::uint32_t pos = pod_owner_pos_[pod_slot];
+  const std::uint32_t moved = list.back();
+  list[pos] = moved;
+  pod_owner_pos_[moved] = pos;
+  list.pop_back();
+  pod_owner_slot_[pod_slot] = kNoSlot;
 }
 
 // ---- Pods -------------------------------------------------------------
@@ -38,72 +170,91 @@ Uid ApiServer::create_pod(Pod pod) {
   pod.uid = next_uid_;
   pod.phase = PodPhase::kPending;
   const std::string name = pod.name;
-  auto [stored, inserted] = pods_.insert(name, std::move(pod));
+  auto [stored, pslot, inserted] = pods_.insert(name, std::move(pod));
   if (!inserted) {
     throw std::invalid_argument("ApiServer: pod exists: " + name);
   }
   ++next_uid_;
   ++pods_created_total_;
   assert(pods_created_total_ - pods_finalized_total_ == pods_.size());
-  if (usage_counted(*stored)) {
-    add_usage(sim_.intern(stored->node_name), *stored);
+  ensure_pod_side(pslot);
+  link_pod_node(pslot, stored->node_name.empty()
+                           ? kNoSlot
+                           : node_slot(stored->node_name));
+  if (stored->owner.empty()) {
+    pod_owner_slot_[pslot] = kNoSlot;
+  } else {
+    link_pod_owner(pslot, stored->owner);
   }
-  notify_pod(EventType::kAdded, *stored);
+  if (usage_counted(*stored)) {
+    add_usage(pod_node_slot_[pslot], *stored);
+  }
+  notify_pod(EventType::kAdded, *stored, pod_node_slot_[pslot]);
   return stored->uid;
 }
 
 bool ApiServer::mutate_pod(const std::string& name,
                            std::function<void(Pod&)> mutate) {
-  Pod* pod = pods_.find(name);
-  if (pod == nullptr) return false;
+  const std::uint32_t pslot = pods_.slot_of(name);
+  if (pslot == kNoSlot) return false;
+  Pod* pod = &pods_.at(pslot);
   const bool was = usage_counted(*pod);
-  // A counted pod's node was interned when it was added; an id is all the
-  // "before" state we need (no string copy on this per-event path).
-  const sim::ObjectId old_node = was ? sim_.ids().lookup(pod->node_name)
-                                     : sim::kEmptyId;
+  const std::uint32_t old_node = pod_node_slot_[pslot];
   const double old_cpu = pod->cpu_request;
   const double old_mem = pod->memory_request;
   mutate(*pod);
+  // Re-link on (re)bind. In practice node_name only ever transitions
+  // empty -> bound (the scheduler binds Pending pods once), so the common
+  // mutate pays one short string compare, no hash.
+  std::uint32_t new_node = old_node;
+  if (pod->node_name.empty()) {
+    new_node = kNoSlot;
+  } else if (old_node == kNoSlot ||
+             node_slots_[old_node].name != pod->node_name) {
+    new_node = node_slot(pod->node_name);
+  }
+  if (new_node != old_node) {
+    unlink_pod_node(pslot);
+    link_pod_node(pslot, new_node);
+  }
   const bool now = usage_counted(*pod);
   // Touch the aggregate only when the accounted quantities actually moved
   // (a bind, a failure, a request resize) — phase-only transitions like
   // Scheduled -> Running leave it bit-for-bit alone.
   if (was || now) {
-    const sim::ObjectId new_node = now ? sim_.intern(pod->node_name)
-                                       : sim::kEmptyId;
     if (was != now || old_node != new_node || old_cpu != pod->cpu_request ||
         old_mem != pod->memory_request) {
       if (was) sub_usage(old_node, old_cpu, old_mem);
       if (now) add_usage(new_node, *pod);
     }
   }
-  notify_pod(EventType::kModified, *pod);
+  notify_pod(EventType::kModified, *pod, new_node);
   return true;
 }
 
 void ApiServer::watch_pods_on_node(const std::string& node, PodWatch watch) {
-  node_pod_watches_[sim_.intern(node)].push_back(
+  node_slots_[node_slot(node)].watches.push_back(
       SeqPodWatch{watch_seq_++, std::move(watch)});
 }
 
 ApiServer::NodeUsage ApiServer::node_usage(const std::string& node) const {
-  const auto it = node_usage_.find(sim_.ids().lookup(node));
-  return it == node_usage_.end() ? NodeUsage{} : it->second;
+  const std::uint32_t slot = find_node_slot(node);
+  return slot == kNoSlot ? NodeUsage{} : node_slots_[slot].usage;
 }
 
-void ApiServer::add_usage(sim::ObjectId node_id, const Pod& pod) {
-  NodeUsage& u = node_usage_[node_id];
+void ApiServer::add_usage(std::uint32_t node_slot, const Pod& pod) {
+  NodeUsage& u = node_slots_[node_slot].usage;
   u.cpu += pod.cpu_request;
   u.memory += pod.memory_request;
   ++u.pods;
 }
 
-void ApiServer::sub_usage(sim::ObjectId node_id, double cpu, double memory) {
-  const auto it = node_usage_.find(node_id);
-  if (it == node_usage_.end()) return;
-  it->second.cpu -= cpu;
-  it->second.memory -= memory;
-  --it->second.pods;
+void ApiServer::sub_usage(std::uint32_t node_slot, double cpu, double memory) {
+  if (node_slot == kNoSlot) return;
+  NodeUsage& u = node_slots_[node_slot].usage;
+  u.cpu -= cpu;
+  u.memory -= memory;
+  --u.pods;
 }
 
 const Pod* ApiServer::get_pod(const std::string& name) const {
@@ -124,8 +275,9 @@ std::vector<const Pod*> ApiServer::list_pods(const Labels& selector) const {
 }
 
 void ApiServer::delete_pod(const std::string& name) {
-  Pod* pod = pods_.find(name);
-  if (pod == nullptr) return;
+  const std::uint32_t pslot = pods_.slot_of(name);
+  if (pslot == kNoSlot) return;
+  Pod* pod = &pods_.at(pslot);
   if (pod->phase == PodPhase::kTerminating) return;
   const bool never_ran = pod->node_name.empty();
   const bool was = usage_counted(*pod);
@@ -135,9 +287,9 @@ void ApiServer::delete_pod(const std::string& name) {
   // requests until the kubelet finalizes (matching the rescan predicate,
   // which only ever excluded Failed).
   if (!was && usage_counted(*pod)) {
-    add_usage(sim_.intern(pod->node_name), *pod);
+    add_usage(pod_node_slot_[pslot], *pod);
   }
-  notify_pod(EventType::kModified, *pod);
+  notify_pod(EventType::kModified, *pod, pod_node_slot_[pslot]);
   if (never_ran) {
     // No kubelet owns it; finalize directly.
     finalize_pod_deletion(name);
@@ -145,15 +297,18 @@ void ApiServer::delete_pod(const std::string& name) {
 }
 
 void ApiServer::finalize_pod_deletion(const std::string& name) {
+  const std::uint32_t pslot = pods_.slot_of(name);
+  if (pslot == kNoSlot) return;
+  const std::uint32_t nslot = pod_node_slot_[pslot];
+  unlink_pod_node(pslot);
+  unlink_pod_owner(pslot);
   std::optional<Pod> removed = pods_.take(name);
-  if (!removed.has_value()) return;
   ++pods_finalized_total_;
   assert(pods_created_total_ - pods_finalized_total_ == pods_.size());
   if (usage_counted(*removed)) {
-    sub_usage(sim_.ids().lookup(removed->node_name), removed->cpu_request,
-              removed->memory_request);
+    sub_usage(nslot, removed->cpu_request, removed->memory_request);
   }
-  notify_pod(EventType::kDeleted, *removed);
+  notify_pod(EventType::kDeleted, *removed, nslot);
 }
 
 // ---- Deployments ------------------------------------------------------
@@ -163,9 +318,9 @@ Uid ApiServer::apply_deployment(Deployment dep) {
   Deployment* existing = deployments_.find(name);
   if (existing == nullptr) {
     dep.uid = next_uid_++;
-    auto [stored, inserted] = deployments_.insert(name, std::move(dep));
-    notify_deployment(EventType::kAdded, *stored);
-    return stored->uid;
+    const auto res = deployments_.insert(name, std::move(dep));
+    notify_deployment(EventType::kAdded, *res.obj);
+    return res.obj->uid;
   }
   dep.uid = existing->uid;
   *existing = std::move(dep);
@@ -198,8 +353,8 @@ void ApiServer::delete_deployment(const std::string& name) {
 Uid ApiServer::create_service(Service svc) {
   svc.uid = next_uid_;
   const std::string name = svc.name;
-  auto [stored, inserted] = services_.insert(name, std::move(svc));
-  if (!inserted) throw std::invalid_argument("ApiServer: service exists");
+  const auto res = services_.insert(name, std::move(svc));
+  if (!res.inserted) throw std::invalid_argument("ApiServer: service exists");
   ++next_uid_;
   // A fresh service starts with empty endpoints.
   Endpoints* eps = endpoints_.find(name);
@@ -208,7 +363,7 @@ Uid ApiServer::create_service(Service svc) {
   } else {
     endpoints_.insert(name, Endpoints{name, {}});
   }
-  return stored->uid;
+  return res.obj->uid;
 }
 
 void ApiServer::delete_service(const std::string& name) {
@@ -240,8 +395,8 @@ void ApiServer::set_endpoints(Endpoints eps) {
     notify_endpoints(type, *existing);
   } else {
     const std::string name = eps.service_name;
-    auto [stored, inserted] = endpoints_.insert(name, std::move(eps));
-    notify_endpoints(type, *stored);
+    const auto res = endpoints_.insert(name, std::move(eps));
+    notify_endpoints(type, *res.obj);
   }
 }
 
@@ -258,29 +413,26 @@ const Endpoints* ApiServer::get_endpoints(
 // before delivery) do not see the event — the same contract the former
 // one-event-per-watcher scheme had, at 1/N the events and allocations.
 
-void ApiServer::notify_pod(EventType type, const Pod& pod) {
+void ApiServer::notify_pod(EventType type, const Pod& pod,
+                           std::uint32_t node_slot) {
   // Route to the global watchers plus (for bound pods) the one node shard
-  // the pod lives on. Unbound pods (empty node_name) only concern global
-  // watchers; lookup() never inserts, so a node nobody watches costs one
-  // hash probe.
-  sim::ObjectId node_id = sim::kEmptyId;
+  // the pod lives on. Unbound pods (node_slot == kNoSlot) only concern
+  // global watchers. The slot arrives from the pod side arrays — no name
+  // hash on this per-event path.
   std::size_t n_node = 0;
-  if (!pod.node_name.empty()) {
-    node_id = sim_.ids().lookup(pod.node_name);
-    const auto it = node_pod_watches_.find(node_id);
-    if (it != node_pod_watches_.end()) n_node = it->second.size();
-  }
+  if (node_slot != kNoSlot) n_node = node_slots_[node_slot].watches.size();
   const std::size_t n_global = pod_watches_.size();
   if (n_global + n_node == 0) return;
   ++watch_batches_scheduled_;
-  sim_.call_in(api_latency_, [this, type, pod, n_global, node_id, n_node] {
+  sim_.call_in(api_latency_, [this, type, pod, n_global, node_slot, n_node] {
     ++watch_batches_delivered_;
-    deliver_pod_event(type, pod, n_global, node_id, n_node);
+    deliver_pod_event(type, pod, n_global, node_slot, n_node);
   });
 }
 
 void ApiServer::deliver_pod_event(EventType type, const Pod& pod,
-                                  std::size_t n_global, sim::ObjectId node_id,
+                                  std::size_t n_global,
+                                  std::uint32_t node_slot,
                                   std::size_t n_node) {
   // Counts were snapped at schedule time: watchers registered after the
   // notification do not see the event (the same contract the flat list
@@ -292,8 +444,7 @@ void ApiServer::deliver_pod_event(EventType type, const Pod& pod,
     for (std::size_t i = 0; i < n_global; ++i) pod_watches_[i].fn(type, pod);
     return;
   }
-  const std::deque<SeqPodWatch>& shard =
-      node_pod_watches_.find(node_id)->second;
+  const std::deque<SeqPodWatch>& shard = node_slots_[node_slot].watches;
   if (n_global == 0) {
     for (std::size_t i = 0; i < n_node; ++i) shard[i].fn(type, pod);
     return;

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "k8s/lease_index.hpp"
 #include "k8s/named_store.hpp"
 #include "k8s/objects.hpp"
 #include "sim/simulation.hpp"
@@ -29,8 +30,21 @@ enum class EventType { kAdded, kModified, kDeleted };
 /// snapshot to all watchers registered at notification time, in
 /// registration order — instead of one event + one heap-allocated closure
 /// + one object copy per watcher.
+///
+/// Node-indexed state lives in a dense node-slot space: each node name
+/// (registered or merely referenced by a watch/bind) gets a stable
+/// uint32_t slot holding its lease, usage aggregate, node-scoped watch
+/// shard, and the posting list of pod slots bound to it. Pod events carry
+/// their node slot through side arrays, so the per-event path never hashes
+/// a node name. Lease deadlines are mirrored into a calendarized
+/// LeaseIndex so the lifecycle sweep pops only expired leases instead of
+/// rescanning every node.
 class ApiServer {
  public:
+  /// Sentinel for "no slot" in the node-slot / pod-slot spaces (same value
+  /// as NamedStore::kNoSlot).
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   explicit ApiServer(sim::Simulation& sim, double api_latency_s = 0.005)
       : sim_(sim), api_latency_(api_latency_s) {}
 
@@ -51,14 +65,51 @@ class ApiServer {
 
   /// Flips a node's Ready condition and notifies node watchers
   /// (kModified). Returns false when the node is unknown or unchanged.
+  /// Keeps the lease index in sync: ready nodes are deadline-tracked,
+  /// not-ready nodes sit on the recovery-pending list instead.
   bool set_node_ready(const std::string& name, bool ready);
 
   /// Kubelet heartbeat: refreshes the node's lease timestamp.
   void renew_node_lease(const std::string& name);
 
+  /// Slot-addressed heartbeat (heartbeat-wheel hot path): no name hash.
+  /// No-op for slots that never registered as nodes, mirroring the
+  /// name-keyed overload. Reads only the dense lease/flag side arrays —
+  /// never the fat NodeSlot record — so a 10k-node wheel tick stays
+  /// cache-resident (~20 bytes per node, not several scattered lines).
+  void renew_node_lease_slot(std::uint32_t slot) {
+    const std::uint8_t f = node_flags_[slot];
+    if ((f & kNodeRegistered) == 0) return;
+    const double now = sim_.now();
+    node_lease_[slot] = now;
+    if ((f & kNodeReady) != 0) lease_index_.renew(slot, now);
+  }
+
   /// Sim time of the node's last heartbeat (registration time when the
   /// kubelet never heartbeated); -1 for unknown nodes.
   [[nodiscard]] double node_lease(const std::string& name) const;
+
+  /// Dense slot for a node name, created on first reference (a name may be
+  /// watched or bound before — or without ever — registering as a node).
+  [[nodiscard]] std::uint32_t node_slot(const std::string& name);
+  /// Slot lookup without creation; kNoSlot when the name was never seen.
+  [[nodiscard]] std::uint32_t find_node_slot(const std::string& name) const;
+
+  /// Pops every ready node whose lease has expired — the exact predicate
+  /// `now - lease > duration` the per-node rescan applied — appending
+  /// their names to `out` (bucket order; callers sort when visitation
+  /// order is observable). Popped nodes leave the deadline index; the
+  /// caller is expected to flip them NotReady, which parks them on the
+  /// recovery-pending list. Returns the number of nodes popped.
+  std::size_t collect_expired_leases(double now, double duration,
+                                     std::vector<std::string>& out);
+
+  /// Appends the names of not-ready nodes whose lease is fresh again
+  /// (`now - lease <= duration`) to `out` — the recovery half of the old
+  /// full rescan, examining only nodes currently NotReady. Returns the
+  /// number of pending nodes examined.
+  std::size_t collect_lease_recovery_candidates(double now, double duration,
+                                                std::vector<std::string>& out);
 
   void watch_nodes(NodeWatch watch) {
     node_watches_.push_back(std::move(watch));
@@ -91,6 +142,32 @@ class ApiServer {
     pods_.for_each([&](const Pod& pod) {
       if (selector_matches(selector, pod.labels)) fn(pod);
     });
+  }
+
+  /// Visits only the pods bound to `node`, via the per-node posting list —
+  /// O(pods on that node), not O(all pods). Visitation order is
+  /// deterministic but unspecified (bind/finalize history); callers sort
+  /// what they collect when order is observable. The callback must not
+  /// create or delete pods.
+  template <typename F>
+  void for_each_pod_on_node(const std::string& node, F&& fn) const {
+    const std::uint32_t ns = find_node_slot(node);
+    if (ns == kNoSlot) return;
+    for (const std::uint32_t pslot : node_slots_[ns].pods) {
+      fn(pods_.at(pslot));
+    }
+  }
+
+  /// Visits only the pods whose `owner` field matches — the deployment
+  /// controller's working set. Same ordering/mutation contract as
+  /// for_each_pod_on_node.
+  template <typename F>
+  void for_each_pod_owned_by(const std::string& owner, F&& fn) const {
+    const auto it = owner_slot_ids_.find(owner);
+    if (it == owner_slot_ids_.end()) return;
+    for (const std::uint32_t pslot : pods_by_owner_[it->second]) {
+      fn(pods_.at(pslot));
+    }
   }
 
   /// Pointer views for callers that need a materialized list (tests,
@@ -199,9 +276,28 @@ class ApiServer {
     PodWatch fn;
   };
 
-  void notify_pod(EventType type, const Pod& pod);
+  /// Everything node-indexed, one dense slot per node name ever seen.
+  /// Slots are never recycled (node cardinality is bounded by topology),
+  /// so a slot held by the lease index, a watch shard, or a pod side array
+  /// stays valid for the run. Lives in a deque: a watcher registering a
+  /// new node shard mid-delivery must not move the shard currently being
+  /// iterated.
+  struct NodeSlot {
+    std::string name;
+    NodeObject* obj = nullptr;  ///< into nodes_; null until registered
+    NodeUsage usage;
+    std::deque<SeqPodWatch> watches;   ///< node-scoped pod watch shard
+    std::vector<std::uint32_t> pods;   ///< pod slots bound to this node
+  };
+
+  /// node_flags_ bits, kept in lockstep with NodeSlot::obj / obj->ready so
+  /// the heartbeat path never chases the NodeSlot or NodeObject records.
+  static constexpr std::uint8_t kNodeRegistered = 1;
+  static constexpr std::uint8_t kNodeReady = 2;
+
+  void notify_pod(EventType type, const Pod& pod, std::uint32_t node_slot);
   void deliver_pod_event(EventType type, const Pod& pod, std::size_t n_global,
-                         sim::ObjectId node_id, std::size_t n_node);
+                         std::uint32_t node_slot, std::size_t n_node);
   void notify_deployment(EventType type, const Deployment& dep);
   void notify_endpoints(EventType type, const Endpoints& eps);
   void notify_node(EventType type, const NodeObject& node);
@@ -211,8 +307,21 @@ class ApiServer {
   [[nodiscard]] static bool usage_counted(const Pod& pod) {
     return !pod.node_name.empty() && pod.phase != PodPhase::kFailed;
   }
-  void add_usage(sim::ObjectId node_id, const Pod& pod);
-  void sub_usage(sim::ObjectId node_id, double cpu, double memory);
+  void add_usage(std::uint32_t node_slot, const Pod& pod);
+  void sub_usage(std::uint32_t node_slot, double cpu, double memory);
+
+  /// Pod-slot side arrays + posting-list maintenance (swap-remove with
+  /// position back-pointers; order is irrelevant — see for_each_pod_on_node).
+  void ensure_pod_side(std::uint32_t pod_slot);
+  void link_pod_node(std::uint32_t pod_slot, std::uint32_t node_slot);
+  void unlink_pod_node(std::uint32_t pod_slot);
+  void link_pod_owner(std::uint32_t pod_slot, const std::string& owner);
+  void unlink_pod_owner(std::uint32_t pod_slot);
+
+  /// Re-establishes tracked ⇔ (registered && ready) for `slot` after a
+  /// ready flip or (re-)registration.
+  void sync_node_tracking(std::uint32_t slot);
+  void drop_recovery_pending(std::uint32_t slot);
 
   sim::Simulation& sim_;
   double api_latency_;
@@ -223,7 +332,6 @@ class ApiServer {
   std::uint64_t watch_batches_delivered_ = 0;
 
   std::map<std::string, NodeObject> nodes_;
-  std::map<std::string, double> node_leases_;
   NamedStore<Pod> pods_;
   NamedStore<Deployment> deployments_;
   NamedStore<Service> services_;
@@ -238,14 +346,35 @@ class ApiServer {
   std::deque<EndpointsWatch> endpoints_watches_;
   std::deque<NodeWatch> node_watches_;
 
-  // Sharded by interned node id: watch routing and usage bookkeeping hit
-  // only the shard a pod event actually touches. Node names are interned
-  // into the owning simulation's table at registration/bind time, so the
-  // ids — like everything else per-simulation — are pure functions of the
-  // run.
+  // Node-slot space. The id map owns nothing; NodeSlot structs live in the
+  // deque at their slot index (stable addresses, see NodeSlot).
   std::uint64_t watch_seq_ = 0;
-  std::unordered_map<sim::ObjectId, std::deque<SeqPodWatch>> node_pod_watches_;
-  std::unordered_map<sim::ObjectId, NodeUsage> node_usage_;
+  std::unordered_map<std::string, std::uint32_t> node_slot_ids_;
+  std::deque<NodeSlot> node_slots_;
+
+  // Heartbeat hot-path side arrays, indexed by node slot (see
+  // renew_node_lease_slot): last lease stamp and registered/ready flags.
+  std::vector<double> node_lease_;
+  std::vector<std::uint8_t> node_flags_;
+
+  // Lease deadlines of ready nodes, calendarized; not-ready nodes wait on
+  // the recovery-pending list (O(not-ready) per sweep, not O(nodes)).
+  LeaseIndex lease_index_;
+  std::vector<std::uint32_t> recovery_pending_;
+
+  // Owner-slot space for the per-deployment pod index. Owner slots are
+  // never recycled: a deployment's NamedStore slot can be reused while
+  // orphaned pods still carry the old owner name.
+  std::unordered_map<std::string, std::uint32_t> owner_slot_ids_;
+  std::vector<std::vector<std::uint32_t>> pods_by_owner_;
+
+  // Pod side arrays indexed by pod slot: the bound node's slot, this pod's
+  // position in that node's posting list, and the same pair for the owner
+  // index — so per-event paths never hash a node or owner name.
+  std::vector<std::uint32_t> pod_node_slot_;
+  std::vector<std::uint32_t> pod_node_pos_;
+  std::vector<std::uint32_t> pod_owner_slot_;
+  std::vector<std::uint32_t> pod_owner_pos_;
 };
 
 }  // namespace sf::k8s

@@ -13,12 +13,17 @@ DeploymentController::DeploymentController(ApiServer& api,
     : api_(api), restart_backoff_(restart_backoff_s) {
   api_.watch_deployments([this](EventType type, const Deployment& dep) {
     if (type == EventType::kDeleted) {
-      // Remove every pod the deployment owned. Collect names first:
-      // delete_pod mutates the store mid-visit otherwise.
+      // Remove every pod the deployment owned, via the owner index —
+      // O(owned), not a full-store scan. Collect names first (delete_pod
+      // mutates the store mid-visit otherwise) and sort them: the old
+      // full scan visited pods in name order, and deletion order is
+      // observable through the watch stream.
       std::vector<std::string> owned;
-      api_.for_each_pod([&](const Pod& pod) {
-        if (pod.owner == dep.name) owned.push_back(pod.name);
+      api_.for_each_pod_owned_by(dep.name, [&](const Pod& pod) {
+        ++reconcile_probes_;
+        owned.push_back(pod.name);
       });
+      std::sort(owned.begin(), owned.end());
       for (const auto& name : owned) api_.delete_pod(name);
       auto idx = next_index_.find(dep.name);
       if (idx != next_index_.end()) {
@@ -74,15 +79,20 @@ void DeploymentController::reconcile(const std::string& deployment_name) {
   // backoff event itself reconciles once the hold clears.
   if (backoff_hold_.contains(deployment_name)) return;
 
-  // Live pods this deployment owns; only the name (for deletes) and uid
-  // (for the keep-newest ordering) matter — no Pod copies.
+  // Live pods this deployment owns, from the owner index — the
+  // dirty-marking shape the endpoints controller uses: a reconcile
+  // touches only this deployment's pods, never the whole store. Only the
+  // name (for deletes) and uid (for the keep-newest ordering) matter — no
+  // Pod copies. Visitation order is unspecified, which is fine: scale-up
+  // uses only the count, scale-down totally orders by (unique) uid.
   struct Owned {
     std::string name;
     Uid uid;
   };
   std::vector<Owned> owned;
-  api_.for_each_pod([&](const Pod& pod) {
-    if (pod.owner == dep->name && pod.phase != PodPhase::kTerminating &&
+  api_.for_each_pod_owned_by(dep->name, [&](const Pod& pod) {
+    ++reconcile_probes_;
+    if (pod.phase != PodPhase::kTerminating &&
         pod.phase != PodPhase::kFailed) {
       owned.push_back(Owned{pod.name, pod.uid});
     }
@@ -123,19 +133,22 @@ NodeLifecycleController::NodeLifecycleController(ApiServer& api,
 
 void NodeLifecycleController::sweep() {
   const double now = api_.sim().now();
-  // Node names first: set_node_ready notifies watchers, and a watcher must
-  // not observe the map mid-iteration being mutated (it is not today, but
-  // eviction below mutates pods either way).
+  // Deadline-ordered: expired leases pop off the API server's calendar
+  // index (O(expired), zero per-node work when every lease is fresh) and
+  // recovery candidates come off the recovery-pending list (O(not-ready)).
+  // Both lists are collected before any transition is applied — the same
+  // snapshot semantics the old full rescan had — and sorted by name so
+  // transitions (and their traces/watch events) replay the old name-order
+  // visitation bit for bit.
   std::vector<std::string> expired;
   std::vector<std::string> recovered;
-  for (const auto& [name, node] : api_.nodes()) {
-    const double age = now - api_.node_lease(name);
-    if (node.ready && age > cfg_.lease_duration_s) {
-      expired.push_back(name);
-    } else if (!node.ready && age <= cfg_.lease_duration_s) {
-      recovered.push_back(name);
-    }
-  }
+  sweep_probes_ +=
+      api_.collect_expired_leases(now, cfg_.lease_duration_s, expired);
+  sweep_probes_ +=
+      api_.collect_lease_recovery_candidates(now, cfg_.lease_duration_s,
+                                             recovered);
+  std::sort(expired.begin(), expired.end());
+  std::sort(recovered.begin(), recovered.end());
   for (const auto& name : expired) {
     ++not_ready_transitions_;
     api_.set_node_ready(name, false);
@@ -153,8 +166,11 @@ void NodeLifecycleController::evict_pods(const std::string& node_name) {
     bool terminating;
   };
   std::vector<Victim> victims;
-  api_.for_each_pod([&](const Pod& pod) {
-    if (pod.node_name != node_name) return;
+  // Only this node's pods, via the per-node posting list. Sorted by name
+  // afterwards: eviction order is observable (traces, watch events,
+  // replacement scheduling), and the old full scan evicted in name order.
+  api_.for_each_pod_on_node(node_name, [&](const Pod& pod) {
+    ++eviction_probes_;
     if (pod.phase == PodPhase::kScheduled || pod.phase == PodPhase::kRunning) {
       victims.push_back({pod.name, false});
     } else if (pod.phase == PodPhase::kTerminating) {
@@ -163,6 +179,8 @@ void NodeLifecycleController::evict_pods(const std::string& node_name) {
       victims.push_back({pod.name, true});
     }
   });
+  std::sort(victims.begin(), victims.end(),
+            [](const Victim& a, const Victim& b) { return a.name < b.name; });
   for (const auto& v : victims) {
     ++evictions_;
     api_.sim().trace().record(api_.sim().now(), "k8s", "evict",

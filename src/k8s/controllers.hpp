@@ -10,6 +10,11 @@ namespace sf::k8s {
 /// Reconciles Deployments to their desired replica count (the ReplicaSet
 /// layer is folded in). Scale-down removes the newest pods first; failed
 /// pods are replaced after a backoff.
+///
+/// Dirty-marking: a reconcile reads only its deployment's pods through the
+/// API server's owner index — O(owned) per reconcile, like the endpoints
+/// controller's per-selector rebuilds — instead of scanning the whole pod
+/// store on every deployment or pod event.
 class DeploymentController {
  public:
   explicit DeploymentController(ApiServer& api,
@@ -23,6 +28,14 @@ class DeploymentController {
   /// Pods recreated because a predecessor failed (restart-backoff path) —
   /// distinct from scale-up creations. pods_created() counts both.
   [[nodiscard]] std::uint64_t pods_replaced() const { return pods_replaced_; }
+
+  /// Probe counter: pods examined across all reconciles (and deleted-
+  /// deployment cleanups). The regression test pins this to the touched
+  /// deployment's own pod count, proving reconciles no longer scan the
+  /// whole store.
+  [[nodiscard]] std::uint64_t reconcile_probes() const {
+    return reconcile_probes_;
+  }
 
  private:
   void reconcile(const std::string& deployment_name);
@@ -38,6 +51,7 @@ class DeploymentController {
   std::map<std::string, int> backoff_hold_;
   std::uint64_t pods_created_ = 0;
   std::uint64_t pods_replaced_ = 0;
+  std::uint64_t reconcile_probes_ = 0;
   /// Sum of next_index_ values retired when their deployment was deleted;
   /// debug invariant: pods_created_ == indices_retired_ + Σ next_index_.
   std::uint64_t indices_retired_ = 0;
@@ -58,8 +72,12 @@ struct NodeLifecycleConfig {
 /// pods are force-finalized) → heartbeats resume → node Ready again →
 /// scheduler retries anything pending.
 ///
+/// Deadline-ordered: a sweep pops expired leases off the API server's
+/// calendarized deadline index and examines only NotReady nodes for
+/// recovery — per-sweep cost scales with what changed, not cluster size.
+///
 /// NOTE: the sweep keeps one event pending forever — enable only in
-/// scenarios driven to a workload-defined end (see Kubelet heartbeats).
+/// scenarios driven to a workload-defined end (see the heartbeat wheel).
 class NodeLifecycleController {
  public:
   NodeLifecycleController(ApiServer& api, NodeLifecycleConfig cfg = {});
@@ -72,6 +90,17 @@ class NodeLifecycleController {
     return not_ready_transitions_;
   }
 
+  /// Probe counter: per-node work items a sweep examined (expired leases
+  /// popped + recovery candidates checked). The regression test pins this
+  /// to 0 across sweeps where nothing expired — the complexity claim.
+  [[nodiscard]] std::uint64_t sweep_probes() const { return sweep_probes_; }
+
+  /// Probe counter: pods examined by evictions (only the affected node's
+  /// pods, per the per-node pod index).
+  [[nodiscard]] std::uint64_t eviction_probes() const {
+    return eviction_probes_;
+  }
+
  private:
   void sweep();
   void evict_pods(const std::string& node_name);
@@ -80,6 +109,8 @@ class NodeLifecycleController {
   NodeLifecycleConfig cfg_;
   std::uint64_t evictions_ = 0;
   std::uint64_t not_ready_transitions_ = 0;
+  std::uint64_t sweep_probes_ = 0;
+  std::uint64_t eviction_probes_ = 0;
 };
 
 /// Maintains each Service's Endpoints as the set of ready pods matching

@@ -1,0 +1,80 @@
+#include "k8s/heartbeat_wheel.hpp"
+
+#include "k8s/kubelet.hpp"
+
+namespace sf::k8s {
+
+std::uint32_t HeartbeatWheel::add(Kubelet& kubelet) {
+  const std::uint32_t m = static_cast<std::uint32_t>(members_.size());
+  members_.push_back(Member{&kubelet, &kubelet.connectivity_probe(),
+                            api_.node_slot(kubelet.node_name()), tail_, kNone,
+                            true});
+  if (tail_ == kNone) {
+    head_ = m;
+  } else {
+    members_[tail_].next = m;
+  }
+  tail_ = m;
+  ++live_count_;
+  if (kubelet.heartbeat_alive()) {
+    api_.renew_node_lease_slot(members_[m].node_slot);
+  }
+  return m;
+}
+
+void HeartbeatWheel::remove(std::uint32_t member) {
+  Member& mem = members_[member];
+  if (!mem.live) return;
+  if (mem.prev == kNone) {
+    head_ = mem.next;
+  } else {
+    members_[mem.prev].next = mem.next;
+  }
+  if (mem.next == kNone) {
+    tail_ = mem.prev;
+  } else {
+    members_[mem.next].prev = mem.prev;
+  }
+  mem.prev = mem.next = kNone;
+  mem.live = false;
+  --live_count_;
+}
+
+void HeartbeatWheel::restore(std::uint32_t member) {
+  Member& mem = members_[member];
+  if (mem.live) return;
+  mem.prev = tail_;
+  mem.next = kNone;
+  if (tail_ == kNone) {
+    head_ = member;
+  } else {
+    members_[tail_].next = member;
+  }
+  tail_ = member;
+  mem.live = true;
+  ++live_count_;
+}
+
+void HeartbeatWheel::start(double interval_s) {
+  if (started_) return;
+  started_ = true;
+  interval_ = interval_s;
+  api_.sim().call_in(interval_, [this] { tick(); });
+}
+
+void HeartbeatWheel::tick() {
+  // Live members are up by construction (remove()/restore() track node
+  // crash/reboot), so the connectivity probe is the only gate evaluated
+  // here. Reading the cached probe pointer touches one kubelet cache line
+  // per member — the difference between 5x and 4x at 10k nodes.
+  for (std::uint32_t m = head_; m != kNone; m = members_[m].next) {
+    const Member& mem = members_[m];
+    const std::function<bool()>& reachable = *mem.probe;
+    if (!reachable || reachable()) {
+      api_.renew_node_lease_slot(mem.node_slot);
+    }
+  }
+  api_.sim().call_in(interval_, [this] { tick(); });
+}
+
+}  // namespace sf::k8s

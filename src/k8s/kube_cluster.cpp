@@ -12,6 +12,7 @@ KubeCluster::KubeCluster(cluster::Cluster& cluster,
     : cluster_(cluster),
       registry_(registry),
       api_(cluster.sim()),
+      heartbeat_wheel_(api_),
       scheduler_(api_,
                  [this](const std::string& node, const std::string& image) {
                    auto it = workers_.find(node);
@@ -36,12 +37,22 @@ KubeCluster::KubeCluster(cluster::Cluster& cluster,
     // Ordered teardown on node crash: the kubelet forgets its pods first
     // (so late pull/exec callbacks die at their managed_ lookup), then the
     // runtime fails in-flight execs and frees container memory, then the
-    // image cache fails in-flight pulls.
+    // image cache fails in-flight pulls. The heartbeat wheel drops the
+    // node last — a dead kubelet stops ticking instead of being polled
+    // forever — and picks it back up on reboot.
     WorkerNode* wp = &it->second;
-    node->on_fail([wp] {
+    node->on_fail([this, wp] {
       wp->kubelet->handle_node_crash();
       wp->runtime->handle_node_crash();
       wp->cache->handle_node_crash();
+      if (wp->hb_member != HeartbeatWheel::kNone) {
+        heartbeat_wheel_.remove(wp->hb_member);
+      }
+    });
+    node->on_recover([this, wp] {
+      if (wp->hb_member != HeartbeatWheel::kNone) {
+        heartbeat_wheel_.restore(wp->hb_member);
+      }
     });
   }
 }
@@ -69,8 +80,17 @@ void KubeCluster::enable_node_lifecycle(NodeLifecycleConfig cfg,
         return !cluster_.network().partitioned(worker_id, control_plane);
       });
     }
-    w.kubelet->start_heartbeats(heartbeat_interval_s);
+    // Joining the wheel renews immediately when alive — the same contract
+    // start_heartbeats had at enable time.
+    if (w.hb_member == HeartbeatWheel::kNone) {
+      w.hb_member = heartbeat_wheel_.add(*w.kubelet);
+    }
   }
+  // The wheel's tick must be scheduled before the lifecycle controller's
+  // sweep: at coincident instants heartbeats then fire before the sweep,
+  // exactly as the per-kubelet timers (scheduled here, before the
+  // controller existed) used to.
+  heartbeat_wheel_.start(heartbeat_interval_s);
   if (lifecycle_controller_ == nullptr) {
     lifecycle_controller_ =
         std::make_unique<NodeLifecycleController>(api_, cfg);

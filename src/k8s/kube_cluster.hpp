@@ -11,6 +11,7 @@
 #include "container/runtime.hpp"
 #include "k8s/api_server.hpp"
 #include "k8s/controllers.hpp"
+#include "k8s/heartbeat_wheel.hpp"
 #include "k8s/kubelet.hpp"
 #include "k8s/scheduler.hpp"
 
@@ -22,6 +23,8 @@ struct WorkerNode {
   std::unique_ptr<container::ImageCache> cache;
   std::unique_ptr<container::ContainerRuntime> runtime;
   std::unique_ptr<Kubelet> kubelet;
+  /// Heartbeat-wheel membership; kNone until node lifecycle is enabled.
+  std::uint32_t hb_member = HeartbeatWheel::kNone;
 };
 
 /// A fully wired Kubernetes control plane over a set of cluster nodes:
@@ -80,11 +83,13 @@ class KubeCluster {
   /// when no kubelet currently runs the pod.
   bool kill_pod(const std::string& pod_name);
 
-  /// Turns on the crash-detection control loop: kubelet heartbeats plus
-  /// the node-lifecycle controller (lease expiry → NotReady → evictions →
-  /// Ready again on reboot). Off by default because both keep events
-  /// pending forever — call this only from scenarios that stop on
-  /// workload completion (fault injection). Idempotent.
+  /// Turns on the crash-detection control loop: the shared heartbeat
+  /// wheel (one engine event renews every live kubelet's lease per
+  /// interval) plus the node-lifecycle controller (lease expiry → NotReady
+  /// → evictions → Ready again on reboot). Off by default because both
+  /// keep events pending forever — call this only from scenarios that stop
+  /// on workload completion (fault injection, lifecycle-enabled serving
+  /// runs). Idempotent.
   void enable_node_lifecycle(NodeLifecycleConfig cfg = {},
                              double heartbeat_interval_s = 1.0);
 
@@ -99,6 +104,7 @@ class KubeCluster {
   cluster::Cluster& cluster_;
   container::Registry& registry_;
   ApiServer api_;
+  HeartbeatWheel heartbeat_wheel_;
   std::map<std::string, WorkerNode> workers_;
   Scheduler scheduler_;
   DeploymentController deployment_controller_;

@@ -29,28 +29,6 @@ container::ContainerId Kubelet::container_for(
   return it == managed_.end() ? container::kNoContainer : it->second.cid;
 }
 
-void Kubelet::start_heartbeats(double interval_s) {
-  if (heartbeats_started_) return;
-  heartbeats_started_ = true;
-  if (node_.up() && (!connectivity_probe_ || connectivity_probe_())) {
-    api_.renew_node_lease(node_.name());
-  }
-  schedule_heartbeat(interval_s);
-}
-
-// Self-rearming tick; renewal stops while the node is down (the kubelet
-// process dies with the VM and resumes on reboot) or while the connectivity
-// probe says the control plane is unreachable (a partitioned node keeps
-// running but its lease goes stale — split-brain by construction).
-void Kubelet::schedule_heartbeat(double interval_s) {
-  api_.sim().call_in(interval_s, [this, interval_s] {
-    if (node_.up() && (!connectivity_probe_ || connectivity_probe_())) {
-      api_.renew_node_lease(node_.name());
-    }
-    schedule_heartbeat(interval_s);
-  });
-}
-
 bool Kubelet::kill_pod(const std::string& pod_name) {
   auto it = managed_.find(pod_name);
   if (it == managed_.end() || it->second.terminate_requested) return false;

@@ -36,19 +36,29 @@ class Kubelet {
   [[nodiscard]] container::ContainerId container_for(
       const std::string& pod_name) const;
 
-  /// Starts the node-lease heartbeat loop: every `interval_s` the kubelet
-  /// renews its lease with the API server — but only while its node is up,
-  /// which is exactly what lets the node-lifecycle controller detect a
-  /// crash. Idempotent. NOTE: the loop keeps one event pending forever, so
-  /// only enable it in scenarios driven to a workload-defined end (fault
-  /// injection), never ones that drain the event queue.
-  void start_heartbeats(double interval_s);
+  /// Would this kubelet renew its lease right now? True while the node is
+  /// up AND the connectivity probe (when set) reaches the control plane.
+  /// The shared heartbeat wheel evaluates this each tick — the per-node
+  /// gating the old per-kubelet timers applied, without one pending engine
+  /// event per kubelet per interval.
+  [[nodiscard]] bool heartbeat_alive() const {
+    return node_.up() && (!connectivity_probe_ || connectivity_probe_());
+  }
+
+  /// Stable reference to the probe object (empty when none is set; stays
+  /// valid across set_connectivity_probe calls). The heartbeat wheel
+  /// caches its address per member so a tick reads one line of this
+  /// kubelet instead of chasing kubelet + node records.
+  [[nodiscard]] const std::function<bool()>& connectivity_probe() const {
+    return connectivity_probe_;
+  }
 
   /// Makes lease renewal conditional on reaching the control plane: the
-  /// heartbeat loop renews only while `probe()` returns true (and the node
-  /// is up). Used to model rack partitions — a healthy node cut off from
-  /// the API server looks exactly like a dead one to the node-lifecycle
-  /// controller, which is the split-brain the stack must survive.
+  /// heartbeat wheel renews only while `probe()` returns true (and the
+  /// node is up). Used to model rack partitions — a healthy node cut off
+  /// from the API server looks exactly like a dead one to the
+  /// node-lifecycle controller, which is the split-brain the stack must
+  /// survive.
   void set_connectivity_probe(std::function<bool()> probe) {
     connectivity_probe_ = std::move(probe);
   }
@@ -81,7 +91,6 @@ class Kubelet {
   };
 
   void on_pod_event(EventType type, const Pod& pod);
-  void schedule_heartbeat(double interval_s);
   void realize(const Pod& pod);
   void terminate(const std::string& pod_name);
   void teardown(const std::string& pod_name);
@@ -95,7 +104,6 @@ class Kubelet {
   double readiness_delay_;
   std::map<std::string, Managed> managed_;
   std::function<bool()> connectivity_probe_;
-  bool heartbeats_started_ = false;
 };
 
 }  // namespace sf::k8s

@@ -32,6 +32,10 @@ namespace sf::k8s {
 template <typename T>
 class NamedStore {
  public:
+  /// Sentinel returned by slot_of() for absent names. Slot ids are reused
+  /// after erase; hold one only while the object provably stays alive.
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
+
   [[nodiscard]] const T* find(const std::string& name) const {
     auto it = hash_.find(std::string_view{name});
     return it == hash_.end() ? nullptr : &slots_[it->second];
@@ -49,11 +53,30 @@ class NamedStore {
   [[nodiscard]] std::size_t size() const { return index_.size(); }
   [[nodiscard]] bool empty() const { return index_.empty(); }
 
-  /// Inserts under `name` unless it exists. Returns the stored object and
-  /// whether the insert happened (find-or-insert, like map::emplace).
-  std::pair<T*, bool> insert(std::string name, T obj) {
+  /// Dense slot id for `name`; kNoSlot when absent. The slot stays stable
+  /// for the object's lifetime, so side tables indexed by slot (per-node
+  /// pod posting lists, usage aggregates) can reference objects without
+  /// re-hashing names on every hot-path touch.
+  [[nodiscard]] std::uint32_t slot_of(const std::string& name) const {
+    auto it = hash_.find(std::string_view{name});
+    return it == hash_.end() ? kNoSlot : it->second;
+  }
+
+  [[nodiscard]] const T& at(std::uint32_t slot) const { return slots_[slot]; }
+  [[nodiscard]] T& at(std::uint32_t slot) { return slots_[slot]; }
+
+  struct InsertResult {
+    T* obj = nullptr;
+    std::uint32_t slot = kNoSlot;
+    bool inserted = false;
+  };
+
+  /// Inserts under `name` unless it exists. Returns the stored object, its
+  /// slot, and whether the insert happened (find-or-insert, like
+  /// map::emplace).
+  InsertResult insert(std::string name, T obj) {
     auto [it, inserted] = index_.try_emplace(std::move(name), 0);
-    if (!inserted) return {&slots_[it->second], false};
+    if (!inserted) return {&slots_[it->second], it->second, false};
     std::uint32_t slot;
     if (!free_.empty()) {
       slot = free_.back();
@@ -65,7 +88,7 @@ class NamedStore {
     }
     it->second = slot;
     hash_.emplace(std::string_view{it->first}, slot);
-    return {&slots_[slot], true};
+    return {&slots_[slot], slot, true};
   }
 
   /// Removes the object and returns it (for Deleted notifications);

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "container/image.hpp"
+#include "k8s/api_server.hpp"
+#include "k8s/controllers.hpp"
+#include "k8s/kube_cluster.hpp"
+#include "sim/simulation.hpp"
+
+namespace sf::k8s {
+namespace {
+
+/// Complexity regression tests: probe counters (not timing) pin the
+/// per-tick cost of the control-plane hot paths to what changed, not to
+/// cluster or store size.
+class ComplexityTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim;
+  ApiServer api{sim};
+
+  void register_nodes(int n) {
+    for (int i = 0; i < n; ++i) {
+      NodeObject node;
+      node.name = "node" + std::to_string(i);
+      node.allocatable_cpu = 64;
+      node.allocatable_memory = 256e9;
+      api.register_node(node);
+    }
+  }
+
+  void bind_running_pod(const std::string& pod, const std::string& node) {
+    Pod p;
+    p.name = pod;
+    p.container.image = "matmul:latest";
+    api.create_pod(std::move(p));
+    api.mutate_pod(pod, [&node](Pod& mp) {
+      mp.node_name = node;
+      mp.phase = PodPhase::kRunning;
+      mp.ready = true;
+    });
+  }
+};
+
+TEST_F(ComplexityTest, SweepWithNothingExpiredDoesZeroPerNodeWork) {
+  register_nodes(512);
+  NodeLifecycleConfig cfg;
+  cfg.lease_duration_s = 1e9;  // nothing ever expires
+  cfg.sweep_interval_s = 1.0;
+  NodeLifecycleController ctl{api, cfg};
+  sim.run_until(50.0);  // 50 sweeps over 512 fresh leases
+  EXPECT_EQ(ctl.sweep_probes(), 0u);
+  EXPECT_EQ(ctl.not_ready_transitions(), 0u);
+  EXPECT_EQ(ctl.evictions(), 0u);
+}
+
+TEST_F(ComplexityTest, EvictionExaminesOnlyTheAffectedNodesPods) {
+  constexpr int kNodes = 4;
+  constexpr int kPodsPerNode = 8;
+  register_nodes(kNodes);
+  for (int n = 0; n < kNodes; ++n) {
+    for (int p = 0; p < kPodsPerNode; ++p) {
+      bind_running_pod("p" + std::to_string(n) + "-" + std::to_string(p),
+                       "node" + std::to_string(n));
+    }
+  }
+  NodeLifecycleConfig cfg;
+  cfg.lease_duration_s = 4.0;
+  cfg.sweep_interval_s = 1.0;
+  NodeLifecycleController ctl{api, cfg};
+  // Heartbeats for every node but node3, whose lease goes stale and
+  // expires at the t=5 sweep.
+  for (int t = 1; t <= 10; ++t) {
+    sim.call_in(static_cast<double>(t), [this] {
+      for (int n = 0; n < kNodes - 1; ++n) {
+        api.renew_node_lease("node" + std::to_string(n));
+      }
+    });
+  }
+  sim.run_until(10.0);
+  EXPECT_EQ(ctl.not_ready_transitions(), 1u);
+  EXPECT_EQ(ctl.evictions(), static_cast<std::uint64_t>(kPodsPerNode));
+  // The complexity claim: eviction walked node3's posting list only —
+  // 8 pods examined, not the 32 in the store.
+  EXPECT_EQ(ctl.eviction_probes(), static_cast<std::uint64_t>(kPodsPerNode));
+}
+
+TEST_F(ComplexityTest, ReconcileTouchesOnlyTheOwningDeploymentsPods) {
+  DeploymentController ctl{api};
+  auto make_deployment = [](const std::string& name, int replicas) {
+    Deployment d;
+    d.name = name;
+    d.selector = {{"app", name}};
+    d.pod_labels = {{"app", name}};
+    d.pod_template.name = name;
+    d.pod_template.image = name + ":latest";
+    d.replicas = replicas;
+    return d;
+  };
+  api.apply_deployment(make_deployment("big", 32));
+  api.apply_deployment(make_deployment("small", 4));
+  sim.run_until(30.0);
+  ASSERT_EQ(api.list_pods().size(), 36u);
+
+  const std::uint64_t before = ctl.reconcile_probes();
+  api.apply_deployment(make_deployment("small", 6));
+  sim.run_until(60.0);
+  // One reconcile of "small" via the owner index: its 4 live pods
+  // examined, none of big's 32.
+  EXPECT_EQ(ctl.reconcile_probes() - before, 4u);
+  EXPECT_EQ(api.list_pods().size(), 38u);
+}
+
+/// The shared heartbeat wheel must drop dead kubelets instead of polling
+/// them forever, and pick them back up on reboot — lease behaviour over a
+/// crash must match the old per-kubelet timers.
+TEST(HeartbeatWheelTest, DeadNodeLeavesTheWheelAndReturnsOnReboot) {
+  sim::Simulation sim;
+  auto cl = cluster::make_paper_testbed(sim);
+  container::Registry hub{cl->node(0)};
+  KubeCluster kube{*cl, hub, {&cl->node(1), &cl->node(2), &cl->node(3)}};
+  NodeLifecycleConfig cfg;
+  cfg.lease_duration_s = 1e9;  // keep the sweep out of the picture
+  kube.enable_node_lifecycle(cfg, 1.0);
+  const std::string victim = cl->node(1).name();
+
+  sim.run_until(10.0);
+  EXPECT_NEAR(kube.api().node_lease(victim), 10.0, 1e-9);
+
+  cl->node(1).fail();
+  sim.run_until(20.0);
+  // Stale from the instant of the crash: the wheel stopped ticking it.
+  EXPECT_NEAR(kube.api().node_lease(victim), 10.0, 1e-9);
+
+  cl->node(1).recover();
+  sim.run_until(25.0);
+  EXPECT_NEAR(kube.api().node_lease(victim), 25.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace sf::k8s
