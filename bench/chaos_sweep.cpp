@@ -88,6 +88,31 @@ fault::FaultConfig chaos_config(double intensity) {
   return cfg;
 }
 
+/// Gray-only fault plan for the ejection ablation: CPU stragglers, flaky
+/// NICs and one-way partitions — the failures heartbeats cannot see (the
+/// node keeps renewing its lease while its pods limp or their replies
+/// vanish). Fail-stop channels stay off so the comparison isolates the
+/// data plane's passive health checking.
+fault::FaultConfig gray_config(double intensity) {
+  fault::FaultConfig cfg;
+  cfg.horizon_s = 2400;
+  cfg.racks = 2;
+  if (intensity <= 0) return cfg;
+  // Deep stragglers: a 0.45 s task takes ~9 s at factor 0.05 — past the
+  // 4 s per-attempt deadline, so a slowed pod answers with 504s instead
+  // of merely lagging.
+  cfg.cpu_slow_mean_s = 120 / intensity;
+  cfg.cpu_slow_duration_s = 35;
+  cfg.cpu_slow_factor = 0.05;
+  cfg.flaky_nic_mean_s = 120 / intensity;
+  cfg.flaky_nic_duration_s = 25;
+  cfg.flaky_nic_every = 3;
+  cfg.flaky_nic_stall_s = 2.0;
+  cfg.oneway_partition_mean_s = 140 / intensity;
+  cfg.oneway_partition_duration_s = 30;
+  return cfg;
+}
+
 // ---- Sweep 1: fig6 mix vs intensity ----------------------------------
 
 struct PointResult {
@@ -231,6 +256,137 @@ AutoscaleResult run_autoscale_point(double intensity, int bursts,
   return r;
 }
 
+// ---- Sweep 3: gray failures, outlier ejection on/off ------------------
+
+struct GrayResult {
+  double makespan_s = 0;
+  bool ok = false;
+  std::uint64_t cpu_slows = 0;
+  std::uint64_t flaky = 0;
+  std::uint64_t oneway = 0;
+  std::uint64_t ejections = 0;
+  std::uint64_t readmissions = 0;
+  std::uint64_t route_retries = 0;
+  std::uint64_t unresponsive = 0;
+};
+
+/// Fixed warm fleet (3 concurrency-1 pods, no autoscaling, prestaged
+/// images) running a fully-serverless DAG mix through gray failures.
+/// The two arms share every knob — queue-proxy deadline, router
+/// per-attempt deadline, retry budget — and differ ONLY in
+/// outlier.enabled, so the makespan gap is the ejection filter's payoff:
+/// with it off, round-robin keeps feeding the straggler and every visit
+/// pays a deadline; with it on, the detector exiles the backend after a
+/// short burst of gateway failures and only probation probes pay.
+GrayResult run_gray_point(double intensity, bool ejection, int n_workflows,
+                          int tasks_each) {
+  TestbedOptions opts;
+  opts.prestage_images = true;
+  opts.dag_retries = 4;
+  ProvisioningPolicy policy = ProvisioningPolicy::prestaged(3);
+  policy.max_scale = 3;
+  policy.container_concurrency = 1;
+  policy.request_timeout_s = 10;
+  policy.route_timeout_s = 4;
+  if (ejection) {
+    policy.outlier.enabled = true;
+    policy.outlier.consecutive_gateway = 3;
+    // Windows tuned to the gray fault durations (25-35 s): long enough
+    // to stop feeding a limping backend, short enough that probation
+    // re-admits it within one window of healing.
+    policy.outlier.base_ejection_s = 10;
+    policy.outlier.max_ejection_s = 40;
+  }
+  opts.provisioning = policy;
+  PaperTestbed tb(42, opts);
+  tb.register_matmul_function();
+
+  fault::FaultInjector injector(tb, gray_config(intensity),
+                                /*seed=*/0x6EA45EEDull);
+  injector.arm();
+
+  const auto result = tb.run_concurrent_mix(n_workflows, tasks_each,
+                                            metrics::MixPoint{0.0, 0.0, 1.0});
+
+  GrayResult r;
+  r.makespan_s = result.slowest;
+  r.ok = result.all_succeeded;
+  r.cpu_slows = injector.cpu_slows();
+  r.flaky = injector.flaky_nics();
+  r.oneway = injector.oneway_partitions();
+  r.ejections = tb.serving().ejections("fn-matmul");
+  r.readmissions = tb.serving().readmissions("fn-matmul");
+  r.route_retries = tb.serving().route_retries("fn-matmul");
+  r.unresponsive = tb.serving().route_failures("fn-matmul").unresponsive;
+  return r;
+}
+
+// ---- Sweep 4: admission control under a synchronized burst ------------
+
+struct AdmissionResult {
+  double drain_s = 0;  ///< time until every request is answered
+  bool ok = false;     ///< every request answered (200 or shed 429)
+  std::uint64_t r200 = 0;
+  std::uint64_t r429 = 0;
+  std::uint64_t other = 0;
+  std::uint64_t rejections = 0;  ///< router admission counter
+  std::size_t peak_queue = 0;    ///< deepest backend queue observed
+};
+
+/// One synchronized burst against the same fixed 3-pod fleet, admission
+/// token bucket on/off. Off: every request queues and the per-pod
+/// backlog grows unbounded with burst size. On: the bucket sheds the
+/// excess with fast 429s after the router's jittered in-flight retries,
+/// keeping backend queues near the bucket burst size.
+AdmissionResult run_admission_point(bool admission, int burst) {
+  TestbedOptions opts;
+  opts.prestage_images = true;
+  ProvisioningPolicy policy = ProvisioningPolicy::prestaged(3);
+  policy.max_scale = 3;
+  policy.container_concurrency = 1;
+  if (admission) {
+    policy.admission.fill_rate_hz = 2.0;
+    policy.admission.burst = 6.0;
+  }
+  opts.provisioning = policy;
+  PaperTestbed tb(42, opts);
+  tb.register_matmul_function();
+
+  AdmissionResult r;
+  std::uint64_t answered = 0;
+  const double t0 = tb.sim().now();
+  for (int i = 0; i < burst; ++i) {
+    net::HttpRequest req;
+    TaskPayload payload;
+    payload.work_coreseconds = tb.calibration().matmul_work_s;
+    payload.output_bytes = 64;
+    req.body = payload;
+    req.body_bytes = 128;
+    tb.serving().invoke(tb.cluster().node(0).net_id(), "fn-matmul",
+                        std::move(req), [&](net::HttpResponse resp) {
+                          ++answered;
+                          if (resp.status == 200) {
+                            ++r.r200;
+                          } else if (resp.status == 429) {
+                            ++r.r429;
+                          } else {
+                            ++r.other;
+                          }
+                        });
+  }
+  const double deadline = t0 + 3600;
+  while (answered < static_cast<std::uint64_t>(burst) &&
+         tb.sim().has_pending_events() && tb.sim().now() < deadline) {
+    tb.sim().step();
+  }
+
+  r.drain_s = tb.sim().now() - t0;
+  r.ok = answered == static_cast<std::uint64_t>(burst);
+  r.rejections = tb.serving().admission_rejections("fn-matmul");
+  r.peak_queue = tb.serving().peak_backend_queue("fn-matmul");
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -328,5 +484,86 @@ int main() {
   auto_table.print_text(std::cout);
   std::cout << "\nevery burst request completes: the autoscaler re-adds "
                "capacity faster than the injector evicts it\n";
+
+  sf::bench::banner(
+      "Gray chaos: outlier ejection ablation",
+      "fixed 3-pod fleet under heartbeat-invisible failures (CPU "
+      "stragglers, flaky NICs, one-way partitions); both arms share every "
+      "deadline and retry knob and differ only in outlier ejection");
+
+  std::vector<Level> gray_levels{
+      {"light", 1.0}, {"moderate", 2.0}, {"heavy", 4.0}};
+  // Keep offered load below fleet capacity (3 concurrency-1 pods): the
+  // ablation measures routing quality, not queueing at saturation —
+  // saturated fleets make every exclusion a capacity loss and bury the
+  // steering signal.
+  int gray_workflows = 4;
+  int gray_tasks = 12;
+  if (smoke) {
+    gray_levels = {{"moderate", 2.0}};
+    gray_workflows = 3;
+    gray_tasks = 5;
+  }
+
+  const std::size_t gray_points = gray_levels.size() * 2;
+  const std::vector<GrayResult> gray_results = runner.run(
+      gray_points, [&gray_levels, gray_workflows, gray_tasks](std::size_t i) {
+        const bool ejection = (i % 2) == 1;
+        return run_gray_point(gray_levels[i / 2].intensity, ejection,
+                              gray_workflows, gray_tasks);
+      });
+
+  sf::metrics::Table gray_table(
+      {"level", "ejection", "cpu_slow", "flaky", "oneway", "ejections",
+       "readmits", "route_retries", "unresponsive", "makespan_s", "ok"},
+      2);
+  for (std::size_t i = 0; i < gray_points; ++i) {
+    const GrayResult& r = gray_results[i];
+    gray_table.add_row({std::string(gray_levels[i / 2].label),
+                        std::string((i % 2) == 1 ? "on" : "off"),
+                        static_cast<std::int64_t>(r.cpu_slows),
+                        static_cast<std::int64_t>(r.flaky),
+                        static_cast<std::int64_t>(r.oneway),
+                        static_cast<std::int64_t>(r.ejections),
+                        static_cast<std::int64_t>(r.readmissions),
+                        static_cast<std::int64_t>(r.route_retries),
+                        static_cast<std::int64_t>(r.unresponsive),
+                        r.makespan_s, std::string(r.ok ? "yes" : "NO")});
+  }
+  gray_table.print_text(std::cout);
+  std::cout << "\nejection-on exiles the straggler after a short burst of "
+               "gateway failures, so only probation probes pay deadlines "
+               "and the makespan gap closes\n";
+
+  sf::bench::banner(
+      "Admission control: synchronized burst, token bucket on/off",
+      "one burst against the fixed 3-pod concurrency-1 fleet; the bucket "
+      "sheds the excess with fast 429s and bounds backend queues");
+
+  int adm_burst = 48;
+  if (smoke) adm_burst = 16;
+
+  const std::vector<AdmissionResult> adm_results =
+      runner.run(2, [adm_burst](std::size_t i) {
+        return run_admission_point(/*admission=*/i == 1, adm_burst);
+      });
+
+  sf::metrics::Table adm_table({"admission", "burst", "r200", "r429", "other",
+                                "rejections", "peak_queue", "drain_s", "ok"},
+                               2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const AdmissionResult& r = adm_results[i];
+    adm_table.add_row({std::string(i == 1 ? "on" : "off"),
+                       static_cast<std::int64_t>(adm_burst),
+                       static_cast<std::int64_t>(r.r200),
+                       static_cast<std::int64_t>(r.r429),
+                       static_cast<std::int64_t>(r.other),
+                       static_cast<std::int64_t>(r.rejections),
+                       static_cast<std::int64_t>(r.peak_queue), r.drain_s,
+                       std::string(r.ok ? "yes" : "NO")});
+  }
+  adm_table.print_text(std::cout);
+  std::cout << "\nwith the bucket on, backend queues stay near the bucket "
+               "burst while the excess fails fast instead of waiting\n";
   return 0;
 }

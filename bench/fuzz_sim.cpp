@@ -55,9 +55,9 @@ struct Point {
 
 /// Active fault channels of a case, e.g. "crash+kill" (empty = calm).
 std::string channel_tags(const check::FuzzCase& c) {
-  static const char* const kShort[] = {"crash", "pull",  "kill",  "degr",
-                                       "part",  "rackf", "rackp", "storm",
-                                       "cpu",   "flaky"};
+  static const char* const kShort[] = {"crash", "pull",  "kill",   "degr",
+                                       "part",  "rackf", "rackp",  "storm",
+                                       "cpu",   "flaky", "oneway"};
   std::string tags;
   const auto& channels = check::fuzz_channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {

@@ -17,6 +17,7 @@
 #include "k8s/kube_cluster.hpp"
 #include "k8s/scheduler.hpp"
 #include "knative/kpa.hpp"
+#include "metrics/stream_stats.hpp"
 #include "net/flow_network.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ps_resource.hpp"
@@ -442,6 +443,50 @@ void BM_DeploymentReconcile(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_DeploymentReconcile)->Arg(1024)->Arg(4096)->Arg(10240);
+
+// ---- Data-plane resilience hot paths -------------------------------------
+
+// Stats sink record path: one histogram sample + one counter bump per
+// request, through pre-resolved handles — what every proxied request pays
+// when per-revision stats are on. Must stay allocation-free: flat slot
+// vectors, no hashing, no strings.
+void BM_HistogramRecord(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::StatsStore store;
+  const auto h = store.histogram(1, 2);
+  const auto c = store.counter(1, 3);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < n; ++i) {
+      store.record_seconds(h, 1e-6 * static_cast<double>(i & 1023));
+      store.add(c, 1);
+    }
+    benchmark::DoNotOptimize(store.hist(h).count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_HistogramRecord)->Arg(65536);
+
+// Router endpoint selection with the ejection filter armed — the
+// per-attempt cost outlier detection adds to every routed request
+// (round-robin scan + per-pod ejection probe over a warm 3-pod fleet).
+void BM_RouterPickBackend(benchmark::State& state) {
+  core::TestbedOptions opts;
+  opts.prestage_images = true;
+  core::ProvisioningPolicy policy = core::ProvisioningPolicy::prestaged(3);
+  policy.max_scale = 3;
+  policy.container_concurrency = 1;
+  policy.outlier.enabled = true;
+  opts.provisioning = policy;
+  core::PaperTestbed tb(42, opts);
+  tb.register_matmul_function();
+  tb.sim().run_until(60.0);  // warm pods up and ready
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tb.serving().pick_backend_for_bench("fn-matmul"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RouterPickBackend);
+
 
 void BM_MatmulKernelReal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

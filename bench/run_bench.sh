@@ -43,7 +43,7 @@ fi
 
 # ---- Engine + control-plane micro-benchmarks ------------------------------
 
-filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled|BM_HeartbeatTick|BM_LifecycleSweep|BM_DeploymentReconcile'
+filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled|BM_HeartbeatTick|BM_LifecycleSweep|BM_DeploymentReconcile|BM_HistogramRecord|BM_RouterPickBackend'
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
 
@@ -209,6 +209,60 @@ with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote {out_path} ({len(results)} binaries)")
+PY
+
+# ---- Gray-failure ejection ablation ---------------------------------------
+# The chaos sweep's gray table is a simulation RESULT (seed-pure makespans),
+# not a timing measurement, so it is refreshed on every run regardless of
+# --rebaseline: a drift here means the data plane changed behaviour.
+
+python3 - "$build_dir" "$fullstack_json" <<'PY'
+import json
+import os
+import re
+import subprocess
+import sys
+
+build_dir, out_path = sys.argv[1], sys.argv[2]
+path = os.path.join(build_dir, "bench", "chaos_sweep")
+if not os.access(path, os.X_OK):
+    print("  skipping gray ablation: chaos_sweep not built")
+    sys.exit(0)
+out = subprocess.run([path], check=True, capture_output=True,
+                     text=True).stdout
+rows = []
+in_gray = False
+for line in out.splitlines():
+    if "Gray chaos: outlier ejection ablation" in line:
+        in_gray = True
+        continue
+    if not in_gray:
+        continue
+    cols = line.split()
+    if len(cols) == 11 and cols[1] in ("on", "off"):
+        rows.append({
+            "level": cols[0],
+            "ejection": cols[1],
+            "ejections": int(cols[5]),
+            "readmissions": int(cols[6]),
+            "route_retries": int(cols[7]),
+            "makespan_s": float(cols[9]),
+            "ok": cols[10],
+        })
+    elif rows:
+        break
+with open(out_path) as f:
+    doc = json.load(f)
+doc["gray_ejection_ablation"] = {
+    "note": ("seed-pure gray-failure makespans from chaos_sweep; both arms "
+             "share every deadline/retry knob and differ only in outlier "
+             "ejection"),
+    "rows": rows,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded gray ejection ablation ({len(rows)} rows) in {out_path}")
 PY
 
 # ---- Scale sweep curve ----------------------------------------------------

@@ -37,7 +37,8 @@ enum : std::uint64_t {
   kTagHorizon = 0x18,
   kTagOpenLoopUsers = 0x20,
   kTagOpenLoopRate = 0x21,
-  kTagChannelBase = 0xA1,  // one stream per channel, 0xA1..0xAA
+  kTagOutlier = 0x22,
+  kTagChannelBase = 0xA1,  // one stream per channel, 0xA1..0xAB
 };
 
 /// Longest time any active fault window needs to heal after the plan
@@ -60,6 +61,9 @@ double max_heal_window(const fault::FaultConfig& fc, int nodes) {
   }
   if (fc.cpu_slow_mean_s > 0) m = std::max(m, fc.cpu_slow_duration_s);
   if (fc.flaky_nic_mean_s > 0) m = std::max(m, fc.flaky_nic_duration_s);
+  if (fc.oneway_partition_mean_s > 0) {
+    m = std::max(m, fc.oneway_partition_duration_s);
+  }
   return m;
 }
 
@@ -77,6 +81,7 @@ fault::FaultConfig fault_config_for(const FuzzCase& c) {
   fc.deploy_storm_mean_s = c.deploy_storm_mean_s;
   fc.cpu_slow_mean_s = c.cpu_slow_mean_s;
   fc.flaky_nic_mean_s = c.flaky_nic_mean_s;
+  fc.oneway_partition_mean_s = c.oneway_partition_mean_s;
   return fc;
 }
 
@@ -94,6 +99,7 @@ const std::vector<ChannelRef>& fuzz_channels() {
       {"deploy_storm_mean_s", &FuzzCase::deploy_storm_mean_s},
       {"cpu_slow_mean_s", &FuzzCase::cpu_slow_mean_s},
       {"flaky_nic_mean_s", &FuzzCase::flaky_nic_mean_s},
+      {"oneway_partition_mean_s", &FuzzCase::oneway_partition_mean_s},
   };
   return channels;
 }
@@ -118,6 +124,9 @@ FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index) {
   c.min_scale = static_cast<int>(draw(kTagMinScale).next_below(3));  // 0..2
   c.request_timeout_s =
       draw(kTagTimeout).next_below(2) == 0 ? 0.0 : 30.0;
+  // Resilience axis on roughly a third of cases: the ejection filter and
+  // the router deadline must hold up under every fault channel.
+  c.outlier_detection = draw(kTagOutlier).next_below(3) == 0;
   c.horizon_s =
       240.0 + 60.0 * static_cast<double>(draw(kTagHorizon).next_below(4));
 
@@ -170,6 +179,14 @@ FuzzOutcome run_case(const FuzzCase& c) {
                  : core::ProvisioningPolicy::deferred();
   policy.container_concurrency = 1;
   policy.request_timeout_s = c.request_timeout_s;
+  if (c.outlier_detection) {
+    policy.outlier.enabled = true;
+    // Short windows relative to the fuzz horizon so ejection *and*
+    // probation re-admission both happen inside one run.
+    policy.outlier.base_ejection_s = 15.0;
+    policy.outlier.max_ejection_s = 60.0;
+    policy.route_timeout_s = 12.0;
+  }
   tb.register_matmul_function(policy);
 
   // Open-loop ambient traffic: a dedicated warm KService absorbing
@@ -284,6 +301,8 @@ FuzzOutcome run_case(const FuzzCase& c) {
   fold(injector.applied_total());
   fold(tb.serving().cold_start_requests("fn-matmul"));
   fold(tb.serving().route_retries("fn-matmul"));
+  fold(tb.serving().ejections("fn-matmul"));
+  fold(tb.serving().outlier_guarded_picks());
   fold(tb.kube().api().watch_batches_delivered());
   fold(static_cast<std::uint64_t>(out.violation_count));
   if (engine) fold(engine->fingerprint());
@@ -424,6 +443,13 @@ ShrinkResult shrink(const FuzzCase& failing, int budget) {
     }
     {
       FuzzCase cand = res.reduced;
+      if (cand.outlier_detection) {
+        cand.outlier_detection = false;
+        progress |= try_reduce(cand);
+      }
+    }
+    {
+      FuzzCase cand = res.reduced;
       if (cand.openloop_users > 0) {
         cand.openloop_users = 0;
         cand.openloop_rate_hz = 0;
@@ -475,6 +501,8 @@ std::string to_cpp_repro(const FuzzCase& c) {
   os << "  c.prestage = " << (c.prestage ? "true" : "false") << ";\n";
   os << "  c.min_scale = " << c.min_scale << ";\n";
   os << "  c.request_timeout_s = " << c.request_timeout_s << ";\n";
+  os << "  c.outlier_detection = " << (c.outlier_detection ? "true" : "false")
+     << ";\n";
   os << "  c.openloop_users = " << c.openloop_users << ";\n";
   os << "  c.openloop_rate_hz = " << c.openloop_rate_hz << ";\n";
   os << "  c.horizon_s = " << c.horizon_s << ";\n";

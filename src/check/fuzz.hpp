@@ -8,7 +8,7 @@ namespace sf::check {
 
 /// One point in the property-fuzzer's search space: everything that
 /// shapes a run — testbed seed, topology, workload shape, provisioning,
-/// and the ten fault-channel intensities — in one flat, plain-old-data
+/// and the eleven fault-channel intensities — in one flat, plain-old-data
 /// struct. Flat on purpose: the shrinker reduces it field by field, and
 /// to_cpp_repro() prints it as a pasteable regression test.
 struct FuzzCase {
@@ -29,6 +29,12 @@ struct FuzzCase {
   bool prestage = true;  ///< pre-staged images + warm pods vs deferred
   int min_scale = 1;     ///< warm pods when prestaged
   double request_timeout_s = 30;  ///< queue-proxy deadline; 0 = none
+  /// Resilience axis: turns on passive outlier ejection plus the
+  /// router's per-attempt deadline for the matmul function — the data
+  /// plane's answer to gray failures (cpu_slow / flaky_nic / one-way
+  /// partitions). Fuzzes the ejection filter, probation re-admission
+  /// and the ejection-cap invariant against every fault channel.
+  bool outlier_detection = false;
 
   // -- open-loop traffic axis (0 users = off) ---------------------------
   /// When positive, a dedicated warm KService ("fn-open") takes Poisson
@@ -53,6 +59,7 @@ struct FuzzCase {
   double deploy_storm_mean_s = 0;
   double cpu_slow_mean_s = 0;
   double flaky_nic_mean_s = 0;
+  double oneway_partition_mean_s = 0;
 
   /// TEST-ONLY mutation hook: plants the "keep claims on startd crash"
   /// bug in the condor pool, proving the invariant registry detects it.

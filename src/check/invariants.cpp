@@ -188,6 +188,38 @@ void InvariantChecker::register_builtins() {
     return examined;
   });
 
+  // -- knative: the ejection filter never steers traffic onto an ---------
+  // -- ejected backend while a healthy alternative exists (panic picks ----
+  // -- are counted separately and are legal). -----------------------------
+  add_counted_invariant("knative.ejection.traffic",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    const auto misrouted = tb_.serving().outlier_misrouted();
+    if (misrouted != 0) {
+      out.push_back(std::to_string(misrouted) +
+                    " picks landed on an ejected backend despite a healthy "
+                    "alternative");
+    }
+    return tb_.serving().outlier_guarded_picks();
+  });
+
+  // -- knative: ejections never exceed the max_ejection_percent ----------
+  // -- allowance (Envoy's cluster-wide ejection cap). ---------------------
+  add_counted_invariant("knative.ejection.cap",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    std::uint64_t examined = 0;
+    for (const auto& svc : tb_.serving().service_names()) {
+      const auto snap = tb_.serving().outlier_snapshot(svc);
+      if (!snap.enabled) continue;
+      ++examined;
+      if (snap.ejected > snap.allowance) {
+        out.push_back(svc + ": " + std::to_string(snap.ejected) +
+                      " backends ejected but max_ejection_percent allows " +
+                      std::to_string(snap.allowance));
+      }
+    }
+    return examined;
+  });
+
   // -- k8s: each object event schedules exactly one watch batch; a -------
   // -- batch delivered twice (or a delivery without a schedule) drifts ----
   // -- the counters. ------------------------------------------------------
@@ -257,6 +289,10 @@ void InvariantChecker::register_builtins() {
         if (net.blocked_pair_count() != 0) {
           out.push_back(std::to_string(net.blocked_pair_count()) +
                         " node pairs still partitioned at quiesce");
+        }
+        if (net.blocked_oneway_count() != 0) {
+          out.push_back(std::to_string(net.blocked_oneway_count()) +
+                        " directed links still one-way blocked at quiesce");
         }
         for (std::size_t i = 0; i < net.node_count(); ++i) {
           const auto id = static_cast<net::NodeId>(i);

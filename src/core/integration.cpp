@@ -236,6 +236,9 @@ void ServerlessIntegration::register_transformation(
   spec.annotations.container_concurrency = policy.container_concurrency;
   spec.annotations.target_concurrency = policy.target_concurrency;
   spec.annotations.request_timeout_s = policy.request_timeout_s;
+  spec.annotations.route_timeout_s = policy.route_timeout_s;
+  spec.annotations.outlier = policy.outlier;
+  spec.annotations.admission = policy.admission;
   serving_.create_service(std::move(spec));
   services_.emplace(t.name, "fn-" + t.name);
 }

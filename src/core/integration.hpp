@@ -51,6 +51,14 @@ struct ProvisioningPolicy {
   /// router re-routes them — the recovery path for requests stuck behind
   /// a crashed or partitioned pod.
   double request_timeout_s = 0;
+  /// Router-side per-attempt deadline (catches reply-path loss the
+  /// queue-proxy deadline can't see); 0 = off.
+  double route_timeout_s = 0;
+  /// Passive outlier ejection over the function's backends (off by
+  /// default — zero behavior change when disabled).
+  knative::OutlierConfig outlier;
+  /// Router token-bucket admission control (off by default).
+  knative::AdmissionConfig admission;
 
   /// Pre-staged (paper Fig. 1/6 warm configuration).
   static ProvisioningPolicy prestaged(int replicas) {

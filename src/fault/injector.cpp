@@ -24,6 +24,8 @@ const char* to_string(FaultKind kind) {
       return "flaky_nic";
     case FaultKind::kRackPartition:
       return "rack_partition";
+    case FaultKind::kOnewayPartition:
+      return "oneway_partition";
   }
   return "unknown";
 }
@@ -43,6 +45,7 @@ constexpr std::uint64_t kTagRackPartition = 0xA7;
 constexpr std::uint64_t kTagDeployStorm = 0xA8;
 constexpr std::uint64_t kTagCpuSlow = 0xA9;
 constexpr std::uint64_t kTagFlakyNic = 0xAA;
+constexpr std::uint64_t kTagOnewayPartition = 0xAB;
 
 /// Incident-id bases, one block per correlated channel: ids only need to
 /// be unique within a plan, and a fixed base per channel keeps them
@@ -244,6 +247,22 @@ std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
                plan.push_back(ev);
              });
   }
+  if (node_count > 1) {
+    arrivals(seed, kTagOnewayPartition, cfg.oneway_partition_mean_s,
+             cfg.horizon_s, [&](double t, SplitMix64& rng) {
+               FaultEvent ev;
+               ev.at = t;
+               ev.kind = FaultKind::kOnewayPartition;
+               // Directed: node → peer is cut, peer → node keeps flowing.
+               ev.node = static_cast<std::uint32_t>(
+                   rng.next_below(node_count));
+               const std::uint32_t other = static_cast<std::uint32_t>(
+                   rng.next_below(node_count - 1));
+               ev.peer = other >= ev.node ? other + 1 : other;
+               ev.duration_s = cfg.oneway_partition_duration_s;
+               plan.push_back(ev);
+             });
+  }
 
   // Deterministic total order: time, then every discriminating field.
   // Cross-channel ties are practically impossible (53-bit exponentials)
@@ -283,7 +302,9 @@ FaultInjector::FaultInjector(core::PaperTestbed& testbed, FaultConfig cfg,
       cpu_slow_depth_(node_count_, 0),
       flaky_depth_(node_count_, 0),
       partition_depth_(static_cast<std::size_t>(node_count_) * node_count_,
-                       0) {}
+                       0),
+      oneway_depth_(static_cast<std::size_t>(node_count_) * node_count_,
+                    0) {}
 
 void FaultInjector::arm() {
   if (armed_) return;
@@ -333,6 +354,9 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     case FaultKind::kRackPartition:
       apply_rack_partition(ev);
+      break;
+    case FaultKind::kOnewayPartition:
+      apply_oneway_partition(ev);
       break;
   }
 }
@@ -445,6 +469,28 @@ void FaultInjector::apply_rack_partition(const FaultEvent& ev) {
         if (racks_.rack_of(out) == rack) continue;
         cut_pair(in, out, false);
       }
+    }
+  });
+}
+
+void FaultInjector::apply_oneway_partition(const FaultEvent& ev) {
+  // Directed depth table (src*n+dst): overlapping windows on the same
+  // direction heal once; the reverse direction is an independent entry.
+  // Deliberately NOT depth-shared with the symmetric table — a symmetric
+  // cut healing must not resurrect a still-open one-way cut or vice
+  // versa, and FlowNetwork already ORs the two tables per direction.
+  const std::size_t idx =
+      static_cast<std::size_t>(ev.node) * node_count_ + ev.peer;
+  const net::NodeId src = tb_.cluster().node(ev.node).net_id();
+  const net::NodeId dst = tb_.cluster().node(ev.peer).net_id();
+  if (++oneway_depth_[idx] == 1) {
+    tb_.cluster().network().set_partition_oneway(src, dst, true);
+  }
+  ++oneway_partitions_;
+  tb_.sim().call_in(ev.duration_s, [this, idx, src, dst] {
+    if (--oneway_depth_[idx] <= 0) {
+      oneway_depth_[idx] = 0;
+      tb_.cluster().network().set_partition_oneway(src, dst, false);
     }
   });
 }

@@ -21,6 +21,7 @@ enum class FaultKind : std::uint8_t {
   kCpuSlow,         ///< gray: node CPU pinned at factor for duration
   kFlakyNic,        ///< gray: node NIC stalls every Nth flow for duration
   kRackPartition,   ///< rack cut off from the rest of the fabric
+  kOnewayPartition, ///< gray: directed link src → dst cut, reverse flows
 };
 
 const char* to_string(FaultKind kind);
@@ -111,6 +112,14 @@ struct FaultConfig {
   std::uint32_t flaky_nic_every = 5; ///< every Nth flow stalls
   double flaky_nic_stall_s = 2.0;    ///< stall added to the Nth flow
 
+  /// Asymmetric partition: the directed link src → dst is cut while the
+  /// reverse keeps flowing. The nastiest gray shape: lease renewals and
+  /// requests still arrive, only the *replies* vanish — symmetric
+  /// heartbeat probes stay green, so nothing is evicted and only
+  /// data-plane deadlines (route_timeout_s + outlier ejection) notice.
+  double oneway_partition_mean_s = 0;       ///< directed-cut inter-arrival
+  double oneway_partition_duration_s = 15;  ///< healed after this long
+
   /// Spare node 0 (control plane, registry, submit side) from crashes —
   /// losing the schedd/API state is unrecoverable by design. This also
   /// covers rack-fail bursts (the head node survives its rack's PDU) and
@@ -182,6 +191,9 @@ class FaultInjector {
   }
   [[nodiscard]] std::uint64_t cpu_slows() const { return cpu_slows_; }
   [[nodiscard]] std::uint64_t flaky_nics() const { return flaky_nics_; }
+  [[nodiscard]] std::uint64_t oneway_partitions() const {
+    return oneway_partitions_;
+  }
   [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
 
   /// Sum of all outstanding fault-window depth counters (degradations,
@@ -196,11 +208,13 @@ class FaultInjector {
     for (const int d : partition_depth_) {
       total += static_cast<std::uint64_t>(d);
     }
+    for (const int d : oneway_depth_) total += static_cast<std::uint64_t>(d);
     return total;
   }
   [[nodiscard]] std::uint64_t applied_total() const {
     return node_crashes_ + registry_outages_ + pod_kills_ + degrades_ +
-           partitions_ + rack_partitions_ + cpu_slows_ + flaky_nics_;
+           partitions_ + rack_partitions_ + cpu_slows_ + flaky_nics_ +
+           oneway_partitions_;
   }
 
  private:
@@ -212,6 +226,7 @@ class FaultInjector {
   void apply_cpu_slow(const FaultEvent& ev);
   void apply_flaky_nic(const FaultEvent& ev);
   void apply_rack_partition(const FaultEvent& ev);
+  void apply_oneway_partition(const FaultEvent& ev);
 
   /// Depth-counted pairwise cut between cluster nodes `a` and `b` —
   /// shared by kPartition and the kRackPartition cut-set so overlapping
@@ -236,6 +251,7 @@ class FaultInjector {
   std::vector<int> cpu_slow_depth_;
   std::vector<int> flaky_depth_;
   std::vector<int> partition_depth_;  ///< n*n, indexed min*n+max
+  std::vector<int> oneway_depth_;     ///< n*n DIRECTED, indexed src*n+dst
 
   std::uint64_t node_crashes_ = 0;
   std::uint64_t node_reboots_ = 0;
@@ -246,6 +262,7 @@ class FaultInjector {
   std::uint64_t rack_partitions_ = 0;
   std::uint64_t cpu_slows_ = 0;
   std::uint64_t flaky_nics_ = 0;
+  std::uint64_t oneway_partitions_ = 0;
   std::uint64_t skipped_ = 0;
 };
 

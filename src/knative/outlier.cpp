@@ -1,0 +1,175 @@
+#include "knative/outlier.hpp"
+
+#include <cmath>
+
+namespace sf::knative {
+namespace {
+
+[[nodiscard]] bool is_gateway_failure(int status) {
+  return status == 502 || status == 503 || status == 504;
+}
+
+}  // namespace
+
+OutlierDetector::Host& OutlierDetector::host_for(const std::string& pod) {
+  for (auto& h : hosts_) {
+    if (h.pod == pod) return h;
+  }
+  hosts_.emplace_back(pod, cfg_.interval_s);
+  return hosts_.back();
+}
+
+void OutlierDetector::maybe_rotate(double now) {
+  if (cfg_.interval_s <= 0.0) return;
+  const auto epoch = static_cast<std::uint64_t>(now / cfg_.interval_s);
+  if (epoch == epoch_) return;
+  epoch_ = epoch;
+  for (auto& h : hosts_) {
+    h.closed_ok = h.window_ok;
+    h.closed_fail = h.window_fail;
+    h.window_ok = 0;
+    h.window_fail = 0;
+  }
+  evaluate_success_rates(now);
+}
+
+void OutlierDetector::evaluate_success_rates(double now) {
+  // Envoy's success_rate algorithm over the just-closed interval: hosts
+  // with enough volume vote; anyone below mean - k * stdev is ejected.
+  const auto volume = static_cast<std::uint64_t>(
+      std::max(0, cfg_.success_rate_request_volume));
+  std::vector<double> rates;
+  rates.reserve(hosts_.size());
+  for (const auto& h : hosts_) {
+    const std::uint64_t total = h.closed_ok + h.closed_fail;
+    if (!h.is_ejected && total >= volume && total > 0) {
+      rates.push_back(static_cast<double>(h.closed_ok) /
+                      static_cast<double>(total));
+    }
+  }
+  if (rates.size() < static_cast<std::size_t>(
+                         std::max(1, cfg_.success_rate_min_hosts))) {
+    return;
+  }
+  double mean = 0.0;
+  for (const double r : rates) mean += r;
+  mean /= static_cast<double>(rates.size());
+  double var = 0.0;
+  for (const double r : rates) var += (r - mean) * (r - mean);
+  var /= static_cast<double>(rates.size());
+  const double threshold =
+      mean - cfg_.success_rate_stdev_factor * std::sqrt(var);
+  for (auto& h : hosts_) {
+    const std::uint64_t total = h.closed_ok + h.closed_fail;
+    if (h.is_ejected || total < volume || total == 0) continue;
+    const double rate =
+        static_cast<double>(h.closed_ok) / static_cast<double>(total);
+    if (rate < threshold && may_eject_another()) eject(h, now);
+  }
+}
+
+void OutlierDetector::eject(Host& h, double now) {
+  h.is_ejected = true;
+  h.probation = false;
+  ++h.ejection_count;
+  // Capped exponential backoff on repeat offenders: base * 2^(n-1).
+  const double factor =
+      std::pow(2.0, static_cast<double>(std::min(h.ejection_count - 1, 16u)));
+  const double window =
+      std::min(cfg_.base_ejection_s * factor, cfg_.max_ejection_s);
+  h.ejected_until = now + window;
+  h.consecutive_5xx = 0;
+  h.consecutive_gateway = 0;
+  ++ejections_;
+}
+
+bool OutlierDetector::may_eject_another() const {
+  return ejected_count() + 1 <= ejection_allowance();
+}
+
+std::size_t OutlierDetector::ejection_allowance() const {
+  const auto pct = static_cast<std::size_t>(
+      std::clamp(cfg_.max_ejection_percent, 0, 100));
+  return std::max<std::size_t>(1, hosts_.size() * pct / 100);
+}
+
+void OutlierDetector::on_response(const std::string& pod, int status,
+                                  double latency_s, double now) {
+  maybe_rotate(now);
+  Host& h = host_for(pod);
+  h.latency.record_seconds(latency_s, now);
+  const bool failure = status >= 500;
+  if (!failure) {
+    h.window_ok += 1;
+    h.consecutive_5xx = 0;
+    h.consecutive_gateway = 0;
+    if (h.probation) {
+      // Probe succeeded: the host is healthy again.
+      h.probation = false;
+      h.ejection_count = 0;
+    }
+    return;
+  }
+  h.window_fail += 1;
+  ++h.consecutive_5xx;
+  if (is_gateway_failure(status)) ++h.consecutive_gateway;
+  if (h.is_ejected) return;  // stale sample from before the ejection
+  if (h.probation) {
+    // Probe failed: re-eject immediately with the doubled window.
+    eject(h, now);
+    return;
+  }
+  const bool trip_gateway = cfg_.consecutive_gateway > 0 &&
+                            h.consecutive_gateway >= cfg_.consecutive_gateway;
+  const bool trip_5xx =
+      cfg_.consecutive_5xx > 0 && h.consecutive_5xx >= cfg_.consecutive_5xx;
+  if ((trip_gateway || trip_5xx) && may_eject_another()) eject(h, now);
+}
+
+bool OutlierDetector::ejected(const std::string& pod, double now) {
+  maybe_rotate(now);
+  for (auto& h : hosts_) {
+    if (h.pod != pod) continue;
+    if (h.is_ejected && now >= h.ejected_until) {
+      // Window expired: re-admit on probation; the next response decides.
+      h.is_ejected = false;
+      h.probation = true;
+      ++readmissions_;
+    }
+    return h.is_ejected;
+  }
+  return false;
+}
+
+void OutlierDetector::remove_host(const std::string& pod) {
+  for (auto it = hosts_.begin(); it != hosts_.end(); ++it) {
+    if (it->pod == pod) {
+      hosts_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t OutlierDetector::ejected_count() const {
+  std::size_t n = 0;
+  for (const auto& h : hosts_) n += h.is_ejected ? 1 : 0;
+  return n;
+}
+
+std::vector<std::string> OutlierDetector::ejected_backends() const {
+  std::vector<std::string> out;
+  for (const auto& h : hosts_) {
+    if (h.is_ejected) out.push_back(h.pod);
+  }
+  return out;
+}
+
+double OutlierDetector::backend_latency_p(const std::string& pod, double p,
+                                          double now) {
+  for (auto& h : hosts_) {
+    if (h.pod == pod) return h.latency.percentile_seconds(p, now);
+  }
+  return 0.0;
+}
+
+}  // namespace sf::knative

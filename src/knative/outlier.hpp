@@ -1,0 +1,161 @@
+// Envoy-style passive health checking for the router's backend set:
+// consecutive-5xx / consecutive-gateway-failure and success-rate outlier
+// ejection with capped exponential ejection windows, a max_ejection_percent
+// guard, and deterministic probation-based re-admission. Plus the token
+// bucket used for admission control at the router/activator.
+//
+// The detector is purely reactive: it observes (pod, status, latency)
+// samples pushed by the router, rotates its success-rate window lazily on
+// the caller-passed sim time, schedules no events, and draws no
+// randomness — ejection decisions are a pure function of the observed
+// response stream.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metrics/stream_stats.hpp"
+
+namespace sf::knative {
+
+/// Knobs mirroring Envoy's outlier_detection cluster config. `enabled`
+/// defaults to false so existing services are byte-for-byte unaffected.
+struct OutlierConfig {
+  bool enabled = false;
+  /// Eject after this many consecutive 5xx of any kind (0 disables).
+  int consecutive_5xx = 5;
+  /// Eject after this many consecutive gateway-class failures
+  /// (502/503/504) — the signal gray nodes and one-way partitions emit.
+  int consecutive_gateway = 3;
+  /// Success-rate window length; also the stats flush cadence.
+  double interval_s = 10.0;
+  /// First ejection lasts base_ejection_s; the n-th lasts
+  /// base * 2^(n-1), capped at max_ejection_s.
+  double base_ejection_s = 30.0;
+  double max_ejection_s = 300.0;
+  /// Never eject beyond this share of the backend set (at least one
+  /// host may always be ejected, matching Envoy's overflow rule).
+  int max_ejection_percent = 50;
+  /// Success-rate ejection needs >= min_hosts backends each with
+  /// >= request_volume samples in the closed window.
+  int success_rate_min_hosts = 3;
+  int success_rate_request_volume = 10;
+  /// Eject hosts whose window success rate < mean - factor * stdev.
+  double success_rate_stdev_factor = 1.9;
+};
+
+/// Admission control at the router: requests take one token per attempt;
+/// an empty bucket yields a fast 429 instead of unbounded queueing.
+/// fill_rate_hz == 0 disables the gate entirely.
+struct AdmissionConfig {
+  double fill_rate_hz = 0.0;
+  double burst = 0.0;  // bucket capacity; defaults to fill rate when 0
+};
+
+/// Lazily-refilled token bucket driven by caller-passed sim time.
+class TokenBucket {
+ public:
+  void configure(const AdmissionConfig& cfg, double now) {
+    rate_ = cfg.fill_rate_hz;
+    capacity_ = cfg.burst > 0.0 ? cfg.burst : cfg.fill_rate_hz;
+    tokens_ = capacity_;
+    last_ = now;
+  }
+  [[nodiscard]] bool enabled() const { return rate_ > 0.0; }
+  [[nodiscard]] bool try_take(double now) {
+    refill(now);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+  [[nodiscard]] double tokens(double now) {
+    refill(now);
+    return tokens_;
+  }
+
+ private:
+  void refill(double now) {
+    if (now > last_) {
+      tokens_ = std::min(capacity_, tokens_ + (now - last_) * rate_);
+      last_ = now;
+    }
+  }
+  double rate_ = 0.0;
+  double capacity_ = 0.0;
+  double tokens_ = 0.0;
+  double last_ = 0.0;
+};
+
+/// Per-service passive outlier detector over the backend pod set.
+class OutlierDetector {
+ public:
+  explicit OutlierDetector(OutlierConfig cfg) : cfg_(cfg) {}
+
+  /// Router-side observation of one completed attempt against `pod`.
+  /// Registers unknown pods, updates consecutive counters and the
+  /// rolling window, and may eject (or re-eject a probing host).
+  void on_response(const std::string& pod, int status, double latency_s,
+                   double now);
+
+  /// True while `pod` is ejected; lazily moves an expired ejection into
+  /// probation (the host rejoins rotation and its next response decides:
+  /// success clears it, a gateway failure re-ejects with a doubled
+  /// window). Unknown pods are never ejected.
+  [[nodiscard]] bool ejected(const std::string& pod, double now);
+
+  /// Drop a host (pod deleted / revision retired).
+  void remove_host(const std::string& pod);
+
+  // Introspection -----------------------------------------------------
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+  [[nodiscard]] std::size_t ejected_count() const;
+  [[nodiscard]] std::uint64_t total_ejections() const { return ejections_; }
+  [[nodiscard]] std::uint64_t total_readmissions() const { return readmissions_; }
+  [[nodiscard]] std::uint64_t panic_picks() const { return panic_picks_; }
+  void note_panic_pick() { ++panic_picks_; }
+  [[nodiscard]] std::vector<std::string> ejected_backends() const;
+  /// Rolling (current + previous interval) latency percentile for one
+  /// backend; 0 when the pod is unknown or idle.
+  [[nodiscard]] double backend_latency_p(const std::string& pod, double p,
+                                         double now);
+  /// Largest ejected-host count max_ejection_percent permits for the
+  /// current host set (Envoy's rule: at least 1).
+  [[nodiscard]] std::size_t ejection_allowance() const;
+  [[nodiscard]] const OutlierConfig& config() const { return cfg_; }
+
+ private:
+  struct Host {
+    std::string pod;
+    int consecutive_5xx = 0;
+    int consecutive_gateway = 0;
+    std::uint64_t window_ok = 0;    // current success-rate interval
+    std::uint64_t window_fail = 0;
+    std::uint64_t closed_ok = 0;    // last closed interval (evaluated)
+    std::uint64_t closed_fail = 0;
+    stats::RollingHistogram latency;
+    bool is_ejected = false;
+    bool probation = false;
+    double ejected_until = 0.0;
+    std::uint32_t ejection_count = 0;  // drives the exponential window
+    Host(std::string name, double interval_s)
+        : pod(std::move(name)), latency(interval_s) {}
+  };
+
+  Host& host_for(const std::string& pod);
+  void maybe_rotate(double now);
+  void evaluate_success_rates(double now);
+  void eject(Host& h, double now);
+  [[nodiscard]] bool may_eject_another() const;
+
+  OutlierConfig cfg_;
+  std::vector<Host> hosts_;  // small backend sets; linear scan is the win
+  std::uint64_t epoch_ = 0;
+  std::uint64_t ejections_ = 0;
+  std::uint64_t readmissions_ = 0;
+  std::uint64_t panic_picks_ = 0;
+};
+
+}  // namespace sf::knative

@@ -1,5 +1,6 @@
 #include "knative/queue_proxy.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace sf::knative {
@@ -41,26 +42,31 @@ void QueueProxy::on_request(const net::HttpRequest& req,
   if (draining_) {
     net::HttpResponse resp;
     resp.status = net::kStatusServiceUnavailable;
+    resp.headers[net::kReasonHeader] = "draining";
     respond(std::move(resp));
     return;
   }
-  Pending p{req, std::move(respond), ++next_token_, sim::kNoEvent};
+  Pending p{req, std::move(respond), ++next_token_, sim::kNoEvent,
+            sim_.now()};
   if (request_timeout_s_ > 0) {
     p.timeout_event = sim_.call_in(
         request_timeout_s_,
         [this, token = p.token] { on_timeout(token); });
   }
   queue_.push_back(std::move(p));
+  peak_queued_ = std::max(peak_queued_, queue_.size());
   maybe_dispatch();
 }
 
 void QueueProxy::on_timeout(std::uint64_t token) {
   net::HttpResponse resp;
   resp.status = net::kStatusGatewayTimeout;
+  resp.headers[net::kReasonHeader] = "timeout";
   // Still queued: drop it — it never reached the container.
   for (auto it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->token != token) continue;
     ++timeouts_;
+    record_outcome(*it, /*timed_out=*/true);
     auto respond = std::move(it->respond);
     queue_.erase(it);
     respond(std::move(resp));
@@ -72,11 +78,23 @@ void QueueProxy::on_timeout(std::uint64_t token) {
   for (auto& p : inflight_) {
     if (p.token != token || !p.respond) continue;
     ++timeouts_;
+    record_outcome(p, /*timed_out=*/true);
     auto respond = std::move(p.respond);
     p.respond = nullptr;
     p.timeout_event = sim::kNoEvent;
     respond(std::move(resp));
     return;
+  }
+}
+
+void QueueProxy::record_outcome(const Pending& p, bool timed_out,
+                                int status) {
+  if (!stats_.enabled()) return;
+  stats_.store->record_seconds(stats_.latency, sim_.now() - p.accepted_at);
+  if (timed_out) {
+    stats_.store->add(stats_.timeout, 1);
+  } else {
+    stats_.store->add(status >= 500 ? stats_.err : stats_.ok, 1);
   }
 }
 
@@ -118,8 +136,12 @@ void QueueProxy::finish_slot(std::uint32_t slot, net::HttpResponse resp) {
   inflight_free_.push_back(slot);
   if (done.timeout_event != sim::kNoEvent) sim_.cancel(done.timeout_event);
   // An empty responder means the deadline already answered 504 for this
-  // request; the handler's late response is discarded.
-  if (done.respond) done.respond(std::move(resp));
+  // request; the handler's late response is discarded (and was already
+  // recorded as a timeout).
+  if (done.respond) {
+    record_outcome(done, /*timed_out=*/false, resp.status);
+    done.respond(std::move(resp));
+  }
   finished_one();
 }
 

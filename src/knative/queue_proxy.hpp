@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "metrics/stream_stats.hpp"
 #include "net/http.hpp"
 #include "sim/simulation.hpp"
 
@@ -27,6 +28,18 @@ struct FunctionContext {
 /// Mirrors the paper's Flask HTTP event listener wrapping the task.
 using FunctionHandler = std::function<void(
     const net::HttpRequest&, FunctionContext&, net::Responder)>;
+
+/// Pre-resolved handles into the serving-owned stats store, one set per
+/// (revision, backend pod). All raw pointers/handles stay valid for the
+/// store's lifetime; recording through them allocates nothing.
+struct ProxyStatsSink {
+  stats::StatsStore* store = nullptr;
+  stats::HistogramId latency;  ///< accept → response, seconds
+  stats::CounterId ok;         ///< 2xx/4xx responses from the handler
+  stats::CounterId err;        ///< 5xx responses from the handler
+  stats::CounterId timeout;    ///< requests the deadline answered 504
+  [[nodiscard]] bool enabled() const { return store != nullptr; }
+};
 
 /// Knative's per-pod sidecar: accepts requests on the pod's port,
 /// enforces the revision's container-concurrency, queues the excess, and
@@ -61,7 +74,13 @@ class QueueProxy {
   [[nodiscard]] std::size_t queued() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t served() const { return served_; }
   [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::size_t peak_queued() const { return peak_queued_; }
   [[nodiscard]] bool draining() const { return draining_; }
+
+  /// Points per-request latency/outcome recording at the serving-owned
+  /// stats store (scoped to this revision + pod). Optional: without a
+  /// sink the proxy records nothing.
+  void set_stats(ProxyStatsSink sink) { stats_ = sink; }
 
   /// Graceful shutdown (the pod's pre-stop hook): unbinds the listener,
   /// lets in-flight and queued requests finish, then calls `done`.
@@ -90,7 +109,9 @@ class QueueProxy {
     net::Responder respond;
     std::uint64_t token = 0;  ///< request identity across queue → inflight
     sim::EventId timeout_event = sim::kNoEvent;
+    double accepted_at = 0;  ///< for the latency histogram
   };
+  void record_outcome(const Pending& p, bool timed_out, int status = 200);
   std::deque<Pending> queue_;
   /// Executing requests, slot-indexed (free list below). The responder
   /// wrapper captures {this, slot} — small enough for std::function's
@@ -102,6 +123,8 @@ class QueueProxy {
   double request_timeout_s_ = 0;
   std::uint64_t next_token_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::size_t peak_queued_ = 0;
+  ProxyStatsSink stats_;
 };
 
 }  // namespace sf::knative

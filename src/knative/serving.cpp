@@ -118,9 +118,21 @@ void KnativeServing::create_service(KnServiceSpec spec) {
 
   const int initial = rev.current_desired;
   const std::string rev_name = rev.rev_name;
-  revisions_.emplace(spec.name, std::move(rev));
+  auto [it, _] = revisions_.emplace(spec.name, std::move(rev));
+  configure_resilience(it->second);
   deploy_revision(spec.name, rev_name, spec, initial);
   ensure_ticking(spec.name);
+}
+
+void KnativeServing::configure_resilience(Revision& rev) {
+  const Annotations& a = rev.spec.annotations;
+  rev.detector = a.outlier.enabled
+                     ? std::make_unique<OutlierDetector>(a.outlier)
+                     : nullptr;
+  rev.admission = TokenBucket{};
+  if (a.admission.fill_rate_hz > 0) {
+    rev.admission.configure(a.admission, kube_.cluster().sim().now());
+  }
 }
 
 void KnativeServing::update_service(KnServiceSpec spec) {
@@ -181,6 +193,9 @@ void KnativeServing::finalize_rollout(Revision& rev) {
   rev.pending_rev.clear();
   rev.pending_deployment.clear();
   rev.canary_fraction = -1;
+  // The new revision gets a fresh detector/bucket: ejection history of
+  // the old backend set must not leak across the switch.
+  configure_resilience(rev);
   // Old revision drains: deleting its deployment terminates the pods,
   // whose pre-stop hooks let in-flight requests finish. Its per-revision
   // k8s service goes with it.
@@ -259,6 +274,10 @@ void KnativeServing::route(const std::string& service,
   }
   Revision& rev = it->second;
   if (attempt == 1) ++rev.requests;
+  // Admission control sits in front of BOTH the endpoint path and the
+  // activator buffer: under overload the router answers fast instead of
+  // queueing unboundedly.
+  if (!admit(rev, service, req, respond, attempt)) return;
 
   const k8s::Endpoints* eps = kube_.api().get_endpoints(rev.rev_name);
   if (eps == nullptr || eps->ready.empty()) {
@@ -281,15 +300,45 @@ void KnativeServing::route(const std::string& service,
         kube_.api().get_endpoints(rev.pending_rev);
     if (canary_eps != nullptr && !canary_eps->ready.empty() &&
         kube_.cluster().sim().rng().chance(rev.canary_fraction)) {
-      const k8s::Endpoint ep = pick_endpoint(rev, *canary_eps);
+      const k8s::Endpoint& ep = pick_endpoint(rev, *canary_eps);
       ensure_ticking(service);
       forward(service, ep, req, std::move(respond), attempt);
       return;
     }
   }
-  const k8s::Endpoint ep = pick_endpoint(rev, *eps);
+  const k8s::Endpoint& ep = pick_endpoint(rev, *eps);
   ensure_ticking(service);
   forward(service, ep, req, std::move(respond), attempt);
+}
+
+bool KnativeServing::admit(Revision& rev, const std::string& service,
+                           const net::HttpRequest& req,
+                           net::Responder& respond, int attempt) {
+  if (!rev.admission.enabled()) return true;
+  auto& sim = kube_.cluster().sim();
+  if (rev.admission.try_take(sim.now())) return true;
+  ++rev.admission_rejections;
+  ++rev.failures.rejected;
+  if (attempt < kMaxRouteAttempts) {
+    // Retry after a jittered exponential backoff — the jitter draws from
+    // the simulation RNG, so it spreads retries without breaking
+    // seed-purity (and is drawn only when admission is enabled).
+    ++rev.retries;
+    ++rev.retries_by_revision[rev.rev_name];
+    const double backoff = kRetryBackoff *
+                           static_cast<double>(1 << attempt) *
+                           sim.rng().uniform(0.5, 1.5);
+    sim.call_in(backoff, [this, service, req, respond = std::move(respond),
+                          attempt]() mutable {
+      route(service, req, std::move(respond), attempt + 1);
+    });
+    return false;
+  }
+  net::HttpResponse resp;
+  resp.status = net::kStatusTooManyRequests;
+  resp.headers[net::kReasonHeader] = "rejected";
+  respond(std::move(resp));
+  return false;
 }
 
 void KnativeServing::promote_canary(const std::string& service) {
@@ -326,12 +375,17 @@ double KnativeServing::canary_fraction(const std::string& service) const {
   return std::max(0.0, it->second.canary_fraction);
 }
 
-k8s::Endpoint KnativeServing::pick_endpoint(Revision& rev,
-                                            const k8s::Endpoints& eps) {
+const k8s::Endpoint& KnativeServing::pick_endpoint(Revision& rev,
+                                                   const k8s::Endpoints& eps) {
+  OutlierDetector* det = rev.detector.get();
+  const double now = kube_.cluster().sim().now();
+  rev.last_pick_panic = false;
+  if (det != nullptr) ++outlier_guarded_picks_;
   if (lb_policy_ == LoadBalancingPolicy::kLeastLoaded) {
     const k8s::Endpoint* best = nullptr;
     double best_load = 0;
     for (const auto& ep : eps.ready) {
+      if (det != nullptr && det->ejected(ep.pod_name, now)) continue;
       auto it = rev.proxies.find(ep.pod_name);
       const double load = it == rev.proxies.end()
                               ? 0.0
@@ -342,8 +396,26 @@ k8s::Endpoint KnativeServing::pick_endpoint(Revision& rev,
       }
     }
     if (best != nullptr) return *best;
+    // Every backend ejected: fall through to panic routing below.
   }
-  const k8s::Endpoint ep = eps.ready[rev.rr_cursor % eps.ready.size()];
+  const std::size_t n = eps.ready.size();
+  if (det != nullptr) {
+    // Round-robin over non-ejected backends: scan from the cursor,
+    // skipping ejected hosts, allocation-free. With no detector the k=0
+    // candidate is always taken — identical to the plain cursor pick.
+    for (std::size_t k = 0; k < n; ++k) {
+      const k8s::Endpoint& ep = eps.ready[(rev.rr_cursor + k) % n];
+      if (det->ejected(ep.pod_name, now)) continue;
+      rev.rr_cursor += k + 1;
+      return ep;
+    }
+    // Panic routing (Envoy's panic threshold, pinned at 100%): every
+    // backend is ejected, so serving *something* beats failing fast —
+    // route as if no detector existed rather than blackholing.
+    det->note_panic_pick();
+    rev.last_pick_panic = true;
+  }
+  const k8s::Endpoint& ep = eps.ready[rev.rr_cursor % n];
   ++rev.rr_cursor;
   return ep;
 }
@@ -352,30 +424,121 @@ void KnativeServing::forward(const std::string& service,
                              const k8s::Endpoint& ep,
                              const net::HttpRequest& req,
                              net::Responder respond, int attempt) {
+  double route_timeout = 0;
+  const double t0 = kube_.cluster().sim().now();
+  if (auto it = revisions_.find(service); it != revisions_.end()) {
+    Revision& rev = it->second;
+    route_timeout = rev.spec.annotations.route_timeout_s;
+    // Tripwire behind the "ejected backends receive no traffic"
+    // invariant: a non-panic pick must never land on an ejected host.
+    if (rev.detector != nullptr && !rev.last_pick_panic &&
+        rev.detector->ejected(ep.pod_name, t0)) {
+      ++outlier_misrouted_;
+    }
+  }
   // Second network hop: gateway → pod (the payload is paid again, which is
   // exactly the ingress-proxy cost a real Knative data path has).
+  if (route_timeout <= 0) {
+    kube_.cluster().http().request(
+        gateway_.net_id(), ep.net_id, ep.port, req,
+        [this, service, pod = ep.pod_name, t0, req,
+         respond = std::move(respond), attempt](net::HttpResponse resp) mutable {
+          on_attempt_response(service, pod, t0, attempt, req,
+                              std::move(respond), std::move(resp));
+        });
+    return;
+  }
+  // Router-side per-attempt deadline (Envoy's upstream request timeout).
+  // The queue-proxy deadline stops covering a request once the handler
+  // responds — if the *reply* never arrives (one-way partition, NIC
+  // stall) only this timer notices: it answers 504 "unresponsive", feeds
+  // the outlier detector, and retries another backend; whichever of
+  // {timer, response} fires second finds the responder consumed.
+  struct AttemptState {
+    net::Responder respond;
+    sim::EventId timer = sim::kNoEvent;
+  };
+  auto state = std::make_shared<AttemptState>();
+  state->respond = std::move(respond);
+  state->timer = kube_.cluster().sim().call_in(
+      route_timeout,
+      [this, service, pod = ep.pod_name, t0, req, attempt, state] {
+        if (!state->respond) return;
+        auto answer = std::move(state->respond);
+        state->respond = nullptr;
+        net::HttpResponse resp;
+        resp.status = net::kStatusGatewayTimeout;
+        resp.headers[net::kReasonHeader] = "unresponsive";
+        on_attempt_response(service, pod, t0, attempt, req,
+                            std::move(answer), std::move(resp));
+      });
   kube_.cluster().http().request(
       gateway_.net_id(), ep.net_id, ep.port, req,
-      [this, service, req, respond = std::move(respond),
-       attempt](net::HttpResponse resp) mutable {
-        const bool retryable = resp.status == net::kStatusConnectionRefused ||
-                               resp.status == net::kStatusServiceUnavailable ||
-                               resp.status == net::kStatusGatewayTimeout;
-        if (retryable && attempt < kMaxRouteAttempts &&
-            revisions_.contains(service)) {
-          // Endpoint vanished mid-flight (drain/scale-down) or the
-          // queue-proxy timed the request out; retry — at zero scale the
-          // route lands in the activator and waits for a cold start.
-          ++revisions_.at(service).retries;
-          kube_.cluster().sim().call_in(
-              kRetryBackoff,
-              [this, service, req, respond = std::move(respond), attempt]() mutable {
-                route(service, req, std::move(respond), attempt + 1);
-              });
-          return;
-        }
-        respond(std::move(resp));
+      [this, service, pod = ep.pod_name, t0, req, attempt,
+       state](net::HttpResponse resp) {
+        if (!state->respond) return;  // deadline already answered; discard
+        kube_.cluster().sim().cancel(state->timer);
+        auto answer = std::move(state->respond);
+        state->respond = nullptr;
+        on_attempt_response(service, pod, t0, attempt, req,
+                            std::move(answer), std::move(resp));
       });
+}
+
+void KnativeServing::on_attempt_response(const std::string& service,
+                                         const std::string& pod,
+                                         double started_at, int attempt,
+                                         const net::HttpRequest& req,
+                                         net::Responder respond,
+                                         net::HttpResponse resp) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) {
+    respond(std::move(resp));
+    return;
+  }
+  Revision& rev = it->second;
+  const double now = kube_.cluster().sim().now();
+  if (rev.detector != nullptr) {
+    const std::uint64_t before = rev.detector->total_ejections();
+    rev.detector->on_response(pod, resp.status, now - started_at, now);
+    if (rev.detector->total_ejections() != before) {
+      kube_.cluster().sim().trace().record(
+          now, "knative", "outlier_eject",
+          {{"service", service}, {"pod", pod}});
+    }
+  }
+  if (resp.status >= 500) {
+    // Machine-readable failure taxonomy: reason tag first, status as the
+    // fallback (502s are refused connections — no one tagged them).
+    const auto reason = resp.headers.find(net::kReasonHeader);
+    if (reason != resp.headers.end() && reason->second == "unresponsive") {
+      ++rev.failures.unresponsive;
+    } else if (resp.status == net::kStatusGatewayTimeout) {
+      ++rev.failures.timeout;
+    } else if (resp.status == net::kStatusServiceUnavailable) {
+      ++rev.failures.draining;
+    } else if (resp.status == net::kStatusConnectionRefused) {
+      ++rev.failures.backend_down;
+    }
+  }
+  const bool retryable = resp.status == net::kStatusConnectionRefused ||
+                         resp.status == net::kStatusServiceUnavailable ||
+                         resp.status == net::kStatusGatewayTimeout;
+  if (retryable && attempt < kMaxRouteAttempts) {
+    // Endpoint vanished mid-flight (drain/scale-down), the queue-proxy
+    // timed the request out, or the reply never arrived; retry — at zero
+    // scale the route lands in the activator and waits for a cold start.
+    ++rev.retries;
+    ++rev.retries_by_revision[rev.rev_name];
+    kube_.cluster().sim().call_in(
+        kRetryBackoff,
+        [this, service, req, respond = std::move(respond),
+         attempt]() mutable {
+          route(service, req, std::move(respond), attempt + 1);
+        });
+    return;
+  }
+  respond(std::move(resp));
 }
 
 void KnativeServing::flush_activator(Revision& rev) {
@@ -453,6 +616,7 @@ void KnativeServing::on_pod_event(k8s::EventType type, const k8s::Pod& pod) {
       break;
     case k8s::EventType::kDeleted:
       rev.proxies.erase(pod.name);
+      if (rev.detector != nullptr) rev.detector->remove_host(pod.name);
       break;
   }
 }
@@ -480,6 +644,24 @@ void KnativeServing::attach_proxy(Revision& rev, const k8s::Pod& pod) {
       pod_spec.annotations.request_timeout_s);
   proxy->install(pod.port);
   rev.proxies.emplace(pod.name, std::move(proxy));
+  // Per-(revision, pod, node) request stats, recorded by the queue-proxy
+  // into the serving-owned flat store. Only wired for services with a
+  // resilience feature on — everyone else pays literally nothing.
+  const Annotations& ann = pod_spec.annotations;
+  if (ann.outlier.enabled || ann.admission.fill_rate_hz > 0 ||
+      ann.route_timeout_s > 0) {
+    auto& ids = kube_.cluster().sim().ids();
+    const std::string rev_name = is_pending ? rev.pending_rev : rev.rev_name;
+    const sim::ObjectId scope = ids.intern(
+        rev_name + "/" + pod.name + "@" + std::to_string(pod.host_net_id));
+    ProxyStatsSink sink;
+    sink.store = &stats_;
+    sink.latency = stats_.histogram(scope, ids.intern("latency"));
+    sink.ok = stats_.counter(scope, ids.intern("ok"));
+    sink.err = stats_.counter(scope, ids.intern("5xx"));
+    sink.timeout = stats_.counter(scope, ids.intern("timeout"));
+    rev.proxies.at(pod.name)->set_stats(sink);
+  }
 
   // Graceful drain before the kubelet tears the pod down.
   const std::string service = rev.spec.name;
@@ -548,6 +730,85 @@ std::uint64_t KnativeServing::route_retries(
     const std::string& service) const {
   auto it = revisions_.find(service);
   return it == revisions_.end() ? 0 : it->second.retries;
+}
+
+std::uint64_t KnativeServing::route_retries_for_revision(
+    const std::string& service, const std::string& revision) const {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) return 0;
+  auto r = it->second.retries_by_revision.find(revision);
+  return r == it->second.retries_by_revision.end() ? 0 : r->second;
+}
+
+KnativeServing::RouteFailureBreakdown KnativeServing::route_failures(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? RouteFailureBreakdown{}
+                                : it->second.failures;
+}
+
+std::uint64_t KnativeServing::ejections(const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() || it->second.detector == nullptr
+             ? 0
+             : it->second.detector->total_ejections();
+}
+
+std::uint64_t KnativeServing::readmissions(const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() || it->second.detector == nullptr
+             ? 0
+             : it->second.detector->total_readmissions();
+}
+
+std::vector<std::string> KnativeServing::ejected_backends(
+    const std::string& service) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.detector == nullptr) return {};
+  return it->second.detector->ejected_backends();
+}
+
+double KnativeServing::backend_latency_p(const std::string& service,
+                                         const std::string& pod, double p) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.detector == nullptr) return 0;
+  return it->second.detector->backend_latency_p(
+      pod, p, kube_.cluster().sim().now());
+}
+
+std::uint64_t KnativeServing::admission_rejections(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  return it == revisions_.end() ? 0 : it->second.admission_rejections;
+}
+
+std::size_t KnativeServing::peak_backend_queue(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) return 0;
+  std::size_t peak = 0;
+  for (const auto& [pod, proxy] : it->second.proxies) {
+    peak = std::max(peak, proxy->peak_queued());
+  }
+  return peak;
+}
+
+KnativeServing::OutlierSnapshot KnativeServing::outlier_snapshot(
+    const std::string& service) const {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end() || it->second.detector == nullptr) return {};
+  const OutlierDetector& det = *it->second.detector;
+  return {/*enabled=*/true, det.host_count(), det.ejected_count(),
+          det.ejection_allowance()};
+}
+
+const k8s::Endpoint* KnativeServing::pick_backend_for_bench(
+    const std::string& service) {
+  auto it = revisions_.find(service);
+  if (it == revisions_.end()) return nullptr;
+  const k8s::Endpoints* eps = kube_.api().get_endpoints(it->second.rev_name);
+  if (eps == nullptr || eps->ready.empty()) return nullptr;
+  return &pick_endpoint(it->second, *eps);
 }
 
 }  // namespace sf::knative

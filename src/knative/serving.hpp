@@ -10,7 +10,9 @@
 #include "cluster/node.hpp"
 #include "k8s/kube_cluster.hpp"
 #include "knative/kpa.hpp"
+#include "knative/outlier.hpp"
 #include "knative/queue_proxy.hpp"
+#include "metrics/stream_stats.hpp"
 
 namespace sf::knative {
 
@@ -45,6 +47,19 @@ struct Annotations {
   /// behind a dead or overloaded pod is re-routed (possibly through the
   /// activator after a cold start).
   double request_timeout_s = 0;
+  /// Router-side per-ATTEMPT deadline (Envoy's upstream request
+  /// timeout); 0 = off. The queue-proxy deadline above only covers
+  /// queueing + execution — if the pod answers but its reply never
+  /// arrives (one-way partition, NIC stall), only this timer fires: the
+  /// attempt is answered 504 reason "unresponsive", fed to the outlier
+  /// detector, and retried against another backend; the late real
+  /// response is discarded.
+  double route_timeout_s = 0;
+  /// Passive outlier ejection over the service's backend pods
+  /// (disabled by default — zero behavior/fingerprint change when off).
+  OutlierConfig outlier;
+  /// Token-bucket admission control at the router (off by default).
+  AdmissionConfig admission;
 };
 
 /// A Knative Service definition: container, resource requests, the
@@ -136,6 +151,69 @@ class KnativeServing {
   /// Router re-route attempts (502/503/504 responses retried) — how often
   /// requests raced dead pods, drains, or queue-proxy deadlines.
   [[nodiscard]] std::uint64_t route_retries(const std::string& service) const;
+  /// Same, but per revision (rollouts split the count): retries counted
+  /// while `revision` was the routed revision name. Unknown → 0.
+  [[nodiscard]] std::uint64_t route_retries_for_revision(
+      const std::string& service, const std::string& revision) const;
+
+  /// Machine-readable breakdown of failures the router observed (from
+  /// the x-sf-reason tag + status), distinguishing overload from outage.
+  struct RouteFailureBreakdown {
+    std::uint64_t timeout = 0;       ///< queue-proxy deadline 504s
+    std::uint64_t backend_down = 0;  ///< 502 connection refused
+    std::uint64_t draining = 0;      ///< 503 from a draining pod
+    std::uint64_t rejected = 0;      ///< 429 admission rejections
+    std::uint64_t unresponsive = 0;  ///< router per-attempt deadline
+  };
+  [[nodiscard]] RouteFailureBreakdown route_failures(
+      const std::string& service) const;
+
+  // ---- Resilience introspection (outlier ejection / admission) -------
+
+  [[nodiscard]] std::uint64_t ejections(const std::string& service) const;
+  [[nodiscard]] std::uint64_t readmissions(const std::string& service) const;
+  [[nodiscard]] std::vector<std::string> ejected_backends(
+      const std::string& service);
+  /// Rolling latency percentile the router observes for one backend.
+  [[nodiscard]] double backend_latency_p(const std::string& service,
+                                         const std::string& pod, double p);
+  [[nodiscard]] std::uint64_t admission_rejections(
+      const std::string& service) const;
+  /// Peak queue depth across the service's backends (admission-control
+  /// payoff metric: bounded when the bucket is on).
+  [[nodiscard]] std::size_t peak_backend_queue(
+      const std::string& service) const;
+
+  /// Snapshot for the sf::check invariants.
+  struct OutlierSnapshot {
+    bool enabled = false;
+    std::size_t hosts = 0;
+    std::size_t ejected = 0;
+    std::size_t allowance = 0;  ///< max_ejection_percent cap (>= 1)
+  };
+  [[nodiscard]] OutlierSnapshot outlier_snapshot(
+      const std::string& service) const;
+  /// Endpoint picks that consulted the ejection filter (all services).
+  [[nodiscard]] std::uint64_t outlier_guarded_picks() const {
+    return outlier_guarded_picks_;
+  }
+  /// Picks that landed on an ejected backend despite a healthy
+  /// alternative — must stay 0 (asserted by the invariant registry).
+  /// Panic picks (every backend ejected) are counted separately.
+  [[nodiscard]] std::uint64_t outlier_misrouted() const {
+    return outlier_misrouted_;
+  }
+
+  /// Serving-owned flat stats store: per-(revision, pod) latency
+  /// histograms and outcome counters recorded by the queue-proxies.
+  [[nodiscard]] stats::StatsStore& stats() { return stats_; }
+
+  /// Bench hook: runs the router's endpoint selection (including the
+  /// ejection filter) for the active revision without forwarding;
+  /// advances the RR cursor exactly as a real request would. nullptr
+  /// when the service has no ready endpoints.
+  [[nodiscard]] const k8s::Endpoint* pick_backend_for_bench(
+      const std::string& service);
 
   /// Names of live (non-deleted) services, in name order — lets the
   /// invariant registry enumerate services without reaching into the
@@ -160,6 +238,15 @@ class KnativeServing {
     std::uint64_t cold_starts = 0;
     std::uint64_t requests = 0;
     std::uint64_t retries = 0;  ///< router re-route attempts
+    /// Per-revision split of `retries`, keyed by revision name (the
+    /// service-level counter alone can't attribute a bad rollout).
+    std::map<std::string, std::uint64_t> retries_by_revision;
+    RouteFailureBreakdown failures;
+    /// Passive outlier detector over this service's backends; null when
+    /// the annotation is off (zero overhead, zero behavior change).
+    std::unique_ptr<OutlierDetector> detector;
+    TokenBucket admission;
+    std::uint64_t admission_rejections = 0;
     int generation = 1;
     /// Rollout in flight (update_service): the next revision's name,
     /// deployment and spec; traffic switches once it has ready pods.
@@ -168,15 +255,30 @@ class KnativeServing {
     KnServiceSpec pending_spec;
     /// -1 = automatic blue/green switch; [0,1] = held canary split.
     double canary_fraction = -1;
+    /// Set by pick_endpoint when every backend was ejected and the pick
+    /// fell through to panic routing (Envoy's panic threshold behavior).
+    bool last_pick_panic = false;
   };
 
   void route(const std::string& service, const net::HttpRequest& req,
              net::Responder respond, int attempt);
-  [[nodiscard]] k8s::Endpoint pick_endpoint(Revision& rev,
-                                            const k8s::Endpoints& eps);
+  [[nodiscard]] const k8s::Endpoint& pick_endpoint(Revision& rev,
+                                                   const k8s::Endpoints& eps);
   void forward(const std::string& service, const k8s::Endpoint& ep,
                const net::HttpRequest& req, net::Responder respond,
                int attempt);
+  /// Shared tail of forward(): classify the attempt's outcome, feed the
+  /// outlier detector, retry when retryable, else respond.
+  void on_attempt_response(const std::string& service,
+                           const std::string& pod, double started_at,
+                           int attempt, const net::HttpRequest& req,
+                           net::Responder respond, net::HttpResponse resp);
+  /// Admission gate; true = proceed. On false the request was already
+  /// answered (429) or scheduled for a jittered retry.
+  bool admit(Revision& rev, const std::string& service,
+             const net::HttpRequest& req, net::Responder& respond,
+             int attempt);
+  void configure_resilience(Revision& rev);
   void flush_activator(Revision& rev);
   void finalize_rollout(Revision& rev);
   void start_rollout(KnServiceSpec spec, double canary_fraction);
@@ -204,6 +306,12 @@ class KnativeServing {
   /// Proxies of deleted services, parked until their in-flight requests
   /// complete (see retire_proxies).
   std::vector<std::unique_ptr<QueueProxy>> retiring_;
+  /// Flat per-(revision, pod) request stats; scopes/names are interned
+  /// through the simulation's interner. Populated only for services with
+  /// outlier detection, admission, or a route timeout configured.
+  stats::StatsStore stats_;
+  std::uint64_t outlier_guarded_picks_ = 0;
+  std::uint64_t outlier_misrouted_ = 0;
 };
 
 }  // namespace sf::knative

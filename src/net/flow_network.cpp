@@ -61,6 +61,25 @@ void FlowNetwork::set_partition(NodeId a, NodeId b, bool blocked) {
   rebalance();
 }
 
+void FlowNetwork::set_partition_oneway(NodeId src, NodeId dst, bool blocked) {
+  if (src >= nodes_.size() || dst >= nodes_.size() || src == dst) {
+    throw std::invalid_argument(
+        "FlowNetwork::set_partition_oneway: bad node pair");
+  }
+  const std::uint64_t key = directed_key(src, dst);
+  const auto it =
+      std::lower_bound(blocked_oneway_.begin(), blocked_oneway_.end(), key);
+  const bool present = it != blocked_oneway_.end() && *it == key;
+  if (blocked == present) return;
+  advance();
+  if (blocked) {
+    blocked_oneway_.insert(it, key);
+  } else {
+    blocked_oneway_.erase(it);
+  }
+  rebalance();
+}
+
 void FlowNetwork::set_node_flaky(NodeId node, std::uint32_t every_nth,
                                  double stall_s) {
   if (node >= nodes_.size() || stall_s < 0) {
@@ -76,6 +95,16 @@ bool FlowNetwork::partitioned(NodeId a, NodeId b) const {
   if (blocked_pairs_.empty() || a == b) return false;
   return std::binary_search(blocked_pairs_.begin(), blocked_pairs_.end(),
                             pair_key(a, b));
+}
+
+bool FlowNetwork::oneway_blocked(NodeId src, NodeId dst) const {
+  if (src == dst) return false;
+  if (!blocked_oneway_.empty() &&
+      std::binary_search(blocked_oneway_.begin(), blocked_oneway_.end(),
+                         directed_key(src, dst))) {
+    return true;
+  }
+  return partitioned(src, dst);
 }
 
 double FlowNetwork::latency(NodeId src, NodeId dst) const {
@@ -239,8 +268,9 @@ void FlowNetwork::rebalance() {
       f.rate = loopback_Bps_;
       continue;
     }
-    if (partitioned(f.src, f.dst)) {
-      // Stalled across a partition: no progress, no capacity consumed.
+    if (oneway_blocked(f.src, f.dst)) {
+      // Stalled across a (possibly one-way) partition: no progress, no
+      // capacity consumed. The reverse direction is unaffected.
       f.rate = 0;
       continue;
     }
@@ -343,7 +373,7 @@ std::vector<std::string> FlowNetwork::self_check() {
     }
     if (!f.active) continue;
     if (f.loopback) continue;
-    if (partitioned(f.src, f.dst)) {
+    if (oneway_blocked(f.src, f.dst)) {
       if (f.rate != 0) {
         out.push_back("partitioned flow " + std::to_string(f.id) +
                       " still progresses at " + std::to_string(f.rate));

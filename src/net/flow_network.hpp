@@ -125,6 +125,24 @@ class FlowNetwork {
 
   [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
 
+  /// Blocks (or heals) the *directed* link src → dst only: bulk flows in
+  /// that direction are pinned at 0 while the reverse direction keeps
+  /// flowing — the asymmetric (one-way) partition shape real networks
+  /// produce (unidirectional link failures, asymmetric routing). Control
+  /// planes that probe with symmetric heartbeats stay green while the
+  /// data plane loses replies, which is exactly the gray failure the
+  /// router's outlier detection has to catch.
+  void set_partition_oneway(NodeId src, NodeId dst, bool blocked);
+
+  /// True when the directed link src → dst is cut (by either the one-way
+  /// table or a symmetric partition of the pair).
+  [[nodiscard]] bool oneway_blocked(NodeId src, NodeId dst) const;
+
+  /// Currently blocked *directed* links (one-way table only).
+  [[nodiscard]] std::size_t blocked_oneway_count() const {
+    return blocked_oneway_.size();
+  }
+
   /// Gray failure: makes a node's NIC flaky — every `every_nth` bulk flow
   /// touching the node (as source or destination, counted per node in
   /// start order) is stalled for an extra `stall_s` before entering the
@@ -197,8 +215,14 @@ class FlowNetwork {
   double bytes_cancelled_ = 0;
   double bytes_rounded_ = 0;
   std::uint64_t flaky_stalls_ = 0;
+  static std::uint64_t directed_key(NodeId src, NodeId dst) {
+    return (std::uint64_t{src} << 32) | dst;
+  }
+
   /// Sorted pair_key() values of currently partitioned node pairs.
   std::vector<std::uint64_t> blocked_pairs_;
+  /// Sorted directed_key() values of one-way-blocked links.
+  std::vector<std::uint64_t> blocked_oneway_;
 
   // Progressive-filling scratch state, epoch-stamped per node so a
   // rebalance touches only the nodes its flows traverse (no O(all nodes)

@@ -37,9 +37,17 @@ struct HttpResponse {
 };
 
 /// HTTP status codes the fabric itself produces.
+inline constexpr int kStatusTooManyRequests = 429;
 inline constexpr int kStatusConnectionRefused = 502;
 inline constexpr int kStatusServiceUnavailable = 503;
 inline constexpr int kStatusGatewayTimeout = 504;
+
+/// Response header carrying the machine-readable failure reason tagged by
+/// the data plane: "timeout" (queue-proxy deadline), "draining" (pod
+/// shutting down), "rejected" (admission control), "unresponsive" (router
+/// per-attempt deadline — the reply never came back, e.g. a one-way
+/// partition). 502s carry no tag: the connection itself was refused.
+inline constexpr const char* kReasonHeader = "x-sf-reason";
 
 /// A handler receives the request and a one-shot responder. Responding may
 /// happen immediately or after arbitrarily many simulated events (the

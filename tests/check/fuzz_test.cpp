@@ -129,6 +129,7 @@ TEST(FuzzRun, EveryInvariantExercisedNonVacuously) {
   c.min_scale = 1;
   c.openloop_users = 2;
   c.openloop_rate_hz = 1.0;
+  c.outlier_detection = true;  // arms the ejection-filter invariants
   c.horizon_s = 240;
   c.node_crash_mean_s = 60;  // dense enough that faults certainly fire
   c.pod_kill_mean_s = 60;
@@ -159,6 +160,7 @@ TEST(FuzzRepro, PrintsEveryField) {
   EXPECT_NE(repro.find("c.horizon_s = "), std::string::npos);
   EXPECT_NE(repro.find("c.openloop_users = "), std::string::npos);
   EXPECT_NE(repro.find("c.openloop_rate_hz = "), std::string::npos);
+  EXPECT_NE(repro.find("c.outlier_detection = "), std::string::npos);
   for (const auto& ch : fuzz_channels()) {
     EXPECT_NE(repro.find(std::string("c.") + ch.name + " = "),
               std::string::npos)
@@ -167,8 +169,17 @@ TEST(FuzzRepro, PrintsEveryField) {
   EXPECT_NE(repro.find("EXPECT_TRUE(out.ok)"), std::string::npos);
 }
 
-TEST(FuzzChannels, CoverAllTenFaultChannels) {
-  EXPECT_EQ(fuzz_channels().size(), 10u);
+TEST(FuzzChannels, CoverAllElevenFaultChannels) {
+  EXPECT_EQ(fuzz_channels().size(), 11u);
+}
+
+TEST(FuzzCaseDerivation, OutlierAxisFlipsOnSometimes) {
+  int axis_on = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (random_case(kSmokeBase, i).outlier_detection) ++axis_on;
+  }
+  EXPECT_GT(axis_on, 0);  // ~1/3 of cases exercise the ejection filter
+  EXPECT_LT(axis_on, 64);
 }
 
 }  // namespace

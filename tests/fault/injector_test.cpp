@@ -24,6 +24,7 @@ FaultConfig all_channels() {
   cfg.pod_kill_mean_s = 40;
   cfg.degrade_mean_s = 30;
   cfg.partition_mean_s = 50;
+  cfg.oneway_partition_mean_s = 55;
   return cfg;
 }
 
@@ -132,6 +133,40 @@ TEST(FaultInjectorTest, PartitionBlocksThePairThenHeals) {
   tb.sim().run_until(ev.at + ev.duration_s + 0.1);
   EXPECT_FALSE(net.partitioned(a, b));
   EXPECT_EQ(injector.partitions(), 1u);
+}
+
+TEST(FaultInjectorTest, OnewayPartitionCutsOneDirectionThenHeals) {
+  FaultConfig probe;
+  probe.horizon_s = 1000;
+  probe.oneway_partition_mean_s = 40;
+  const auto full = make_fault_plan(5, probe, 4);
+  ASSERT_GE(full.size(), 2u);
+  FaultConfig cfg = probe;
+  cfg.horizon_s = full[0].at + (full[1].at - full[0].at) / 2;
+
+  core::PaperTestbed tb(42);
+  FaultInjector injector(tb, cfg, 5);
+  ASSERT_EQ(injector.plan().size(), 1u);
+  const FaultEvent ev = injector.plan()[0];
+  EXPECT_EQ(ev.kind, FaultKind::kOnewayPartition);
+  EXPECT_NE(ev.node, ev.peer);
+  injector.arm();
+  // A gray channel: no crash shape, so the lifecycle loop stays off —
+  // nothing ever looks dead to the control plane.
+  EXPECT_FALSE(tb.kube().node_lifecycle_enabled());
+
+  net::FlowNetwork& net = tb.cluster().network();
+  const net::NodeId src = tb.cluster().node(ev.node).net_id();
+  const net::NodeId dst = tb.cluster().node(ev.peer).net_id();
+  tb.sim().run_until(ev.at + 0.5 * ev.duration_s);
+  EXPECT_TRUE(net.oneway_blocked(src, dst));
+  EXPECT_FALSE(net.oneway_blocked(dst, src));  // requests arrive, replies die
+  EXPECT_FALSE(net.partitioned(src, dst));     // heartbeats keep passing
+  tb.sim().run_until(ev.at + ev.duration_s + 0.1);
+  EXPECT_FALSE(net.oneway_blocked(src, dst));
+  EXPECT_EQ(net.blocked_oneway_count(), 0u);
+  EXPECT_EQ(injector.oneway_partitions(), 1u);
+  EXPECT_EQ(injector.residual_depth(), 0u);
 }
 
 // ---------------------------------------------------------------------

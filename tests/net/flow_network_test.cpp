@@ -149,6 +149,54 @@ TEST_F(FlowNetworkTest, FlakyNicBadArgsThrow) {
   EXPECT_THROW(net.set_node_flaky(a, 2, -1.0), std::invalid_argument);
 }
 
+TEST_F(FlowNetworkTest, OnewayPartitionBlocksOneDirectionOnly) {
+  net.set_partition_oneway(a, b, true);
+  EXPECT_EQ(net.blocked_oneway_count(), 1u);
+  EXPECT_TRUE(net.oneway_blocked(a, b));
+  EXPECT_FALSE(net.oneway_blocked(b, a));  // reverse keeps flowing
+  EXPECT_FALSE(net.partitioned(a, b));     // symmetric probes stay green
+  double fwd_done = -1;
+  double rev_done = -1;
+  net.transfer(a, b, 100.0, [&] { fwd_done = sim.now(); });
+  net.transfer(b, a, 100.0, [&] { rev_done = sim.now(); });
+  sim.run_until(5.0);
+  EXPECT_NEAR(rev_done, 1.02, 1e-9);  // unaffected by the forward cut
+  EXPECT_LT(fwd_done, 0);             // pinned at rate 0
+  EXPECT_TRUE(net.self_check().empty());
+  net.set_partition_oneway(a, b, false);
+  sim.run();
+  // Healed at t=5: the stalled 100 B resume at full rate (latency was
+  // already paid before the flow activated).
+  EXPECT_NEAR(fwd_done, 6.0, 1e-6);
+  EXPECT_EQ(net.blocked_oneway_count(), 0u);
+}
+
+TEST_F(FlowNetworkTest, OnewayPartitionPassesControlMessages) {
+  net.set_partition_oneway(a, b, true);
+  double ctrl = -1;
+  net.transfer(a, b, 0.0, [&] { ctrl = sim.now(); });
+  sim.run();
+  // Zero-byte control traffic squeezes through, like the symmetric knob:
+  // the 504/502 status replies that *tell* the router about the failure
+  // must not themselves be blackholed.
+  EXPECT_NEAR(ctrl, 0.02, 1e-12);
+}
+
+TEST_F(FlowNetworkTest, SymmetricPartitionImpliesBothDirectionsBlocked) {
+  net.set_partition(a, b, true);
+  EXPECT_TRUE(net.oneway_blocked(a, b));
+  EXPECT_TRUE(net.oneway_blocked(b, a));
+  EXPECT_EQ(net.blocked_oneway_count(), 0u);  // directed table untouched
+  net.set_partition(a, b, false);
+  EXPECT_FALSE(net.oneway_blocked(a, b));
+}
+
+TEST_F(FlowNetworkTest, OnewayPartitionBadArgsThrow) {
+  EXPECT_THROW(net.set_partition_oneway(a, a, true), std::invalid_argument);
+  EXPECT_THROW(net.set_partition_oneway(a, 999, true),
+               std::invalid_argument);
+}
+
 TEST_F(FlowNetworkTest, CancelStopsFlow) {
   bool fired = false;
   const FlowId id = net.transfer(a, b, 1000.0, [&] { fired = true; });
