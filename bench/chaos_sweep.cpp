@@ -27,6 +27,7 @@
 // for the tier-1 smoke leg; the output format is unchanged.
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <functional>
 #include <iostream>
@@ -36,6 +37,7 @@
 #include "bench_util.hpp"
 #include "core/testbed.hpp"
 #include "fault/injector.hpp"
+#include "pegasus/abstract_workflow.hpp"
 #include "sim/sweep_runner.hpp"
 
 namespace {
@@ -387,6 +389,168 @@ AdmissionResult run_admission_point(bool admission, int burst) {
   return r;
 }
 
+// ---- Sweep 5: catalog outages, metadata-tier resilience on/off --------
+
+/// A matmul chain whose workflow-initial inputs are the SAME shared lfns
+/// for every workflow and every wave ("catshared.in0..inN"), so each new
+/// wave re-resolves keys the previous wave already looked up — the access
+/// pattern that gives a TTL cache and stale-while-revalidate something to
+/// do. Intermediate and final files stay wave-unique.
+pegasus::AbstractWorkflow make_shared_input_chain(const std::string& name,
+                                                  int n_tasks,
+                                                  double matrix_bytes) {
+  pegasus::AbstractWorkflow wf(name);
+  for (int i = 0; i <= n_tasks; ++i) {
+    wf.declare_file("catshared.in" + std::to_string(i), matrix_bytes);
+  }
+  for (int i = 0; i < n_tasks; ++i) {
+    const std::string out = name + ".m" + std::to_string(i + 1);
+    wf.declare_file(out, matrix_bytes);
+    pegasus::AbstractJob job;
+    job.id = name + ".t" + std::to_string(i);
+    job.transformation = "matmul";
+    const std::string prev =
+        i == 0 ? "catshared.in0" : name + ".m" + std::to_string(i);
+    job.uses = {{prev, pegasus::LinkType::kInput},
+                {"catshared.in" + std::to_string(i + 1),
+                 pegasus::LinkType::kInput},
+                {out, pegasus::LinkType::kOutput}};
+    wf.add_job(std::move(job));
+  }
+  return wf;
+}
+
+struct CatalogResult {
+  double makespan_s = 0;
+  bool ok = false;
+  std::uint64_t outages = 0;
+  std::uint64_t lookups = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t service_calls = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t breaker_opens = 0;
+  std::uint64_t errors = 0;
+};
+
+/// Sequential waves of shared-input chains resolved through the catalog
+/// tier while the injector blacks the service out. Both arms share the
+/// service (50 ms ops, 8 connections), the retry envelope (6 attempts,
+/// ~15 s worst case — longer than one 10 s outage, so a naive lookup can
+/// always grind through) and the DAG retry budget; they differ ONLY in
+/// cache + breaker + stale-while-revalidate. The resilient arm answers
+/// repeat keys locally (fresh hits) or degrades to stale reads a beat
+/// after the breaker trips; the naive arm pays the full backoff ladder
+/// for every lookup an outage window catches.
+CatalogResult run_catalog_point(double intensity, bool resilient, int waves,
+                                int wave_width, int tasks_each) {
+  TestbedOptions opts;
+  opts.dag_retries = 6;
+  opts.catalog.enabled = true;
+  opts.catalog.service.service_time_s = 0.05;
+  opts.catalog.service.max_connections = 8;
+  catalog::CatalogClientConfig& cc = opts.catalog.client;
+  cc.retry = fault::RetryPolicy{6, 0.5, 8.0, 2.0, 0.5};
+  // TTL shorter than a wave: every wave revalidates, so outage windows
+  // exercise the stale path instead of hiding behind fresh entries.
+  cc.ttl_s = 6;
+  cc.breaker_failures = 3;
+  cc.breaker_open_s = 12;
+  cc.cache_enabled = resilient;
+  cc.breaker_enabled = resilient;
+  cc.stale_while_revalidate = resilient;
+  PaperTestbed tb(42, opts);
+
+  fault::FaultConfig cfg;
+  cfg.horizon_s = 2400;
+  if (intensity > 0) {
+    cfg.catalog_outage_mean_s = 45 / intensity;
+    cfg.catalog_outage_duration_s = 10;
+  }
+  fault::FaultInjector injector(tb, cfg, /*seed=*/0xCA7A9065ull);
+  injector.arm();
+
+  const double t0 = tb.sim().now();
+  bool all_ok = true;
+  for (int wave = 0; wave < waves; ++wave) {
+    std::vector<pegasus::AbstractWorkflow> wfs;
+    wfs.reserve(static_cast<std::size_t>(wave_width));
+    for (int w = 0; w < wave_width; ++w) {
+      wfs.push_back(make_shared_input_chain(
+          "catv" + std::to_string(wave) + ".wf" + std::to_string(w),
+          tasks_each, tb.calibration().matrix_bytes));
+    }
+    const auto res = tb.run_workflows(wfs, {});
+    all_ok = all_ok && res.all_succeeded;
+  }
+
+  CatalogResult r;
+  r.makespan_s = tb.sim().now() - t0;
+  r.ok = all_ok;
+  r.outages = injector.catalog_outages();
+  const catalog::CatalogClient& client = *tb.catalog_client();
+  r.lookups = client.lookups();
+  r.cache_hits = client.cache_hits();
+  r.stale = client.stale_served();
+  r.coalesced = client.coalesced();
+  r.service_calls = client.service_calls();
+  r.retries = client.retries();
+  r.breaker_opens = client.breaker_opens();
+  r.errors = client.errors();
+  return r;
+}
+
+struct StampedeResult {
+  double drain_s = 0;
+  bool ok = false;
+  std::uint64_t lookups = 0;
+  std::uint64_t coalesced = 0;
+  std::uint64_t service_calls = 0;
+};
+
+/// Cold-start stampede: `clients` simultaneous lookups of ONE hot key
+/// against an empty cache. Single-flight coalescing folds them into one
+/// wire fetch whose reply fans out to every waiter; the naive arm sends
+/// them all.
+StampedeResult run_stampede_point(bool coalescing, int clients) {
+  TestbedOptions opts;
+  opts.catalog.enabled = true;
+  // Slow-ish service with few slots so the stampede's cost is visible:
+  // the naive arm serializes clients/connections batches of 50 ms ops.
+  opts.catalog.service.service_time_s = 0.05;
+  opts.catalog.service.max_connections = 4;
+  opts.catalog.client.cache_enabled = coalescing;
+  PaperTestbed tb(42, opts);
+  tb.replicas().register_replica("catshared.dataset",
+                                 tb.condor().submit_staging());
+
+  int done = 0;
+  bool all_ok = true;
+  for (int i = 0; i < clients; ++i) {
+    tb.catalog_client()->lookup(
+        "catshared.dataset", [&done, &all_ok](bool ok, storage::Volume*) {
+          ++done;
+          all_ok = all_ok && ok;
+        });
+  }
+  const double t0 = tb.sim().now();
+  const double deadline = t0 + 600;
+  while (done < clients && tb.sim().has_pending_events() &&
+         tb.sim().now() < deadline) {
+    tb.sim().step();
+  }
+
+  StampedeResult r;
+  r.drain_s = tb.sim().now() - t0;
+  r.ok = all_ok && done == clients;
+  const catalog::CatalogClient& client = *tb.catalog_client();
+  r.lookups = client.lookups();
+  r.coalesced = client.coalesced();
+  r.service_calls = client.service_calls();
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -565,5 +729,83 @@ int main() {
   adm_table.print_text(std::cout);
   std::cout << "\nwith the bucket on, backend queues stay near the bucket "
                "burst while the excess fails fast instead of waiting\n";
+
+  sf::bench::banner(
+      "Catalog ablation: metadata-tier outages, resilience on/off",
+      "sequential waves of shared-input chains resolve stage-in through "
+      "the catalog service while the injector blacks it out; both arms "
+      "share the retry envelope and differ only in TTL cache + breaker + "
+      "stale-while-revalidate");
+
+  std::vector<Level> cat_levels{
+      {"none", 0.0}, {"light", 1.0}, {"moderate", 2.0}, {"heavy", 4.0}};
+  int cat_waves = 3;
+  int cat_width = 4;
+  int cat_tasks = 6;
+  if (smoke) {
+    cat_levels = {{"none", 0.0}, {"moderate", 2.0}};
+    cat_waves = 2;
+    cat_width = 2;
+    cat_tasks = 4;
+  }
+
+  const std::size_t cat_points = cat_levels.size() * 2;
+  const std::vector<CatalogResult> cat_results = runner.run(
+      cat_points, [&cat_levels, cat_waves, cat_width, cat_tasks](std::size_t i) {
+        const bool resilient = (i % 2) == 1;
+        return run_catalog_point(cat_levels[i / 2].intensity, resilient,
+                                 cat_waves, cat_width, cat_tasks);
+      });
+
+  sf::metrics::Table cat_table(
+      {"level", "resilience", "outages", "lookups", "cache_hits", "stale",
+       "coalesced", "svc_calls", "retries", "breaker_opens", "errors",
+       "makespan_s", "ok"},
+      2);
+  for (std::size_t i = 0; i < cat_points; ++i) {
+    const CatalogResult& r = cat_results[i];
+    cat_table.add_row({std::string(cat_levels[i / 2].label),
+                       std::string((i % 2) == 1 ? "on" : "off"),
+                       static_cast<std::int64_t>(r.outages),
+                       static_cast<std::int64_t>(r.lookups),
+                       static_cast<std::int64_t>(r.cache_hits),
+                       static_cast<std::int64_t>(r.stale),
+                       static_cast<std::int64_t>(r.coalesced),
+                       static_cast<std::int64_t>(r.service_calls),
+                       static_cast<std::int64_t>(r.retries),
+                       static_cast<std::int64_t>(r.breaker_opens),
+                       static_cast<std::int64_t>(r.errors), r.makespan_s,
+                       std::string(r.ok ? "yes" : "NO")});
+  }
+  cat_table.print_text(std::cout);
+  std::cout << "\nresilience-on answers repeat keys from the cache and "
+               "degrades to stale reads once the breaker trips; the naive "
+               "arm pays the full backoff ladder inside every outage\n";
+
+  int stampede_clients = 32;
+  if (smoke) stampede_clients = 16;
+
+  const std::vector<StampedeResult> stampede_results =
+      runner.run(2, [stampede_clients](std::size_t i) {
+        return run_stampede_point(/*coalescing=*/i == 1, stampede_clients);
+      });
+
+  sf::metrics::Table stampede_table(
+      {"coalescing", "clients", "lookups", "coalesced", "svc_calls",
+       "drain_s", "ok"},
+      2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const StampedeResult& r = stampede_results[i];
+    stampede_table.add_row({std::string(i == 1 ? "on" : "off"),
+                            static_cast<std::int64_t>(stampede_clients),
+                            static_cast<std::int64_t>(r.lookups),
+                            static_cast<std::int64_t>(r.coalesced),
+                            static_cast<std::int64_t>(r.service_calls),
+                            r.drain_s, std::string(r.ok ? "yes" : "NO")});
+  }
+  std::cout << "\ncold-start stampede: one hot key, all clients at once\n";
+  stampede_table.print_text(std::cout);
+  std::cout << "\nsingle-flight folds the stampede into one wire fetch "
+               "whose reply fans out to every waiter\n";
   return 0;
 }

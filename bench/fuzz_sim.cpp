@@ -57,7 +57,7 @@ struct Point {
 std::string channel_tags(const check::FuzzCase& c) {
   static const char* const kShort[] = {"crash", "pull",  "kill",   "degr",
                                        "part",  "rackf", "rackp",  "storm",
-                                       "cpu",   "flaky", "oneway"};
+                                       "cpu",   "flaky", "oneway", "cat"};
   std::string tags;
   const auto& channels = check::fuzz_channels();
   for (std::size_t i = 0; i < channels.size(); ++i) {

@@ -6,6 +6,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -22,6 +24,8 @@
 #include "sim/event_queue.hpp"
 #include "sim/ps_resource.hpp"
 #include "sim/simulation.hpp"
+#include "storage/replica_catalog.hpp"
+#include "storage/volume.hpp"
 #include "workload/matrix.hpp"
 #include "workload/scale.hpp"
 
@@ -487,6 +491,60 @@ void BM_RouterPickBackend(benchmark::State& state) {
 }
 BENCHMARK(BM_RouterPickBackend);
 
+// ---- Replica-catalog lookup hot path -------------------------------------
+
+// The planner resolves every stage-in source and registers every final
+// output through the replica catalog, so primary() sits on the plan/run
+// path of each workflow. After the interned-id rewrite a lookup is one
+// lfn hash plus one dense vector index; BM_CatalogLookupMap keeps the
+// pre-rewrite shape — a red-black tree keyed by the full lfn string,
+// every probe a log(n) walk of string comparisons — as the baseline the
+// BENCH_engine.json speedup is measured against.
+void BM_CatalogLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim;
+  auto cl = cluster::make_uniform_cluster(sim, 2, cluster::NodeSpec{});
+  storage::Volume vol(cl->node(1), "disk");
+  storage::ReplicaCatalog catalog;
+  std::vector<std::string> lfns;
+  lfns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lfns.push_back("run0.wf" + std::to_string(i % 97) + ".m" +
+                   std::to_string(i));
+    catalog.register_replica(lfns.back(), vol);
+  }
+  for (auto _ : state) {
+    for (const auto& lfn : lfns) {
+      benchmark::DoNotOptimize(catalog.primary(lfn));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CatalogLookup)->Arg(256)->Arg(4096);
+
+void BM_CatalogLookupMap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim;
+  auto cl = cluster::make_uniform_cluster(sim, 2, cluster::NodeSpec{});
+  storage::Volume vol(cl->node(1), "disk");
+  std::map<std::string, std::vector<storage::Volume*>> catalog;
+  std::vector<std::string> lfns;
+  lfns.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    lfns.push_back("run0.wf" + std::to_string(i % 97) + ".m" +
+                   std::to_string(i));
+    catalog[lfns.back()].push_back(&vol);
+  }
+  for (auto _ : state) {
+    for (const auto& lfn : lfns) {
+      const auto it = catalog.find(lfn);
+      benchmark::DoNotOptimize(it == catalog.end() ? nullptr
+                                                   : it->second.front());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_CatalogLookupMap)->Arg(256)->Arg(4096);
 
 void BM_MatmulKernelReal(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

@@ -43,7 +43,7 @@ fi
 
 # ---- Engine + control-plane micro-benchmarks ------------------------------
 
-filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled|BM_HeartbeatTick|BM_LifecycleSweep|BM_DeploymentReconcile|BM_HistogramRecord|BM_RouterPickBackend'
+filter='BM_EventQueueScheduleAndPop|BM_EventQueueCancelHeavy|BM_EventQueueMixedSchedule|BM_SimulationEventChurn|BM_PsResourceChurn|BM_FlowNetworkFanout|BM_ApiServerWatchFanout|BM_SchedulerBurst|BM_KpaObserve|BM_CondorNegotiate|BM_TraceRecordHotPath|BM_TraceRecordGated|BM_WatchFanoutNodeScoped|BM_SchedulerScaled|BM_HeartbeatTick|BM_LifecycleSweep|BM_DeploymentReconcile|BM_HistogramRecord|BM_RouterPickBackend|BM_CatalogLookup|BM_CatalogLookupMap'
 raw_json="$(mktemp)"
 trap 'rm -f "$raw_json"' EXIT
 
@@ -97,7 +97,19 @@ if recorded:
             print(f"  {name:<{width}}  {'(new)':>12} -> {now:>12.1f} ns")
 
 if recorded and not rebaseline:
-    print(f"kept {out_path} (pass --rebaseline to overwrite)")
+    # Never move a committed number without --rebaseline, but DO append
+    # benchmarks that have no recorded entry yet — new benches land on
+    # the first run instead of silently vanishing from the record.
+    fresh = {n: v for n, v in results.items() if n not in recorded}
+    if not fresh:
+        print(f"kept {out_path} (pass --rebaseline to overwrite)")
+        sys.exit(0)
+    prev["results_ns"] = dict(sorted({**recorded, **fresh}.items()))
+    with open(out_path, "w") as f:
+        json.dump(prev, f, indent=2)
+        f.write("\n")
+    print(f"kept {len(recorded)} recorded entries, appended "
+          f"{len(fresh)} new: {', '.join(sorted(fresh))}")
     sys.exit(0)
 
 # Keep the recorded pre-overhaul baseline (if any) so before/after stays in
@@ -263,6 +275,78 @@ with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"recorded gray ejection ablation ({len(rows)} rows) in {out_path}")
+PY
+
+# ---- Catalog metadata-tier ablation ---------------------------------------
+# Like the gray table: a simulation RESULT, refreshed on every run. The
+# resilient arm (TTL cache + breaker + stale reads) must post a strictly
+# lower makespan than the naive arm at every outage intensity, and the
+# cold-start stampede must coalesce to far fewer wire fetches than
+# clients — drift here means the metadata tier changed behaviour.
+
+python3 - "$build_dir" "$fullstack_json" <<'PY'
+import json
+import os
+import subprocess
+import sys
+
+build_dir, out_path = sys.argv[1], sys.argv[2]
+path = os.path.join(build_dir, "bench", "chaos_sweep")
+if not os.access(path, os.X_OK):
+    print("  skipping catalog ablation: chaos_sweep not built")
+    sys.exit(0)
+out = subprocess.run([path], check=True, capture_output=True,
+                     text=True).stdout
+rows = []
+stampede = []
+section = None
+for line in out.splitlines():
+    if "Catalog ablation: metadata-tier outages" in line:
+        section = "ablation"
+        continue
+    if "cold-start stampede" in line:
+        section = "stampede"
+        continue
+    if section is None:
+        continue
+    cols = line.split()
+    if section == "ablation" and len(cols) == 13 and cols[1] in ("on", "off"):
+        rows.append({
+            "level": cols[0],
+            "resilience": cols[1],
+            "outages": int(cols[2]),
+            "cache_hits": int(cols[4]),
+            "stale_served": int(cols[5]),
+            "service_calls": int(cols[7]),
+            "retries": int(cols[8]),
+            "breaker_opens": int(cols[9]),
+            "makespan_s": float(cols[11]),
+            "ok": cols[12],
+        })
+    elif section == "stampede" and len(cols) == 7 and cols[0] in ("on",
+                                                                  "off"):
+        stampede.append({
+            "coalescing": cols[0],
+            "clients": int(cols[1]),
+            "coalesced": int(cols[3]),
+            "service_calls": int(cols[4]),
+            "drain_s": float(cols[5]),
+            "ok": cols[6],
+        })
+with open(out_path) as f:
+    doc = json.load(f)
+doc["catalog_ablation"] = {
+    "note": ("seed-pure catalog-outage makespans from chaos_sweep; both "
+             "arms share the service and retry envelope and differ only in "
+             "TTL cache + circuit breaker + stale-while-revalidate"),
+    "rows": rows,
+    "stampede": stampede,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"recorded catalog ablation ({len(rows)} rows, "
+      f"{len(stampede)} stampede rows) in {out_path}")
 PY
 
 # ---- Scale sweep curve ----------------------------------------------------

@@ -1,0 +1,260 @@
+#include "catalog/catalog.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace sf::catalog {
+
+const char* to_string(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CatalogClient::CatalogClient(sim::Simulation& sim, CatalogService& service,
+                             net::NodeId client_net, CatalogClientConfig cfg)
+    : sim_(sim), service_(service), client_net_(client_net), cfg_(cfg) {}
+
+void CatalogClient::lookup(const std::string& lfn, LookupCallback on_done) {
+  ++lookups_;
+  if (!cfg_.cache_enabled) {
+    // Naive arm: every resolution is its own service call — no cache, no
+    // coalescing. Retry and breaker still apply.
+    direct_fetch(lfn, 0, std::move(on_done));
+    return;
+  }
+  const double now = sim_.now();
+  auto cached = cache_.find(lfn);
+  if (cached != cache_.end() && now < cached->second.expires_at) {
+    // Fresh entry (positive or negative): answer locally, synchronously.
+    if (cached->second.volume != nullptr) {
+      ++cache_hits_;
+    } else {
+      ++negative_hits_;
+    }
+    on_done(true, cached->second.volume);
+    return;
+  }
+  // Single-flight: a fetch already out for this key absorbs the miss.
+  auto flight = in_flight_.find(lfn);
+  if (flight != in_flight_.end()) {
+    ++coalesced_;
+    flight->second.waiters.push_back(std::move(on_done));
+    return;
+  }
+  in_flight_[lfn].waiters.push_back(std::move(on_done));
+  start_fetch(lfn, 0);
+}
+
+void CatalogClient::register_replica(const std::string& lfn,
+                                     storage::Volume& volume,
+                                     std::function<void(bool ok)> on_done) {
+  register_attempt(lfn, &volume, 0, std::move(on_done));
+}
+
+void CatalogClient::invalidate(const std::string& lfn) {
+  cache_.erase(lfn);
+}
+
+bool CatalogClient::breaker_blocking() const {
+  if (!cfg_.breaker_enabled) return false;
+  if (breaker_ == BreakerState::kHalfOpen) return half_open_probe_out_;
+  if (breaker_ == BreakerState::kOpen) {
+    return sim_.now() < breaker_open_until_;
+  }
+  return false;
+}
+
+void CatalogClient::breaker_on_success() {
+  consecutive_failures_ = 0;
+  if (breaker_ != BreakerState::kClosed) {
+    // The half-open probe came back: service is healthy again.
+    breaker_ = BreakerState::kClosed;
+    half_open_probe_out_ = false;
+  }
+}
+
+void CatalogClient::breaker_on_failure() {
+  ++consecutive_failures_;
+  if (!cfg_.breaker_enabled) return;
+  if (breaker_ == BreakerState::kHalfOpen) {
+    // Probe failed: back to open for another full window.
+    breaker_ = BreakerState::kOpen;
+    half_open_probe_out_ = false;
+    breaker_open_until_ = sim_.now() + cfg_.breaker_open_s;
+    ++breaker_opens_;
+    return;
+  }
+  if (breaker_ == BreakerState::kClosed &&
+      consecutive_failures_ >= cfg_.breaker_failures) {
+    breaker_ = BreakerState::kOpen;
+    breaker_open_until_ = sim_.now() + cfg_.breaker_open_s;
+    ++breaker_opens_;
+  }
+}
+
+void CatalogClient::start_fetch(const std::string& lfn, int attempt) {
+  if (breaker_blocking()) {
+    degrade(lfn);
+    return;
+  }
+  if (cfg_.breaker_enabled && breaker_ == BreakerState::kOpen) {
+    // Open window elapsed: promote this fetch to the half-open probe.
+    breaker_ = BreakerState::kHalfOpen;
+    half_open_probe_out_ = true;
+  }
+  if (breaker_ == BreakerState::kOpen) ++calls_while_open_;
+  ++service_calls_;
+  service_.lookup_replica(
+      client_net_, lfn, [this, lfn, attempt](CatalogReply reply) {
+        if (reply.ok) {
+          breaker_on_success();
+          settle(lfn, true, reply.volume);
+          return;
+        }
+        breaker_on_failure();
+        if (breaker_blocking() || cfg_.retry.exhausted(attempt)) {
+          degrade(lfn);
+          return;
+        }
+        ++retries_;
+        const double delay =
+            cfg_.retry.backoff_jittered(attempt, sim_.rng());
+        sim_.call_in(delay,
+                     [this, lfn, attempt] { start_fetch(lfn, attempt + 1); });
+      });
+}
+
+void CatalogClient::settle(const std::string& lfn, bool ok,
+                           storage::Volume* vol) {
+  if (ok) {
+    Entry entry;
+    entry.volume = vol;
+    entry.expires_at =
+        sim_.now() + (vol != nullptr ? cfg_.ttl_s : cfg_.negative_ttl_s);
+    cache_[lfn] = entry;
+  }
+  auto flight = in_flight_.find(lfn);
+  if (flight == in_flight_.end()) return;
+  std::vector<LookupCallback> waiters = std::move(flight->second.waiters);
+  in_flight_.erase(flight);
+  for (auto& waiter : waiters) waiter(ok, vol);
+}
+
+void CatalogClient::degrade(const std::string& lfn) {
+  // Stale-while-revalidate: an expired positive entry stands in for the
+  // unreachable service. Its expiry is NOT extended — the next miss on
+  // this key tries the service again (the revalidation).
+  storage::Volume* stale = nullptr;
+  if (cfg_.stale_while_revalidate) {
+    auto cached = cache_.find(lfn);
+    if (cached != cache_.end() && cached->second.volume != nullptr) {
+      stale = cached->second.volume;
+    }
+  }
+  auto flight = in_flight_.find(lfn);
+  if (flight == in_flight_.end()) return;
+  std::vector<LookupCallback> waiters = std::move(flight->second.waiters);
+  in_flight_.erase(flight);
+  for (auto& waiter : waiters) {
+    if (stale != nullptr) {
+      ++stale_served_;
+      waiter(true, stale);
+    } else {
+      ++errors_;
+      waiter(false, nullptr);
+    }
+  }
+}
+
+void CatalogClient::direct_fetch(const std::string& lfn, int attempt,
+                                 LookupCallback on_done) {
+  if (breaker_blocking()) {
+    ++errors_;
+    on_done(false, nullptr);
+    return;
+  }
+  if (cfg_.breaker_enabled && breaker_ == BreakerState::kOpen) {
+    breaker_ = BreakerState::kHalfOpen;
+    half_open_probe_out_ = true;
+  }
+  if (breaker_ == BreakerState::kOpen) ++calls_while_open_;
+  ++service_calls_;
+  service_.lookup_replica(
+      client_net_, lfn,
+      [this, lfn, attempt,
+       on_done = std::move(on_done)](CatalogReply reply) mutable {
+        if (reply.ok) {
+          breaker_on_success();
+          on_done(true, reply.volume);
+          return;
+        }
+        breaker_on_failure();
+        if (breaker_blocking() || cfg_.retry.exhausted(attempt)) {
+          ++errors_;
+          on_done(false, nullptr);
+          return;
+        }
+        ++retries_;
+        const double delay =
+            cfg_.retry.backoff_jittered(attempt, sim_.rng());
+        sim_.call_in(delay, [this, lfn, attempt,
+                             on_done = std::move(on_done)]() mutable {
+          direct_fetch(lfn, attempt + 1, std::move(on_done));
+        });
+      });
+}
+
+void CatalogClient::register_attempt(const std::string& lfn,
+                                     storage::Volume* volume, int attempt,
+                                     std::function<void(bool ok)> on_done) {
+  if (breaker_blocking()) {
+    ++errors_;
+    on_done(false);
+    return;
+  }
+  if (cfg_.breaker_enabled && breaker_ == BreakerState::kOpen) {
+    breaker_ = BreakerState::kHalfOpen;
+    half_open_probe_out_ = true;
+  }
+  if (breaker_ == BreakerState::kOpen) ++calls_while_open_;
+  ++service_calls_;
+  service_.register_replica(
+      client_net_, lfn, *volume,
+      [this, lfn, volume, attempt,
+       on_done = std::move(on_done)](CatalogReply reply) mutable {
+        if (reply.ok) {
+          breaker_on_success();
+          if (cfg_.cache_enabled) {
+            // Write-through: the registered replica is immediately fresh.
+            Entry entry;
+            entry.volume = volume;
+            entry.expires_at = sim_.now() + cfg_.ttl_s;
+            cache_[lfn] = entry;
+          }
+          on_done(true);
+          return;
+        }
+        breaker_on_failure();
+        if (breaker_blocking() || cfg_.retry.exhausted(attempt)) {
+          ++errors_;
+          on_done(false);
+          return;
+        }
+        ++retries_;
+        const double delay =
+            cfg_.retry.backoff_jittered(attempt, sim_.rng());
+        sim_.call_in(delay, [this, lfn, volume, attempt,
+                             on_done = std::move(on_done)]() mutable {
+          register_attempt(lfn, volume, attempt + 1, std::move(on_done));
+        });
+      });
+}
+
+}  // namespace sf::catalog

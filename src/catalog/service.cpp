@@ -1,0 +1,111 @@
+#include "catalog/catalog.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace sf::catalog {
+
+CatalogService::CatalogService(sim::Simulation& sim,
+                               net::FlowNetwork& network,
+                               net::NodeId service_net,
+                               storage::ReplicaCatalog& replicas,
+                               CatalogServiceConfig cfg)
+    : sim_(sim),
+      network_(network),
+      service_net_(service_net),
+      replicas_(replicas),
+      cfg_(cfg) {}
+
+void CatalogService::lookup_replica(net::NodeId client, const std::string& lfn,
+                                    ReplyCallback on_reply) {
+  ++requests_;
+  Op op;
+  op.lfn = lfn;
+  op.client = client;
+  op.on_reply = std::move(on_reply);
+  // Request packet over the wire. Zero bytes: pays propagation latency and
+  // squeezes through bandwidth faults like every control-plane message.
+  network_.transfer(client, service_net_, 0.0,
+                    [this, op = std::move(op)]() mutable {
+                      admit(std::move(op));
+                    });
+}
+
+void CatalogService::register_replica(net::NodeId client,
+                                      const std::string& lfn,
+                                      storage::Volume& volume,
+                                      ReplyCallback on_reply) {
+  ++requests_;
+  Op op;
+  op.is_register = true;
+  op.lfn = lfn;
+  op.volume = &volume;
+  op.client = client;
+  op.on_reply = std::move(on_reply);
+  network_.transfer(client, service_net_, 0.0,
+                    [this, op = std::move(op)]() mutable {
+                      admit(std::move(op));
+                    });
+}
+
+void CatalogService::admit(Op op) {
+  if (!available(sim_.now())) {
+    // Outage: refuse at the front door. The refusal still rides the wire
+    // back, so a client-observed failure costs a full round trip.
+    ++outage_rejects_;
+    finish(std::move(op), CatalogReply{});
+    return;
+  }
+  if (in_service_ < cfg_.max_connections) {
+    ++in_service_;
+    process(std::move(op));
+    return;
+  }
+  if (queue_.size() >= static_cast<std::size_t>(cfg_.max_queue)) {
+    CatalogReply reply;
+    reply.overloaded = true;
+    ++overload_sheds_;
+    finish(std::move(op), reply);
+    return;
+  }
+  ++queued_;
+  queue_.push_back(std::move(op));
+  peak_queue_depth_ = std::max(peak_queue_depth_, queue_.size());
+}
+
+void CatalogService::process(Op op) {
+  sim_.call_in(cfg_.service_time_s, [this, op = std::move(op)]() mutable {
+    CatalogReply reply;
+    if (!available(sim_.now())) {
+      // The outage landed while this request was being served: its answer
+      // is lost. The slot is still released normally.
+      ++outage_rejects_;
+    } else if (op.is_register) {
+      replicas_.register_replica(op.lfn, *op.volume);
+      reply.ok = true;
+      reply.volume = op.volume;
+      ++served_;
+    } else {
+      reply.ok = true;
+      reply.volume = replicas_.primary(op.lfn);
+      ++served_;
+    }
+    --in_service_;
+    if (!queue_.empty() && in_service_ < cfg_.max_connections) {
+      Op next = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_service_;
+      process(std::move(next));
+    }
+    finish(std::move(op), reply);
+  });
+}
+
+void CatalogService::finish(Op op, CatalogReply reply) {
+  network_.transfer(service_net_, op.client, 0.0,
+                    [on_reply = std::move(op.on_reply), reply]() {
+                      on_reply(reply);
+                    });
+}
+
+}  // namespace sf::catalog

@@ -38,7 +38,8 @@ enum : std::uint64_t {
   kTagOpenLoopUsers = 0x20,
   kTagOpenLoopRate = 0x21,
   kTagOutlier = 0x22,
-  kTagChannelBase = 0xA1,  // one stream per channel, 0xA1..0xAB
+  kTagCatalog = 0x23,
+  kTagChannelBase = 0xA1,  // one stream per channel, 0xA1..0xAC
 };
 
 /// Longest time any active fault window needs to heal after the plan
@@ -64,6 +65,9 @@ double max_heal_window(const fault::FaultConfig& fc, int nodes) {
   if (fc.oneway_partition_mean_s > 0) {
     m = std::max(m, fc.oneway_partition_duration_s);
   }
+  if (fc.catalog_outage_mean_s > 0) {
+    m = std::max(m, fc.catalog_outage_duration_s);
+  }
   return m;
 }
 
@@ -82,6 +86,7 @@ fault::FaultConfig fault_config_for(const FuzzCase& c) {
   fc.cpu_slow_mean_s = c.cpu_slow_mean_s;
   fc.flaky_nic_mean_s = c.flaky_nic_mean_s;
   fc.oneway_partition_mean_s = c.oneway_partition_mean_s;
+  fc.catalog_outage_mean_s = c.catalog_outage_mean_s;
   return fc;
 }
 
@@ -100,6 +105,7 @@ const std::vector<ChannelRef>& fuzz_channels() {
       {"cpu_slow_mean_s", &FuzzCase::cpu_slow_mean_s},
       {"flaky_nic_mean_s", &FuzzCase::flaky_nic_mean_s},
       {"oneway_partition_mean_s", &FuzzCase::oneway_partition_mean_s},
+      {"catalog_outage_mean_s", &FuzzCase::catalog_outage_mean_s},
   };
   return channels;
 }
@@ -127,6 +133,9 @@ FuzzCase random_case(std::uint64_t base_seed, std::uint64_t index) {
   // Resilience axis on roughly a third of cases: the ejection filter and
   // the router deadline must hold up under every fault channel.
   c.outlier_detection = draw(kTagOutlier).next_below(3) == 0;
+  // Metadata tier on roughly a third of cases: stage-in/out over the wire
+  // through the cache / retry / breaker stack, under every fault channel.
+  c.catalog_service = draw(kTagCatalog).next_below(3) == 0;
   c.horizon_s =
       240.0 + 60.0 * static_cast<double>(draw(kTagHorizon).next_below(4));
 
@@ -159,6 +168,7 @@ FuzzOutcome run_case(const FuzzCase& c) {
   // Generous hang wall: any live run finishes well inside it; a run that
   // doesn't has genuinely wedged (lost callback, unreleased claim, ...).
   opts.run_deadline_s = c.horizon_s + 1800.0;
+  opts.catalog.enabled = c.catalog_service;
   core::PaperTestbed tb(c.seed, opts);
 
   const fault::FaultConfig fc = fault_config_for(c);
@@ -306,6 +316,15 @@ FuzzOutcome run_case(const FuzzCase& c) {
   fold(tb.kube().api().watch_batches_delivered());
   fold(static_cast<std::uint64_t>(out.violation_count));
   if (engine) fold(engine->fingerprint());
+  if (tb.catalog_client() != nullptr) {
+    fold(tb.catalog_client()->service_calls());
+    fold(tb.catalog_client()->cache_hits());
+    fold(tb.catalog_client()->stale_served());
+    fold(tb.catalog_client()->breaker_opens());
+    fold(tb.catalog_client()->errors());
+    fold(tb.catalog_service()->served());
+    fold(tb.catalog_service()->outage_rejects());
+  }
   out.fingerprint = fp;
   return out;
 }
@@ -456,6 +475,14 @@ ShrinkResult shrink(const FuzzCase& failing, int budget) {
         progress |= try_reduce(cand);
       }
     }
+    {
+      FuzzCase cand = res.reduced;
+      if (cand.catalog_service) {
+        cand.catalog_service = false;
+        cand.catalog_outage_mean_s = 0;  // skipped-only without the tier
+        progress |= try_reduce(cand);
+      }
+    }
   }
 
   // Phase 3 — horizon bisection: a shorter plan window means fewer fault
@@ -502,6 +529,8 @@ std::string to_cpp_repro(const FuzzCase& c) {
   os << "  c.min_scale = " << c.min_scale << ";\n";
   os << "  c.request_timeout_s = " << c.request_timeout_s << ";\n";
   os << "  c.outlier_detection = " << (c.outlier_detection ? "true" : "false")
+     << ";\n";
+  os << "  c.catalog_service = " << (c.catalog_service ? "true" : "false")
      << ";\n";
   os << "  c.openloop_users = " << c.openloop_users << ";\n";
   os << "  c.openloop_rate_hz = " << c.openloop_rate_hz << ";\n";

@@ -8,7 +8,7 @@ namespace sf::check {
 
 /// One point in the property-fuzzer's search space: everything that
 /// shapes a run — testbed seed, topology, workload shape, provisioning,
-/// and the eleven fault-channel intensities — in one flat, plain-old-data
+/// and the twelve fault-channel intensities — in one flat, plain-old-data
 /// struct. Flat on purpose: the shrinker reduces it field by field, and
 /// to_cpp_repro() prints it as a pasteable regression test.
 struct FuzzCase {
@@ -35,6 +35,11 @@ struct FuzzCase {
   /// partitions). Fuzzes the ejection filter, probation re-admission
   /// and the ejection-cap invariant against every fault channel.
   bool outlier_detection = false;
+  /// Metadata-tier axis: stands up the catalog service + client, so
+  /// stage-in/stage-out resolve over the wire through the TTL cache /
+  /// retry / breaker / stale-read stack. The catalog_outage channel only
+  /// bites when this is on (otherwise its events are skipped).
+  bool catalog_service = false;
 
   // -- open-loop traffic axis (0 users = off) ---------------------------
   /// When positive, a dedicated warm KService ("fn-open") takes Poisson
@@ -60,6 +65,7 @@ struct FuzzCase {
   double cpu_slow_mean_s = 0;
   double flaky_nic_mean_s = 0;
   double oneway_partition_mean_s = 0;
+  double catalog_outage_mean_s = 0;
 
   /// TEST-ONLY mutation hook: plants the "keep claims on startd crash"
   /// bug in the condor pool, proving the invariant registry detects it.

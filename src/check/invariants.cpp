@@ -327,6 +327,65 @@ void InvariantChecker::register_builtins() {
         return tb_.condor().worker_names().size();
       },
       /*quiesce_only=*/true);
+
+  // -- catalog: client/service ledgers tally — local answers never --------
+  // -- exceed the lookups that could have produced them, and the service --
+  // -- never resolves more requests than arrived. -------------------------
+  add_counted_invariant("catalog.cache",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    const auto* client = tb_.catalog_client();
+    const auto* service = tb_.catalog_service();
+    if (client == nullptr || service == nullptr) return 0;
+    const auto local = client->cache_hits() + client->negative_hits() +
+                       client->coalesced();
+    if (local > client->lookups()) {
+      out.push_back("catalog client answered " + std::to_string(local) +
+                    " lookups locally out of only " +
+                    std::to_string(client->lookups()) + " issued");
+    }
+    const auto resolved = service->served() + service->outage_rejects() +
+                          service->overload_sheds();
+    if (resolved > service->requests()) {
+      out.push_back("catalog service resolved " + std::to_string(resolved) +
+                    " requests but only " +
+                    std::to_string(service->requests()) + " arrived");
+    }
+    return client->lookups();
+  });
+
+  // -- catalog: an open breaker means NO direct service calls — the -------
+  // -- whole point of tripping it. ----------------------------------------
+  add_counted_invariant("catalog.breaker",
+                        [this](std::vector<std::string>& out) -> std::uint64_t {
+    const auto* client = tb_.catalog_client();
+    if (client == nullptr) return 0;
+    if (client->calls_while_open() != 0) {
+      out.push_back(std::to_string(client->calls_while_open()) +
+                    " service calls issued while the breaker was open");
+    }
+    return client->service_calls();
+  });
+
+  add_counted_invariant(
+      "catalog.drained",
+      [this](std::vector<std::string>& out) -> std::uint64_t {
+        const auto* client = tb_.catalog_client();
+        const auto* service = tb_.catalog_service();
+        if (client == nullptr || service == nullptr) return 0;
+        if (service->in_flight() != 0) {
+          out.push_back(std::to_string(service->in_flight()) +
+                        " catalog requests still in service at quiesce");
+        }
+        if (client->in_flight_keys() != 0) {
+          out.push_back(std::to_string(client->in_flight_keys()) +
+                        " single-flight catalog fetches still out at quiesce");
+        }
+        if (!service->available(tb_.sim().now())) {
+          out.push_back("catalog service still in outage at quiesce");
+        }
+        return 1;
+      },
+      /*quiesce_only=*/true);
 }
 
 void InvariantChecker::arm() {

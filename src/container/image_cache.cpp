@@ -61,7 +61,7 @@ void ImageCache::start_download(const std::string& image_name,
   if (!registry.available(sim.now())) {
     // Registry outage: capped exponential backoff, then give up — the
     // caller (kubelet / cold-start path) owns what happens next.
-    if (attempt + 1 >= max_attempts_) {
+    if (pull_retry_.exhausted(attempt)) {
       ++pulls_failed_;
       sim.trace().record(sim.now(), "image_cache", "pull_exhausted",
                          {{"node", node_.name()}, {"image", image_name}});
@@ -69,8 +69,7 @@ void ImageCache::start_download(const std::string& image_name,
       return;
     }
     ++pull_retries_;
-    const double delay =
-        std::min(retry_cap_s_, retry_base_s_ * std::pow(2.0, attempt));
+    const double delay = pull_retry_.backoff_s(attempt);
     sim.call_in(delay, [this, image_name, manifest, missing_bytes, &registry,
                         attempt] {
       if (!in_flight_.contains(image_name)) return;  // crashed meanwhile

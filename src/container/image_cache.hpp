@@ -8,6 +8,7 @@
 
 #include "cluster/node.hpp"
 #include "container/registry.hpp"
+#include "fault/retry.hpp"
 #include "net/flow_network.hpp"
 
 namespace sf::container {
@@ -61,9 +62,12 @@ class ImageCache {
   /// delays are `base * 2^attempt`, capped at `cap`, for at most
   /// `max_attempts` tries overall (kubelet image-pull backoff).
   void set_pull_retry_policy(double base_s, double cap_s, int max_attempts) {
-    retry_base_s_ = base_s;
-    retry_cap_s_ = cap_s;
-    max_attempts_ = max_attempts;
+    pull_retry_.base_s = base_s;
+    pull_retry_.cap_s = cap_s;
+    pull_retry_.max_attempts = max_attempts;
+  }
+  [[nodiscard]] const fault::RetryPolicy& pull_retry_policy() const {
+    return pull_retry_;
   }
 
   /// Node-crash hook: every in-flight pull fails (ok=false). Cached
@@ -83,9 +87,9 @@ class ImageCache {
   std::uint64_t pulls_coalesced_ = 0;
   std::uint64_t pull_retries_ = 0;
   std::uint64_t pulls_failed_ = 0;
-  double retry_base_s_ = 0.5;
-  double retry_cap_s_ = 8.0;
-  int max_attempts_ = 6;
+  /// Kubelet image-pull backoff; 0.5 s doubling to an 8 s cap, six tries.
+  fault::RetryPolicy pull_retry_{/*max_attempts=*/6, /*base_s=*/0.5,
+                                 /*cap_s=*/8.0};
 };
 
 }  // namespace sf::container

@@ -36,6 +36,16 @@ PaperTestbed::PaperTestbed(std::uint64_t seed, TestbedOptions options)
       *serving_, *registry_, options_.calibration, options_.strategy,
       shared_fs_.get(), object_store_.get());
 
+  if (options_.catalog.enabled) {
+    // The metadata tier lives with the other head-node services; the
+    // shared client models the submit-side planner stub.
+    catalog_service_ = std::make_unique<catalog::CatalogService>(
+        sim_, cluster_->network(), head.net_id(), replicas_,
+        options_.catalog.service);
+    catalog_client_ = std::make_unique<catalog::CatalogClient>(
+        sim_, *catalog_service_, head.net_id(), options_.catalog.client);
+  }
+
   catalog_.add(options_.calibration.matmul_transformation());
   registry_->push(container::make_task_image("matmul"));
   if (options_.prestage_images) {
@@ -85,6 +95,7 @@ PaperTestbed::RunResult PaperTestbed::run_workflows(
     popts.registry = registry_.get();
     popts.docker = docker_.get();
     popts.serverless_factory = integration_->wrapper_factory();
+    popts.catalog = catalog_client_.get();
     for (const auto& job : wf.jobs()) {
       auto it = modes.find(job.id);
       if (it != modes.end()) {

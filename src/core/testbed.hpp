@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.hpp"
 #include "cluster/cluster.hpp"
 #include "condor/dagman.hpp"
 #include "condor/pool.hpp"
@@ -50,6 +51,12 @@ struct TestbedOptions {
   /// would spin forever — the hang class of bug the property fuzzer
   /// exists to catch — instead returns with RunResult::deadline_hit set.
   double run_deadline_s = 0;
+  /// Metadata tier: when enabled, a CatalogService fronts the replica
+  /// catalog from the head node and the planner resolves stage-in /
+  /// stage-out through a shared CatalogClient (TTL cache, retry/backoff,
+  /// circuit breaker, stale reads). Disabled keeps the historical direct
+  /// in-process lookups, byte for byte.
+  catalog::CatalogTierConfig catalog{};
 };
 
 /// The fully assembled evaluation environment of Section V: node0 hosts
@@ -75,6 +82,9 @@ class PaperTestbed {
   ServerlessIntegration& integration() { return *integration_; }
   storage::ReplicaCatalog& replicas() { return replicas_; }
   pegasus::TransformationCatalog& transformations() { return catalog_; }
+  /// Metadata-tier handles; null unless options().catalog.enabled.
+  catalog::CatalogService* catalog_service() { return catalog_service_.get(); }
+  catalog::CatalogClient* catalog_client() { return catalog_client_.get(); }
   storage::SharedFileSystem& shared_fs() { return *shared_fs_; }
   storage::ObjectStore& object_store() { return *object_store_; }
   const CalibrationProfile& calibration() const {
@@ -145,6 +155,8 @@ class PaperTestbed {
   std::unique_ptr<ServerlessIntegration> integration_;
   storage::ReplicaCatalog replicas_;
   pegasus::TransformationCatalog catalog_;
+  std::unique_ptr<catalog::CatalogService> catalog_service_;
+  std::unique_ptr<catalog::CatalogClient> catalog_client_;
   /// Distinguishes consecutive run_concurrent_mix() calls on this testbed
   /// (job names must be unique per sim). Per-instance so that identically
   /// seeded testbeds replay identical event streams.

@@ -26,6 +26,8 @@ const char* to_string(FaultKind kind) {
       return "rack_partition";
     case FaultKind::kOnewayPartition:
       return "oneway_partition";
+    case FaultKind::kCatalogOutage:
+      return "catalog_outage";
   }
   return "unknown";
 }
@@ -46,6 +48,7 @@ constexpr std::uint64_t kTagDeployStorm = 0xA8;
 constexpr std::uint64_t kTagCpuSlow = 0xA9;
 constexpr std::uint64_t kTagFlakyNic = 0xAA;
 constexpr std::uint64_t kTagOnewayPartition = 0xAB;
+constexpr std::uint64_t kTagCatalogOutage = 0xAC;
 
 /// Incident-id bases, one block per correlated channel: ids only need to
 /// be unique within a plan, and a fixed base per channel keeps them
@@ -140,6 +143,14 @@ std::vector<FaultEvent> make_fault_plan(std::uint64_t seed,
              ev.at = t;
              ev.kind = FaultKind::kPodKill;
              ev.pick = rng.next();
+             plan.push_back(ev);
+           });
+  arrivals(seed, kTagCatalogOutage, cfg.catalog_outage_mean_s, cfg.horizon_s,
+           [&](double t, SplitMix64&) {
+             FaultEvent ev;
+             ev.at = t;
+             ev.kind = FaultKind::kCatalogOutage;
+             ev.duration_s = cfg.catalog_outage_duration_s;
              plan.push_back(ev);
            });
 
@@ -357,6 +368,15 @@ void FaultInjector::apply(const FaultEvent& ev) {
       break;
     case FaultKind::kOnewayPartition:
       apply_oneway_partition(ev);
+      break;
+    case FaultKind::kCatalogOutage:
+      if (tb_.catalog_service() != nullptr) {
+        tb_.catalog_service()->set_outage_until(tb_.sim().now() +
+                                                ev.duration_s);
+        ++catalog_outages_;
+      } else {
+        ++skipped_;  // no metadata tier on this testbed
+      }
       break;
   }
 }

@@ -22,6 +22,7 @@ enum class FaultKind : std::uint8_t {
   kFlakyNic,        ///< gray: node NIC stalls every Nth flow for duration
   kRackPartition,   ///< rack cut off from the rest of the fabric
   kOnewayPartition, ///< gray: directed link src → dst cut, reverse flows
+  kCatalogOutage,   ///< metadata tier refuses requests for duration
 };
 
 const char* to_string(FaultKind kind);
@@ -120,6 +121,13 @@ struct FaultConfig {
   double oneway_partition_mean_s = 0;       ///< directed-cut inter-arrival
   double oneway_partition_duration_s = 15;  ///< healed after this long
 
+  /// Metadata-tier outage: the catalog service refuses requests for the
+  /// window (the client's cache / retry / breaker / stale-read stack is
+  /// what turns this into delay instead of failure). Planned arrivals on
+  /// a testbed with no catalog tier are skipped, not applied.
+  double catalog_outage_mean_s = 0;       ///< outage inter-arrival
+  double catalog_outage_duration_s = 12;  ///< requests refused this long
+
   /// Spare node 0 (control plane, registry, submit side) from crashes —
   /// losing the schedd/API state is unrecoverable by design. This also
   /// covers rack-fail bursts (the head node survives its rack's PDU) and
@@ -194,6 +202,9 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t oneway_partitions() const {
     return oneway_partitions_;
   }
+  [[nodiscard]] std::uint64_t catalog_outages() const {
+    return catalog_outages_;
+  }
   [[nodiscard]] std::uint64_t skipped() const { return skipped_; }
 
   /// Sum of all outstanding fault-window depth counters (degradations,
@@ -214,7 +225,7 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t applied_total() const {
     return node_crashes_ + registry_outages_ + pod_kills_ + degrades_ +
            partitions_ + rack_partitions_ + cpu_slows_ + flaky_nics_ +
-           oneway_partitions_;
+           oneway_partitions_ + catalog_outages_;
   }
 
  private:
@@ -263,6 +274,7 @@ class FaultInjector {
   std::uint64_t cpu_slows_ = 0;
   std::uint64_t flaky_nics_ = 0;
   std::uint64_t oneway_partitions_ = 0;
+  std::uint64_t catalog_outages_ = 0;
   std::uint64_t skipped_ = 0;
 };
 

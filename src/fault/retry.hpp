@@ -1,0 +1,60 @@
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/random.hpp"
+
+namespace sf::fault {
+
+/// Shared capped-exponential retry/backoff schedule — the one helper
+/// behind every retry loop in the stack (kubelet image pulls, the
+/// router's 429/504 retries, deployment crash-loop pacing, catalog
+/// client refetches). Delay before retry `attempt` (0-indexed) is
+///
+///     min(cap_s, base_s * multiplier^attempt)
+///
+/// optionally multiplied by uniform(1 - jitter_ratio, 1 + jitter_ratio)
+/// drawn from the engine RNG. Seed-purity contract: the jittered overload
+/// draws NOTHING when jitter_ratio == 0, so a site that never asked for
+/// jitter never consumes a draw — enabling jitter at one site cannot
+/// perturb another site's stream, and plans/goldens stay bit-identical
+/// under refactors that route more sites through this struct.
+struct RetryPolicy {
+  int max_attempts = 4;     ///< total tries (first attempt included)
+  double base_s = 0.5;      ///< delay before the first retry
+  double cap_s = 8.0;       ///< delays never exceed this
+  double multiplier = 2.0;  ///< per-attempt growth factor
+  double jitter_ratio = 0;  ///< ±fraction of the delay; 0 = deterministic
+
+  /// cap_s value meaning "pure exponential, never capped".
+  static constexpr double kNoCap = std::numeric_limits<double>::infinity();
+
+  /// Fixed-delay pacing (crash-loop restart backoff): every retry waits
+  /// exactly `delay_s`.
+  static constexpr RetryPolicy constant(double delay_s,
+                                        int max_attempts = 1) {
+    return RetryPolicy{max_attempts, delay_s, delay_s, 1.0, 0.0};
+  }
+
+  /// True when `attempt` (0-indexed) was the last allowed try.
+  [[nodiscard]] constexpr bool exhausted(int attempt) const {
+    return attempt + 1 >= max_attempts;
+  }
+
+  /// Deterministic delay before retrying after failure `attempt`.
+  [[nodiscard]] double backoff_s(int attempt) const {
+    return std::min(cap_s,
+                    base_s * std::pow(multiplier, std::max(attempt, 0)));
+  }
+
+  /// Jittered delay; consumes one uniform draw iff jitter_ratio > 0.
+  [[nodiscard]] double backoff_jittered(int attempt, sim::Rng& rng) const {
+    const double delay = backoff_s(attempt);
+    if (jitter_ratio <= 0) return delay;
+    return delay * rng.uniform(1.0 - jitter_ratio, 1.0 + jitter_ratio);
+  }
+};
+
+}  // namespace sf::fault

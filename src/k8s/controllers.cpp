@@ -10,7 +10,8 @@ namespace sf::k8s {
 
 DeploymentController::DeploymentController(ApiServer& api,
                                            double restart_backoff_s)
-    : api_(api), restart_backoff_(restart_backoff_s) {
+    : api_(api),
+      restart_backoff_(fault::RetryPolicy::constant(restart_backoff_s)) {
   api_.watch_deployments([this](EventType type, const Deployment& dep) {
     if (type == EventType::kDeleted) {
       // Remove every pod the deployment owned, via the owner index —
@@ -49,7 +50,8 @@ DeploymentController::DeploymentController(ApiServer& api,
       ++backoff_hold_[pod.owner];
       ++pods_replaced_;
       api_.delete_pod(pod.name);
-      api_.sim().call_in(restart_backoff_, [this, owner = pod.owner] {
+      api_.sim().call_in(restart_backoff_.backoff_s(0),
+                         [this, owner = pod.owner] {
         auto it = backoff_hold_.find(owner);
         if (it != backoff_hold_.end() && --it->second <= 0) {
           backoff_hold_.erase(it);

@@ -3,6 +3,7 @@
 #include <map>
 #include <string>
 
+#include "fault/retry.hpp"
 #include "k8s/api_server.hpp"
 
 namespace sf::k8s {
@@ -42,7 +43,10 @@ class DeploymentController {
   void check_invariants() const;
 
   ApiServer& api_;
-  double restart_backoff_;
+  /// Crash-loop restart pacing: a fixed-delay RetryPolicy (Kubernetes'
+  /// CrashLoopBackOff grows exponentially; this controller models the
+  /// steady-state fixed window the testbed calibrates against).
+  fault::RetryPolicy restart_backoff_;
   std::map<std::string, int> next_index_;  // per-deployment pod name counter
   /// Deployments whose failure backoff is armed: reconciles are held until
   /// the backoff event fires, so replacements are actually paced (a

@@ -4,11 +4,21 @@
 #include <cstdio>
 #include <utility>
 
+#include "fault/retry.hpp"
+
 namespace sf::knative {
 
 namespace {
 constexpr int kMaxRouteAttempts = 3;
-constexpr double kRetryBackoff = 0.05;
+/// Admission (429) retries: 50 ms doubling, uncapped within the route
+/// attempt budget, ±50% engine-RNG jitter to spread synchronized bursts.
+constexpr fault::RetryPolicy kAdmitRetry{
+    /*max_attempts=*/kMaxRouteAttempts, /*base_s=*/0.05,
+    /*cap_s=*/fault::RetryPolicy::kNoCap, /*multiplier=*/2.0,
+    /*jitter_ratio=*/0.5};
+/// In-flight (connection-refused / 503 / 504) retries: fixed 50 ms —
+/// the backend set has already changed, nothing to spread.
+constexpr fault::RetryPolicy kRouteRetry = fault::RetryPolicy::constant(0.05);
 const std::string kRevisionLabel = "serving.knative.dev/revision";
 }  // namespace
 
@@ -325,9 +335,7 @@ bool KnativeServing::admit(Revision& rev, const std::string& service,
     // seed-purity (and is drawn only when admission is enabled).
     ++rev.retries;
     ++rev.retries_by_revision[rev.rev_name];
-    const double backoff = kRetryBackoff *
-                           static_cast<double>(1 << attempt) *
-                           sim.rng().uniform(0.5, 1.5);
+    const double backoff = kAdmitRetry.backoff_jittered(attempt, sim.rng());
     sim.call_in(backoff, [this, service, req, respond = std::move(respond),
                           attempt]() mutable {
       route(service, req, std::move(respond), attempt + 1);
@@ -531,7 +539,7 @@ void KnativeServing::on_attempt_response(const std::string& service,
     ++rev.retries;
     ++rev.retries_by_revision[rev.rev_name];
     kube_.cluster().sim().call_in(
-        kRetryBackoff,
+        kRouteRetry.backoff_s(attempt),
         [this, service, req, respond = std::move(respond),
          attempt]() mutable {
           route(service, req, std::move(respond), attempt + 1);

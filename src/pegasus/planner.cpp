@@ -249,13 +249,14 @@ void Planner::add_stage_in(Plan& plan) const {
   storage::ReplicaCatalog* replicas = &replicas_;
   storage::Volume* staging = &pool_.submit_staging();
   net::FlowNetwork* network = &pool_.cluster().network();
+  catalog::CatalogClient* catalog = options_.catalog;
 
   condor::DagNode node;
   node.name = "stage_in_" + workflow_.name();
   node.retries = options_.dag_retries;
   node.job.name = node.name;
   node.job.submit_volume = staging;
-  node.job.executable = [initial, replicas, staging, network](
+  node.job.executable = [initial, replicas, staging, network, catalog](
                             condor::ExecContext&,
                             std::function<void(bool)> done) {
     // Weak self-reference; pending transfers hold the strong ref (a
@@ -263,7 +264,7 @@ void Planner::add_stage_in(Plan& plan) const {
     auto stage_next = std::make_shared<std::function<void(std::size_t)>>();
     auto done_ptr =
         std::make_shared<std::function<void(bool)>>(std::move(done));
-    *stage_next = [initial, replicas, staging, network, done_ptr,
+    *stage_next = [initial, replicas, staging, network, catalog, done_ptr,
                    weak = std::weak_ptr<std::function<void(std::size_t)>>(
                        stage_next)](std::size_t i) {
       const auto self = weak.lock();
@@ -271,23 +272,40 @@ void Planner::add_stage_in(Plan& plan) const {
         (*done_ptr)(true);
         return;
       }
-      storage::Volume* source = replicas->primary(initial[i]);
-      if (source == nullptr) {
-        (*done_ptr)(false);
-        return;
+      const std::string lfn = initial[i];
+      auto resolved = [self, done_ptr, staging, network, catalog, lfn, i](
+                          bool ok, storage::Volume* source) {
+        if (!ok || source == nullptr) {
+          (*done_ptr)(false);
+          return;
+        }
+        if (source == staging) {  // data already on the submit node
+          (*self)(i + 1);
+          return;
+        }
+        if (catalog != nullptr && !source->node().up()) {
+          // A (possibly stale) catalog read steered us at a dead node.
+          // Fail fast instead of wedging on a disk that will never answer,
+          // and drop the entry so the DAG retry re-resolves.
+          catalog->invalidate(lfn);
+          (*done_ptr)(false);
+          return;
+        }
+        storage::stage_file(*network, *source, *staging, lfn,
+                            [self, done_ptr, i](bool staged) {
+                              if (!staged) {
+                                (*done_ptr)(false);
+                              } else {
+                                (*self)(i + 1);
+                              }
+                            });
+      };
+      if (catalog != nullptr) {
+        catalog->lookup(lfn, std::move(resolved));
+      } else {
+        storage::Volume* source = replicas->primary(lfn);
+        resolved(source != nullptr, source);
       }
-      if (source == staging) {  // data already on the submit node
-        (*self)(i + 1);
-        return;
-      }
-      storage::stage_file(*network, *source, *staging, initial[i],
-                          [self, done_ptr, i](bool ok) {
-                            if (!ok) {
-                              (*done_ptr)(false);
-                            } else {
-                              (*self)(i + 1);
-                            }
-                          });
     };
     (*stage_next)(0);
   };
@@ -300,6 +318,7 @@ void Planner::add_stage_out(Plan& plan) const {
   if (finals.empty()) return;
   storage::ReplicaCatalog* replicas = &replicas_;
   storage::Volume* staging = &pool_.submit_staging();
+  catalog::CatalogClient* catalog = options_.catalog;
 
   condor::DagNode node;
   node.name = "stage_out_" + workflow_.name();
@@ -307,7 +326,7 @@ void Planner::add_stage_out(Plan& plan) const {
   node.job.name = node.name;
   node.job.submit_volume = staging;
   // Parents (the producers of final outputs) are filled in by plan().
-  node.job.executable = [finals, replicas, staging](
+  node.job.executable = [finals, replicas, staging, catalog](
                             condor::ExecContext&,
                             std::function<void(bool)> done) {
     for (const auto& lfn : finals) {
@@ -315,9 +334,27 @@ void Planner::add_stage_out(Plan& plan) const {
         done(false);
         return;
       }
-      replicas->register_replica(lfn, *staging);
+      if (catalog == nullptr) {
+        replicas->register_replica(lfn, *staging);
+      }
     }
-    done(true);
+    if (catalog == nullptr) {
+      done(true);
+      return;
+    }
+    // Write-through registration via the metadata tier. Best-effort: the
+    // replica exists on staging regardless of whether the catalog heard
+    // about it — a failed write-through (outage outlasting the retries)
+    // only delays other consumers' visibility until they re-resolve after
+    // the heal, so it must not fail the workflow.
+    auto pending = std::make_shared<std::size_t>(finals.size());
+    auto done_ptr =
+        std::make_shared<std::function<void(bool)>>(std::move(done));
+    for (const auto& lfn : finals) {
+      catalog->register_replica(lfn, *staging, [pending, done_ptr](bool) {
+        if (--*pending == 0) (*done_ptr)(true);
+      });
+    }
   };
   plan.nodes.push_back(std::move(node));
   ++plan.stage_out_jobs;

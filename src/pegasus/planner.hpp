@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "catalog/catalog.hpp"
 #include "condor/dagman.hpp"
 #include "condor/pool.hpp"
 #include "container/image_cache.hpp"
@@ -64,6 +65,12 @@ struct PlannerOptions {
   DockerEnv* docker = nullptr;
   ServerlessWrapperFactory serverless_factory;
   int dag_retries = 0;
+  /// Metadata-tier client. When set, stage-in resolves replica locations
+  /// through the catalog service (TTL cache / retry / breaker / stale
+  /// reads) instead of in-process pointer lookups, and stage-out
+  /// registers outputs write-through. Null keeps the historical direct
+  /// path, byte for byte.
+  catalog::CatalogClient* catalog = nullptr;
 };
 
 /// The executable workflow the planner emits.

@@ -6,33 +6,36 @@ namespace sf::storage {
 
 void ReplicaCatalog::register_replica(const std::string& lfn,
                                       Volume& volume) {
-  auto& vols = replicas_[lfn];
-  if (std::find(vols.begin(), vols.end(), &volume) == vols.end()) {
-    vols.push_back(&volume);
-  }
+  const sim::ObjectId id = names_.intern(lfn);
+  if (id >= replicas_.size()) replicas_.resize(id + 1);
+  auto& vols = replicas_[id];
+  if (std::find(vols.begin(), vols.end(), &volume) != vols.end()) return;
+  if (vols.empty()) ++non_empty_;
+  vols.push_back(&volume);
 }
 
 bool ReplicaCatalog::deregister_replica(const std::string& lfn,
                                         const Volume& volume) {
-  auto it = replicas_.find(lfn);
-  if (it == replicas_.end()) return false;
-  auto& vols = it->second;
+  if (!names_.contains(lfn)) return false;
+  const sim::ObjectId id = names_.lookup(lfn);
+  if (id >= replicas_.size()) return false;
+  auto& vols = replicas_[id];
   auto pos = std::find(vols.begin(), vols.end(), &volume);
   if (pos == vols.end()) return false;
   vols.erase(pos);
-  if (vols.empty()) replicas_.erase(it);
+  if (vols.empty()) --non_empty_;  // last replica gone: entry removed
   return true;
 }
 
 std::vector<Volume*> ReplicaCatalog::lookup(const std::string& lfn) const {
-  auto it = replicas_.find(lfn);
-  return it == replicas_.end() ? std::vector<Volume*>{} : it->second;
+  if (!names_.contains(lfn)) return {};
+  const sim::ObjectId id = names_.lookup(lfn);
+  return id < replicas_.size() ? replicas_[id] : std::vector<Volume*>{};
 }
 
 Volume* ReplicaCatalog::primary(const std::string& lfn) const {
-  auto it = replicas_.find(lfn);
-  return (it == replicas_.end() || it->second.empty()) ? nullptr
-                                                       : it->second.front();
+  if (!names_.contains(lfn)) return nullptr;
+  return primary_by_id(names_.lookup(lfn));
 }
 
 }  // namespace sf::storage

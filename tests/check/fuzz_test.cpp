@@ -130,6 +130,7 @@ TEST(FuzzRun, EveryInvariantExercisedNonVacuously) {
   c.openloop_users = 2;
   c.openloop_rate_hz = 1.0;
   c.outlier_detection = true;  // arms the ejection-filter invariants
+  c.catalog_service = true;    // arms the metadata-tier invariants
   c.horizon_s = 240;
   c.node_crash_mean_s = 60;  // dense enough that faults certainly fire
   c.pod_kill_mean_s = 60;
@@ -169,8 +170,8 @@ TEST(FuzzRepro, PrintsEveryField) {
   EXPECT_NE(repro.find("EXPECT_TRUE(out.ok)"), std::string::npos);
 }
 
-TEST(FuzzChannels, CoverAllElevenFaultChannels) {
-  EXPECT_EQ(fuzz_channels().size(), 11u);
+TEST(FuzzChannels, CoverAllTwelveFaultChannels) {
+  EXPECT_EQ(fuzz_channels().size(), 12u);
 }
 
 TEST(FuzzCaseDerivation, OutlierAxisFlipsOnSometimes) {

@@ -56,5 +56,60 @@ TEST_F(ReplicaCatalogTest, UnknownLfnEmpty) {
   EXPECT_EQ(rc.entry_count(), 0u);
 }
 
+TEST_F(ReplicaCatalogTest, DeregisterLastErasesEntry) {
+  rc.register_replica("f", v0);
+  EXPECT_EQ(rc.entry_count(), 1u);
+  EXPECT_TRUE(rc.deregister_replica("f", v0));
+  EXPECT_EQ(rc.entry_count(), 0u);
+  EXPECT_FALSE(rc.has("f"));
+  EXPECT_TRUE(rc.lookup("f").empty());
+  // An erased entry is gone, not a zombie: the same lfn can come back.
+  rc.register_replica("f", v1);
+  EXPECT_EQ(rc.entry_count(), 1u);
+  EXPECT_EQ(rc.primary("f"), &v1);
+}
+
+TEST_F(ReplicaCatalogTest, PrimaryPromotedAfterDeregister) {
+  rc.register_replica("f", v0);
+  rc.register_replica("f", v1);
+  EXPECT_EQ(rc.primary("f"), &v0);
+  EXPECT_TRUE(rc.deregister_replica("f", v0));
+  // Second replica is promoted; the entry survives, so no count change.
+  EXPECT_EQ(rc.primary("f"), &v1);
+  EXPECT_EQ(rc.entry_count(), 1u);
+}
+
+TEST_F(ReplicaCatalogTest, DoubleRegisterDoesNotInflateCount) {
+  rc.register_replica("f", v0);
+  rc.register_replica("f", v0);
+  EXPECT_EQ(rc.entry_count(), 1u);
+  // One deregister fully empties the entry — the duplicate was dropped,
+  // so no second copy lingers to keep the lfn alive.
+  EXPECT_TRUE(rc.deregister_replica("f", v0));
+  EXPECT_FALSE(rc.has("f"));
+  EXPECT_EQ(rc.entry_count(), 0u);
+}
+
+TEST_F(ReplicaCatalogTest, InternedIdStableAcrossErase) {
+  rc.register_replica("f", v0);
+  const sim::ObjectId id = rc.id_of("f");
+  ASSERT_NE(id, sim::kEmptyId);
+  EXPECT_TRUE(rc.deregister_replica("f", v0));
+  // The id slot outlives the entry (interned ids are append-only), but an
+  // empty slot never hands out a volume.
+  EXPECT_EQ(rc.id_of("f"), id);
+  EXPECT_EQ(rc.primary_by_id(id), nullptr);
+  rc.register_replica("f", v1);
+  EXPECT_EQ(rc.id_of("f"), id);
+  EXPECT_EQ(rc.primary_by_id(id), &v1);
+}
+
+TEST_F(ReplicaCatalogTest, DeregisterWrongVolumeLeavesEntry) {
+  rc.register_replica("f", v0);
+  EXPECT_FALSE(rc.deregister_replica("f", v1));
+  EXPECT_EQ(rc.entry_count(), 1u);
+  EXPECT_EQ(rc.primary("f"), &v0);
+}
+
 }  // namespace
 }  // namespace sf::storage
